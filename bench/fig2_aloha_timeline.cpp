@@ -1,0 +1,58 @@
+// Figure 2: Timeline of Aloha Submitter.
+//
+// Paper: 400 clients continuously submitting for thirty minutes.  "The
+// Aloha clients immediately consume all of the FDs then immediately fail
+// and backoff. ... At several points, the number of available FDs spikes
+// upwards.  This is due to the schedd itself failing when it cannot
+// allocate enough FDs.  This, in turn, causes all of its connected clients
+// to fail and backoff, serving as sort of a 'broadcast jam'."
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/scenarios.hpp"
+#include "exp/table.hpp"
+
+using namespace ethergrid;
+
+// In our FD model 400 clients x ~20 descriptors sits just below the 8192
+// table; the paper's exact per-connection footprint is unknown and theirs
+// was just above critical.  We run 420 clients (5% past critical) so the
+// crash regime the figure depicts is reproduced; see EXPERIMENTS.md.
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 420;
+  exp::SubmitScenarioConfig config;
+  std::fprintf(stderr, "[fig2] %d aloha submitters, 1800 s...\n", clients);
+  exp::SubmitterTimeline timeline = exp::run_submitter_timeline(
+      config, grid::DisciplineKind::kAloha, clients, sec(1800), sec(10));
+
+  exp::Table table("Figure 2: Timeline of Aloha Submitter (" +
+                       std::to_string(clients) + " clients)",
+                   {"t_seconds", "available_fds", "jobs_submitted"});
+  for (const auto& p : timeline.points) {
+    table.add_row({exp::Table::cell(p.t_seconds),
+                   exp::Table::cell(p.available_fds),
+                   exp::Table::cell(p.jobs_submitted)});
+  }
+  table.print();
+
+  // Shape checks from the paper's narrative.
+  double min_fds = 1e18;
+  int upward_spikes = 0;
+  double prev = timeline.points.empty() ? 0 : timeline.points[0].available_fds;
+  for (const auto& p : timeline.points) {
+    min_fds = std::min(min_fds, p.available_fds);
+    if (p.available_fds - prev > 2000) ++upward_spikes;  // broadcast jam
+    prev = p.available_fds;
+  }
+  std::printf("\nTotals: jobs=%lld schedd_crashes=%d\n",
+              (long long)timeline.jobs_total, timeline.schedd_crashes);
+  std::printf("Shape check: FDs driven near exhaustion (min=%g): %s\n",
+              min_fds, min_fds < 500 ? "OK" : "MISMATCH");
+  std::printf("Shape check: upward FD spikes from schedd crashes (%d): %s\n",
+              upward_spikes,
+              (upward_spikes >= 1 && timeline.schedd_crashes >= 1)
+                  ? "OK"
+                  : "MISMATCH");
+  return 0;
+}

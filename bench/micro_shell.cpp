@@ -1,0 +1,106 @@
+// Microbenchmarks: shell front end and the Ethernet core primitives.
+#include <benchmark/benchmark.h>
+
+#include "core/backoff.hpp"
+#include "core/retry.hpp"
+#include "core/sim_clock.hpp"
+#include "shell/interpreter.hpp"
+#include "shell/lexer.hpp"
+#include "shell/parser.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace ethergrid;
+
+const char* kScript = R"(
+# representative ftsh fragment
+try for 1 hour
+  forany host in xxx yyy zzz
+    try for 5 minutes
+      fetch-file ${host} filename
+    end
+  end
+catch
+  rm -f filename
+  failure
+end
+n = 4
+while ${n} .gt. 0
+  n = ${n} .sub. 1
+end
+)";
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = shell::lex(kScript);
+    benchmark::DoNotOptimize(result.tokens.size());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(std::string(kScript).size()));
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = shell::parse_script(kScript);
+    benchmark::DoNotOptimize(result.script.get());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(std::string(kScript).size()));
+}
+BENCHMARK(BM_Parse);
+
+void BM_InterpretEchoLoop(benchmark::State& state) {
+  const std::string script =
+      "i=0\nwhile ${i} .lt. 100\n  i = ${i} .add. 1\nend";
+  auto parsed = shell::parse_script(script);
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    shell::SimExecutor executor(kernel);
+    kernel.spawn("bench", [&](sim::Context& ctx) {
+      shell::SimExecutor::ContextBinding binding(executor, ctx);
+      shell::Interpreter interpreter(executor);
+      shell::Environment env;
+      Status s = interpreter.run(*parsed.script, env);
+      benchmark::DoNotOptimize(s.ok());
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 100);
+}
+BENCHMARK(BM_InterpretEchoLoop);
+
+void BM_BackoffNext(benchmark::State& state) {
+  Rng rng(1);
+  core::Backoff backoff(core::BackoffPolicy::paper_default(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backoff.next());
+    if (backoff.failures() > 40) backoff.reset();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_BackoffNext);
+
+void BM_RunTrySucceedFirst(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    kernel.spawn("bench", [&](sim::Context& ctx) {
+      core::SimClock clock(ctx);
+      Rng rng = ctx.rng();
+      for (int i = 0; i < 100; ++i) {
+        Status s = core::run_try(clock, rng, core::TryOptions::times(3),
+                                 [](TimePoint) { return Status::success(); });
+        benchmark::DoNotOptimize(s.ok());
+      }
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 100);
+}
+BENCHMARK(BM_RunTrySucceedFirst);
+
+}  // namespace
+
+BENCHMARK_MAIN();

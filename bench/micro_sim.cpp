@@ -1,0 +1,112 @@
+// Microbenchmarks: the discrete-event kernel itself.
+#include <benchmark/benchmark.h>
+
+#include "sim/kernel.hpp"
+#include "sim/resource.hpp"
+#include "sim/store.hpp"
+
+namespace {
+
+using namespace ethergrid;
+
+// Cost of spawning and draining N trivial processes (thread create + one
+// baton round trip each).
+void BM_SpawnDrain(benchmark::State& state) {
+  const int n = int(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    for (int i = 0; i < n; ++i) {
+      kernel.spawn("p", [](sim::Context&) {});
+    }
+    kernel.run();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * n);
+}
+BENCHMARK(BM_SpawnDrain)->Arg(1)->Arg(16)->Arg(128);
+
+// Context-switch cost: one process sleeping K times (schedule + 2 handoffs
+// per event).
+void BM_SleepEvents(benchmark::State& state) {
+  const int k = int(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    kernel.spawn("sleeper", [&](sim::Context& ctx) {
+      for (int i = 0; i < k; ++i) ctx.sleep(msec(1));
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * k);
+}
+BENCHMARK(BM_SleepEvents)->Arg(1000)->Arg(10000);
+
+// Two processes ping-ponging through events: measures broadcast wake +
+// reschedule round trips.
+void BM_EventPingPong(benchmark::State& state) {
+  const int rounds = int(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    sim::Event ping(kernel), pong(kernel);
+    // Latched set/reset so no wake is lost regardless of arrival order.
+    kernel.spawn("a", [&](sim::Context& ctx) {
+      for (int i = 0; i < rounds; ++i) {
+        ping.set();
+        ctx.wait(pong);
+        pong.reset();
+      }
+    });
+    kernel.spawn("b", [&](sim::Context& ctx) {
+      for (int i = 0; i < rounds; ++i) {
+        ctx.wait(ping);
+        ping.reset();
+        pong.set();
+      }
+    });
+    kernel.run();
+    if (kernel.live_process_count() != 0) {
+      state.SkipWithError("ping-pong deadlocked");
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * rounds);
+}
+BENCHMARK(BM_EventPingPong)->Arg(1000);
+
+// Resource churn through a contended FIFO.
+void BM_ResourceChurn(benchmark::State& state) {
+  const int workers = int(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    sim::Resource resource(kernel, 2);
+    for (int w = 0; w < workers; ++w) {
+      kernel.spawn("w", [&](sim::Context& ctx) {
+        for (int i = 0; i < 50; ++i) {
+          sim::ResourceLease lease(ctx, resource);
+          ctx.sleep(msec(1));
+        }
+      });
+    }
+    kernel.run();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * workers * 50);
+}
+BENCHMARK(BM_ResourceChurn)->Arg(4)->Arg(16);
+
+void BM_StoreThroughput(benchmark::State& state) {
+  const int items = int(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    sim::Store<int> store(kernel, 64);
+    kernel.spawn("producer", [&](sim::Context& ctx) {
+      for (int i = 0; i < items; ++i) store.put(ctx, i);
+    });
+    kernel.spawn("consumer", [&](sim::Context& ctx) {
+      for (int i = 0; i < items; ++i) benchmark::DoNotOptimize(store.get(ctx));
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * items);
+}
+BENCHMARK(BM_StoreThroughput)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Data replication: the black-hole scenario via the paper's two scripts.
+//
+// The Aloha reader:                     The Ethernet reader:
+//   try for 900 seconds                   try for 900 seconds
+//     forany host in xxx yyy zzz            forany host in xxx yyy zzz
+//       try for 60 seconds                    try for 5 seconds
+//         wget http://$host/data                wget http://$host/flag
+//       end                                   end
+//     end                                     try for 60 seconds
+//   end                                         wget http://$host/data
+//                                             end
+//                                           end
+//                                         end
+//
+// Both run against three single-threaded replicas, one of which is a black
+// hole; the transcript shows the Aloha script paying 60-second stalls that
+// the flag-file probe avoids.
+#include <cstdio>
+
+#include "grid/fileserver.hpp"
+#include "shell/interpreter.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ethergrid;
+
+namespace {
+
+grid::ServerFarm* g_farm = nullptr;
+
+shell::CommandResult wget(sim::Context& ctx,
+                          const shell::CommandInvocation& inv) {
+  // URL shape: http://<host>/<path>
+  const std::string& url = inv.argv.at(1);
+  const auto host_start = url.find("//") + 2;
+  const auto host_end = url.find('/', host_start);
+  const std::string host = url.substr(host_start, host_end - host_start);
+  const std::string path = url.substr(host_end + 1);
+  grid::FileServer* server = g_farm->by_name(host);
+  if (!server) return {Status::not_found("no such host " + host), "", ""};
+  Status s = path == "flag" ? server->fetch_flag(ctx)
+                            : server->fetch(ctx, 100 << 20);
+  return {s, "", ""};
+}
+
+const char* kAlohaScript = R"(
+try for 900 seconds
+  forany host in xxx yyy zzz
+    try for 60 seconds
+      wget http://${host}/data
+    end
+  end
+end
+)";
+
+const char* kEthernetScript = R"(
+try for 900 seconds
+  forany host in xxx yyy zzz
+    try for 5 seconds
+      wget http://${host}/flag
+    end
+    try for 60 seconds
+      wget http://${host}/data
+    end
+  end
+end
+)";
+
+std::vector<grid::FileServerConfig> exp_farm();
+
+// Runs `script` in a loop for `window` and reports completed downloads.
+int run_readers(const char* label, const char* script, Duration window) {
+  sim::Kernel kernel(23);
+  grid::ServerFarm farm(kernel, exp_farm());
+  g_farm = &farm;
+  shell::SimExecutor executor(kernel);
+  executor.register_command("wget", wget);
+
+  int downloads = 0;
+  for (int i = 0; i < 3; ++i) {
+    kernel.spawn("reader" + std::to_string(i), [&](sim::Context& ctx) {
+      shell::SimExecutor::ContextBinding binding(executor, ctx);
+      shell::Interpreter interpreter(executor);
+      shell::Environment env;
+      while (true) {
+        if (interpreter.run_source(script, env).ok()) ++downloads;
+      }
+    });
+  }
+  kernel.run_until(kEpoch + window);
+  const auto served = [&farm] {
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < farm.size(); ++i) {
+      total += farm.server(i).transfers_completed();
+    }
+    return total;
+  }();
+  std::printf("%-9s %3d whole-file downloads (%lld server transfers incl. "
+              "flag probes)\n",
+              label, downloads, (long long)served);
+  kernel.shutdown();
+  g_farm = nullptr;
+  return downloads;
+}
+
+std::vector<grid::FileServerConfig> exp_farm() {
+  grid::FileServerConfig xxx;
+  xxx.name = "xxx";
+  grid::FileServerConfig yyy;
+  yyy.name = "yyy";
+  grid::FileServerConfig zzz;
+  zzz.name = "zzz";
+  zzz.black_hole = true;  // accepts connections, never answers
+  return {xxx, yyy, zzz};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("3 readers, 3 replicas (zzz is a black hole), 900 s window:\n");
+  const int aloha = run_readers("aloha:", kAlohaScript, sec(900));
+  const int ethernet = run_readers("ethernet:", kEthernetScript, sec(900));
+  std::printf("\nThe flag-file probe is worth %.1fx here.\n",
+              aloha ? double(ethernet) / double(aloha) : 0.0);
+  return 0;
+}

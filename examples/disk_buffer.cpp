@@ -1,0 +1,66 @@
+// Disk buffer: the producer/consumer scenario at demo scale, C++ API.
+//
+// Eight producers of each discipline in turn share a cramped buffer over a
+// slow filesystem channel with a 1 MB/s consumer; the periodic report shows
+// why carrier sense keeps the buffer flowing where aggressive retry chokes
+// the shared medium with doomed writes.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "grid/clients.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ethergrid;
+
+namespace {
+
+void run_discipline(grid::DisciplineKind kind) {
+  sim::Kernel kernel(5);
+  grid::FsBuffer buffer(kernel, 24 << 20);  // 24 MB demo buffer
+  grid::IoChannel channel(kernel, grid::IoChannelConfig{});
+  grid::ConsumerStats consumer_stats;
+  grid::ConsumerConfig consumer_config;
+  kernel.spawn("consumer", grid::make_consumer(buffer, channel,
+                                               consumer_config,
+                                               &consumer_stats));
+  std::vector<std::unique_ptr<grid::ProducerStats>> stats;
+  for (int i = 0; i < 8; ++i) {
+    grid::ProducerConfig pc;
+    pc.kind = kind;
+    pc.name_prefix = "p" + std::to_string(i);
+    stats.push_back(std::make_unique<grid::ProducerStats>());
+    kernel.spawn("producer" + std::to_string(i),
+                 grid::make_producer(buffer, channel, pc, stats.back().get()));
+  }
+
+  std::printf("\n--- %s producers ---\n",
+              std::string(grid::discipline_kind_name(kind)).c_str());
+  std::printf("%8s %10s %10s %12s %11s\n", "t (s)", "consumed", "buffer MB",
+              "collisions", "deferrals");
+  for (int minute = 1; minute <= 5; ++minute) {
+    kernel.run_until(kEpoch + minutes(minute));
+    std::int64_t collisions = 0, deferrals = 0;
+    for (const auto& s : stats) {
+      collisions += s->discipline.collisions;
+      deferrals += s->discipline.deferrals;
+    }
+    std::printf("%8d %10lld %10.1f %12lld %11lld\n", minute * 60,
+                (long long)consumer_stats.files_consumed,
+                double(buffer.used_bytes()) / (1 << 20),
+                (long long)collisions, (long long)deferrals);
+  }
+  kernel.shutdown();
+}
+
+}  // namespace
+
+int main() {
+  run_discipline(grid::DisciplineKind::kFixed);
+  run_discipline(grid::DisciplineKind::kAloha);
+  run_discipline(grid::DisciplineKind::kEthernet);
+  std::printf(
+      "\nSame offered load, same buffer; only the client discipline "
+      "differs.\n");
+  return 0;
+}

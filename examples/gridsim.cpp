@@ -1,0 +1,185 @@
+// gridsim: explore the paper's three scenarios from the command line.
+//
+// Usage:
+//   gridsim submit  [--clients N] [--discipline D] [--minutes M]
+//                   [--threshold FDS] [--seed S] [--timeline]
+//   gridsim buffer  [--producers N] [--discipline D] [--seconds S]
+//                   [--capacity-mb MB] [--seed S]
+//   gridsim readers [--discipline D] [--readers N] [--seconds S]
+//                   [--flaky P] [--seed S]
+//
+// D is one of fixed | aloha | ethernet.  Every run is deterministic in the
+// seed; change --seed to see another realization.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "exp/scenarios.hpp"
+#include "exp/table.hpp"
+
+using namespace ethergrid;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double get_double(const std::string& name, double fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  bool has(const std::string& name) const { return values.count(name) > 0; }
+};
+
+bool parse_flags(int argc, char** argv, int start, Flags* flags) {
+  for (int i = start; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "gridsim: unexpected argument '%s'\n", arg);
+      return false;
+    }
+    std::string name = arg + 2;
+    if (name == "timeline") {
+      flags->values[name] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "gridsim: --%s needs a value\n", name.c_str());
+      return false;
+    }
+    flags->values[name] = argv[++i];
+  }
+  return true;
+}
+
+bool parse_discipline(const std::string& name, grid::DisciplineKind* kind) {
+  if (name == "fixed") {
+    *kind = grid::DisciplineKind::kFixed;
+  } else if (name == "aloha") {
+    *kind = grid::DisciplineKind::kAloha;
+  } else if (name == "ethernet") {
+    *kind = grid::DisciplineKind::kEthernet;
+  } else {
+    std::fprintf(stderr, "gridsim: unknown discipline '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+int run_submit(const Flags& flags) {
+  grid::DisciplineKind kind;
+  if (!parse_discipline(flags.get("discipline", "ethernet"), &kind)) return 2;
+  const int clients = int(flags.get_int("clients", 400));
+  const int minutes_total = int(flags.get_int("minutes", 5));
+  exp::SubmitScenarioConfig config;
+  config.seed = std::uint64_t(flags.get_int("seed", 42));
+  config.submitter.fd_threshold = flags.get_int("threshold", 1000);
+
+  if (flags.has("timeline")) {
+    auto timeline = exp::run_submitter_timeline(
+        config, kind, clients, ethergrid::minutes(minutes_total), sec(10));
+    exp::Table table("Submitter timeline", {"t_seconds", "available_fds",
+                                            "jobs_submitted"});
+    for (const auto& p : timeline.points) {
+      table.add_row({exp::Table::cell(p.t_seconds),
+                     exp::Table::cell(p.available_fds),
+                     exp::Table::cell(p.jobs_submitted)});
+    }
+    table.print();
+    std::printf("\njobs=%lld crashes=%d\n", (long long)timeline.jobs_total,
+                timeline.schedd_crashes);
+    return 0;
+  }
+
+  auto point = exp::run_submit_scale_point(config, kind, clients,
+                                           ethergrid::minutes(minutes_total));
+  std::printf(
+      "%d %s submitters, %d min: jobs=%lld crashes=%d fd_low_watermark=%lld\n",
+      clients, std::string(grid::discipline_kind_name(kind)).c_str(),
+      minutes_total, (long long)point.jobs_submitted, point.schedd_crashes,
+      (long long)point.fd_low_watermark);
+  return 0;
+}
+
+int run_buffer(const Flags& flags) {
+  grid::DisciplineKind kind;
+  if (!parse_discipline(flags.get("discipline", "ethernet"), &kind)) return 2;
+  const int producers = int(flags.get_int("producers", 20));
+  const int seconds = int(flags.get_int("seconds", 600));
+  exp::BufferScenarioConfig config;
+  config.seed = std::uint64_t(flags.get_int("seed", 42));
+  config.buffer_bytes = flags.get_int("capacity-mb", 120) << 20;
+
+  auto point = exp::run_buffer_point(config, kind, producers, sec(seconds));
+  std::printf(
+      "%d %s producers, %d s, %lld MB buffer:\n"
+      "  consumed=%lld files (%.1f MB)  completed=%lld  collisions=%lld  "
+      "deferrals=%lld\n",
+      producers, std::string(grid::discipline_kind_name(kind)).c_str(),
+      seconds, (long long)(config.buffer_bytes >> 20),
+      (long long)point.files_consumed,
+      double(point.bytes_consumed) / (1 << 20),
+      (long long)point.files_completed, (long long)point.collisions,
+      (long long)point.deferrals);
+  return 0;
+}
+
+int run_readers(const Flags& flags) {
+  grid::DisciplineKind kind;
+  if (!parse_discipline(flags.get("discipline", "ethernet"), &kind)) return 2;
+  const int seconds = int(flags.get_int("seconds", 900));
+  exp::ReaderScenarioConfig config;
+  config.seed = std::uint64_t(flags.get_int("seed", 42));
+  config.readers = int(flags.get_int("readers", 3));
+  config.servers = exp::ReaderScenarioConfig::paper_farm();
+  const double flaky = flags.get_double("flaky", 0.0);
+  for (auto& server : config.servers) {
+    if (!server.black_hole) server.transient_failure_rate = flaky;
+  }
+
+  auto timeline = exp::run_reader_timeline(config, kind, sec(seconds),
+                                           sec(30));
+  std::printf(
+      "%d %s readers, %d s (1 black hole, flaky=%.2f):\n"
+      "  transfers=%lld  60s-stalls=%lld  deferrals=%lld\n",
+      config.readers, std::string(grid::discipline_kind_name(kind)).c_str(),
+      seconds, flaky, (long long)timeline.transfers_total,
+      (long long)timeline.collisions_total,
+      (long long)timeline.deferrals_total);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gridsim submit|buffer|readers [--flag value ...]\n"
+      "  submit:  --clients N --discipline D --minutes M --threshold FDS\n"
+      "           --seed S --timeline\n"
+      "  buffer:  --producers N --discipline D --seconds S --capacity-mb MB\n"
+      "           --seed S\n"
+      "  readers: --readers N --discipline D --seconds S --flaky P --seed S\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Flags flags;
+  if (!parse_flags(argc, argv, 2, &flags)) return 2;
+  const std::string mode = argv[1];
+  if (mode == "submit") return run_submit(flags);
+  if (mode == "buffer") return run_buffer(flags);
+  if (mode == "readers") return run_readers(flags);
+  return usage();
+}

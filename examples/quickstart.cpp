@@ -1,0 +1,112 @@
+// Quickstart: the paper's headline example, both ways.
+//
+//   try for 1 hour
+//     forany host in xxx yyy zzz
+//       try for 5 minutes
+//         fetch-file $host filename
+//       end
+//     end
+//   end
+//
+// First as an ftsh script over the simulated executor (virtual time: the
+// whole hour-long ordeal runs in milliseconds), then the same logic through
+// the C++ core API (run_try + forany-style loop).
+#include <cstdio>
+
+#include "core/retry.hpp"
+#include "core/sim_clock.hpp"
+#include "shell/interpreter.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/kernel.hpp"
+
+using namespace ethergrid;
+
+namespace {
+
+// A fetch-file that models two flaky mirrors and one good-but-slow one.
+shell::SimExecutor::Handler make_fetch_file() {
+  return [](sim::Context& ctx,
+            const shell::CommandInvocation& inv) -> shell::CommandResult {
+    const std::string& host = inv.argv.at(1);
+    if (host == "xxx") {
+      ctx.sleep(sec(30));  // connects, then wedges past the 5-minute limit
+      ctx.sleep(minutes(10));
+      return {Status::success(), "", ""};
+    }
+    if (host == "yyy") {
+      ctx.sleep(sec(2));
+      return {Status::io_error("connection reset by peer"), "", ""};
+    }
+    ctx.sleep(sec(12));  // zzz: slow but works
+    return {Status::success(), "fetched filename from zzz\n", ""};
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("--- ftsh over the simulator ---\n");
+  sim::Kernel kernel(7);
+  shell::SimExecutor executor(kernel);
+  executor.register_command("fetch-file", make_fetch_file());
+
+  const char* script = R"(
+try for 1 hour
+  forany host in xxx yyy zzz
+    try for 5 minutes
+      fetch-file ${host} filename
+    end
+  end
+end
+echo winner: ${host}
+)";
+
+  kernel.spawn("script", [&](sim::Context& ctx) {
+    shell::SimExecutor::ContextBinding binding(executor, ctx);
+    shell::Interpreter interpreter(executor);
+    shell::Environment env;
+    Status status = interpreter.run_source(script, env);
+    std::printf("script result: %s\n", status.to_string().c_str());
+    std::printf("%s", interpreter.output().c_str());
+    std::printf("virtual time elapsed: %.1f s\n", to_seconds(ctx.now()));
+  });
+  kernel.run();
+
+  std::printf("\n--- the same discipline through the C++ API ---\n");
+  sim::Kernel kernel2(7);
+  kernel2.spawn("client", [&](sim::Context& ctx) {
+    core::SimClock clock(ctx);
+    Rng rng = ctx.rng();
+    const char* hosts[] = {"xxx", "yyy", "zzz"};
+    core::TryMetrics metrics;
+    core::TryOptions outer = core::TryOptions::for_time(hours(1));
+    outer.metrics = &metrics;
+    Status status =
+        core::run_try(clock, rng, outer, [&](TimePoint) -> Status {
+          for (const char* host : hosts) {  // forany
+            Status attempt = core::run_try(
+                clock, rng, core::TryOptions::for_time(minutes(5)),
+                [&](TimePoint) -> Status {
+                  // Pretend transfer: xxx wedges, yyy flakes, zzz works.
+                  if (std::string(host) == "xxx") ctx.sleep(hours(2));
+                  if (std::string(host) == "yyy") {
+                    ctx.sleep(sec(2));
+                    return Status::io_error("reset");
+                  }
+                  ctx.sleep(sec(12));
+                  return Status::success();
+                });
+            if (attempt.ok()) {
+              std::printf("fetched from %s\n", host);
+              return Status::success();
+            }
+          }
+          return Status::failure("all mirrors failed");
+        });
+    std::printf("result: %s after %d attempt(s), %.1f s virtual\n",
+                status.to_string().c_str(), metrics.attempts,
+                to_seconds(ctx.now()));
+  });
+  kernel2.run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "core/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace ethergrid::core {
+
+BackoffPolicy BackoffPolicy::none() {
+  BackoffPolicy p;
+  p.kind = Kind::kNone;
+  p.base = Duration(0);
+  p.jitter_min = p.jitter_max = 1.0;
+  return p;
+}
+
+BackoffPolicy BackoffPolicy::fixed(Duration delay) {
+  BackoffPolicy p;
+  p.kind = Kind::kFixed;
+  p.base = delay;
+  p.jitter_min = p.jitter_max = 1.0;
+  return p;
+}
+
+BackoffPolicy BackoffPolicy::no_jitter() {
+  BackoffPolicy p;
+  p.jitter_min = p.jitter_max = 1.0;
+  return p;
+}
+
+std::string BackoffPolicy::describe() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kFixed:
+      return "fixed(" + format_duration(base) + ")";
+    case Kind::kExponential:
+      return strprintf("exp(base=%s, x%.3g, cap=%s, jitter=[%.3g,%.3g))",
+                       format_duration(base).c_str(), factor,
+                       format_duration(cap).c_str(), jitter_min, jitter_max);
+  }
+  return "?";
+}
+
+Duration Backoff::peek_base() const {
+  switch (policy_.kind) {
+    case BackoffPolicy::Kind::kNone:
+      return Duration(0);
+    case BackoffPolicy::Kind::kFixed:
+      return policy_.base;
+    case BackoffPolicy::Kind::kExponential: {
+      // base * factor^failures, saturating at cap.
+      double us = double(policy_.base.count()) *
+                  std::pow(policy_.factor, double(failures_));
+      us = std::min(us, double(policy_.cap.count()));
+      return Duration(static_cast<std::int64_t>(us));
+    }
+  }
+  return Duration(0);
+}
+
+Duration Backoff::next() {
+  Duration base = peek_base();
+  ++failures_;
+  if (base <= Duration(0)) return Duration(0);
+  double jitter = 1.0;
+  if (policy_.jitter_max > policy_.jitter_min) {
+    jitter = rng_->uniform(policy_.jitter_min, policy_.jitter_max);
+  } else {
+    jitter = policy_.jitter_min;
+  }
+  return Duration(static_cast<std::int64_t>(double(base.count()) * jitter));
+}
+
+}  // namespace ethergrid::core

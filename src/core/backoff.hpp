@@ -1,0 +1,69 @@
+// Exponential backoff with a random spreading factor -- the paper's policy:
+//
+//   "The base delay is one second, doubled after every failure, up to a
+//    maximum of one hour.  Each delay interval is multiplied by a random
+//    factor between one and two in order to distribute the expected values."
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::core {
+
+struct BackoffPolicy {
+  enum class Kind {
+    kNone,         // no delay between attempts (the Fixed client)
+    kFixed,        // constant `base` delay (jitter still applies if set)
+    kExponential,  // base * factor^k, capped (the Aloha/Ethernet client)
+  };
+
+  Kind kind = Kind::kExponential;
+  Duration base = sec(1);
+  double factor = 2.0;
+  Duration cap = hours(1);
+  // Uniform multiplier range applied to the computed delay.  [1,2) is the
+  // paper's choice; [1,1] disables jitter (used by the ablation study).
+  double jitter_min = 1.0;
+  double jitter_max = 2.0;
+
+  // The exact policy from the paper.
+  static BackoffPolicy paper_default() { return BackoffPolicy{}; }
+
+  // Aggressive retry with no delay at all (the Fixed client).
+  static BackoffPolicy none();
+
+  // Constant delay with optional jitter.
+  static BackoffPolicy fixed(Duration delay);
+
+  // paper_default with jitter disabled; for the cascading-collision study.
+  static BackoffPolicy no_jitter();
+
+  std::string describe() const;
+};
+
+// Stateful delay generator.  One instance per retry loop; reset() after a
+// success restores the base delay.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, Rng& rng)
+      : policy_(policy), rng_(&rng) {}
+
+  // Delay to apply after the (failures()+1)-th consecutive failure.
+  // Advances the failure counter.
+  Duration next();
+
+  // Delay that next() would return before jitter; does not advance.
+  Duration peek_base() const;
+
+  void reset() { failures_ = 0; }
+  int failures() const { return failures_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng* rng_;
+  int failures_ = 0;
+};
+
+}  // namespace ethergrid::core

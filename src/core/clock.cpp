@@ -1,0 +1,29 @@
+#include "core/clock.hpp"
+
+#include <thread>
+
+namespace ethergrid::core {
+
+WallClock::WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+TimePoint WallClock::now() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return kEpoch + std::chrono::duration_cast<Duration>(elapsed);
+}
+
+void WallClock::sleep(Duration d) {
+  if (d > Duration(0)) std::this_thread::sleep_for(d);
+}
+
+Status WallClock::with_deadline(TimePoint deadline,
+                                const std::function<Status()>& fn) {
+  // Cooperative: fn (e.g. the POSIX executor) enforces the deadline itself.
+  Status status = fn();
+  if (status.failed() && now() >= deadline &&
+      status.code() != StatusCode::kTimeout) {
+    return Status::timeout("deadline expired during attempt");
+  }
+  return status;
+}
+
+}  // namespace ethergrid::core

@@ -1,0 +1,54 @@
+// Client disciplines: the three contenders of the paper's evaluation.
+//
+//   Fixed    -- aggressively repeats the work with no delay and no regard
+//               for failure ("fixed client").
+//   Aloha    -- plain `try`: exponential backoff + random factor after each
+//               failure, no knowledge of the medium.
+//   Ethernet -- Aloha plus *carrier sense*: a cheap probe of the shared
+//               resource before each attempt; a busy medium defers (counts
+//               as a failure for backoff purposes) without consuming it.
+//
+// Collision detection is the attempt itself observing its effects (the
+// operation returns failure); the discipline counts those.  Limited
+// allocation is the client releasing the resource between work units, which
+// is the structure of the scenario clients in grid/.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/retry.hpp"
+
+namespace ethergrid::core {
+
+// Probe of the shared medium.  ok() = clear to transmit.  Receives the
+// overall attempt deadline so a probe with its own timeout can bound itself.
+using CarrierSenseFn = std::function<Status(TimePoint deadline)>;
+
+// Telemetry across one discipline run.
+struct DisciplineMetrics {
+  TryMetrics try_metrics;
+  int deferrals = 0;   // carrier-sense said busy; we backed off pre-emptively
+  int collisions = 0;  // the operation itself failed (post-consumption)
+  int probes = 0;      // carrier-sense invocations
+};
+
+struct Discipline {
+  std::string name;
+  TryOptions options;             // backoff + budget
+  CarrierSenseFn carrier_sense;   // empty for Fixed/Aloha
+
+  // The paper's three clients, parameterized by the try budget.
+  static Discipline fixed(TryOptions options);
+  static Discipline aloha(TryOptions options);
+  static Discipline ethernet(TryOptions options, CarrierSenseFn carrier);
+};
+
+// Runs `work` under the discipline: per attempt, probe the carrier (if any)
+// and defer on busy; otherwise run the work.  Budget, backoff, and abort
+// semantics are run_try's.  `metrics` may be null.
+Status run_with_discipline(Clock& clock, Rng& rng,
+                           const Discipline& discipline, const AttemptFn& work,
+                           DisciplineMetrics* metrics);
+
+}  // namespace ethergrid::core

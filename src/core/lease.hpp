@@ -1,0 +1,41 @@
+// Limited allocation: "even after fairly acquiring a resource and using it
+// without collision, a client must release it periodically to permit others
+// to compete in the acquisition protocol."
+//
+// LeaseTimer is the small policy object behind that obligation: a client
+// holding a shared resource asks expired() between work units and releases
+// (then re-competes) when its slice is up.  The ablation bench
+// `ablation_limited_allocation` compares holding a schedd connection forever
+// against leasing it.
+#pragma once
+
+#include "core/clock.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::core {
+
+class LeaseTimer {
+ public:
+  // `slice`: maximum continuous hold time.  A non-positive slice never
+  // expires (the "hog" configuration for ablations).
+  LeaseTimer(Clock& clock, Duration slice)
+      : clock_(&clock), slice_(slice), acquired_at_(clock.now()) {}
+
+  // Call when the resource is (re-)acquired.
+  void on_acquire() { acquired_at_ = clock_->now(); }
+
+  bool expired() const {
+    if (slice_ <= Duration(0)) return false;
+    return clock_->now() - acquired_at_ >= slice_;
+  }
+
+  Duration held() const { return clock_->now() - acquired_at_; }
+  Duration slice() const { return slice_; }
+
+ private:
+  Clock* clock_;
+  Duration slice_;
+  TimePoint acquired_at_;
+};
+
+}  // namespace ethergrid::core

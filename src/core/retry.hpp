@@ -1,0 +1,84 @@
+// run_try: the C++ embedding of the ftsh `try` construct.
+//
+//   try for 30 minutes ... end          => TryOptions{.time_limit = 30min}
+//   try 5 times ... end                 => TryOptions{.attempt_limit = 5}
+//   try for 1 hour or 3 times ... end   => both; whichever expires first
+//
+// The contained operation is attempted repeatedly with exponential backoff
+// until it succeeds or the budget is exhausted.  In virtual time a running
+// attempt is forcibly unwound at the deadline (Clock::with_deadline); the
+// engine never inspects *why* an attempt failed -- untyped failure is the
+// paper's point -- but it does count outcomes for the back channel.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/backoff.hpp"
+#include "core/clock.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::core {
+
+// The operation under retry.  Receives the overall deadline (TimePoint::max
+// when the try has no time limit) so cooperative implementations can bound
+// internal waits.  Must be idempotent-safe: it may run many times and may be
+// unwound mid-flight.
+using AttemptFn = std::function<Status(TimePoint deadline)>;
+
+// Telemetry for one run_try invocation (the administrative back channel).
+struct TryMetrics {
+  int attempts = 0;         // times the operation started
+  int failures = 0;         // attempts that returned failure
+  Duration backoff_total{}; // time spent delaying between attempts
+  Duration elapsed{};       // wall/virtual time inside run_try
+  bool succeeded = false;
+  bool timed_out = false;        // time budget expired
+  bool attempts_exhausted = false;
+
+  void merge(const TryMetrics& other);
+};
+
+struct TryOptions {
+  // "for T": total time budget.  Attempts in flight at expiry are aborted.
+  std::optional<Duration> time_limit;
+  // "N times": maximum number of attempts.
+  std::optional<int> attempt_limit;
+  BackoffPolicy backoff = BackoffPolicy::paper_default();
+  // Floor on the duration of one attempt+delay cycle.  Real clients pay
+  // process startup and syscall costs on every attempt; in virtual time this
+  // floor is also what keeps a zero-backoff (Fixed) client retrying an
+  // instantly-failing operation from livelocking the simulation at a single
+  // instant.  Set to zero only if every attempt provably consumes time.
+  Duration min_cycle = msec(1);
+  // Optional back-channel accumulator; engine adds to it when non-null.
+  TryMetrics* metrics = nullptr;
+
+  static TryOptions for_time(Duration d) {
+    TryOptions o;
+    o.time_limit = d;
+    return o;
+  }
+  static TryOptions times(int n) {
+    TryOptions o;
+    o.attempt_limit = n;
+    return o;
+  }
+  static TryOptions for_time_or_times(Duration d, int n) {
+    TryOptions o;
+    o.time_limit = d;
+    o.attempt_limit = n;
+    return o;
+  }
+};
+
+// Executes `attempt` under the try discipline.  Returns:
+//  - the first successful status;
+//  - kTimeout when the time budget expires (including mid-attempt);
+//  - the last attempt's failure when the attempt budget is exhausted;
+//  - immediately propagates sim::Interrupted / enclosing deadlines.
+Status run_try(Clock& clock, Rng& rng, const TryOptions& options,
+               const AttemptFn& attempt);
+
+}  // namespace ethergrid::core

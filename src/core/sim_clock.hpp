@@ -1,0 +1,38 @@
+// SimClock: Clock implementation over a simulated process Context.
+//
+// with_deadline uses the kernel's deadline stack, so fn is *preemptively*
+// unwound exactly at the deadline -- the virtual-time analogue of ftsh
+// killing a POSIX session on timeout.
+#pragma once
+
+#include "core/clock.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid::core {
+
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(sim::Context& ctx) : ctx_(&ctx) {}
+
+  TimePoint now() override { return ctx_->now(); }
+
+  void sleep(Duration d) override { ctx_->sleep(d); }
+
+  Status with_deadline(TimePoint deadline,
+                       const std::function<Status()>& fn) override {
+    sim::DeadlineScope scope(*ctx_, deadline);
+    try {
+      return fn();
+    } catch (const sim::DeadlineExceeded& d) {
+      if (d.token != scope.token()) throw;  // an enclosing deadline: not ours
+      return Status::timeout("deadline expired during attempt");
+    }
+  }
+
+  sim::Context& context() { return *ctx_; }
+
+ private:
+  sim::Context* ctx_;
+};
+
+}  // namespace ethergrid::core

@@ -1,0 +1,153 @@
+#include "exp/scenarios.hpp"
+
+#include <memory>
+#include <string>
+
+#include "sim/kernel.hpp"
+
+namespace ethergrid::exp {
+
+namespace {
+
+// Spawns n submitters against a fresh schedd world; returns after `window`.
+struct SubmitWorld {
+  SubmitWorld(const SubmitScenarioConfig& config, grid::DisciplineKind kind,
+              int submitters)
+      : kernel(config.seed), schedd(kernel, config.schedd) {
+    grid::SubmitterConfig sc = config.submitter;
+    sc.kind = kind;
+    stats.resize(std::size_t(submitters));
+    for (int i = 0; i < submitters; ++i) {
+      kernel.spawn("submitter" + std::to_string(i),
+                   grid::make_submitter(schedd, sc, &stats[std::size_t(i)]));
+    }
+  }
+
+  sim::Kernel kernel;
+  grid::Schedd schedd;
+  std::vector<grid::SubmitterStats> stats;
+};
+
+}  // namespace
+
+SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
+                                        grid::DisciplineKind kind,
+                                        int submitters, Duration window) {
+  SubmitWorld world(config, kind, submitters);
+  world.kernel.run_until(kEpoch + window);
+  SubmitScalePoint point;
+  point.kind = kind;
+  point.submitters = submitters;
+  point.jobs_submitted = world.schedd.jobs_submitted();
+  point.schedd_crashes = world.schedd.crashes();
+  point.fd_low_watermark = world.schedd.fd_table().low_watermark();
+  world.kernel.shutdown();
+  return point;
+}
+
+SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
+                                         grid::DisciplineKind kind,
+                                         int submitters, Duration duration,
+                                         Duration sample_every) {
+  SubmitWorld world(config, kind, submitters);
+  SubmitterTimeline timeline;
+  timeline.kind = kind;
+  timeline.submitters = submitters;
+  for (TimePoint t = kEpoch; t <= kEpoch + duration; t += sample_every) {
+    world.kernel.run_until(t);
+    timeline.points.push_back(TimelinePoint{
+        to_seconds(t), double(world.schedd.fd_table().available()),
+        double(world.schedd.jobs_submitted())});
+  }
+  timeline.jobs_total = world.schedd.jobs_submitted();
+  timeline.schedd_crashes = world.schedd.crashes();
+  world.kernel.shutdown();
+  return timeline;
+}
+
+BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
+                                  grid::DisciplineKind kind, int producers,
+                                  Duration window) {
+  sim::Kernel kernel(config.seed);
+  grid::FsBuffer buffer(kernel, config.buffer_bytes);
+  grid::IoChannel channel(kernel, config.channel);
+  grid::ConsumerStats consumer_stats;
+  kernel.spawn("consumer", grid::make_consumer(buffer, channel,
+                                               config.consumer,
+                                               &consumer_stats));
+  std::vector<std::unique_ptr<grid::ProducerStats>> producer_stats;
+  for (int i = 0; i < producers; ++i) {
+    grid::ProducerConfig pc = config.producer;
+    pc.kind = kind;
+    pc.name_prefix = "p" + std::to_string(i);
+    producer_stats.push_back(std::make_unique<grid::ProducerStats>());
+    kernel.spawn("producer" + std::to_string(i),
+                 grid::make_producer(buffer, channel, pc,
+                                     producer_stats.back().get()));
+  }
+  kernel.run_until(kEpoch + window);
+
+  BufferSweepPoint point;
+  point.kind = kind;
+  point.producers = producers;
+  point.files_consumed = consumer_stats.files_consumed;
+  point.bytes_consumed = consumer_stats.bytes_consumed;
+  for (const auto& stats : producer_stats) {
+    point.collisions += stats->discipline.collisions;
+    point.deferrals += stats->discipline.deferrals;
+    point.files_completed += stats->files_completed;
+  }
+  kernel.shutdown();
+  return point;
+}
+
+std::vector<grid::FileServerConfig> ReaderScenarioConfig::paper_farm() {
+  grid::FileServerConfig xxx;
+  xxx.name = "xxx";
+  grid::FileServerConfig yyy;
+  yyy.name = "yyy";
+  grid::FileServerConfig zzz;
+  zzz.name = "zzz";
+  zzz.black_hole = true;
+  return {xxx, yyy, zzz};
+}
+
+ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
+                                   grid::DisciplineKind kind,
+                                   Duration duration, Duration sample_every) {
+  sim::Kernel kernel(config.seed);
+  auto servers = config.servers;
+  if (servers.empty()) servers = ReaderScenarioConfig::paper_farm();
+  grid::ServerFarm farm(kernel, servers);
+  std::vector<std::unique_ptr<grid::ReaderStats>> stats;
+  for (int i = 0; i < config.readers; ++i) {
+    grid::ReaderConfig rc = config.reader;
+    rc.kind = kind;
+    stats.push_back(std::make_unique<grid::ReaderStats>());
+    kernel.spawn("reader" + std::to_string(i),
+                 grid::make_reader(farm, rc, stats.back().get()));
+  }
+
+  ReaderTimeline timeline;
+  timeline.kind = kind;
+  for (TimePoint t = kEpoch; t <= kEpoch + duration; t += sample_every) {
+    kernel.run_until(t);
+    ReaderTimelinePoint point;
+    point.t_seconds = to_seconds(t);
+    for (const auto& s : stats) {
+      point.transfers += s->transfers;
+      point.collisions += s->collisions;
+      point.deferrals += s->deferrals;
+    }
+    timeline.points.push_back(point);
+  }
+  for (const auto& s : stats) {
+    timeline.transfers_total += s->transfers;
+    timeline.collisions_total += s->collisions;
+    timeline.deferrals_total += s->deferrals;
+  }
+  kernel.shutdown();
+  return timeline;
+}
+
+}  // namespace ethergrid::exp

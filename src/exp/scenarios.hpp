@@ -1,0 +1,120 @@
+// Scenario runners: one function per figure-shaped experiment.
+//
+// Each runner builds a fresh simulated world (kernel + substrate + clients),
+// runs it for the configured virtual window, shuts the world down, and
+// returns the series the paper plots.  All runs are deterministic in the
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/clients.hpp"
+#include "grid/fileserver.hpp"
+#include "grid/schedd.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::exp {
+
+// ------------------------------------------------ scenario 1: submission
+
+struct SubmitScenarioConfig {
+  grid::ScheddConfig schedd;        // paper defaults from ScheddConfig
+  grid::SubmitterConfig submitter;  // .kind overridden by the runners
+  std::uint64_t seed = 42;
+};
+
+// Figure 1: jobs submitted in `window` by `submitters` clients of `kind`.
+struct SubmitScalePoint {
+  grid::DisciplineKind kind;
+  int submitters = 0;
+  std::int64_t jobs_submitted = 0;
+  int schedd_crashes = 0;
+  std::int64_t fd_low_watermark = 0;
+};
+
+SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
+                                        grid::DisciplineKind kind,
+                                        int submitters,
+                                        Duration window = minutes(5));
+
+// Figures 2-3: timeline of available FDs and cumulative jobs.
+struct TimelinePoint {
+  double t_seconds = 0;
+  double available_fds = 0;
+  double jobs_submitted = 0;
+};
+
+struct SubmitterTimeline {
+  grid::DisciplineKind kind;
+  int submitters = 0;
+  std::vector<TimelinePoint> points;
+  std::int64_t jobs_total = 0;
+  int schedd_crashes = 0;
+};
+
+SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
+                                         grid::DisciplineKind kind,
+                                         int submitters = 400,
+                                         Duration duration = sec(1800),
+                                         Duration sample_every = sec(10));
+
+// ------------------------------------------- scenario 2: the disk buffer
+
+struct BufferScenarioConfig {
+  std::int64_t buffer_bytes = 120 << 20;  // "120 MB"
+  grid::IoChannelConfig channel;          // the shared filesystem medium
+  grid::ProducerConfig producer;          // .kind overridden
+  grid::ConsumerConfig consumer;
+  std::uint64_t seed = 42;
+};
+
+// Figures 4-5: one sweep point.
+struct BufferSweepPoint {
+  grid::DisciplineKind kind;
+  int producers = 0;
+  std::int64_t files_consumed = 0;
+  std::int64_t bytes_consumed = 0;
+  std::int64_t collisions = 0;   // failed writes (producer-observed)
+  std::int64_t deferrals = 0;    // Ethernet carrier-sense deferrals
+  std::int64_t files_completed = 0;
+};
+
+BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
+                                  grid::DisciplineKind kind, int producers,
+                                  Duration window = sec(600));
+
+// -------------------------------------------- scenario 3: the black hole
+
+struct ReaderScenarioConfig {
+  std::vector<grid::FileServerConfig> servers;  // default paper farm
+  grid::ReaderConfig reader;                    // .kind overridden
+  int readers = 3;
+  std::uint64_t seed = 42;
+
+  // "three web servers ... one of the three is a permanent black hole"
+  static std::vector<grid::FileServerConfig> paper_farm();
+};
+
+// Figures 6-7: cumulative event series sampled over time.
+struct ReaderTimelinePoint {
+  double t_seconds = 0;
+  std::int64_t transfers = 0;
+  std::int64_t collisions = 0;
+  std::int64_t deferrals = 0;
+};
+
+struct ReaderTimeline {
+  grid::DisciplineKind kind;
+  std::vector<ReaderTimelinePoint> points;
+  std::int64_t transfers_total = 0;
+  std::int64_t collisions_total = 0;
+  std::int64_t deferrals_total = 0;
+};
+
+ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
+                                   grid::DisciplineKind kind,
+                                   Duration duration = sec(900),
+                                   Duration sample_every = sec(30));
+
+}  // namespace ethergrid::exp

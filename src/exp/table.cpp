@@ -1,0 +1,74 @@
+#include "exp/table.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace ethergrid::exp {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double v) { return strprintf("%g", v); }
+
+std::string Table::cell(std::int64_t v) {
+  return strprintf("%lld", static_cast<long long>(v));
+}
+
+std::string Table::slug() const {
+  std::string out;
+  for (char c : title_) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += char(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%-*s  ", int(widths[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%-*s  ", int(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+
+  if (const char* dir = std::getenv("ETHERGRID_CSV_DIR")) {
+    std::ofstream csv(std::string(dir) + "/" + slug() + ".csv");
+    if (csv) {
+      csv << join(columns_, ",") << "\n";
+      for (const auto& row : rows_) csv << join(row, ",") << "\n";
+    }
+  }
+}
+
+}  // namespace ethergrid::exp

@@ -1,0 +1,38 @@
+// Fixed-width table / CSV output for the benchmark harness.
+//
+// Every figure bench prints the series the paper plots as a table; setting
+// ETHERGRID_CSV_DIR additionally writes each table as CSV for replotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ethergrid::exp {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with %g, integers plainly.
+  static std::string cell(double v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v) { return cell(std::int64_t(v)); }
+
+  // Prints the table to stdout; writes "<dir>/<slug>.csv" if the
+  // ETHERGRID_CSV_DIR environment variable is set.
+  void print() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string slug() const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ethergrid::exp

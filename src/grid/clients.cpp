@@ -1,0 +1,254 @@
+#include "grid/clients.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/sim_clock.hpp"
+#include "util/strings.hpp"
+
+namespace ethergrid::grid {
+
+std::string_view discipline_kind_name(DisciplineKind kind) {
+  switch (kind) {
+    case DisciplineKind::kFixed:
+      return "fixed";
+    case DisciplineKind::kAloha:
+      return "aloha";
+    case DisciplineKind::kEthernet:
+      return "ethernet";
+  }
+  return "?";
+}
+
+namespace {
+
+core::TryOptions base_options(
+    DisciplineKind kind, Duration budget,
+    const std::optional<core::BackoffPolicy>& backoff_override = std::nullopt) {
+  core::TryOptions options = core::TryOptions::for_time(budget);
+  if (kind == DisciplineKind::kFixed) {
+    options.backoff = core::BackoffPolicy::none();
+  } else if (backoff_override) {
+    options.backoff = *backoff_override;
+  }
+  return options;
+}
+
+// Removes a partial file unless disarmed -- covers failure returns *and*
+// deadline unwinds mid-write (the I/O transaction problem of section 4).
+class PartialFileGuard {
+ public:
+  PartialFileGuard(FsBuffer& buffer, std::string name)
+      : buffer_(&buffer), name_(std::move(name)) {}
+  ~PartialFileGuard() {
+    if (armed_) buffer_->remove(name_);
+  }
+  void disarm() { armed_ = false; }
+  PartialFileGuard(const PartialFileGuard&) = delete;
+  PartialFileGuard& operator=(const PartialFileGuard&) = delete;
+
+ private:
+  FsBuffer* buffer_;
+  std::string name_;
+  bool armed_ = true;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------- submitter
+
+sim::ProcessBody make_submitter(Schedd& schedd, const SubmitterConfig& config,
+                                SubmitterStats* stats) {
+  return [&schedd, config, stats](sim::Context& ctx) {
+    core::SimClock clock(ctx);
+    Rng rng = ctx.rng();
+
+    core::TryOptions options =
+        base_options(config.kind, config.try_budget, config.backoff);
+    core::Discipline discipline{std::string(discipline_kind_name(config.kind)),
+                                options, nullptr};
+    if (config.kind == DisciplineKind::kEthernet) {
+      discipline.carrier_sense = [&schedd, &ctx, config](TimePoint) -> Status {
+        ctx.sleep(config.probe_cost);  // cut -f2 /proc/sys/fs/file-nr
+        if (schedd.fd_table().available() < config.fd_threshold) {
+          return Status::unavailable("free descriptors below threshold");
+        }
+        return Status::success();
+      };
+    }
+
+    while (true) {
+      ctx.sleep(config.startup);  // condor_submit process startup
+      Status s = core::run_with_discipline(
+          clock, rng, discipline,
+          [&](TimePoint) { return schedd.submit(ctx); }, &stats->discipline);
+      if (s.ok()) {
+        ++stats->jobs_succeeded;
+      } else {
+        ++stats->tries_failed;
+      }
+    }
+  };
+}
+
+// ---------------------------------------------------------------- producer
+
+sim::ProcessBody make_producer(FsBuffer& buffer, IoChannel& channel,
+                               const ProducerConfig& config,
+                               ProducerStats* stats) {
+  return [&buffer, &channel, config, stats](sim::Context& ctx) {
+    core::SimClock clock(ctx);
+    Rng rng = ctx.rng();
+
+    core::TryOptions options =
+        base_options(config.kind, config.try_budget, config.backoff);
+    core::Discipline discipline{std::string(discipline_kind_name(config.kind)),
+                                options, nullptr};
+    if (config.kind == DisciplineKind::kEthernet) {
+      // "the Ethernet client assumes the incomplete items in the buffer will
+      //  be the same size as the average of the complete files, and
+      //  subtracts that from the free disk space reported by the file
+      //  system.  If there is any space remaining, the client proceeds."
+      // Our client also counts its own upcoming (unknown-size) output as one
+      // more average-sized incomplete item -- carrier sense must leave room
+      // for the transmission it is about to start.
+      discipline.carrier_sense = [&buffer, &channel,
+                                  &ctx](TimePoint) -> Status {
+        channel.transfer(ctx, 0);  // df + ls of the buffer directory
+        const std::int64_t estimate =
+            buffer.free_bytes() -
+            (std::int64_t(buffer.incomplete_count()) + 1) *
+                buffer.average_complete_size();
+        if (estimate <= 0) {
+          return Status::resource_exhausted("estimated buffer full");
+        }
+        return Status::success();
+      };
+    }
+
+    std::uint64_t sequence = 0;
+    while (true) {
+      ctx.sleep(sec(rng.uniform(to_seconds(config.compute_min),
+                                to_seconds(config.compute_max))));
+      const std::int64_t size = rng.uniform_int(0, config.max_file_bytes);
+      const std::string name =
+          config.name_prefix + "." + std::to_string(sequence++);
+
+      Status s = core::run_with_discipline(
+          clock, rng, discipline,
+          [&](TimePoint) -> Status {
+            ctx.sleep(config.attempt_overhead);
+            // Cleanup is cost-free on the channel: an aborted connection's
+            // dirty state is discarded server-side, and charging an RPC
+            // inside unwind paths could itself block on an expired deadline.
+            PartialFileGuard guard(buffer, name);
+            channel.transfer(ctx, 0);  // create RPC
+            Status status = buffer.create(name);
+            if (status.failed()) return status;
+            std::int64_t written = 0;
+            while (written < size) {
+              const std::int64_t n =
+                  std::min(config.chunk_bytes, size - written);
+              // The chunk travels to the server whether or not it fits:
+              // a doomed write still consumes the shared medium.
+              channel.transfer(ctx, n);
+              status = buffer.append(name, n);
+              // "If the output cannot be written, it is deleted" (guard).
+              if (status.failed()) return status;
+              written += n;
+            }
+            channel.transfer(ctx, 0);  // rename RPC
+            status = buffer.rename_done(name);
+            if (status.failed()) return status;
+            guard.disarm();
+            return Status::success();
+          },
+          &stats->discipline);
+
+      if (s.ok()) {
+        ++stats->files_completed;
+        stats->bytes_completed += size;
+      } else {
+        ++stats->tries_failed;
+      }
+    }
+  };
+}
+
+sim::ProcessBody make_consumer(FsBuffer& buffer, IoChannel& channel,
+                               const ConsumerConfig& config,
+                               ConsumerStats* stats) {
+  return [&buffer, &channel, config, stats](sim::Context& ctx) {
+    while (true) {
+      auto file = buffer.oldest_complete();
+      if (!file) {
+        (void)ctx.wait_for(buffer.completion_event(), config.idle_poll);
+        continue;
+      }
+      // Read the file over the shared medium (competing with producer
+      // traffic), forward it downstream at the archive rate, then delete
+      // ("deleting each as it is consumed").
+      channel.transfer(ctx, file->size);
+      ctx.sleep(sec(double(file->size) / config.read_bytes_per_second));
+      channel.transfer(ctx, 0);  // unlink RPC
+      buffer.remove(file->name);
+      ++stats->files_consumed;
+      stats->bytes_consumed += file->size;
+      stats->consumed.record(ctx.now());
+    }
+  };
+}
+
+// ------------------------------------------------------------------ reader
+
+sim::ProcessBody make_reader(ServerFarm& farm, const ReaderConfig& config,
+                             ReaderStats* stats) {
+  return [&farm, config, stats](sim::Context& ctx) {
+    core::SimClock clock(ctx);
+    Rng rng = ctx.rng();
+
+    core::TryOptions outer = base_options(config.kind, config.outer_budget);
+
+    while (true) {
+      // try for 900 seconds / forany host / (probe +) fetch.
+      (void)core::run_try(clock, rng, outer, [&](TimePoint) -> Status {
+        // "a server chosen at random": a random order over the replicas,
+        // i.e. the forany alternatives.
+        std::vector<std::size_t> order(farm.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        for (std::size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1],
+                    order[std::size_t(rng.uniform_int(0, std::int64_t(i) - 1))]);
+        }
+        for (std::size_t index : order) {
+          FileServer& server = farm.server(index);
+          if (config.kind == DisciplineKind::kEthernet) {
+            // try for 5 seconds wget http://$host/flag
+            Status probe = core::run_try(
+                clock, rng, core::TryOptions::for_time(config.probe_timeout),
+                [&](TimePoint) { return server.fetch_flag(ctx); });
+            if (probe.failed()) {
+              ++stats->deferrals;
+              stats->deferral_events.record(ctx.now());
+              continue;  // forany moves to the next alternative
+            }
+          }
+          // try for 60 seconds wget http://$host/data
+          Status data = core::run_try(
+              clock, rng, core::TryOptions::for_time(config.data_timeout),
+              [&](TimePoint) { return server.fetch(ctx, config.file_bytes); });
+          if (data.ok()) {
+            ++stats->transfers;
+            stats->transfer_events.record(ctx.now());
+            return Status::success();
+          }
+          ++stats->collisions;
+          stats->collision_events.record(ctx.now());
+        }
+        return Status::failure("all replicas failed");
+      });
+    }
+  };
+}
+
+}  // namespace ethergrid::grid

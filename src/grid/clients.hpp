@@ -1,0 +1,140 @@
+// Scenario clients: the Fixed / Aloha / Ethernet scripts of the paper's
+// evaluation, expressed over the core API.
+//
+// "A fixed client aggressively repeats its assigned work without delay and
+//  without regard to any sort of failure.  An Aloha client uses the
+//  ordinary ftsh try structure to repeat a work unit with an exponential
+//  backoff and random factor in case of failure.  An Ethernet client uses
+//  the same structure, but additionally adds a small piece of code to
+//  perform carrier sense before accessing a resource."
+//
+// Each make_* returns a sim::ProcessBody that loops work units until the
+// process is killed (experiments run a fixed window then kill the clients,
+// or simply stop sampling).  Telemetry accumulates into caller-owned stats
+// structs; the paper's figures are derived from those plus substrate-side
+// event series.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/discipline.hpp"
+#include "grid/fileserver.hpp"
+#include "grid/fsbuffer.hpp"
+#include "grid/io_channel.hpp"
+#include "grid/schedd.hpp"
+#include "sim/kernel.hpp"
+#include "util/stats.hpp"
+
+namespace ethergrid::grid {
+
+enum class DisciplineKind { kFixed, kAloha, kEthernet };
+
+std::string_view discipline_kind_name(DisciplineKind kind);
+
+// ------------------------------------------------------------- scenario 1
+
+struct SubmitterConfig {
+  DisciplineKind kind = DisciplineKind::kAloha;
+  // "try for 5 minutes condor_submit submit.job end"
+  Duration try_budget = minutes(5);
+  // Ethernet carrier sense: defer unless this many descriptors are free
+  // ("if ${n} .lt. 1000 failure").
+  std::int64_t fd_threshold = 1000;
+  // Cost of reading /proc/sys/fs/file-nr.
+  Duration probe_cost = msec(10);
+  // condor_submit process startup before each work unit.
+  Duration startup = msec(500);
+  // Overrides the discipline's default backoff policy (ablation studies:
+  // jitter removal, cap sweeps).  Ignored for the Fixed discipline.
+  std::optional<core::BackoffPolicy> backoff;
+};
+
+struct SubmitterStats {
+  std::int64_t jobs_succeeded = 0;
+  std::int64_t tries_failed = 0;  // whole try budgets that expired
+  core::DisciplineMetrics discipline;
+};
+
+// Loops: startup, then one disciplined submission, forever.
+sim::ProcessBody make_submitter(Schedd& schedd, const SubmitterConfig& config,
+                                SubmitterStats* stats);
+
+// ------------------------------------------------------------- scenario 2
+
+struct ProducerConfig {
+  DisciplineKind kind = DisciplineKind::kAloha;
+  // Compute phase between output files: "producing an output file of random
+  // size between 0-1 MB every second".
+  Duration compute_min = sec(1);
+  Duration compute_max = sec(1);
+  // "an output file of random size between 0-1 MB"
+  std::int64_t max_file_bytes = 1 << 20;
+  // Write granularity: each chunk is one RPC on the shared IoChannel.
+  std::int64_t chunk_bytes = 64 << 10;
+  // Producer-local per-attempt cost (process work before touching the fs).
+  Duration attempt_overhead = msec(10);
+  Duration try_budget = minutes(5);
+  std::string name_prefix;  // unique per producer
+  // Backoff override for ablations; ignored for the Fixed discipline.
+  std::optional<core::BackoffPolicy> backoff;
+};
+
+struct ProducerStats {
+  std::int64_t files_completed = 0;
+  std::int64_t bytes_completed = 0;
+  std::int64_t tries_failed = 0;
+  core::DisciplineMetrics discipline;
+};
+
+// All of the producer's filesystem traffic -- creates, chunk writes
+// (including ones that will fail with ENOSPC), deletes, renames -- flows
+// through `channel`, the shared medium.
+sim::ProcessBody make_producer(FsBuffer& buffer, IoChannel& channel,
+                               const ProducerConfig& config,
+                               ProducerStats* stats);
+
+struct ConsumerConfig {
+  // Downstream archive bandwidth: the consumer processes (off-channel) at
+  // this rate -- "reads files at a rate of 1 MB/s".  Its buffer *reads*
+  // additionally compete on the shared channel.
+  double read_bytes_per_second = 1.0 * 1024 * 1024;
+  Duration idle_poll = sec(1);
+};
+
+struct ConsumerStats {
+  std::int64_t files_consumed = 0;
+  std::int64_t bytes_consumed = 0;
+  EventSeries consumed{"files_consumed"};
+};
+
+// Continuously drains oldest complete files at the configured rate.
+sim::ProcessBody make_consumer(FsBuffer& buffer, IoChannel& channel,
+                               const ConsumerConfig& config,
+                               ConsumerStats* stats);
+
+// ------------------------------------------------------------- scenario 3
+
+struct ReaderConfig {
+  DisciplineKind kind = DisciplineKind::kAloha;  // paper compares Aloha/Eth
+  std::int64_t file_bytes = 100 << 20;           // "a 100 MB file"
+  Duration outer_budget = sec(900);              // "try for 900 seconds"
+  Duration data_timeout = sec(60);               // "try for 60 seconds"
+  Duration probe_timeout = sec(5);               // "try for 5 seconds"
+};
+
+struct ReaderStats {
+  std::int64_t transfers = 0;
+  std::int64_t collisions = 0;  // 60 s timeouts (black-hole hits and stalls)
+  std::int64_t deferrals = 0;   // failed carrier probes (Ethernet only)
+  EventSeries transfer_events{"transfers"};
+  EventSeries collision_events{"collisions"};
+  EventSeries deferral_events{"deferrals"};
+};
+
+// Loops whole-file reads against the farm, forever.
+sim::ProcessBody make_reader(ServerFarm& farm, const ReaderConfig& config,
+                             ReaderStats* stats);
+
+}  // namespace ethergrid::grid

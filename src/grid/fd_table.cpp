@@ -1,0 +1,54 @@
+#include "grid/fd_table.hpp"
+
+#include <cassert>
+
+namespace ethergrid::grid {
+
+FdTable::FdTable(std::int64_t capacity)
+    : capacity_(capacity), available_(capacity), low_watermark_(capacity) {
+  assert(capacity >= 0);
+}
+
+bool FdTable::try_allocate(std::int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (available_ < n) {
+    ++allocation_failures_;
+    return false;
+  }
+  available_ -= n;
+  if (available_ < low_watermark_) low_watermark_ = available_;
+  return true;
+}
+
+void FdTable::free(std::int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ += n;
+  assert(available_ <= capacity_ && "freed more descriptors than allocated");
+}
+
+std::int64_t FdTable::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+std::int64_t FdTable::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ - available_;
+}
+
+std::int64_t FdTable::low_watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return low_watermark_;
+}
+
+std::int64_t FdTable::allocation_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocation_failures_;
+}
+
+void FdTable::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ = capacity_;
+}
+
+}  // namespace ethergrid::grid

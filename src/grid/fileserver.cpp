@@ -1,0 +1,72 @@
+#include "grid/fileserver.hpp"
+
+#include <cmath>
+
+namespace ethergrid::grid {
+
+FileServer::FileServer(sim::Kernel& kernel, const FileServerConfig& config)
+    : kernel_(&kernel),
+      config_(config),
+      slots_(kernel, config.concurrency),
+      never_(kernel),
+      failure_rng_(kernel.rng().stream("server-" + config.name)) {}
+
+Status FileServer::fetch(sim::Context& ctx, std::int64_t bytes) {
+  return serve(ctx, bytes, /*flag_only=*/false);
+}
+
+Status FileServer::fetch_flag(sim::Context& ctx) {
+  return serve(ctx, 1, /*flag_only=*/true);
+}
+
+Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
+                         bool flag_only) {
+  // Single-threaded: later clients queue on the connection.
+  sim::ResourceLease slot(ctx, slots_);
+  ++connections_;
+
+  if (config_.black_hole) {
+    // Accepts the connection, then silence.  Only the client's own deadline
+    // (or kill) ends this; unwinding releases the slot = disconnect.
+    ctx.wait(never_);
+    return Status::io_error("black hole responded?!");  // unreachable
+  }
+
+  ctx.sleep(config_.request_overhead);
+  const double seconds = double(bytes) / config_.bytes_per_second;
+
+  if (!flag_only && config_.transient_failure_rate > 0 &&
+      failure_rng_.chance(config_.transient_failure_rate)) {
+    // Connection resets somewhere mid-transfer: prompt, retryable failure.
+    ctx.sleep(sec(seconds * failure_rng_.uniform(0.05, 0.95)));
+    ++aborted_;
+    return Status::io_error("connection reset during transfer");
+  }
+
+  ctx.sleep(sec(seconds));
+  ++transfers_;
+  bytes_served_ += bytes;
+  return Status::success();
+}
+
+ServerFarm::ServerFarm(sim::Kernel& kernel,
+                       const std::vector<FileServerConfig>& configs) {
+  servers_.reserve(configs.size());
+  for (const auto& config : configs) {
+    servers_.push_back(std::make_unique<FileServer>(kernel, config));
+  }
+}
+
+FileServer* ServerFarm::by_name(const std::string& name) {
+  for (auto& server : servers_) {
+    if (server->name() == name) return server.get();
+  }
+  return nullptr;
+}
+
+std::size_t ServerFarm::pick(Rng& rng) const {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, std::int64_t(servers_.size()) - 1));
+}
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,93 @@
+// FileServer / ServerFarm: the replicated read-only file service of
+// scenario 3, including the "black hole".
+//
+// "Each server is single-threaded, allowing only one client at a time to
+//  transfer data.  One of the three is a permanent black hole.  It permits
+//  clients to connect, but does not provide data or voluntarily disconnect."
+//
+// Timeouts are the *client's* job (ftsh try scopes); when a client's
+// deadline unwinds a fetch, the RAII service slot is released -- the
+// connection is broken, freeing the server, exactly the POSIX-process
+// cancellation property the paper highlights.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/resource.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::grid {
+
+struct FileServerConfig {
+  std::string name;
+  bool black_hole = false;
+  // Transfer bandwidth: 10 MB/s makes the paper's 100 MB file take ~10 s.
+  double bytes_per_second = 10.0 * 1024 * 1024;
+  // Per-request fixed overhead (connection + request parse).
+  Duration request_overhead = msec(200);
+  int concurrency = 1;  // single-threaded per the paper
+  // Probability that a data transfer aborts partway (connection reset,
+  // server hiccup).  Distinct from a black hole: the failure is *prompt*,
+  // so plain retry (the inner `try`) handles it.  Flag probes are immune
+  // (they are one byte).
+  double transient_failure_rate = 0.0;
+};
+
+class FileServer {
+ public:
+  FileServer(sim::Kernel& kernel, const FileServerConfig& config);
+
+  // Downloads `bytes`.  Queues FIFO for the server's single service slot.
+  // A black hole accepts the connection and then never responds: the call
+  // blocks until the caller's deadline (or kill) unwinds it.
+  Status fetch(sim::Context& ctx, std::int64_t bytes);
+
+  // Downloads the well-known one-byte flag file (the carrier-sense probe).
+  // Same black-hole behaviour: the probe must carry its own small timeout.
+  Status fetch_flag(sim::Context& ctx);
+
+  const std::string& name() const { return config_.name; }
+  bool is_black_hole() const { return config_.black_hole; }
+
+  // Telemetry.
+  std::int64_t transfers_completed() const { return transfers_; }
+  std::int64_t bytes_served() const { return bytes_served_; }
+  std::int64_t connections_accepted() const { return connections_; }
+  std::int64_t transfers_aborted() const { return aborted_; }
+
+ private:
+  Status serve(sim::Context& ctx, std::int64_t bytes, bool flag_only);
+
+  sim::Kernel* kernel_;
+  FileServerConfig config_;
+  sim::Resource slots_;
+  sim::Event never_;  // black-hole clients wait on this forever
+  Rng failure_rng_;
+  std::int64_t transfers_ = 0;
+  std::int64_t bytes_served_ = 0;
+  std::int64_t connections_ = 0;
+  std::int64_t aborted_ = 0;
+};
+
+// The replicated service: named servers, uniform random pick helper.
+class ServerFarm {
+ public:
+  ServerFarm(sim::Kernel& kernel, const std::vector<FileServerConfig>& configs);
+
+  FileServer& server(std::size_t index) { return *servers_[index]; }
+  FileServer* by_name(const std::string& name);
+  std::size_t size() const { return servers_.size(); }
+
+  // Uniform random server index using the caller's RNG stream.
+  std::size_t pick(Rng& rng) const;
+
+ private:
+  std::vector<std::unique_ptr<FileServer>> servers_;
+};
+
+}  // namespace ethergrid::grid

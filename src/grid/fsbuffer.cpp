@@ -1,0 +1,131 @@
+#include "grid/fsbuffer.hpp"
+
+namespace ethergrid::grid {
+
+FsBuffer::FsBuffer(sim::Kernel& kernel, std::int64_t capacity_bytes)
+    : capacity_(capacity_bytes), completion_event_(kernel) {}
+
+Status FsBuffer::create(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = files_.try_emplace(name);
+  if (!inserted) {
+    return Status::invalid_argument("file exists: " + name);
+  }
+  it->second.order = next_order_++;
+  return Status::success();
+}
+
+Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::not_found("no such file: " + name);
+  }
+  if (it->second.complete) {
+    return Status::invalid_argument("file already complete: " + name);
+  }
+  if (used_ + bytes > capacity_) {
+    ++enospc_;
+    return Status::resource_exhausted("ENOSPC writing " + name);
+  }
+  used_ += bytes;
+  it->second.size += bytes;
+  return Status::success();
+}
+
+Status FsBuffer::rename_done(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      return Status::not_found("no such file: " + name);
+    }
+    if (it->second.complete) {
+      return Status::invalid_argument("file already complete: " + name);
+    }
+    it->second.complete = true;
+  }
+  completion_event_.pulse();
+  return Status::success();
+}
+
+void FsBuffer::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return;
+  used_ -= it->second.size;
+  files_.erase(it);
+}
+
+std::optional<FsBuffer::FileInfo> FsBuffer::oldest_complete() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const File* best = nullptr;
+  const std::string* best_name = nullptr;
+  for (const auto& [name, file] : files_) {
+    if (!file.complete) continue;
+    if (!best || file.order < best->order) {
+      best = &file;
+      best_name = &name;
+    }
+  }
+  if (!best) return std::nullopt;
+  return FileInfo{*best_name, best->size, true};
+}
+
+std::int64_t FsBuffer::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ - used_;
+}
+
+std::int64_t FsBuffer::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+int FsBuffer::incomplete_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& [name, file] : files_) {
+    if (!file.complete) ++n;
+  }
+  return n;
+}
+
+int FsBuffer::complete_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& [name, file] : files_) {
+    if (file.complete) ++n;
+  }
+  return n;
+}
+
+std::int64_t FsBuffer::average_complete_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  std::int64_t count = 0;
+  for (const auto& [name, file] : files_) {
+    if (file.complete) {
+      total += file.size;
+      ++count;
+    }
+  }
+  return count ? total / count : 0;
+}
+
+std::int64_t FsBuffer::enospc_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enospc_;
+}
+
+std::vector<FsBuffer::FileInfo> FsBuffer::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FileInfo> out;
+  out.reserve(files_.size());
+  for (const auto& [name, file] : files_) {
+    out.push_back(FileInfo{name, file.size, file.complete});
+  }
+  return out;
+}
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,19 @@
+#include "grid/io_channel.hpp"
+
+namespace ethergrid::grid {
+
+IoChannel::IoChannel(sim::Kernel& kernel, const IoChannelConfig& config)
+    : config_(config), slot_(kernel, 1) {}
+
+void IoChannel::transfer(sim::Context& ctx, std::int64_t bytes) {
+  sim::ResourceLease lease(ctx, slot_);
+  const Duration cost =
+      config_.per_op_overhead +
+      sec(double(bytes) / config_.bytes_per_second);
+  ctx.sleep(cost);
+  ++ops_;
+  bytes_ += bytes;
+  busy_ += cost;
+}
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,48 @@
+// IoChannel: the shared medium of the filesystem scenario.
+//
+// A shared (NFS-like) filesystem has finite server bandwidth; every client
+// RPC -- data or metadata, successful or futile -- occupies it.  This is
+// what makes the disk buffer a true Ethernet-style medium: a fixed client's
+// flood of doomed writes does not merely fail, it consumes the capacity the
+// consumer needs to drain the buffer.  FIFO service; deadline/kill-aware.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/kernel.hpp"
+#include "sim/resource.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::grid {
+
+struct IoChannelConfig {
+  // Aggregate server bandwidth shared by every client.  4 MB/s leaves
+  // comfortable headroom for the well-behaved workload (1 MB/s of writes
+  // plus the consumer's 1 MB/s of reads) but not for a retry flood.
+  double bytes_per_second = 4.0 * 1024 * 1024;
+  // Fixed cost of one RPC (request parse, metadata update, reply).
+  Duration per_op_overhead = msec(5);
+};
+
+class IoChannel {
+ public:
+  IoChannel(sim::Kernel& kernel, const IoChannelConfig& config);
+
+  // Performs one RPC moving `bytes` of payload (0 for pure metadata ops).
+  // Occupies the channel FIFO for overhead + bytes/bandwidth.
+  void transfer(sim::Context& ctx, std::int64_t bytes);
+
+  // Telemetry.
+  std::int64_t ops() const { return ops_; }
+  std::int64_t bytes_moved() const { return bytes_; }
+  Duration busy_time() const { return busy_; }
+
+ private:
+  IoChannelConfig config_;
+  sim::Resource slot_;
+  std::int64_t ops_ = 0;
+  std::int64_t bytes_ = 0;
+  Duration busy_{};
+};
+
+}  // namespace ethergrid::grid

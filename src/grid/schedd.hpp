@@ -1,0 +1,137 @@
+// Schedd: the Condor job scheduler agent of scenario 1, simulated.
+//
+// "The schedd is an agent that works on behalf of a grid user, keeping jobs
+//  in a persistent queue while finding sites where they may run."
+//
+// The model captures the dynamics the paper observed:
+//   * each open client connection pins fds_per_connection descriptors in the
+//     host's FdTable for the life of the submission (connect -> service
+//     complete / aborted);
+//   * the schedd itself needs fds_per_service descriptors to service a job;
+//     if it cannot allocate them it CRASHES -- dropping every in-flight
+//     submission at once (the "broadcast jam") -- and restarts after
+//     restart_delay;
+//   * service is FIFO with limited concurrency, and per-job service time
+//     stretches with the number of open connections (CPU/memory contention
+//     on the schedd host: the reason even well-behaved clients see reduced
+//     peak throughput under load).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include <deque>
+
+#include "grid/fd_table.hpp"
+#include "grid/submit_file.hpp"
+#include "sim/kernel.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::grid {
+
+// FIFO service-slot queue that a crash can abort wholesale: queued
+// submissions are TCP connections into the daemon, and when the daemon dies
+// every one of them resets at once (that instant release of descriptors is
+// the upward FD spike in the paper's Figure 2).
+class ServiceQueue {
+ public:
+  ServiceQueue(sim::Kernel& kernel, int capacity);
+
+  // Blocks FIFO for a slot.  ok = granted; kUnavailable = aborted by crash.
+  // Deadline/kill-aware; a grant is handed onward if the waiter unwinds.
+  Status acquire(sim::Context& ctx);
+  void release();
+  // Wakes every queued waiter with an abort.
+  void abort_waiters();
+
+  int available() const { return available_; }
+  std::size_t queue_length() const { return queue_.size(); }
+
+ private:
+  struct Waiter {
+    bool granted = false;
+    bool aborted = false;
+    std::unique_ptr<sim::Event> event;
+  };
+  void grant_head();
+
+  sim::Kernel* kernel_;
+  int available_;
+  std::deque<std::shared_ptr<Waiter>> queue_;
+};
+
+struct ScheddConfig {
+  std::int64_t fd_capacity = 8192;
+  // Descriptors pinned per open client connection (socket, job files, log,
+  // lock, ...).  8192 / 20 ~ 410: the table exhausts a little above 400
+  // concurrent submitters, matching the paper's collapse point.
+  std::int64_t fds_per_connection = 20;
+  // Uniform +/- jitter on the per-connection count (job description and
+  // transfer-file counts vary per submitter).
+  std::int64_t fds_per_connection_jitter = 4;
+  // Descriptors the schedd itself needs at the start of each service.
+  std::int64_t fds_per_service = 4;
+  // Additional descriptors the schedd opens MID-service (spooling the job's
+  // transfer files).  This is the allocation that loses the race under
+  // saturation: between a completion (which frees space) and the midpoint of
+  // the next service, an aggressively retrying client can steal the freed
+  // descriptors, and the schedd's own open() then fails => crash.
+  std::int64_t fds_per_transfer = 4;
+  int service_concurrency = 4;
+  Duration service_min = sec(1);
+  Duration service_max = sec(2);
+  // Service time multiplier grows by this per open connection: models CPU
+  // contention.  0 disables.
+  double slowdown_per_connection = 1.0 / 400.0;
+  Duration connect_time = msec(100);
+  // Crash-to-serving time: process restart plus durable job-queue recovery.
+  Duration restart_delay = sec(60);
+};
+
+class Schedd {
+ public:
+  Schedd(sim::Kernel& kernel, const ScheddConfig& config);
+
+  // One condor_submit: connect, queue for service, get serviced.
+  // Blocking in virtual time; deadline/kill aware.  Outcomes:
+  //   ok                  -- job accepted and queued durably
+  //   resource_exhausted  -- no descriptors for the connection
+  //   unavailable         -- schedd down / crashed mid-flight
+  Status submit(sim::Context& ctx);
+
+  // Submission of a parsed job description: the connection pins descriptors
+  // proportional to the job's transfer-file list, service time scales with
+  // the queue count, and all queued jobs land atomically on success.
+  Status submit(sim::Context& ctx, const SubmitDescription& job);
+
+  FdTable& fd_table() { return fds_; }
+
+  // Telemetry.
+  std::int64_t jobs_submitted() const { return submissions_.total(); }
+  const EventSeries& submissions() const { return submissions_; }
+  // Connect-to-accepted latency of successful submissions.
+  const LatencyHistogram& submit_latency() const { return latency_; }
+  int crashes() const { return crashes_; }
+  std::int64_t open_connections() const { return open_connections_; }
+  bool is_down(TimePoint now) const { return now < restart_until_; }
+
+ private:
+  Status submit_internal(sim::Context& ctx, const SubmitDescription* job);
+  void crash(sim::Context& ctx);
+  double load_factor() const;
+
+  sim::Kernel* kernel_;
+  ScheddConfig config_;
+  FdTable fds_;
+  ServiceQueue service_slots_;
+  sim::Event crash_pulse_;
+  TimePoint restart_until_{};  // down until this instant
+  int crashes_ = 0;
+  std::int64_t open_connections_ = 0;
+  EventSeries submissions_{"jobs_submitted"};
+  LatencyHistogram latency_;
+  Rng service_rng_;
+};
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,71 @@
+#include "grid/submit_file.hpp"
+
+#include "util/strings.hpp"
+
+namespace ethergrid::grid {
+
+Status parse_submit_file(std::string_view text, SubmitDescription* out) {
+  *out = SubmitDescription{};
+  int line_number = 0;
+  for (const std::string& raw : split_keep_empty(std::string(text), '\n')) {
+    ++line_number;
+    std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    // queue [N]
+    const std::string lowered = to_lower(line);
+    if (lowered == "queue" || starts_with(lowered, "queue ")) {
+      long long n = 1;
+      std::string_view rest = trim(std::string_view(lowered).substr(5));
+      if (!rest.empty() && !parse_int(rest, &n)) {
+        return Status::invalid_argument(
+            strprintf("line %d: bad queue count '%s'", line_number,
+                      std::string(rest).c_str()));
+      }
+      if (n < 1) {
+        return Status::invalid_argument(
+            strprintf("line %d: queue count must be positive", line_number));
+      }
+      out->queue_count += int(n);
+      continue;
+    }
+
+    // key = value
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::invalid_argument(strprintf(
+          "line %d: expected 'key = value' or 'queue', got '%s'", line_number,
+          std::string(line).c_str()));
+    }
+    const std::string key = to_lower(trim(line.substr(0, eq)));
+    const std::string value{trim(line.substr(eq + 1))};
+    if (key.empty()) {
+      return Status::invalid_argument(
+          strprintf("line %d: empty attribute name", line_number));
+    }
+
+    if (key == "executable") {
+      out->executable = value;
+    } else if (key == "arguments") {
+      out->arguments = value;
+    } else if (key == "transfer_input_files") {
+      out->transfer_input_files.clear();
+      for (const std::string& file : split(value, ",")) {
+        const std::string trimmed{trim(file)};
+        if (!trimmed.empty()) out->transfer_input_files.push_back(trimmed);
+      }
+    } else {
+      out->attributes[key] = value;
+    }
+  }
+
+  if (out->executable.empty()) {
+    return Status::invalid_argument("submit file has no executable");
+  }
+  if (out->queue_count == 0) {
+    return Status::invalid_argument("submit file has no queue statement");
+  }
+  return Status::success();
+}
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,53 @@
+// Condor submit-description files: what `condor_submit submit.job` reads.
+//
+// "A Condor submitter is a standalone executable that examines a job
+//  description file, connects to a schedd, and transfers the necessary
+//  details and files."
+//
+// This implements the classic submit-file format so the scripted scenarios
+// can use real job descriptions, and so the schedd's per-connection
+// descriptor footprint can be derived from the job's actual transfer list
+// (more files to spool = more descriptors pinned).
+//
+// Supported syntax (the classic core of the language):
+//   # comment
+//   executable = sim.exe
+//   arguments  = -n 10 --fast
+//   transfer_input_files = a.dat, b.dat, c.dat
+//   anything_else = kept as a raw attribute
+//   queue            # one job
+//   queue 5          # five jobs
+// Keys are case-insensitive; later assignments override earlier ones;
+// `queue` statements accumulate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ethergrid::grid {
+
+struct SubmitDescription {
+  std::string executable;
+  std::string arguments;
+  std::vector<std::string> transfer_input_files;
+  // Every other `key = value` line, lower-cased keys, verbatim values.
+  std::map<std::string, std::string> attributes;
+  // Total jobs across all queue statements; 0 if no queue line appeared.
+  int queue_count = 0;
+
+  // Descriptors a submission of this job pins on the schedd host: the
+  // connection itself plus one per transfer file (spool handles).
+  std::int64_t connection_fd_cost(std::int64_t base) const {
+    return base + std::int64_t(transfer_input_files.size());
+  }
+};
+
+// Parses the text of a submit file.  Fails with kInvalidArgument (carrying
+// a line number) on malformed lines, an empty executable, or a missing
+// queue statement.
+Status parse_submit_file(std::string_view text, SubmitDescription* out);
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,402 @@
+#include "posix/posix_executor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "util/strings.hpp"
+
+namespace ethergrid::posix {
+
+thread_local PosixExecutor::ParallelGroup* PosixExecutor::tls_group_ = nullptr;
+thread_local PosixExecutor::BranchState* PosixExecutor::tls_branch_ = nullptr;
+
+namespace {
+
+// Writing to a dead child's stdin must be an EPIPE error, not process death.
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &sa, nullptr);
+    return true;
+  }();
+  (void)done;
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void close_fd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+PosixExecutor::PosixExecutor(PosixExecutorOptions options)
+    : options_(options) {
+  ignore_sigpipe_once();
+}
+
+PosixExecutor::~PosixExecutor() = default;
+
+TimePoint PosixExecutor::now() { return clock_.now(); }
+
+void PosixExecutor::sleep(Duration d) {
+  // Chunked so an aborting forall does not sit out a long backoff delay.
+  TimePoint end = clock_.now() + d;
+  while (clock_.now() < end) {
+    if (tls_group_ && tls_group_->abort.load()) return;
+    Duration chunk = std::min(options_.poll_interval, end - clock_.now());
+    clock_.sleep(chunk);
+  }
+}
+
+Status PosixExecutor::with_deadline(TimePoint deadline,
+                                    const std::function<Status()>& fn) {
+  return clock_.with_deadline(deadline, fn);
+}
+
+bool PosixExecutor::file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+void PosixExecutor::track_pid(long pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_pids_.push_back(pid);
+}
+
+void PosixExecutor::untrack_pid(long pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_pids_.erase(std::remove(live_pids_.begin(), live_pids_.end(), pid),
+                   live_pids_.end());
+}
+
+void PosixExecutor::set_parallel_policy(const shell::ParallelPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  parallel_policy_ = policy;
+  table_free_ = policy.process_table_slots;
+}
+
+void PosixExecutor::terminate_all(int signo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (long pid : live_pids_) {
+    ::kill(static_cast<pid_t>(-pid), signo);  // whole session
+  }
+}
+
+shell::CommandResult PosixExecutor::run(
+    const shell::CommandInvocation& invocation) {
+  using shell::CommandResult;
+
+  if (tls_group_ && tls_group_->abort.load()) {
+    return CommandResult{Status::killed("forall branch aborted"), "", ""};
+  }
+
+  // ---- set up I/O endpoints in the parent (better error reporting) ----
+  int stdin_read = -1, stdin_write = -1;
+  int stdout_read = -1, stdout_write = -1;
+  int stderr_read = -1, stderr_write = -1;
+
+  auto fail_setup = [&](const std::string& message) {
+    close_fd(&stdin_read);
+    close_fd(&stdin_write);
+    close_fd(&stdout_read);
+    close_fd(&stdout_write);
+    close_fd(&stderr_read);
+    close_fd(&stderr_write);
+    return CommandResult{Status::io_error(message), "", ""};
+  };
+
+  if (invocation.stdin_data) {
+    int fds[2];
+    if (pipe(fds) != 0) return fail_setup("pipe: " + std::string(strerror(errno)));
+    stdin_read = fds[0];
+    stdin_write = fds[1];
+  } else if (invocation.stdin_file) {
+    stdin_read = ::open(invocation.stdin_file->c_str(), O_RDONLY);
+    if (stdin_read < 0) {
+      return fail_setup("cannot open " + *invocation.stdin_file + ": " +
+                        strerror(errno));
+    }
+  } else {
+    stdin_read = ::open("/dev/null", O_RDONLY);
+  }
+
+  if (invocation.stdout_file) {
+    int flags = O_WRONLY | O_CREAT |
+                (invocation.stdout_append ? O_APPEND : O_TRUNC);
+    stdout_write = ::open(invocation.stdout_file->c_str(), flags, 0644);
+    if (stdout_write < 0) {
+      return fail_setup("cannot open " + *invocation.stdout_file + ": " +
+                        strerror(errno));
+    }
+  } else {
+    int fds[2];
+    if (pipe(fds) != 0) return fail_setup("pipe: " + std::string(strerror(errno)));
+    stdout_read = fds[0];
+    stdout_write = fds[1];
+  }
+
+  if (!invocation.merge_stderr) {
+    int fds[2];
+    if (pipe(fds) != 0) return fail_setup("pipe: " + std::string(strerror(errno)));
+    stderr_read = fds[0];
+    stderr_write = fds[1];
+  }
+
+  // ---- fork/exec in a fresh session ----
+  std::vector<char*> argv;
+  argv.reserve(invocation.argv.size() + 1);
+  for (const std::string& arg : invocation.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return fail_setup("fork: " + std::string(strerror(errno)));
+  if (pid == 0) {
+    // Child: own session so kill(-pid) reaches every descendant.
+    ::setsid();
+    ::dup2(stdin_read, 0);
+    ::dup2(stdout_write, 1);
+    ::dup2(invocation.merge_stderr ? stdout_write : stderr_write, 2);
+    for (int fd : {stdin_read, stdin_write, stdout_read, stdout_write,
+                   stderr_read, stderr_write}) {
+      if (fd > 2) ::close(fd);
+    }
+    ::execvp(argv[0], argv.data());
+    _exit(127);  // shell convention: command not runnable
+  }
+
+  track_pid(pid);
+  if (tls_branch_) tls_branch_->current_pid.store(pid);
+
+  // Parent keeps only its pipe ends, nonblocking.
+  close_fd(&stdin_read);
+  close_fd(&stdout_write);
+  close_fd(&stderr_write);
+  if (stdin_write >= 0) set_nonblocking(stdin_write);
+  if (stdout_read >= 0) set_nonblocking(stdout_read);
+  if (stderr_read >= 0) set_nonblocking(stderr_read);
+
+  std::string out, err;
+  std::size_t stdin_sent = 0;
+  const std::string stdin_data = invocation.stdin_data.value_or("");
+  if (stdin_write >= 0 && stdin_data.empty()) close_fd(&stdin_write);
+
+  enum class KillPhase { kNone, kTermSent, kKillSent };
+  KillPhase phase = KillPhase::kNone;
+  TimePoint term_time{};
+  bool killed_for_deadline = false;
+  bool killed_for_abort = false;
+
+  int exit_status = 0;
+  bool exited = false;
+
+  auto pump = [&](int fd, std::string* sink) {
+    char buf[4096];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        sink->append(buf, std::size_t(n));
+        continue;
+      }
+      return n == 0;  // true => EOF
+    }
+  };
+
+  while (true) {
+    // Feed stdin.
+    if (stdin_write >= 0) {
+      while (stdin_sent < stdin_data.size()) {
+        ssize_t n = ::write(stdin_write, stdin_data.data() + stdin_sent,
+                            stdin_data.size() - stdin_sent);
+        if (n > 0) {
+          stdin_sent += std::size_t(n);
+        } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          break;
+        } else {
+          stdin_sent = stdin_data.size();  // EPIPE etc: stop feeding
+        }
+      }
+      if (stdin_sent >= stdin_data.size()) close_fd(&stdin_write);
+    }
+
+    // Drain output.
+    if (stdout_read >= 0 && pump(stdout_read, &out)) close_fd(&stdout_read);
+    if (stderr_read >= 0 && pump(stderr_read, &err)) close_fd(&stderr_read);
+
+    // Reap?
+    if (!exited) {
+      int status = 0;
+      pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        exited = true;
+        exit_status = status;
+      }
+    }
+    if (exited && stdout_read < 0 && stderr_read < 0) break;
+    if (exited && phase != KillPhase::kNone) {
+      // Killed: do not wait for grandchildren holding the pipes open.
+      if (stdout_read >= 0) pump(stdout_read, &out);
+      if (stderr_read >= 0) pump(stderr_read, &err);
+      break;
+    }
+
+    // Deadline / abort enforcement on the whole session.
+    const bool want_abort = tls_group_ && tls_group_->abort.load();
+    const bool past_deadline = clock_.now() >= invocation.deadline;
+    if (!exited && phase == KillPhase::kNone && (want_abort || past_deadline)) {
+      killed_for_abort = want_abort;
+      killed_for_deadline = past_deadline && !want_abort;
+      ::kill(-pid, SIGTERM);
+      phase = KillPhase::kTermSent;
+      term_time = clock_.now();
+    } else if (!exited && phase == KillPhase::kTermSent &&
+               clock_.now() - term_time >= options_.kill_grace) {
+      ::kill(-pid, SIGKILL);
+      phase = KillPhase::kKillSent;
+    }
+
+    // Sleep on whatever is still open.
+    struct pollfd fds[3];
+    nfds_t nfds = 0;
+    if (stdin_write >= 0) fds[nfds++] = {stdin_write, POLLOUT, 0};
+    if (stdout_read >= 0) fds[nfds++] = {stdout_read, POLLIN, 0};
+    if (stderr_read >= 0) fds[nfds++] = {stderr_read, POLLIN, 0};
+    const int timeout_ms =
+        int(std::max<std::int64_t>(1, options_.poll_interval.count() / 1000));
+    if (nfds > 0) {
+      ::poll(fds, nfds, timeout_ms);
+    } else if (!exited) {
+      std::this_thread::sleep_for(options_.poll_interval);
+    }
+  }
+
+  if (tls_branch_) tls_branch_->current_pid.store(0);
+  untrack_pid(pid);
+  close_fd(&stdin_write);
+  close_fd(&stdout_read);
+  close_fd(&stderr_read);
+  // Make sure nothing of the session survives a kill.
+  if (phase != KillPhase::kNone) ::kill(-pid, SIGKILL);
+
+  Status status;
+  if (killed_for_deadline) {
+    status = Status::timeout("command '" + invocation.argv[0] +
+                             "' exceeded its deadline");
+  } else if (killed_for_abort) {
+    status = Status::killed("forall branch aborted");
+  } else if (WIFEXITED(exit_status)) {
+    const int code = WEXITSTATUS(exit_status);
+    if (code == 0) {
+      status = Status::success();
+    } else if (code == 127) {
+      status = Status::not_found("cannot execute " + invocation.argv[0]);
+    } else {
+      status = Status::failure(strprintf("%s: exit status %d",
+                                         invocation.argv[0].c_str(), code));
+    }
+  } else if (WIFSIGNALED(exit_status)) {
+    status = Status::failure(strprintf("%s: killed by signal %d",
+                                       invocation.argv[0].c_str(),
+                                       WTERMSIG(exit_status)));
+  } else {
+    status = Status::failure("unknown wait status");
+  }
+
+  return shell::CommandResult{std::move(status), std::move(out),
+                              std::move(err)};
+}
+
+std::vector<Status> PosixExecutor::run_parallel(
+    std::vector<std::function<Status()>> branches) {
+  const std::size_t n = branches.size();
+  shell::ParallelPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy = parallel_policy_;
+  }
+  ParallelGroup group;
+  for (std::size_t i = 0; i < n; ++i) {
+    group.branches.push_back(std::make_unique<BranchState>());
+  }
+  std::vector<Status> statuses(n, Status::killed("forall branch aborted"));
+
+  // Bounded worker pool: at most max_concurrent branches in flight; each
+  // worker additionally takes an executor-wide process-table slot, backing
+  // off (jittered) while the table is full -- the paper's deferred
+  // Ethernet-like governor for process creation.
+  const std::size_t workers =
+      policy.max_concurrent > 0
+          ? std::min<std::size_t>(n, std::size_t(policy.max_concurrent))
+          : n;
+  std::atomic<std::size_t> cursor{0};
+  const bool table_limited = policy.process_table_slots > 0;
+
+  auto take_table_slot = [&]() -> bool {
+    Rng rng(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    core::Backoff backoff(policy.backoff, rng);
+    while (!group.abort.load()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (table_free_ > 0) {
+          --table_free_;
+          return true;
+        }
+      }
+      Duration delay =
+          std::min<Duration>(backoff.next(), options_.poll_interval * 10);
+      std::this_thread::sleep_for(delay);
+    }
+    return false;
+  };
+  auto return_table_slot = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++table_free_;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      ParallelGroup* previous_group = tls_group_;
+      BranchState* previous_branch = tls_branch_;
+      tls_group_ = &group;
+      while (true) {
+        const std::size_t i = cursor.fetch_add(1);
+        if (i >= n) break;
+        if (group.abort.load()) continue;  // drain remaining as aborted
+        if (table_limited && !take_table_slot()) continue;
+        tls_branch_ = group.branches[i].get();
+        statuses[i] = branches[i]();
+        tls_branch_ = nullptr;
+        if (table_limited) return_table_slot();
+        if (statuses[i].failed()) {
+          group.abort.store(true);  // siblings' run() loops enforce the kill
+        }
+      }
+      tls_group_ = previous_group;
+      tls_branch_ = previous_branch;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return statuses;
+}
+
+}  // namespace ethergrid::posix

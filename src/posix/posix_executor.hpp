@@ -1,0 +1,87 @@
+// PosixExecutor: ftsh over real processes.
+//
+// Implements the paper's runtime precisely where POSIX allows:
+//  * every external command runs in its own session (setsid), so a deadline
+//    or abort can terminate the entire process tree with one kill(-pid);
+//  * termination is polite first (SIGTERM), forcible after a grace period
+//    (SIGKILL) -- "processes are first gently requested to exit";
+//  * `forall` branches run on threads; when one fails, the sessions of the
+//    sibling branches' running commands are killed and no new commands are
+//    launched ("all outstanding branches are aborted");
+//  * stdout/stderr are captured through pipes so the interpreter can route
+//    them to variables, files, or the terminal without interleaving partial
+//    results.
+//
+// As the paper concedes, a process can escape by making its own session;
+// this is a resource-management tool, not a security mechanism.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/clock.hpp"
+#include "shell/executor.hpp"
+
+namespace ethergrid::posix {
+
+struct PosixExecutorOptions {
+  // Grace between SIGTERM and SIGKILL on timeout/abort.
+  Duration kill_grace = sec(5);
+  // Poll interval for child I/O and exit status.
+  Duration poll_interval = msec(20);
+};
+
+class PosixExecutor final : public shell::Executor {
+ public:
+  explicit PosixExecutor(PosixExecutorOptions options = {});
+  ~PosixExecutor() override;
+
+  // --- Executor interface ---
+  shell::CommandResult run(const shell::CommandInvocation& invocation) override;
+  std::vector<Status> run_parallel(
+      std::vector<std::function<Status()>> branches) override;
+  bool file_exists(const std::string& path) override;
+  TimePoint now() override;
+  void sleep(Duration d) override;
+  Status with_deadline(TimePoint deadline,
+                       const std::function<Status()>& fn) override;
+
+  // Terminates every command session this executor currently has in flight
+  // (used by the ftsh tool's SIGTERM handler: kill our children before
+  // dying, per the paper's nested-shell protocol).
+  void terminate_all(int signo);
+
+  // Installs the forall branch-creation governor: max_concurrent bounds
+  // each forall's in-flight branches; process_table_slots is an
+  // executor-wide cap shared by all foralls (branch creation blocks with
+  // jittered backoff while the table is full).
+  void set_parallel_policy(const shell::ParallelPolicy& policy);
+
+ private:
+  struct BranchState {
+    std::atomic<long> current_pid{0};  // pid of the running command, if any
+  };
+  struct ParallelGroup {
+    std::atomic<bool> abort{false};
+    std::vector<std::unique_ptr<BranchState>> branches;
+  };
+
+  // Ambient branch identity for commands started inside run_parallel.
+  static thread_local ParallelGroup* tls_group_;
+  static thread_local BranchState* tls_branch_;
+
+  PosixExecutorOptions options_;
+  core::WallClock clock_;
+  std::mutex mu_;                 // guards live_pids_ and the policy/table
+  std::vector<long> live_pids_;   // sessions in flight (for terminate_all)
+  shell::ParallelPolicy parallel_policy_;
+  std::int64_t table_free_ = 0;   // meaningful when slots are limited
+
+  void track_pid(long pid);
+  void untrack_pid(long pid);
+};
+
+}  // namespace ethergrid::posix

@@ -1,0 +1,183 @@
+// Abstract syntax tree for ftsh.
+//
+// Words carry interpolation segments; every construct that takes a value in
+// the grammar (try limits, loop lists, expression operands) stores Words and
+// resolves them at execution time, so `try for ${t} minutes` and
+// `forany host in ${mirrors}` work naturally.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ethergrid::shell {
+
+// ------------------------------------------------------------------ words
+
+struct WordSegment {
+  enum class Kind { kLiteral, kVariable };
+  // Behaviour when a variable segment's name is unset.
+  enum class IfUnset {
+    kError,          // ${name}: fail the statement (typo protection)
+    kUseDefault,     // ${name:-default}: substitute without assigning
+    kAssignDefault,  // ${name:=default}: assign, then substitute
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::string text;  // literal text, or the variable name
+  // Variable segments from *unquoted* words undergo whitespace splitting in
+  // list contexts (`forany h in ${hosts}` fans out); quoted ones do not.
+  bool splittable = false;
+  IfUnset if_unset = IfUnset::kError;
+  std::string default_value;  // literal; used per if_unset
+};
+
+struct Word {
+  std::vector<WordSegment> segments;
+  int line = 0;
+
+  static Word literal(std::string text, int line = 0) {
+    Word w;
+    WordSegment segment;
+    segment.text = std::move(text);
+    w.segments.push_back(std::move(segment));
+    w.line = line;
+    return w;
+  }
+
+  // True if the word is a single literal segment equal to text.
+  bool is_literal(std::string_view text) const {
+    return segments.size() == 1 &&
+           segments[0].kind == WordSegment::Kind::kLiteral &&
+           segments[0].text == text;
+  }
+
+  // Lossy display form for diagnostics ("${x}.out").
+  std::string describe() const;
+};
+
+// ------------------------------------------------------------ expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  kLt,   // .lt.
+  kGt,   // .gt.
+  kLe,   // .le.
+  kGe,   // .ge.
+  kEq,   // .eq.
+  kNe,   // .ne.
+  kAnd,  // .and.
+  kOr,   // .or.
+  kAdd,  // .add.
+  kSub,  // .sub.
+  kMul,  // .mul.
+  kDiv,  // .div.
+  kMod,  // .mod.
+};
+
+struct Expr {
+  enum class Kind { kValue, kNot, kExists, kBinary };
+  Kind kind = Kind::kValue;
+  Word value;       // kValue
+  ExprPtr child;    // kNot / kExists
+  BinaryOp op{};    // kBinary
+  ExprPtr lhs;
+  ExprPtr rhs;
+  int line = 0;
+};
+
+// ------------------------------------------------------------- statements
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct Group {
+  std::vector<StatementPtr> statements;
+};
+
+struct Redirections {
+  std::optional<Word> stdin_file;    // <  file
+  std::optional<Word> stdout_file;   // >  file / >> file
+  bool stdout_append = false;
+  bool merge_stderr = false;         // >& / ->&
+  std::optional<Word> stdin_var;     // -< var
+  std::optional<Word> stdout_var;    // -> var / ->& var
+};
+
+struct CommandStmt {
+  std::vector<Word> argv;  // argv[0] may name a defined function
+  Redirections redirects;
+};
+
+struct TryStmt {
+  // "for <words...>" -- joined and parsed as a duration at run time.
+  std::vector<Word> time_words;
+  // "<word> times" -- parsed as an integer at run time.
+  std::optional<Word> attempts_word;
+  Group body;
+  std::optional<Group> catch_body;
+};
+
+struct ForStmt {
+  enum class Kind { kAny, kAll };
+  Kind kind = Kind::kAny;
+  std::string variable;
+  std::vector<Word> list;
+  Group body;
+};
+
+struct IfStmt {
+  ExprPtr condition;
+  Group then_body;
+  std::optional<Group> else_body;
+};
+
+struct WhileStmt {
+  ExprPtr condition;
+  Group body;
+};
+
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> parameters;
+  std::shared_ptr<Group> body;  // shared with the runtime function table
+};
+
+struct AssignmentStmt {
+  std::string name;
+  // Either a plain word value or an arithmetic/boolean expression
+  // (`x=5`, `x=${y}`, `n = ${n} .add. 1`).
+  ExprPtr value;
+};
+
+struct Statement {
+  enum class Kind {
+    kCommand,
+    kTry,
+    kFor,
+    kIf,
+    kWhile,
+    kFunction,
+    kAssignment,
+    kFailure,  // the `failure` throw
+    kReturn,   // early success return from a function / script
+  };
+  Kind kind;
+  int line = 0;
+  CommandStmt command;     // kCommand
+  TryStmt try_stmt;        // kTry
+  ForStmt for_stmt;        // kFor
+  IfStmt if_stmt;          // kIf
+  WhileStmt while_stmt;    // kWhile
+  FunctionDef function;    // kFunction
+  AssignmentStmt assignment;  // kAssignment
+};
+
+struct Script {
+  Group top;
+};
+
+}  // namespace ethergrid::shell

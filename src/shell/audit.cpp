@@ -1,0 +1,96 @@
+#include "shell/audit.hpp"
+
+#include "util/strings.hpp"
+
+namespace ethergrid::shell {
+
+std::string_view audit_kind_name(AuditEntry::Kind kind) {
+  switch (kind) {
+    case AuditEntry::Kind::kCommand:
+      return "command";
+    case AuditEntry::Kind::kTry:
+      return "try";
+    case AuditEntry::Kind::kForany:
+      return "forany";
+    case AuditEntry::Kind::kForall:
+      return "forall";
+    case AuditEntry::Kind::kFunction:
+      return "function";
+  }
+  return "?";
+}
+
+void AuditLog::record(AuditEntry::Kind kind, int line,
+                      const std::string& label, const Status& status,
+                      Duration elapsed, Duration backoff) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AuditEntry& entry = entries_[Key{kind, line, label}];
+  entry.kind = kind;
+  entry.line = line;
+  entry.label = label;
+  ++entry.executions;
+  entry.busy_total += elapsed;
+  entry.backoff_total += backoff;
+  if (status.failed()) {
+    ++entry.failures;
+    std::string reason(status_code_name(status.code()));
+    if (entry.failure_reasons.size() < AuditEntry::kMaxReasons ||
+        entry.failure_reasons.count(reason)) {
+      ++entry.failure_reasons[reason];
+    }
+  }
+}
+
+std::vector<AuditEntry> AuditLog::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::int64_t AuditLog::total_executions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [key, entry] : entries_) total += entry.executions;
+  return total;
+}
+
+std::int64_t AuditLog::total_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [key, entry] : entries_) total += entry.failures;
+  return total;
+}
+
+std::string AuditLog::report() const {
+  std::string out =
+      "line  kind      runs  fail  busy        backoff     what\n";
+  for (const AuditEntry& e : entries()) {
+    out += strprintf("%-5d %-9s %-5lld %-5lld %-11s %-11s %s",
+                     e.line, std::string(audit_kind_name(e.kind)).c_str(),
+                     (long long)e.executions, (long long)e.failures,
+                     format_duration(e.busy_total).c_str(),
+                     format_duration(e.backoff_total).c_str(),
+                     e.label.c_str());
+    if (!e.failure_reasons.empty()) {
+      out += "  [";
+      bool first = true;
+      for (const auto& [reason, count] : e.failure_reasons) {
+        if (!first) out += ", ";
+        first = false;
+        out += strprintf("%s x%lld", reason.c_str(), (long long)count);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void AuditLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace ethergrid::shell

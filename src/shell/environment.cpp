@@ -1,0 +1,53 @@
+#include "shell/environment.hpp"
+
+namespace ethergrid::shell {
+
+Environment::Environment()
+    : parent_(nullptr), root_(this), mu_(std::make_shared<std::mutex>()) {}
+
+Environment::Environment(Environment* parent)
+    : parent_(parent), root_(parent->root_), mu_(parent->mu_) {}
+
+std::optional<std::string> Environment::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  for (const Environment* env = this; env; env = env->parent_) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+void Environment::assign(const std::string& name, std::string value) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  for (Environment* env = this; env; env = env->parent_) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) {
+      it->second = std::move(value);
+      return;
+    }
+  }
+  vars_[name] = std::move(value);
+}
+
+void Environment::define(const std::string& name, std::string value) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  vars_[name] = std::move(value);
+}
+
+bool Environment::defined(const std::string& name) const {
+  return get(name).has_value();
+}
+
+void Environment::define_function(const FunctionDef& def) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  root_->functions_[def.name] = std::make_shared<FunctionDef>(def);
+}
+
+std::shared_ptr<const FunctionDef> Environment::find_function(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = root_->functions_.find(name);
+  return it == root_->functions_.end() ? nullptr : it->second;
+}
+
+}  // namespace ethergrid::shell

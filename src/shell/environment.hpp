@@ -1,0 +1,59 @@
+// Variable scopes and the function table.
+//
+// Scoping is a parent chain: lookups walk outward; plain assignment updates
+// the scope where the name is already defined (or defines it in the current
+// scope); `define` always creates/overwrites locally (loop variables,
+// function parameters).  Functions are global (stored at the root).
+//
+// All operations are serialized through a root-owned mutex so that `forall`
+// branches running on real threads (the POSIX executor) may touch shared
+// scopes safely.  Branch-local scopes make most accesses uncontended.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "shell/ast.hpp"
+
+namespace ethergrid::shell {
+
+class Environment {
+ public:
+  // Root scope.
+  Environment();
+  // Child scope (function call frame, forall branch).
+  explicit Environment(Environment* parent);
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  // Innermost-out lookup.
+  std::optional<std::string> get(const std::string& name) const;
+
+  // Updates where defined; defines here if nowhere.
+  void assign(const std::string& name, std::string value);
+
+  // Defines/overwrites in this scope only.
+  void define(const std::string& name, std::string value);
+
+  bool defined(const std::string& name) const;
+
+  // Function table (root-global).
+  void define_function(const FunctionDef& def);
+  // Returns nullptr if unknown.  The returned pointer stays valid while the
+  // root environment lives (bodies are shared_ptr-owned).
+  std::shared_ptr<const FunctionDef> find_function(
+      const std::string& name) const;
+
+ private:
+  Environment* parent_;
+  Environment* root_;
+  std::shared_ptr<std::mutex> mu_;  // shared by the whole chain
+  std::map<std::string, std::string> vars_;
+  std::map<std::string, std::shared_ptr<FunctionDef>> functions_;  // root only
+};
+
+}  // namespace ethergrid::shell

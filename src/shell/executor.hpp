@@ -1,0 +1,90 @@
+// Executor: where ftsh meets the world.
+//
+// The interpreter is executor-agnostic.  An Executor supplies:
+//  * external command execution (run),
+//  * parallel branch execution for `forall` (run_parallel),
+//  * the file_exists probe backing the `.exists.` operator,
+//  * and -- because it knows which world the script lives in -- the Clock
+//    (virtual or wall) that the retry machinery uses.
+//
+// Implementations: shell::SimExecutor (commands are registered handlers
+// running in simulated time) and posix::PosixExecutor (real processes in
+// their own POSIX sessions).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "core/clock.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::shell {
+
+// Governor for forall branch creation -- the algorithm the paper defers:
+// "The number of alternatives that a forall may execute simultaneously is
+//  of course limited by any number of local resources limits such as
+//  memory, disk space, or fixed kernel tables.  Thus, the creation of
+//  processes must be governed by an Ethernet-like algorithm similar to
+//  that of try."
+//
+// Two independent limits compose:
+//  * max_concurrent: a per-forall window (at most this many branches in
+//    flight; the next starts as one finishes);
+//  * process_table_slots: a finite executor-wide "kernel process table"
+//    shared by every forall of every script using this executor.  When the
+//    table is full, branch creation carrier-senses it and backs off with
+//    the usual exponential/jittered delays instead of failing.
+struct ParallelPolicy {
+  // What branch creation does when the process table is full.
+  enum class OnTableFull {
+    kBackoff,  // Ethernet: carrier-sense + jittered exponential delay
+    kFail,     // naive: fork() returns EAGAIN and the branch (and therefore
+               // the whole forall) fails -- the un-governed baseline
+  };
+
+  int max_concurrent = 0;             // 0 = unlimited
+  std::int64_t process_table_slots = 0;  // 0 = unlimited
+  OnTableFull on_table_full = OnTableFull::kBackoff;
+  core::BackoffPolicy backoff = core::BackoffPolicy::paper_default();
+};
+
+
+struct CommandInvocation {
+  std::vector<std::string> argv;  // expanded; argv[0] is the command name
+  // Input: at most one of these is set.
+  std::optional<std::string> stdin_data;  // -< var (already resolved)
+  std::optional<std::string> stdin_file;  // <  file
+  // Output routing.
+  std::optional<std::string> stdout_file;  // > / >> / >& file
+  bool stdout_append = false;
+  bool capture_stdout = false;  // -> var: return out instead of printing
+  bool merge_stderr = false;    // >& / ->&
+  // Earliest enclosing try deadline; cooperative executors must ensure the
+  // command is dead by this time (virtual-time executors get preemption from
+  // the kernel's ambient deadline stack and may ignore it).
+  TimePoint deadline = TimePoint::max();
+};
+
+struct CommandResult {
+  Status status;
+  std::string out;  // uncaptured, unredirected stdout (printed by the shell)
+  std::string err;  // stderr (printed to the diagnostic stream)
+};
+
+class Executor : public core::Clock {
+ public:
+  virtual CommandResult run(const CommandInvocation& invocation) = 0;
+
+  // Runs the branch thunks concurrently; returns each branch's status in
+  // order.  If any branch fails, the remaining branches are aborted (killed
+  // in simulation, session-killed under POSIX) -- the forall contract.
+  virtual std::vector<Status> run_parallel(
+      std::vector<std::function<Status()>> branches) = 0;
+
+  virtual bool file_exists(const std::string& path) = 0;
+};
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,646 @@
+#include "shell/interpreter.hpp"
+
+#include <algorithm>
+
+#include "core/retry.hpp"
+#include "shell/parser.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::shell {
+
+namespace {
+
+// Internal: unwinds evaluation of one statement; converted to a failed
+// status (never escapes the interpreter).
+struct EvalError {
+  Status status;
+};
+
+[[noreturn]] void eval_fail(Status status) { throw EvalError{std::move(status)}; }
+
+}  // namespace
+
+// Per-branch evaluation state.  forall branches get their own copy with a
+// child environment and a forked RNG stream; everything else threads one
+// instance through by reference.
+struct Interpreter::EvalCtx {
+  Environment* env;
+  TimePoint deadline = TimePoint::max();  // earliest enclosing try deadline
+  Rng rng;
+  int function_depth = 0;
+};
+
+Interpreter::Interpreter(Executor& executor, InterpreterOptions options)
+    : executor_(&executor),
+      options_(std::move(options)),
+      logger_(options_.logger ? options_.logger : &Logger::global()) {}
+
+Status Interpreter::run(const Script& script, Environment& env) {
+  EvalCtx ctx{&env, TimePoint::max(), Rng(options_.seed), 0};
+  EvalResult result = eval_group(script.top, ctx);
+  return result.status;
+}
+
+Status Interpreter::run_source(std::string_view source, Environment& env) {
+  ParseResult parsed = parse_script(source);
+  if (parsed.status.failed()) return parsed.status;
+  return run(*parsed.script, env);
+}
+
+std::string Interpreter::output() const {
+  std::lock_guard<std::mutex> lock(output_mu_);
+  return output_;
+}
+
+std::string Interpreter::diagnostics() const {
+  std::lock_guard<std::mutex> lock(output_mu_);
+  return diagnostics_;
+}
+
+void Interpreter::emit_stdout(std::string_view text) {
+  if (options_.stdout_sink) {
+    options_.stdout_sink(text);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(output_mu_);
+  output_ += text;
+}
+
+void Interpreter::emit_stderr(std::string_view text) {
+  if (options_.stderr_sink) {
+    options_.stderr_sink(text);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(output_mu_);
+  diagnostics_ += text;
+}
+
+void Interpreter::log(LogLevel level, const std::string& message) {
+  logger_->log(level, executor_->now(), "ftsh", message);
+}
+
+// ----------------------------------------------------------------- groups
+
+Interpreter::EvalResult Interpreter::eval_group(const Group& group,
+                                                EvalCtx& ctx) {
+  for (const StatementPtr& stmt : group.statements) {
+    EvalResult result = eval_statement(*stmt, ctx);
+    if (result.flow == Flow::kReturn || result.status.failed()) {
+      return result;  // fail-fast: the rest of the group does not run
+    }
+  }
+  return EvalResult::ok();
+}
+
+Interpreter::EvalResult Interpreter::eval_statement(const Statement& stmt,
+                                                    EvalCtx& ctx) {
+  try {
+    switch (stmt.kind) {
+      case Statement::Kind::kCommand:
+        return eval_command(stmt, ctx);
+      case Statement::Kind::kTry:
+        return eval_try(stmt, ctx);
+      case Statement::Kind::kFor:
+        return eval_for(stmt, ctx);
+      case Statement::Kind::kIf:
+        return eval_if(stmt, ctx);
+      case Statement::Kind::kWhile:
+        return eval_while(stmt, ctx);
+      case Statement::Kind::kFunction:
+        ctx.env->define_function(stmt.function);
+        return EvalResult::ok();
+      case Statement::Kind::kAssignment:
+        return eval_assignment(stmt, ctx);
+      case Statement::Kind::kFailure:
+        return EvalResult::from(Status::failure(
+            strprintf("failure at line %d", stmt.line)));
+      case Statement::Kind::kReturn:
+        return EvalResult{Status::success(), Flow::kReturn};
+    }
+    return EvalResult::from(Status::failure("unknown statement kind"));
+  } catch (const EvalError& e) {
+    log(LogLevel::kInfo, strprintf("line %d: %s", stmt.line,
+                                   e.status.to_string().c_str()));
+    return EvalResult::from(e.status);
+  }
+}
+
+// --------------------------------------------------------------- commands
+
+Interpreter::EvalResult Interpreter::eval_command(const Statement& stmt,
+                                                  EvalCtx& ctx) {
+  const CommandStmt& cmd = stmt.command;
+  std::vector<std::string> argv = expand_words(cmd.argv, ctx);
+  if (argv.empty()) {
+    return EvalResult::from(
+        Status::invalid_argument("command expanded to nothing"));
+  }
+
+  // Function call?
+  if (auto function = ctx.env->find_function(argv[0])) {
+    if (cmd.redirects.stdin_file || cmd.redirects.stdout_file ||
+        cmd.redirects.stdin_var || cmd.redirects.stdout_var) {
+      return EvalResult::from(Status::invalid_argument(
+          "redirections are not supported on function calls"));
+    }
+    return eval_function_call(stmt, *function, argv, ctx);
+  }
+
+  CommandInvocation invocation;
+  invocation.argv = std::move(argv);
+  invocation.deadline = ctx.deadline;
+  invocation.stdout_append = cmd.redirects.stdout_append;
+  invocation.merge_stderr = cmd.redirects.merge_stderr;
+  if (cmd.redirects.stdin_file) {
+    invocation.stdin_file = expand_word(*cmd.redirects.stdin_file, ctx);
+  }
+  if (cmd.redirects.stdout_file) {
+    invocation.stdout_file = expand_word(*cmd.redirects.stdout_file, ctx);
+  }
+  std::string capture_var;
+  if (cmd.redirects.stdout_var) {
+    capture_var = expand_word(*cmd.redirects.stdout_var, ctx);
+    invocation.capture_stdout = true;
+  }
+  if (cmd.redirects.stdin_var) {
+    const std::string name = expand_word(*cmd.redirects.stdin_var, ctx);
+    auto value = ctx.env->get(name);
+    if (!value) {
+      return EvalResult::from(
+          Status::invalid_argument("undefined variable for -<: " + name));
+    }
+    invocation.stdin_data = std::move(*value);
+  }
+
+  if (options_.trace) {
+    emit_stderr("+ " + join(invocation.argv, " ") + "\n");
+  }
+  if (logger_->enabled(LogLevel::kDebug)) {
+    log(LogLevel::kDebug, "exec: " + join(invocation.argv, " "));
+  }
+  const TimePoint command_start = executor_->now();
+  CommandResult result = executor_->run(invocation);
+  if (options_.audit) {
+    options_.audit->record(AuditEntry::Kind::kCommand, stmt.line,
+                           invocation.argv[0], result.status,
+                           executor_->now() - command_start);
+  }
+  if (result.status.failed()) {
+    log(LogLevel::kInfo,
+        strprintf("command '%s' failed: %s", invocation.argv[0].c_str(),
+                  result.status.to_string().c_str()));
+  }
+  if (invocation.capture_stdout) {
+    if (result.status.ok()) {
+      // Command-substitution convention: strip trailing newlines so that
+      // `cut ... -> n` yields a clean value for ${n} comparisons.
+      while (!result.out.empty() && result.out.back() == '\n') {
+        result.out.pop_back();
+      }
+      ctx.env->assign(capture_var, std::move(result.out));
+    }
+  } else if (!result.out.empty()) {
+    emit_stdout(result.out);
+  }
+  if (!result.err.empty()) emit_stderr(result.err);
+  return EvalResult::from(std::move(result.status));
+}
+
+Interpreter::EvalResult Interpreter::eval_function_call(
+    const Statement& stmt, const FunctionDef& function,
+    const std::vector<std::string>& argv, EvalCtx& ctx) {
+  if (ctx.function_depth > 64) {
+    return EvalResult::from(
+        Status::failure("function recursion too deep: " + function.name));
+  }
+  if (argv.size() - 1 != function.parameters.size()) {
+    return EvalResult::from(Status::invalid_argument(strprintf(
+        "line %d: function %s expects %zu argument(s), got %zu", stmt.line,
+        function.name.c_str(), function.parameters.size(), argv.size() - 1)));
+  }
+  Environment frame(ctx.env);
+  for (std::size_t i = 0; i < function.parameters.size(); ++i) {
+    frame.define(function.parameters[i], argv[i + 1]);
+  }
+  EvalCtx call_ctx{&frame, ctx.deadline, ctx.rng.stream(function.name),
+                   ctx.function_depth + 1};
+  EvalResult result = eval_group(*function.body, call_ctx);
+  if (result.flow == Flow::kReturn) {
+    return EvalResult::ok();  // `return` stops at the function boundary
+  }
+  return result;
+}
+
+// -------------------------------------------------------------------- try
+
+namespace {
+std::string describe_try(const TryStmt& t) {
+  std::string out = "try";
+  if (!t.time_words.empty()) {
+    out += " for";
+    for (const Word& w : t.time_words) out += " " + w.describe();
+  }
+  if (t.attempts_word) {
+    out += (t.time_words.empty() ? " " : " or ") +
+           t.attempts_word->describe() + " times";
+  }
+  return out;
+}
+}  // namespace
+
+Interpreter::EvalResult Interpreter::eval_try(const Statement& stmt,
+                                              EvalCtx& ctx) {
+  const TryStmt& t = stmt.try_stmt;
+
+  core::TryOptions options;
+  options.backoff = options_.backoff;
+  if (!t.time_words.empty()) {
+    const std::string text = join(expand_words(t.time_words, ctx), " ");
+    Duration limit{};
+    if (!parse_duration(text, &limit)) {
+      return EvalResult::from(Status::invalid_argument(
+          strprintf("line %d: bad try duration '%s'", stmt.line,
+                    text.c_str())));
+    }
+    options.time_limit = limit;
+  }
+  if (t.attempts_word) {
+    const std::string text = expand_word(*t.attempts_word, ctx);
+    long long n = 0;
+    if (!parse_int(text, &n) || n < 0) {
+      return EvalResult::from(Status::invalid_argument(strprintf(
+          "line %d: bad try attempt count '%s'", stmt.line, text.c_str())));
+    }
+    options.attempt_limit = int(n);
+  }
+
+  const TimePoint try_deadline =
+      options.time_limit ? executor_->now() + *options.time_limit
+                         : TimePoint::max();
+  EvalCtx body_ctx{ctx.env, std::min(ctx.deadline, try_deadline), ctx.rng,
+                   ctx.function_depth};
+  bool returned = false;
+
+  core::TryMetrics metrics;
+  options.metrics = &metrics;
+  Status status =
+      core::run_try(*executor_, body_ctx.rng, options, [&](TimePoint) {
+        EvalResult r = eval_group(t.body, body_ctx);
+        if (r.flow == Flow::kReturn) returned = true;
+        return r.status;
+      });
+  ctx.rng = body_ctx.rng;  // keep the jitter stream advancing
+
+  log(LogLevel::kDebug,
+      strprintf("try at line %d: %s after %d attempt(s), %s backing off",
+                stmt.line, status.ok() ? "success" : "failure",
+                metrics.attempts,
+                format_duration(metrics.backoff_total).c_str()));
+  if (options_.audit) {
+    options_.audit->record(AuditEntry::Kind::kTry, stmt.line,
+                           describe_try(t), status, metrics.elapsed,
+                           metrics.backoff_total);
+  }
+
+  if (returned && status.ok()) {
+    return EvalResult{Status::success(), Flow::kReturn};
+  }
+  if (status.failed() && t.catch_body) {
+    log(LogLevel::kDebug, strprintf("try at line %d: entering catch block",
+                                    stmt.line));
+    return eval_group(*t.catch_body, ctx);
+  }
+  return EvalResult::from(std::move(status));
+}
+
+// ---------------------------------------------------------- forany/forall
+
+Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
+                                              EvalCtx& ctx) {
+  const ForStmt& f = stmt.for_stmt;
+  const std::vector<std::string> items = expand_words(f.list, ctx);
+  if (items.empty()) {
+    return EvalResult::from(Status::invalid_argument(
+        strprintf("line %d: %s list expanded to nothing", stmt.line,
+                  f.kind == ForStmt::Kind::kAny ? "forany" : "forall")));
+  }
+
+  if (f.kind == ForStmt::Kind::kAny) {
+    const TimePoint start = executor_->now();
+    Status last = Status::failure("forany: no alternatives");
+    for (const std::string& item : items) {
+      ctx.env->assign(f.variable, item);
+      EvalResult result = eval_group(f.body, ctx);
+      if (result.flow == Flow::kReturn || result.status.ok()) {
+        if (options_.audit) {
+          options_.audit->record(AuditEntry::Kind::kForany, stmt.line,
+                                 "forany " + f.variable, result.status,
+                                 executor_->now() - start);
+        }
+        return result;  // winning value stays in the variable
+      }
+      last = std::move(result.status);
+      log(LogLevel::kDebug,
+          strprintf("forany at line %d: alternative '%s' failed", stmt.line,
+                    item.c_str()));
+    }
+    if (options_.audit) {
+      options_.audit->record(AuditEntry::Kind::kForany, stmt.line,
+                             "forany " + f.variable, last,
+                             executor_->now() - start);
+    }
+    return EvalResult::from(std::move(last));
+  }
+  const TimePoint forall_start = executor_->now();
+
+  // forall: all alternatives in parallel; abort the rest on first failure
+  // (the executor implements the abort).
+  std::vector<std::unique_ptr<Environment>> branch_envs;
+  std::vector<std::function<Status()>> branches;
+  branch_envs.reserve(items.size());
+  branches.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    auto env = std::make_unique<Environment>(ctx.env);
+    env->define(f.variable, items[i]);
+    Environment* env_ptr = env.get();
+    branch_envs.push_back(std::move(env));
+    Rng branch_rng = ctx.rng.stream(i);
+    branches.push_back([this, &f, env_ptr, branch_rng, &ctx]() -> Status {
+      EvalCtx branch_ctx{env_ptr, ctx.deadline, branch_rng,
+                         ctx.function_depth};
+      return eval_group(f.body, branch_ctx).status;
+    });
+  }
+  std::vector<Status> statuses = executor_->run_parallel(std::move(branches));
+  Status overall = Status::success();
+  for (const Status& s : statuses) {
+    if (s.failed()) {
+      overall = Status(s.code(),
+                       strprintf("forall at line %d failed: %s", stmt.line,
+                                 s.message().c_str()));
+      break;
+    }
+  }
+  if (options_.audit) {
+    options_.audit->record(AuditEntry::Kind::kForall, stmt.line,
+                           "forall " + f.variable, overall,
+                           executor_->now() - forall_start);
+  }
+  return EvalResult::from(std::move(overall));
+}
+
+// ------------------------------------------------------------ if / while
+
+Interpreter::EvalResult Interpreter::eval_if(const Statement& stmt,
+                                             EvalCtx& ctx) {
+  if (eval_condition(*stmt.if_stmt.condition, ctx)) {
+    return eval_group(stmt.if_stmt.then_body, ctx);
+  }
+  if (stmt.if_stmt.else_body) {
+    return eval_group(*stmt.if_stmt.else_body, ctx);
+  }
+  return EvalResult::ok();
+}
+
+Interpreter::EvalResult Interpreter::eval_while(const Statement& stmt,
+                                                EvalCtx& ctx) {
+  while (eval_condition(*stmt.while_stmt.condition, ctx)) {
+    EvalResult result = eval_group(stmt.while_stmt.body, ctx);
+    if (result.flow == Flow::kReturn || result.status.failed()) {
+      return result;
+    }
+  }
+  return EvalResult::ok();
+}
+
+Interpreter::EvalResult Interpreter::eval_assignment(const Statement& stmt,
+                                                     EvalCtx& ctx) {
+  std::string value = eval_expr(*stmt.assignment.value, ctx);
+  ctx.env->assign(stmt.assignment.name, std::move(value));
+  return EvalResult::ok();
+}
+
+// -------------------------------------------------------------- expansion
+
+namespace {
+
+// Resolves one variable segment, honoring ${name:-default} / ${name:=d}.
+// Throws EvalError for a plain unset ${name}.
+std::string resolve_variable(const WordSegment& seg, Environment& env,
+                             int line) {
+  auto value = env.get(seg.text);
+  if (value) return *value;
+  switch (seg.if_unset) {
+    case WordSegment::IfUnset::kUseDefault:
+      return seg.default_value;
+    case WordSegment::IfUnset::kAssignDefault:
+      env.assign(seg.text, seg.default_value);
+      return seg.default_value;
+    case WordSegment::IfUnset::kError:
+      break;
+  }
+  eval_fail(Status::invalid_argument(strprintf(
+      "line %d: undefined variable '%s'", line, seg.text.c_str())));
+}
+
+}  // namespace
+
+std::string Interpreter::expand_word(const Word& word, EvalCtx& ctx) {
+  std::string out;
+  for (const WordSegment& seg : word.segments) {
+    if (seg.kind == WordSegment::Kind::kLiteral) {
+      out += seg.text;
+      continue;
+    }
+    out += resolve_variable(seg, *ctx.env, word.line);
+  }
+  return out;
+}
+
+std::vector<std::string> Interpreter::expand_words(
+    const std::vector<Word>& words, EvalCtx& ctx) {
+  std::vector<std::string> out;
+  for (const Word& word : words) {
+    // Fast path: no splittable variable segments -> single argument.
+    bool any_split = false;
+    for (const WordSegment& seg : word.segments) {
+      if (seg.kind == WordSegment::Kind::kVariable && seg.splittable) {
+        any_split = true;
+        break;
+      }
+    }
+    if (!any_split) {
+      out.push_back(expand_word(word, ctx));
+      continue;
+    }
+    // Expand then field-split the splittable variable values.  We expand
+    // segment-wise so literal text adjacent to a split variable joins the
+    // neighbouring fields (Bourne semantics).
+    std::vector<std::string> fields{""};
+    bool field_open = false;  // false: current field may still be dropped
+    for (const WordSegment& seg : word.segments) {
+      std::string value;
+      if (seg.kind == WordSegment::Kind::kLiteral) {
+        value = seg.text;
+      } else {
+        value = resolve_variable(seg, *ctx.env, word.line);
+      }
+      if (seg.kind == WordSegment::Kind::kVariable && seg.splittable) {
+        std::vector<std::string> parts = split(value);
+        const bool leading_space =
+            !value.empty() &&
+            std::isspace(static_cast<unsigned char>(value.front()));
+        const bool trailing_space =
+            !value.empty() &&
+            std::isspace(static_cast<unsigned char>(value.back()));
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+          if (i == 0 && !leading_space) {
+            fields.back() += parts[i];
+          } else {
+            fields.push_back(parts[i]);
+          }
+          field_open = true;
+        }
+        if (trailing_space && !parts.empty()) {
+          fields.push_back("");
+          field_open = false;
+        }
+      } else {
+        fields.back() += value;
+        if (!value.empty()) field_open = true;
+      }
+    }
+    if (!field_open && fields.size() > 1 && fields.back().empty()) {
+      fields.pop_back();  // trailing split residue
+    }
+    for (std::string& field : fields) {
+      if (!field.empty() || word.segments.empty()) {
+        out.push_back(std::move(field));
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ expressions
+
+namespace {
+
+bool is_boolean(const std::string& s) { return s == "true" || s == "false"; }
+
+}  // namespace
+
+std::string Interpreter::eval_expr(const Expr& expr, EvalCtx& ctx) {
+  switch (expr.kind) {
+    case Expr::Kind::kValue:
+      return expand_word(expr.value, ctx);
+    case Expr::Kind::kNot: {
+      std::string v = eval_expr(*expr.child, ctx);
+      if (!is_boolean(v)) {
+        eval_fail(Status::invalid_argument(strprintf(
+            "line %d: .not. needs a boolean, got '%s'", expr.line,
+            v.c_str())));
+      }
+      return v == "true" ? "false" : "true";
+    }
+    case Expr::Kind::kExists: {
+      std::string path = eval_expr(*expr.child, ctx);
+      return executor_->file_exists(path) ? "true" : "false";
+    }
+    case Expr::Kind::kBinary:
+      break;
+  }
+
+  const std::string lhs = eval_expr(*expr.lhs, ctx);
+  const std::string rhs = eval_expr(*expr.rhs, ctx);
+
+  auto need_ints = [&](long long* a, long long* b) {
+    if (!parse_int(lhs, a) || !parse_int(rhs, b)) {
+      eval_fail(Status::invalid_argument(strprintf(
+          "line %d: numeric operator needs integers, got '%s' and '%s'",
+          expr.line, lhs.c_str(), rhs.c_str())));
+    }
+  };
+  auto boolean = [](bool b) { return std::string(b ? "true" : "false"); };
+
+  switch (expr.op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      long long a, b;
+      bool equal;
+      if (parse_int(lhs, &a) && parse_int(rhs, &b)) {
+        equal = a == b;  // 07 .eq. 7
+      } else {
+        equal = lhs == rhs;
+      }
+      return boolean(expr.op == BinaryOp::kEq ? equal : !equal);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kGt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGe: {
+      long long a, b;
+      need_ints(&a, &b);
+      switch (expr.op) {
+        case BinaryOp::kLt:
+          return boolean(a < b);
+        case BinaryOp::kGt:
+          return boolean(a > b);
+        case BinaryOp::kLe:
+          return boolean(a <= b);
+        default:
+          return boolean(a >= b);
+      }
+    }
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr: {
+      if (!is_boolean(lhs) || !is_boolean(rhs)) {
+        eval_fail(Status::invalid_argument(strprintf(
+            "line %d: boolean operator needs booleans, got '%s' and '%s'",
+            expr.line, lhs.c_str(), rhs.c_str())));
+      }
+      const bool a = lhs == "true";
+      const bool b = rhs == "true";
+      return boolean(expr.op == BinaryOp::kAnd ? (a && b) : (a || b));
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      long long a, b;
+      need_ints(&a, &b);
+      if ((expr.op == BinaryOp::kDiv || expr.op == BinaryOp::kMod) && b == 0) {
+        eval_fail(Status::invalid_argument(
+            strprintf("line %d: division by zero", expr.line)));
+      }
+      switch (expr.op) {
+        case BinaryOp::kAdd:
+          return std::to_string(a + b);
+        case BinaryOp::kSub:
+          return std::to_string(a - b);
+        case BinaryOp::kMul:
+          return std::to_string(a * b);
+        case BinaryOp::kDiv:
+          return std::to_string(a / b);
+        default:
+          return std::to_string(a % b);
+      }
+    }
+  }
+  eval_fail(Status::failure("unhandled operator"));
+}
+
+bool Interpreter::eval_condition(const Expr& expr, EvalCtx& ctx) {
+  const std::string v = eval_expr(expr, ctx);
+  if (v == "true") return true;
+  if (v == "false") return false;
+  long long n;
+  if (parse_int(v, &n)) return n != 0;  // numeric truthiness
+  eval_fail(Status::invalid_argument(strprintf(
+      "line %d: condition is neither boolean nor numeric: '%s'", expr.line,
+      v.c_str())));
+}
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,114 @@
+// The ftsh interpreter.
+//
+// Evaluation model (paper section 4):
+//  * a procedure, atomic or compound, does not return a value -- it succeeds
+//    or fails;
+//  * a group fails at its first failing member;
+//  * `try` retries its group under exponential backoff within a time and/or
+//    attempt budget, forcibly terminating work in flight when the budget
+//    expires; `catch` handles the failure;
+//  * `forany` runs alternatives in order to first success; `forall` runs
+//    them in parallel and fails (aborting stragglers) if any fails;
+//  * failures are untyped: the interpreter never branches on *why*
+//    something failed, but logs the details to the back channel.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/backoff.hpp"
+#include "shell/ast.hpp"
+#include "shell/audit.hpp"
+#include "shell/environment.hpp"
+#include "shell/executor.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace ethergrid::shell {
+
+struct InterpreterOptions {
+  // Backoff between try attempts; the paper default (1 s, x2, 1 h cap,
+  // jitter [1,2)).
+  core::BackoffPolicy backoff = core::BackoffPolicy::paper_default();
+  // RNG seed for backoff jitter (forked per forall branch).
+  std::uint64_t seed = 1;
+  // Back-channel logger; nullptr => Logger::global().
+  Logger* logger = nullptr;
+  // Where uncaptured command stdout goes; default accumulates into output().
+  std::function<void(std::string_view)> stdout_sink;
+  // Where command stderr goes; default accumulates into diagnostics().
+  std::function<void(std::string_view)> stderr_sink;
+  // Structured back channel: when set, every command execution and
+  // try/forany/forall outcome is recorded for post-mortem analysis.
+  AuditLog* audit = nullptr;
+  // Like sh -x: print each expanded command to the stderr sink before
+  // executing it ("+ cmd arg ...").
+  bool trace = false;
+};
+
+class Interpreter {
+ public:
+  Interpreter(Executor& executor, InterpreterOptions options = {});
+
+  // Evaluates a script in the given root environment.  The returned status
+  // is the script's overall success/failure.
+  Status run(const Script& script, Environment& env);
+
+  // Parse + run convenience.
+  Status run_source(std::string_view source, Environment& env);
+
+  // Accumulated uncaptured stdout (when no custom sink was installed).
+  std::string output() const;
+  // Accumulated stderr (when no custom sink was installed).
+  std::string diagnostics() const;
+
+ private:
+  struct EvalCtx;  // per-branch evaluation state (env, deadline, rng)
+
+  enum class Flow { kNormal, kReturn };
+  struct EvalResult {
+    Status status;
+    Flow flow = Flow::kNormal;
+    static EvalResult ok() { return {Status::success(), Flow::kNormal}; }
+    static EvalResult from(Status s) { return {std::move(s), Flow::kNormal}; }
+  };
+
+  EvalResult eval_group(const Group& group, EvalCtx& ctx);
+  EvalResult eval_statement(const Statement& stmt, EvalCtx& ctx);
+  EvalResult eval_command(const Statement& stmt, EvalCtx& ctx);
+  EvalResult eval_function_call(const Statement& stmt,
+                                const FunctionDef& function,
+                                const std::vector<std::string>& argv,
+                                EvalCtx& ctx);
+  EvalResult eval_try(const Statement& stmt, EvalCtx& ctx);
+  EvalResult eval_for(const Statement& stmt, EvalCtx& ctx);
+  EvalResult eval_if(const Statement& stmt, EvalCtx& ctx);
+  EvalResult eval_while(const Statement& stmt, EvalCtx& ctx);
+  EvalResult eval_assignment(const Statement& stmt, EvalCtx& ctx);
+
+  // Word expansion.  Throws EvalError (internal) on undefined variables.
+  std::string expand_word(const Word& word, EvalCtx& ctx);
+  // Expands a word list with whitespace splitting of unquoted variables.
+  std::vector<std::string> expand_words(const std::vector<Word>& words,
+                                        EvalCtx& ctx);
+
+  // Expression evaluation; results are strings ("true"/"false" for boolean
+  // operators).  Throws EvalError on type errors.
+  std::string eval_expr(const Expr& expr, EvalCtx& ctx);
+  bool eval_condition(const Expr& expr, EvalCtx& ctx);
+
+  void emit_stdout(std::string_view text);
+  void emit_stderr(std::string_view text);
+  void log(LogLevel level, const std::string& message);
+
+  Executor* executor_;
+  InterpreterOptions options_;
+  Logger* logger_;
+  mutable std::mutex output_mu_;
+  std::string output_;
+  std::string diagnostics_;
+};
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,246 @@
+#include "shell/lexer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace ethergrid::shell {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kWord:
+      return "word";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNewline:
+      return "newline";
+    case TokenKind::kRedirectIn:
+      return "<";
+    case TokenKind::kRedirectOut:
+      return ">";
+    case TokenKind::kRedirectApp:
+      return ">>";
+    case TokenKind::kRedirectBoth:
+      return ">&";
+    case TokenKind::kVarIn:
+      return "-<";
+    case TokenKind::kVarOut:
+      return "->";
+    case TokenKind::kVarBoth:
+      return "->&";
+    case TokenKind::kEof:
+      return "eof";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        pos_ += 2;  // line continuation
+        ++line_;
+        // A continuation joins lines but still separates tokens.
+        pending_space_ = true;
+        continue;
+      }
+      if (c == '\n' || c == ';') {
+        emit_newline();
+        if (c == '\n') ++line_;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        pending_space_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && pending_space_) {
+        // Comments start only at token boundaries; mid-word '#' is literal
+        // (so ${#} and file#1 lex as expected, like Bourne).
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        if (!lex_string(c)) return fail("unterminated string");
+        continue;
+      }
+      if (c == '<') {
+        emit_op(TokenKind::kRedirectIn, 1);
+        continue;
+      }
+      if (c == '>') {
+        if (peek(1) == '>') {
+          emit_op(TokenKind::kRedirectApp, 2);
+        } else if (peek(1) == '&') {
+          emit_op(TokenKind::kRedirectBoth, 2);
+        } else {
+          emit_op(TokenKind::kRedirectOut, 1);
+        }
+        continue;
+      }
+      if (!lex_word()) return fail("bad character in word");
+    }
+    emit_newline();  // close the final statement
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    tokens_.push_back(eof);
+    return LexResult{Status::success(), std::move(tokens_)};
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  static bool is_word_break(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';' ||
+           c == '"' || c == '\'' || c == '<' || c == '>';
+  }
+
+  bool lex_word() {
+    std::string text;
+    while (pos_ < src_.size() && !is_word_break(src_[pos_])) {
+      char c = src_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= src_.size()) return false;
+        if (src_[pos_ + 1] == '\n') break;  // continuation handled outside
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (c == '$' && peek(1) == '{') {
+        // ${...} is one unit even across spaces and operators (so that
+        // ${mirrors:-m1 m2} stays a single word, as in Bourne).
+        text += "${";
+        pos_ += 2;
+        while (pos_ < src_.size() && src_[pos_] != '}' && src_[pos_] != '\n') {
+          text += src_[pos_++];
+        }
+        if (pos_ >= src_.size() || src_[pos_] != '}') {
+          return false;  // unterminated ${...}
+        }
+        text += '}';
+        ++pos_;
+        continue;
+      }
+      text += c;
+      ++pos_;
+    }
+    // A '-' word that stopped at '<' or '>' may be a variable redirection.
+    if (text == "-" && pos_ < src_.size()) {
+      if (src_[pos_] == '<') {
+        ++pos_;
+        push_token(TokenKind::kVarIn, "-<");
+        return true;
+      }
+      if (src_[pos_] == '>') {
+        ++pos_;
+        if (pos_ < src_.size() && src_[pos_] == '&') {
+          ++pos_;
+          push_token(TokenKind::kVarBoth, "->&");
+        } else {
+          push_token(TokenKind::kVarOut, "->");
+        }
+        return true;
+      }
+    }
+    Token t;
+    t.kind = TokenKind::kWord;
+    t.text = std::move(text);
+    push(std::move(t));
+    return true;
+  }
+
+  bool lex_string(char quote) {
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      char c = src_[pos_];
+      if (c == '\n') ++line_;
+      if (quote == '"' && c == '\\' && pos_ + 1 < src_.size()) {
+        char next = src_[pos_ + 1];
+        if (next == '"' || next == '\\' || next == '$') {
+          text += next;
+          pos_ += 2;
+          continue;
+        }
+        if (next == 'n') {
+          text += '\n';
+          pos_ += 2;
+          continue;
+        }
+        if (next == 't') {
+          text += '\t';
+          pos_ += 2;
+          continue;
+        }
+      }
+      text += c;
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return false;
+    ++pos_;  // closing quote
+    Token t;
+    t.kind = TokenKind::kString;
+    t.text = std::move(text);
+    t.literal = quote == '\'';
+    push(std::move(t));
+    return true;
+  }
+
+  void emit_op(TokenKind kind, int width) {
+    pos_ += std::size_t(width);
+    push_token(kind, std::string(token_kind_name(kind)));
+  }
+
+  void push_token(TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    push(std::move(t));
+  }
+
+  void push(Token t) {
+    t.line = line_;
+    t.glued = !pending_space_ && !tokens_.empty() &&
+              tokens_.back().kind != TokenKind::kNewline &&
+              tokens_.back().line == line_;
+    pending_space_ = false;
+    tokens_.push_back(std::move(t));
+  }
+
+  void emit_newline() {
+    pending_space_ = true;
+    if (tokens_.empty() || tokens_.back().kind == TokenKind::kNewline) return;
+    Token t;
+    t.kind = TokenKind::kNewline;
+    t.line = line_;
+    tokens_.push_back(std::move(t));
+  }
+
+  LexResult fail(const std::string& message) {
+    return LexResult{Status::invalid_argument(
+                         strprintf("line %d: %s", line_, message.c_str())),
+                     {}};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool pending_space_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,32 @@
+// Lexer for ftsh scripts.
+//
+// Lexical rules (documented fully in docs/LANGUAGE.md):
+//  * '#' starts a comment to end of line;
+//  * newline and ';' separate statements; '\' before a newline continues;
+//  * '<' and '>' always terminate a word ('>file' is '>' then 'file');
+//    '>>' and '>&' are recognized as units;
+//  * a word consisting exactly of '->', '->&' or '-<' is a variable
+//    redirection operator ('-' does NOT otherwise break words, so flags
+//    like '-f' and names like 'run-simulation' lex as plain words);
+//  * double quotes group text into one token with interpolation preserved;
+//    single quotes group literally; adjacent quoted/unquoted pieces glue
+//    into one argument;
+//  * backslash escapes the next character inside words and double quotes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shell/token.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::shell {
+
+struct LexResult {
+  Status status;  // kInvalidArgument with line info on malformed input
+  std::vector<Token> tokens;
+};
+
+LexResult lex(std::string_view source);
+
+}  // namespace ethergrid::shell

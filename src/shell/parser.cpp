@@ -1,0 +1,639 @@
+#include "shell/parser.hpp"
+
+#include <cctype>
+
+#include "shell/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace ethergrid::shell {
+
+namespace {
+
+bool is_identifier(std::string_view text) {
+  if (text.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(text[0])) && text[0] != '_') {
+    return false;
+  }
+  for (char c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+// Splits a raw token text into literal/variable segments: ${name} and $name.
+void append_interpolated(Word* word, std::string_view text, bool splittable) {
+  std::string literal;
+  std::size_t i = 0;
+  auto flush = [&] {
+    if (!literal.empty()) {
+      WordSegment segment;
+      segment.text = std::move(literal);
+      word->segments.push_back(std::move(segment));
+      literal.clear();
+    }
+  };
+  while (i < text.size()) {
+    if (text[i] != '$') {
+      literal += text[i++];
+      continue;
+    }
+    // '$' -- try ${name} (with optional :- / := default) then $name.
+    if (i + 1 < text.size() && text[i + 1] == '{') {
+      std::size_t close = text.find('}', i + 2);
+      if (close != std::string_view::npos) {
+        flush();
+        std::string content(text.substr(i + 2, close - i - 2));
+        WordSegment segment;
+        segment.kind = WordSegment::Kind::kVariable;
+        segment.splittable = splittable;
+        std::size_t marker = content.find(":-");
+        if (marker == std::string::npos) {
+          marker = content.find(":=");
+          if (marker != std::string::npos) {
+            segment.if_unset = WordSegment::IfUnset::kAssignDefault;
+          }
+        } else {
+          segment.if_unset = WordSegment::IfUnset::kUseDefault;
+        }
+        if (marker != std::string::npos) {
+          segment.text = content.substr(0, marker);
+          segment.default_value = content.substr(marker + 2);
+        } else {
+          segment.text = std::move(content);
+        }
+        word->segments.push_back(std::move(segment));
+        i = close + 1;
+        continue;
+      }
+    }
+    std::size_t j = i + 1;
+    while (j < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[j])) ||
+            text[j] == '_')) {
+      ++j;
+    }
+    if (j > i + 1) {
+      flush();
+      WordSegment segment;
+      segment.kind = WordSegment::Kind::kVariable;
+      segment.text = std::string(text.substr(i + 1, j - i - 1));
+      segment.splittable = splittable;
+      word->segments.push_back(std::move(segment));
+      i = j;
+      continue;
+    }
+    literal += '$';  // lone dollar
+    ++i;
+  }
+  flush();
+}
+
+void append_token_to_word(Word* word, const Token& token) {
+  if (token.kind == TokenKind::kString && token.literal) {
+    WordSegment segment;
+    segment.text = token.text;
+    word->segments.push_back(std::move(segment));
+    return;
+  }
+  append_interpolated(word, token.text,
+                      /*splittable=*/token.kind == TokenKind::kWord);
+}
+
+struct ParseError {
+  Status status;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    auto script = std::make_shared<Script>();
+    try {
+      script->top = parse_group({});
+      expect_eof();
+    } catch (const ParseError& e) {
+      return ParseResult{e.status, nullptr};
+    }
+    return ParseResult{Status::success(), std::move(script)};
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message, int line) {
+    throw ParseError{Status::invalid_argument(
+        strprintf("line %d: %s", line, message.c_str()))};
+  }
+  [[noreturn]] void fail_here(const std::string& message) {
+    fail(message, peek().line);
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool at_eof() const { return peek().kind == TokenKind::kEof; }
+
+  void skip_newlines() {
+    while (peek().kind == TokenKind::kNewline) advance();
+  }
+
+  void expect_newline(const char* after) {
+    if (peek().kind == TokenKind::kNewline || at_eof()) {
+      if (!at_eof()) advance();
+      return;
+    }
+    fail_here(strprintf("expected end of line after %s, got '%s'", after,
+                        peek().text.c_str()));
+  }
+
+  void expect_eof() {
+    skip_newlines();
+    if (!at_eof()) {
+      fail_here(strprintf("unexpected '%s' (missing matching 'end'?)",
+                          peek().text.c_str()));
+    }
+  }
+
+  // True when the current statement-start token is the bare keyword w.
+  bool at_keyword(std::string_view w) const { return peek().is_word(w); }
+
+  // Parses statements until one of the terminator keywords appears at
+  // statement start (not consumed).  Empty terminators => until EOF.
+  Group parse_group(const std::vector<std::string_view>& terminators) {
+    Group group;
+    while (true) {
+      skip_newlines();
+      if (at_eof()) {
+        if (terminators.empty()) return group;
+        fail_here("unexpected end of script (missing 'end')");
+      }
+      for (std::string_view t : terminators) {
+        if (at_keyword(t)) return group;
+      }
+      group.statements.push_back(parse_statement());
+    }
+  }
+
+  StatementPtr parse_statement() {
+    const Token& first = peek();
+    if (first.kind != TokenKind::kWord) return parse_command();
+    if (first.text == "try") return parse_try();
+    if (first.text == "forany" || first.text == "forall") return parse_for();
+    if (first.text == "if") return parse_if();
+    if (first.text == "while") return parse_while();
+    if (first.text == "function") return parse_function();
+    if (first.text == "failure") {
+      auto stmt = make_stmt(Statement::Kind::kFailure);
+      advance();
+      expect_newline("'failure'");
+      return stmt;
+    }
+    if (first.text == "return") {
+      auto stmt = make_stmt(Statement::Kind::kReturn);
+      advance();
+      expect_newline("'return'");
+      return stmt;
+    }
+    if (first.text == "catch" || first.text == "end" || first.text == "else") {
+      fail_here(strprintf("'%s' without a matching construct",
+                          first.text.c_str()));
+    }
+    return parse_command();
+  }
+
+  StatementPtr make_stmt(Statement::Kind kind) {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = kind;
+    stmt->line = peek().line;
+    return stmt;
+  }
+
+  // Collects the words of the current line, merging glued tokens.  Stops at
+  // (and does not consume) newline/eof and any redirection operator.
+  std::vector<Word> collect_line_words() {
+    std::vector<Word> words;
+    bool last_was_wordish = false;
+    while (true) {
+      const Token& t = peek();
+      if (t.kind != TokenKind::kWord && t.kind != TokenKind::kString) {
+        return words;
+      }
+      if (t.glued && last_was_wordish && !words.empty()) {
+        append_token_to_word(&words.back(), t);
+      } else {
+        Word w;
+        w.line = t.line;
+        append_token_to_word(&w, t);
+        words.push_back(std::move(w));
+      }
+      last_was_wordish = true;
+      advance();
+    }
+  }
+
+  // One word (glued sequence) as redirection target.
+  Word parse_redirect_target(const char* what) {
+    const Token& t = peek();
+    if (t.kind != TokenKind::kWord && t.kind != TokenKind::kString) {
+      fail_here(strprintf("expected %s target", what));
+    }
+    Word w;
+    w.line = t.line;
+    append_token_to_word(&w, t);
+    advance();
+    while ((peek().kind == TokenKind::kWord ||
+            peek().kind == TokenKind::kString) &&
+           peek().glued) {
+      append_token_to_word(&w, peek());
+      advance();
+    }
+    return w;
+  }
+
+  StatementPtr parse_command() {
+    auto stmt = make_stmt(Statement::Kind::kCommand);
+    CommandStmt& cmd = stmt->command;
+    while (true) {
+      const Token& t = peek();
+      if (t.kind == TokenKind::kNewline || t.kind == TokenKind::kEof) break;
+      switch (t.kind) {
+        case TokenKind::kWord:
+        case TokenKind::kString: {
+          std::vector<Word> words = collect_line_words();
+          for (auto& w : words) cmd.argv.push_back(std::move(w));
+          break;
+        }
+        case TokenKind::kRedirectIn:
+          advance();
+          cmd.redirects.stdin_file = parse_redirect_target("'<'");
+          break;
+        case TokenKind::kRedirectOut:
+          advance();
+          cmd.redirects.stdout_file = parse_redirect_target("'>'");
+          break;
+        case TokenKind::kRedirectApp:
+          advance();
+          cmd.redirects.stdout_file = parse_redirect_target("'>>'");
+          cmd.redirects.stdout_append = true;
+          break;
+        case TokenKind::kRedirectBoth:
+          advance();
+          cmd.redirects.stdout_file = parse_redirect_target("'>&'");
+          cmd.redirects.merge_stderr = true;
+          break;
+        case TokenKind::kVarIn:
+          advance();
+          cmd.redirects.stdin_var = parse_redirect_target("'-<'");
+          break;
+        case TokenKind::kVarOut:
+          advance();
+          cmd.redirects.stdout_var = parse_redirect_target("'->'");
+          break;
+        case TokenKind::kVarBoth:
+          advance();
+          cmd.redirects.stdout_var = parse_redirect_target("'->&'");
+          cmd.redirects.merge_stderr = true;
+          break;
+        default:
+          fail_here("unexpected token in command");
+      }
+    }
+    if (!at_eof()) advance();  // consume newline
+    if (cmd.argv.empty()) fail("redirection without a command", stmt->line);
+    return finish_command(std::move(stmt));
+  }
+
+  // Distinguishes `name=value` / `name = expr` assignments from commands.
+  StatementPtr finish_command(StatementPtr stmt) {
+    CommandStmt& cmd = stmt->command;
+    const bool no_redirects =
+        !cmd.redirects.stdin_file && !cmd.redirects.stdout_file &&
+        !cmd.redirects.stdin_var && !cmd.redirects.stdout_var;
+
+    // Case `name = expr`.
+    if (no_redirects && cmd.argv.size() >= 3 &&
+        cmd.argv[0].segments.size() == 1 &&
+        cmd.argv[0].segments[0].kind == WordSegment::Kind::kLiteral &&
+        is_identifier(cmd.argv[0].segments[0].text) &&
+        cmd.argv[1].is_literal("=")) {
+      std::vector<Word> value(std::make_move_iterator(cmd.argv.begin() + 2),
+                              std::make_move_iterator(cmd.argv.end()));
+      auto assign = make_assignment(cmd.argv[0].segments[0].text,
+                                    std::move(value), stmt->line);
+      return assign;
+    }
+
+    // Case `name=value...` (single token, '=' embedded in the first literal
+    // segment).
+    if (no_redirects && !cmd.argv.empty() && !cmd.argv[0].segments.empty() &&
+        cmd.argv[0].segments[0].kind == WordSegment::Kind::kLiteral) {
+      const std::string& head = cmd.argv[0].segments[0].text;
+      std::size_t eq = head.find('=');
+      if (eq != std::string::npos && eq > 0 &&
+          is_identifier(std::string_view(head).substr(0, eq))) {
+        std::string name = head.substr(0, eq);
+        // Rebuild the value word: remainder of the first word after '='.
+        Word value_word;
+        value_word.line = cmd.argv[0].line;
+        if (eq + 1 < head.size()) {
+          WordSegment tail_segment;
+          tail_segment.text = head.substr(eq + 1);
+          value_word.segments.push_back(std::move(tail_segment));
+        }
+        for (std::size_t i = 1; i < cmd.argv[0].segments.size(); ++i) {
+          value_word.segments.push_back(cmd.argv[0].segments[i]);
+        }
+        std::vector<Word> value;
+        value.push_back(std::move(value_word));
+        for (std::size_t i = 1; i < cmd.argv.size(); ++i) {
+          value.push_back(std::move(cmd.argv[i]));
+        }
+        return make_assignment(std::move(name), std::move(value), stmt->line);
+      }
+    }
+    return stmt;
+  }
+
+  StatementPtr make_assignment(std::string name, std::vector<Word> value,
+                               int line) {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kAssignment;
+    stmt->line = line;
+    stmt->assignment.name = std::move(name);
+    if (value.empty()) {
+      stmt->assignment.value = word_expr(Word::literal("", line));
+    } else {
+      std::size_t pos = 0;
+      stmt->assignment.value = parse_expr_words(value, &pos, line);
+      if (pos != value.size()) {
+        fail(strprintf("trailing words after assignment value"), line);
+      }
+    }
+    return stmt;
+  }
+
+  StatementPtr parse_try() {
+    auto stmt = make_stmt(Statement::Kind::kTry);
+    advance();  // 'try'
+    TryStmt& t = stmt->try_stmt;
+
+    std::vector<Word> header = collect_line_words();
+    expect_newline("try header");
+
+    // Strip a trailing "<word> times".
+    if (header.size() >= 2 && header.back().is_literal("times")) {
+      header.pop_back();
+      t.attempts_word = std::move(header.back());
+      header.pop_back();
+      if (!header.empty() && header.back().is_literal("or")) {
+        header.pop_back();
+      }
+    }
+    if (!header.empty()) {
+      if (!header.front().is_literal("for")) {
+        fail("bad try header: expected 'for <duration>' and/or '<n> times'",
+             stmt->line);
+      }
+      header.erase(header.begin());
+      if (header.empty()) {
+        fail("try: 'for' needs a duration", stmt->line);
+      }
+      t.time_words = std::move(header);
+    }
+    if (t.time_words.empty() && !t.attempts_word) {
+      fail("try needs a time limit and/or an attempt count", stmt->line);
+    }
+
+    t.body = parse_group({"catch", "end"});
+    if (at_keyword("catch")) {
+      advance();
+      expect_newline("'catch'");
+      t.catch_body = parse_group({"end"});
+    }
+    advance();  // 'end'
+    expect_newline("'end'");
+    return stmt;
+  }
+
+  StatementPtr parse_for() {
+    auto stmt = make_stmt(Statement::Kind::kFor);
+    ForStmt& f = stmt->for_stmt;
+    f.kind = peek().text == "forany" ? ForStmt::Kind::kAny : ForStmt::Kind::kAll;
+    const std::string which = peek().text;
+    advance();
+
+    if (peek().kind != TokenKind::kWord || !is_identifier(peek().text)) {
+      fail_here(which + ": expected a variable name");
+    }
+    f.variable = advance().text;
+    if (!peek().is_word("in")) fail_here(which + ": expected 'in'");
+    advance();
+    f.list = collect_line_words();
+    if (f.list.empty()) fail_here(which + ": empty alternative list");
+    expect_newline("alternative list");
+
+    f.body = parse_group({"end"});
+    advance();  // 'end'
+    expect_newline("'end'");
+    return stmt;
+  }
+
+  StatementPtr parse_if() {
+    auto stmt = make_stmt(Statement::Kind::kIf);
+    advance();  // 'if'
+    stmt->if_stmt.condition = parse_condition("if");
+    stmt->if_stmt.then_body = parse_group({"else", "end"});
+    if (at_keyword("else")) {
+      advance();
+      if (at_keyword("if")) {
+        // else-if chain: the else body is exactly one nested if.
+        Group g;
+        g.statements.push_back(parse_if());
+        stmt->if_stmt.else_body = std::move(g);
+        return stmt;  // nested parse consumed 'end'
+      }
+      expect_newline("'else'");
+      stmt->if_stmt.else_body = parse_group({"end"});
+    }
+    advance();  // 'end'
+    expect_newline("'end'");
+    return stmt;
+  }
+
+  StatementPtr parse_while() {
+    auto stmt = make_stmt(Statement::Kind::kWhile);
+    advance();  // 'while'
+    stmt->while_stmt.condition = parse_condition("while");
+    stmt->while_stmt.body = parse_group({"end"});
+    advance();  // 'end'
+    expect_newline("'end'");
+    return stmt;
+  }
+
+  ExprPtr parse_condition(const char* who) {
+    const int line = peek().line;
+    std::vector<Word> words = collect_line_words();
+    if (words.empty()) fail(strprintf("%s: missing condition", who), line);
+    expect_newline("condition");
+    std::size_t pos = 0;
+    ExprPtr e = parse_expr_words(words, &pos, line);
+    if (pos != words.size()) {
+      fail(strprintf("%s: trailing words after condition", who), line);
+    }
+    return e;
+  }
+
+  StatementPtr parse_function() {
+    auto stmt = make_stmt(Statement::Kind::kFunction);
+    advance();  // 'function'
+    if (peek().kind != TokenKind::kWord || !is_identifier(peek().text)) {
+      fail_here("function: expected a name");
+    }
+    stmt->function.name = advance().text;
+    while (peek().kind == TokenKind::kWord) {
+      if (!is_identifier(peek().text)) {
+        fail_here("function: bad parameter name");
+      }
+      stmt->function.parameters.push_back(advance().text);
+    }
+    expect_newline("function header");
+    stmt->function.body =
+        std::make_shared<Group>(parse_group({"end"}));
+    advance();  // 'end'
+    expect_newline("'end'");
+    return stmt;
+  }
+
+  // ---- expression parsing over a word list (precedence climbing) --------
+
+  static std::optional<BinaryOp> binary_op(const Word& w) {
+    struct Entry {
+      std::string_view text;
+      BinaryOp op;
+    };
+    static constexpr Entry kOps[] = {
+        {".lt.", BinaryOp::kLt}, {".gt.", BinaryOp::kGt},
+        {".le.", BinaryOp::kLe}, {".ge.", BinaryOp::kGe},
+        {".eq.", BinaryOp::kEq}, {".ne.", BinaryOp::kNe},
+        {".and.", BinaryOp::kAnd}, {".or.", BinaryOp::kOr},
+        {".add.", BinaryOp::kAdd}, {".sub.", BinaryOp::kSub},
+        {".mul.", BinaryOp::kMul}, {".div.", BinaryOp::kDiv},
+        {".mod.", BinaryOp::kMod},
+    };
+    for (const Entry& e : kOps) {
+      if (w.is_literal(e.text)) return e.op;
+    }
+    return std::nullopt;
+  }
+
+  static int precedence(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::kOr:
+        return 1;
+      case BinaryOp::kAnd:
+        return 2;
+      case BinaryOp::kLt:
+      case BinaryOp::kGt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGe:
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+        return 3;
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+        return 4;
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod:
+        return 5;
+    }
+    return 0;
+  }
+
+  static ExprPtr word_expr(Word w) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kValue;
+    e->line = w.line;
+    e->value = std::move(w);
+    return e;
+  }
+
+  ExprPtr parse_expr_words(std::vector<Word>& words, std::size_t* pos,
+                           int line) {
+    return parse_binary(words, pos, line, 1);
+  }
+
+  ExprPtr parse_unary(std::vector<Word>& words, std::size_t* pos, int line) {
+    if (*pos >= words.size()) fail("expression: missing operand", line);
+    if (words[*pos].is_literal(".not.") ||
+        words[*pos].is_literal(".exists.")) {
+      const bool is_not = words[*pos].is_literal(".not.");
+      const int op_line = words[*pos].line;
+      ++*pos;
+      auto e = std::make_unique<Expr>();
+      e->kind = is_not ? Expr::Kind::kNot : Expr::Kind::kExists;
+      e->line = op_line;
+      // Fortran-style: .not. binds looser than comparisons, so
+      // `.not. a .lt. b` negates the comparison; .exists. takes one word.
+      e->child = is_not ? parse_binary(words, pos, line, 3)
+                        : parse_unary(words, pos, line);
+      return e;
+    }
+    if (binary_op(words[*pos])) {
+      fail(strprintf("expression: operator '%s' needs a left operand",
+                     words[*pos].describe().c_str()),
+           words[*pos].line);
+    }
+    return word_expr(std::move(words[(*pos)++]));
+  }
+
+  ExprPtr parse_binary(std::vector<Word>& words, std::size_t* pos, int line,
+                       int min_precedence) {
+    ExprPtr lhs = parse_unary(words, pos, line);
+    while (*pos < words.size()) {
+      auto op = binary_op(words[*pos]);
+      if (!op || precedence(*op) < min_precedence) break;
+      const int op_line = words[*pos].line;
+      ++*pos;
+      ExprPtr rhs = parse_binary(words, pos, line, precedence(*op) + 1);
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = *op;
+      e->line = op_line;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Word::describe() const {
+  std::string out;
+  for (const auto& seg : segments) {
+    if (seg.kind == WordSegment::Kind::kVariable) {
+      out += "${" + seg.text + "}";
+    } else {
+      out += seg.text;
+    }
+  }
+  return out;
+}
+
+ParseResult parse_script(std::string_view source) {
+  LexResult lexed = lex(source);
+  if (lexed.status.failed()) return ParseResult{lexed.status, nullptr};
+  return Parser(std::move(lexed.tokens)).run();
+}
+
+}  // namespace ethergrid::shell

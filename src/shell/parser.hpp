@@ -1,0 +1,21 @@
+// Recursive-descent parser for ftsh.  See docs/LANGUAGE.md for the grammar.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "shell/ast.hpp"
+#include "shell/token.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::shell {
+
+struct ParseResult {
+  Status status;  // kInvalidArgument with "line N: ..." on syntax errors
+  std::shared_ptr<Script> script;
+};
+
+// Parses a complete script from source text (lexes internally).
+ParseResult parse_script(std::string_view source);
+
+}  // namespace ethergrid::shell

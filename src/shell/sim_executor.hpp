@@ -1,0 +1,87 @@
+// SimExecutor: runs ftsh scripts inside the simulation.
+//
+// External commands are registered handlers executing in virtual time via
+// the calling process's sim::Context.  The binding is ambient: each
+// simulated process runs on its own OS thread, so a thread_local holds the
+// current Context (installed with ContextBinding by whoever starts an
+// interpreter inside a process).  `forall` branches become child simulated
+// processes, giving real parallelism in virtual time with kill-on-failure.
+//
+// A small in-memory file namespace backs file redirections and `.exists.`.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "shell/executor.hpp"
+#include "sim/kernel.hpp"
+#include "sim/resource.hpp"
+
+namespace ethergrid::shell {
+
+class SimExecutor final : public Executor {
+ public:
+  // Handler contract: runs in the calling process's virtual time; returns
+  // the command's result.  May block via ctx (sleep/wait); enclosing try
+  // deadlines preempt it automatically through the kernel deadline stack.
+  using Handler =
+      std::function<CommandResult(sim::Context&, const CommandInvocation&)>;
+
+  explicit SimExecutor(sim::Kernel& kernel);
+
+  // Registers/overrides a command.  Built-ins provided out of the box:
+  // echo, true, false, sleep, fail, flaky, cat, exists, append-file.
+  void register_command(const std::string& name, Handler handler);
+
+  // Installs the forall branch-creation governor (see ParallelPolicy).
+  // Call before running scripts; replaces any previous policy.
+  void set_parallel_policy(const ParallelPolicy& policy);
+
+  // In-memory file namespace (file redirections, `.exists.`, `cat`).
+  void write_file(const std::string& path, std::string contents);
+  std::optional<std::string> read_file(const std::string& path) const;
+  void remove_file(const std::string& path);
+
+  // Installs ctx as the executor's current context on this thread.
+  class ContextBinding {
+   public:
+    ContextBinding(SimExecutor& executor, sim::Context& ctx);
+    ~ContextBinding();
+    ContextBinding(const ContextBinding&) = delete;
+    ContextBinding& operator=(const ContextBinding&) = delete;
+
+   private:
+    sim::Context* previous_;
+  };
+
+  // --- Executor interface ---
+  CommandResult run(const CommandInvocation& invocation) override;
+  std::vector<Status> run_parallel(
+      std::vector<std::function<Status()>> branches) override;
+  bool file_exists(const std::string& path) override;
+  TimePoint now() override;
+  void sleep(Duration d) override;
+  Status with_deadline(TimePoint deadline,
+                       const std::function<Status()>& fn) override;
+
+  sim::Kernel& kernel() { return *kernel_; }
+
+ private:
+  sim::Context& current() const;
+  void register_builtins();
+
+  static thread_local sim::Context* tls_context_;
+
+  sim::Kernel* kernel_;
+  mutable std::mutex mu_;  // protects commands_ and files_
+  std::map<std::string, Handler> commands_;
+  std::map<std::string, std::string> files_;
+  ParallelPolicy parallel_policy_;
+  std::unique_ptr<sim::Resource> process_table_;  // when slots are limited
+};
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,42 @@
+// Token stream for the fault tolerant shell (ftsh).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ethergrid::shell {
+
+enum class TokenKind {
+  kWord,          // command name, argument, keyword, expression operator
+  kString,        // quoted word (kept distinct so keywords are not matched)
+  kNewline,       // statement separator (also ';')
+  kRedirectIn,    // <   file
+  kRedirectOut,   // >   file
+  kRedirectApp,   // >>  file
+  kRedirectBoth,  // >&  file       (stdout+stderr)
+  kVarIn,         // -<  var
+  kVarOut,        // ->  var
+  kVarBoth,       // ->& var
+  kEof,
+};
+
+std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  // For kWord/kString: the text (quotes stripped, escapes resolved,
+  // interpolation NOT yet performed -- that happens at evaluation).
+  std::string text;
+  int line = 0;
+  // kString only: single-quoted, no interpolation at eval time.
+  bool literal = false;
+  // No whitespace between this token and the previous one: "a"b is one
+  // argument assembled from two glued tokens.
+  bool glued = false;
+
+  bool is_word(std::string_view w) const {
+    return kind == TokenKind::kWord && text == w;
+  }
+};
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,420 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ethergrid::sim {
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Kernel* kernel, std::uint64_t id, std::string name,
+                 ProcessBody body)
+    : kernel_(kernel), id_(id), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() {
+  // The kernel joins all threads in its destructor; a handle held past that
+  // point owns a finished, join()ed thread.
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Process::finished() const {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  return state_ == State::kFinished;
+}
+
+Status Process::result() const {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  return result_;
+}
+
+void Process::thread_main() {
+  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  cv_.wait(lock, [&] { return kernel_->current_ == this; });
+  state_ = State::kRunning;
+
+  Status result;
+  std::exception_ptr error;
+  if (killed_) {
+    result = Status::killed(kill_reason_);
+  } else {
+    Context ctx(kernel_, this);
+    lock.unlock();
+    try {
+      body_(ctx);
+      result = Status::success();
+    } catch (const Interrupted& i) {
+      result = Status::killed(i.reason);
+    } catch (const DeadlineExceeded& d) {
+      result = Status::timeout("deadline at " +
+                               std::to_string(to_seconds(d.deadline)) +
+                               "s escaped process body");
+    } catch (const std::exception& e) {
+      result = Status::failure(e.what());
+      error = std::current_exception();
+    } catch (...) {
+      result = Status::failure("non-std exception escaped process body");
+      error = std::current_exception();
+    }
+    lock.lock();
+  }
+
+  result_ = std::move(result);
+  if (error && !kernel_->shutting_down_) kernel_->pending_error_ = error;
+  state_ = State::kFinished;
+  --kernel_->live_processes_;
+  done_->set_locked();
+  body_ = nullptr;  // drop captured state while the result lives on
+  kernel_->current_ = nullptr;
+  kernel_->kernel_cv_.notify_one();
+}
+
+// ------------------------------------------------------------------ Event
+
+Event::~Event() {
+  if (waiters_.empty()) return;  // common case: nothing to detach
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  for (Waiter* w : waiters_) w->event_destroyed = true;
+  waiters_.clear();
+}
+
+void Event::set() {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  set_locked();
+}
+
+void Event::set_locked() {
+  set_ = true;
+  pulse_locked();
+}
+
+void Event::pulse() {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  pulse_locked();
+}
+
+void Event::pulse_locked() {
+  for (Waiter* w : waiters_) {
+    w->granted = true;
+    kernel_->schedule_locked(kernel_->now_, w->process);
+  }
+  waiters_.clear();
+}
+
+void Event::reset() {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  set_ = false;
+}
+
+bool Event::is_set() const {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  return set_;
+}
+
+// ---------------------------------------------------------------- Context
+
+namespace {
+
+using DeadlineStack = std::vector<std::pair<std::uint64_t, TimePoint>>;
+
+// Requires kernel mutex held.  Builds the exception for the *outermost*
+// expired deadline (outer timeouts dominate inner scopes).
+DeadlineExceeded outermost_expired(const DeadlineStack& deadlines,
+                                   TimePoint now) {
+  for (const auto& entry : deadlines) {
+    if (entry.second <= now) {
+      return DeadlineExceeded{entry.first, entry.second};
+    }
+  }
+  assert(false && "no expired deadline");
+  return DeadlineExceeded{0, now};
+}
+
+TimePoint earliest_deadline_of(const DeadlineStack& deadlines) {
+  TimePoint best = kNoDeadline;
+  for (const auto& entry : deadlines) best = std::min(best, entry.second);
+  return best;
+}
+
+void remove_waiter_impl(std::vector<Event::Waiter*>& waiters,
+                        Event::Waiter* w) {
+  waiters.erase(std::remove(waiters.begin(), waiters.end(), w), waiters.end());
+}
+
+}  // namespace
+
+TimePoint Context::now() const {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  return kernel_->now_;
+}
+
+void Context::sleep(Duration d) {
+  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  Kernel& k = *kernel_;
+  Process& p = *process_;
+  if (p.killed_) throw Interrupted{p.kill_reason_};
+  if (earliest_deadline_of(p.deadlines_) <= k.now_) {
+    throw outermost_expired(p.deadlines_, k.now_);
+  }
+  if (d < Duration(0)) d = Duration(0);
+  const TimePoint target = k.now_ + d;
+  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
+  const TimePoint effective = std::min(target, deadline);
+  k.schedule_locked(effective, &p);
+  k.yield_from_process_locked(lock, &p);
+  if (p.killed_) throw Interrupted{p.kill_reason_};
+  if (deadline < target && k.now_ >= deadline) {
+    throw outermost_expired(p.deadlines_, k.now_);
+  }
+}
+
+void Context::wait(Event& e) {
+  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  Kernel& k = *kernel_;
+  Process& p = *process_;
+  if (p.killed_) throw Interrupted{p.kill_reason_};
+  if (earliest_deadline_of(p.deadlines_) <= k.now_) {
+    throw outermost_expired(p.deadlines_, k.now_);
+  }
+  if (e.set_) return;
+  Event::Waiter waiter{&p, false};
+  e.waiters_.push_back(&waiter);
+  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
+  if (deadline != kNoDeadline) k.schedule_locked(deadline, &p);
+  while (true) {
+    k.yield_from_process_locked(lock, &p);
+    if (p.killed_) {
+      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      throw Interrupted{p.kill_reason_};
+    }
+    if (waiter.granted) return;
+    if (k.now_ >= deadline) {
+      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      throw outermost_expired(p.deadlines_, k.now_);
+    }
+    // Defensive: spurious resume; re-arm the deadline guard.
+    if (deadline != kNoDeadline) k.schedule_locked(deadline, &p);
+  }
+}
+
+bool Context::wait_for(Event& e, Duration timeout) {
+  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  Kernel& k = *kernel_;
+  Process& p = *process_;
+  if (p.killed_) throw Interrupted{p.kill_reason_};
+  if (earliest_deadline_of(p.deadlines_) <= k.now_) {
+    throw outermost_expired(p.deadlines_, k.now_);
+  }
+  if (e.set_) return true;
+  if (timeout < Duration(0)) timeout = Duration(0);
+  const TimePoint local = k.now_ + timeout;
+  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
+  const TimePoint effective = std::min(local, deadline);
+  Event::Waiter waiter{&p, false};
+  e.waiters_.push_back(&waiter);
+  k.schedule_locked(effective, &p);
+  while (true) {
+    k.yield_from_process_locked(lock, &p);
+    if (p.killed_) {
+      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      throw Interrupted{p.kill_reason_};
+    }
+    if (waiter.granted) return true;
+    if (k.now_ >= deadline) {
+      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      throw outermost_expired(p.deadlines_, k.now_);
+    }
+    if (k.now_ >= local) {
+      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      return false;
+    }
+    k.schedule_locked(effective, &p);
+  }
+}
+
+std::uint64_t Context::push_deadline(TimePoint deadline) {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const std::uint64_t token = ++kernel_->next_seq_;
+  process_->deadlines_.emplace_back(token, deadline);
+  return token;
+}
+
+void Context::pop_deadline() {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  assert(!process_->deadlines_.empty());
+  process_->deadlines_.pop_back();
+}
+
+TimePoint Context::earliest_deadline() const {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  return earliest_deadline_of(process_->deadlines_);
+}
+
+void Context::check() {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  Process& p = *process_;
+  if (p.killed_) throw Interrupted{p.kill_reason_};
+  if (earliest_deadline_of(p.deadlines_) <= kernel_->now_) {
+    throw outermost_expired(p.deadlines_, kernel_->now_);
+  }
+}
+
+ProcessHandle Context::spawn(std::string name, ProcessBody body) {
+  return kernel_->spawn(std::move(name), std::move(body));
+}
+
+void Context::join(Process& p) { wait(*p.done_); }
+
+void Context::kill(Process& p, std::string reason) {
+  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  kernel_->kill_locked(p, std::move(reason));
+}
+
+Rng& Context::rng() { return process_->rng_; }
+
+void Context::log(LogLevel level, std::string message) {
+  kernel_->logger_.log(level, now(), process_->name_, std::move(message));
+}
+
+DeadlineScope::DeadlineScope(Context& ctx, TimePoint deadline) : ctx_(ctx) {
+  token_ = ctx_.push_deadline(deadline);
+}
+
+DeadlineScope::~DeadlineScope() { ctx_.pop_deadline(); }
+
+// ----------------------------------------------------------------- Kernel
+
+Kernel::Kernel(std::uint64_t seed) : rng_(seed), logger_(LogLevel::kWarn) {}
+
+Kernel::~Kernel() { shutdown(); }
+
+void Kernel::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    propagate_errors_ = false;
+    // Repeatedly kill everything alive and drain; unwinding bodies might
+    // spawn (spawns during shutdown start pre-killed, see spawn()).
+    for (int rounds = 0; live_processes_ > 0 && rounds < 64; ++rounds) {
+      for (auto& p : processes_) {
+        if (p->state_ != Process::State::kFinished) {
+          kill_locked(*p, "kernel shutdown");
+        }
+      }
+      drain_locked(lock, TimePoint::max());
+    }
+    assert(live_processes_ == 0 && "process survived kernel shutdown");
+  }
+  for (auto& p : processes_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+}
+
+TimePoint Kernel::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+ProcessHandle Kernel::spawn(std::string name, ProcessBody body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProcessHandle p(new Process(this, next_process_id_, std::move(name),
+                              std::move(body)));
+  ++next_process_id_;
+  p->done_ = std::make_unique<Event>(*this);
+  p->rng_ = rng_.stream(p->id_);
+  if (shutting_down_) {
+    p->killed_ = true;
+    p->kill_reason_ = "kernel shutdown";
+  }
+  processes_.push_back(p);
+  ++live_processes_;
+  p->thread_ = std::thread(&Process::thread_main, p.get());
+  schedule_locked(now_, p.get());
+  return p;
+}
+
+void Kernel::kill(Process& p, std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_locked(p, std::move(reason));
+}
+
+void Kernel::kill_locked(Process& p, std::string reason) {
+  if (p.state_ == Process::State::kFinished || p.killed_) return;
+  p.killed_ = true;
+  p.kill_reason_ = std::move(reason);
+  if (&p != current_) {
+    ++p.wake_token_;  // invalidate any pending wakeup
+    schedule_locked(now_, &p);
+  }
+}
+
+void Kernel::schedule_locked(TimePoint t, Process* p) {
+  queue_.push(internal::QueueEntry{std::max(t, now_), next_seq_++, p,
+                                   p->wake_token_});
+}
+
+void Kernel::resume_locked(std::unique_lock<std::mutex>& lock, Process* p) {
+  current_ = p;
+  p->cv_.notify_one();
+  kernel_cv_.wait(lock, [&] { return current_ == nullptr; });
+}
+
+void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
+                                       Process* p) {
+  current_ = nullptr;
+  kernel_cv_.notify_one();
+  p->cv_.wait(lock, [&] { return current_ == p; });
+}
+
+Process* Kernel::pop_runnable_locked(TimePoint limit) {
+  while (!queue_.empty()) {
+    internal::QueueEntry entry = queue_.top();
+    if (entry.time > limit) return nullptr;
+    queue_.pop();
+    if (entry.process->state_ == Process::State::kFinished) continue;
+    if (entry.token != entry.process->wake_token_) continue;  // stale
+    now_ = std::max(now_, entry.time);
+    ++entry.process->wake_token_;  // consume: later same-token entries stale
+    return entry.process;
+  }
+  return nullptr;
+}
+
+void Kernel::drain_locked(std::unique_lock<std::mutex>& lock,
+                          TimePoint limit) {
+  while (Process* p = pop_runnable_locked(limit)) {
+    resume_locked(lock, p);
+    if (pending_error_ && propagate_errors_) {
+      std::exception_ptr error = pending_error_;
+      pending_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+void Kernel::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_locked(lock, TimePoint::max());
+}
+
+bool Kernel::run_until(TimePoint t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_locked(lock, t);
+  now_ = std::max(now_, t);
+  // Purge stale entries so the return value reflects real pending work.
+  while (!queue_.empty()) {
+    const internal::QueueEntry& entry = queue_.top();
+    if (entry.process->state_ != Process::State::kFinished &&
+        entry.token == entry.process->wake_token_) {
+      break;
+    }
+    queue_.pop();
+  }
+  return !queue_.empty();
+}
+
+std::size_t Kernel::live_process_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_processes_;
+}
+
+}  // namespace ethergrid::sim

@@ -1,0 +1,351 @@
+// Discrete-event simulation kernel with cooperative, thread-backed processes.
+//
+// Why threads: the ftsh interpreter and the grid substrates are written as
+// ordinary blocking code.  Each sim::Process runs its body on a dedicated
+// std::thread, but the Kernel hands a single baton so that exactly one
+// process (or the kernel itself) executes at any instant.  The result is a
+// fully deterministic simulation -- same seed, same event order, same
+// results -- with user code that reads like straight-line POSIX code.
+//
+// Time is virtual: it advances only when the kernel pops the next event.
+// All waiting flows through Context primitives (sleep / wait / join /
+// resource acquire), which is what makes the paper's "forcible termination"
+// semantics exact: a deadline or kill wakes the process inside the
+// primitive, which unwinds the stack with DeadlineExceeded or Interrupted.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::sim {
+
+class Kernel;
+class Process;
+class Context;
+class Event;
+
+using ProcessHandle = std::shared_ptr<Process>;
+using ProcessBody = std::function<void(Context&)>;
+
+// Thrown inside a process when it has been killed.  Must be allowed to
+// propagate out of the process body; the kernel absorbs it.  Primitives
+// re-throw it on every subsequent wait, so swallowing it only delays death.
+struct Interrupted {
+  std::string reason;
+};
+
+// Thrown inside a process when a pushed deadline expires during (or is
+// already expired at entry to) a wait primitive.  `token` identifies the
+// *outermost* expired deadline so nested try-scopes can tell whose timeout
+// fired: a scope catching a token that is not its own must rethrow.
+struct DeadlineExceeded {
+  std::uint64_t token;
+  TimePoint deadline;
+};
+
+// Infinite deadline sentinel.
+inline constexpr TimePoint kNoDeadline = TimePoint::max();
+
+namespace internal {
+
+// One pending wakeup.  Entries are never removed from the queue on
+// cancellation; instead each process carries a wake token and stale entries
+// (token mismatch) are skipped on pop.
+struct QueueEntry {
+  TimePoint time;
+  std::uint64_t seq;  // FIFO tie-break at equal times => determinism
+  Process* process;
+  std::uint64_t token;
+};
+
+struct QueueEntryLater {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace internal
+
+// A simulated process.  Created via Kernel::spawn / Context::spawn.  The
+// handle outlives completion so results remain readable.
+class Process : public std::enable_shared_from_this<Process> {
+ public:
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+
+  bool finished() const;
+
+  // How the body ended: ok() for normal return, kKilled for interruption,
+  // kFailure carrying the what() of an escaped exception.
+  Status result() const;
+
+ private:
+  friend class Kernel;
+  friend class Context;
+  friend class Event;
+
+  Process(Kernel* kernel, std::uint64_t id, std::string name,
+          ProcessBody body);
+
+  enum class State { kNew, kBlocked, kRunning, kFinished };
+
+  void thread_main();
+
+  Kernel* kernel_;
+  const std::uint64_t id_;
+  const std::string name_;
+  ProcessBody body_;
+
+  // All fields below are guarded by the kernel mutex.
+  State state_ = State::kNew;
+  bool killed_ = false;
+  std::string kill_reason_;
+  std::uint64_t wake_token_ = 0;
+  std::vector<std::pair<std::uint64_t, TimePoint>> deadlines_;  // token, when
+  Status result_;
+  std::unique_ptr<Event> done_;  // set when the body finishes
+  Rng rng_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+// A broadcast condition: processes wait, someone sets.  Once set it stays
+// set (wait returns immediately) until reset().
+class Event {
+ public:
+  explicit Event(Kernel& kernel) : kernel_(&kernel) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  // Destroying an Event with processes still blocked on it flags their wait
+  // records so their eventual cleanup (on kill or deadline) does not touch
+  // the dead Event.  This is a safety net -- prefer Kernel::shutdown()
+  // before tearing down objects that processes wait on.
+  ~Event();
+
+  // Wakes all current waiters and latches.
+  void set();
+  // Unlatches; future waits block again.
+  void reset();
+  // Wakes all current waiters without latching.
+  void pulse();
+
+  bool is_set() const;
+
+  // Internal wait registration record; public only so that Context's
+  // out-of-line helpers can name the type.
+  struct Waiter {
+    Process* process;
+    bool granted = false;
+    bool event_destroyed = false;  // see ~Event()
+  };
+
+ private:
+  friend class Context;
+  friend class Process;
+
+  void set_locked();
+  void pulse_locked();
+
+  Kernel* kernel_;
+  bool set_ = false;                // guarded by kernel mutex
+  std::vector<Waiter*> waiters_;    // guarded by kernel mutex
+};
+
+// RAII deadline scope; see Context::push_deadline.
+class DeadlineScope {
+ public:
+  DeadlineScope(Context& ctx, TimePoint deadline);
+  ~DeadlineScope();
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+  std::uint64_t token() const { return token_; }
+
+ private:
+  Context& ctx_;
+  std::uint64_t token_;
+};
+
+// The face of the kernel inside a process body.  One Context per process,
+// valid for the lifetime of the body invocation.
+class Context {
+ public:
+  TimePoint now() const;
+
+  // Blocks for d of virtual time.  Throws Interrupted if killed, or
+  // DeadlineExceeded if an enclosing deadline would expire strictly before
+  // the sleep completes (the process wakes exactly at the deadline).
+  void sleep(Duration d);
+
+  // Yields to other events scheduled at the current instant.
+  void yield() { sleep(Duration(0)); }
+
+  // Blocks until e is set.  Deadline- and kill-aware like sleep.
+  void wait(Event& e);
+
+  // Like wait but bounded: returns true if the event fired, false if the
+  // local timeout elapsed first.  An enclosing *deadline* still throws.
+  bool wait_for(Event& e, Duration timeout);
+
+  // Deadline stack.  A wait primitive that would cross the earliest pushed
+  // deadline wakes exactly at it and throws DeadlineExceeded carrying the
+  // token of the outermost expired deadline.  Prefer DeadlineScope.
+  std::uint64_t push_deadline(TimePoint deadline);
+  void pop_deadline();
+
+  // Earliest deadline on the stack, or kNoDeadline.
+  TimePoint earliest_deadline() const;
+
+  // Throws immediately if killed or if a pushed deadline has already
+  // expired.  Wait primitives call this on entry; long CPU-only loops in
+  // user code may call it to stay responsive to cancellation.
+  void check();
+
+  // Spawns a sibling process starting at the current instant.
+  ProcessHandle spawn(std::string name, ProcessBody body);
+
+  // Blocks until p finishes (deadline/kill aware).  Immediate if finished.
+  void join(Process& p);
+  void join(const ProcessHandle& p) { join(*p); }
+
+  // Requests termination of p.  If p is blocked it wakes and unwinds now;
+  // if p is running it unwinds at its next wait.  Safe on self.
+  void kill(Process& p, std::string reason = "killed");
+  void kill(const ProcessHandle& p, std::string reason = "killed") {
+    kill(*p, std::move(reason));
+  }
+
+  Kernel& kernel() { return *kernel_; }
+  Process& process() { return *process_; }
+
+  // This process's private deterministic RNG stream.
+  Rng& rng();
+
+  void log(LogLevel level, std::string message);
+
+ private:
+  friend class Kernel;
+  friend class Process;
+  Context(Kernel* kernel, Process* process)
+      : kernel_(kernel), process_(process) {}
+
+  Kernel* kernel_;
+  Process* process_;
+};
+
+// The simulation kernel: virtual clock + event queue + process scheduler.
+// Not reentrant: run()/run_until() must be called from outside any process
+// (normally the test or bench main thread).
+//
+// LIFETIME RULE: everything a process touches (Events, Resources, grid
+// substrates, stats sinks) must stay alive until that process finishes.
+// When abandoning a simulation with processes still live (e.g. after
+// run_until of a measurement window), call shutdown() BEFORE destroying
+// those objects; the Kernel's own destructor runs it too, but by then
+// objects declared after the Kernel are already gone.
+class Kernel {
+ public:
+  explicit Kernel(std::uint64_t seed = 1);
+  ~Kernel();
+
+  // Kills every live process, drains their unwinding, and joins all
+  // threads.  After shutdown the kernel accepts no further work (spawns
+  // create already-killed processes).  Idempotent.
+  void shutdown();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  TimePoint now() const;
+
+  ProcessHandle spawn(std::string name, ProcessBody body);
+
+  void kill(Process& p, std::string reason = "killed");
+
+  // Runs until the event queue is empty (all processes finished or blocked
+  // with no pending wakeups).
+  void run();
+
+  // Processes every event at time <= t, then advances the clock to t.
+  // Returns true if events remain in the queue.
+  bool run_until(TimePoint t);
+  bool run_for(Duration d) { return run_until(now() + d); }
+
+  // Number of processes that have not finished.
+  std::size_t live_process_count() const;
+
+  // Root RNG for the experiment; derive per-entity streams from it.
+  Rng& rng() { return rng_; }
+
+  Logger& logger() { return logger_; }
+
+  // When true (default), an exception escaping a process body -- other than
+  // Interrupted -- is rethrown out of run()/run_until().  The process's
+  // result() records it either way.
+  void set_propagate_errors(bool on) { propagate_errors_ = on; }
+
+ private:
+  friend class Process;
+  friend class Context;
+  friend class Event;
+
+  // --- All methods below require mu_ held. ---
+
+  void schedule_locked(TimePoint t, Process* p);
+
+  // Hands the baton to p and blocks until it yields back or finishes.
+  void resume_locked(std::unique_lock<std::mutex>& lock, Process* p);
+
+  // Called from a process thread: gives the baton back and blocks until
+  // resumed.  Returns with the lock held.
+  void yield_from_process_locked(std::unique_lock<std::mutex>& lock,
+                                 Process* p);
+
+  // Kill, assuming mu_ held.
+  void kill_locked(Process& p, std::string reason);
+
+  // Pops entries until a valid one at time <= limit; nullptr when none.
+  Process* pop_runnable_locked(TimePoint limit);
+
+  void drain_locked(std::unique_lock<std::mutex>& lock, TimePoint limit);
+
+  mutable std::mutex mu_;
+  std::condition_variable kernel_cv_;
+  Process* current_ = nullptr;  // whose turn it is; nullptr => kernel's
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_process_id_ = 1;
+  std::priority_queue<internal::QueueEntry, std::vector<internal::QueueEntry>,
+                      internal::QueueEntryLater>
+      queue_;
+  std::vector<ProcessHandle> processes_;
+  std::size_t live_processes_ = 0;
+  bool shutting_down_ = false;
+  bool propagate_errors_ = true;
+  std::exception_ptr pending_error_;
+
+  Rng rng_;
+  Logger logger_;
+};
+
+}  // namespace ethergrid::sim

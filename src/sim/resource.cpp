@@ -1,0 +1,81 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ethergrid::sim {
+
+Resource::Resource(Kernel& kernel, std::int64_t capacity)
+    : kernel_(&kernel), capacity_(capacity), available_(capacity) {
+  assert(capacity >= 0);
+}
+
+void Resource::acquire(Context& ctx, std::int64_t n) {
+  assert(n >= 0 && n <= capacity_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty() && available_ >= n) {
+      available_ -= n;
+      return;
+    }
+  }
+  auto waiter = std::make_shared<Waiter>();
+  waiter->count = n;
+  waiter->event = std::make_unique<Event>(*kernel_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(waiter);
+  }
+  try {
+    ctx.wait(*waiter->event);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (waiter->granted) {
+      // Units were granted while we were being cancelled; hand them on.
+      available_ += n;
+      grant_locked();
+    } else {
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), waiter),
+                   queue_.end());
+    }
+    throw;
+  }
+}
+
+bool Resource::try_acquire(std::int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty() && available_ >= n) {
+    available_ -= n;
+    return true;
+  }
+  return false;
+}
+
+void Resource::release(std::int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ += n;
+  assert(available_ <= capacity_ && "released more than acquired");
+  grant_locked();
+}
+
+void Resource::grant_locked() {
+  while (!queue_.empty() && queue_.front()->count <= available_) {
+    std::shared_ptr<Waiter> waiter = queue_.front();
+    queue_.pop_front();
+    available_ -= waiter->count;
+    waiter->granted = true;
+    waiter->event->set();
+  }
+}
+
+std::int64_t Resource::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+std::size_t Resource::queue_length() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace ethergrid::sim

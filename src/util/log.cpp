@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace ethergrid {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, TimePoint t, std::string component,
+                 std::string message) {
+  if (!enabled(level)) return;
+  LogRecord rec{level, t, std::move(component), std::move(message)};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(rec);
+  } else {
+    std::fprintf(stderr, "[%10.3f] %-5s %-10s %s\n", to_seconds(rec.time),
+                 std::string(log_level_name(rec.level)).c_str(),
+                 rec.component.c_str(), rec.message.c_str());
+  }
+}
+
+Logger& Logger::global() {
+  static Logger logger(LogLevel::kWarn);
+  return logger;
+}
+
+Logger::Sink CapturingSink::as_sink() {
+  auto records = records_;
+  auto mu = std::shared_ptr<std::mutex>(records_, &mu_);
+  return [records, mu](const LogRecord& rec) {
+    std::lock_guard<std::mutex> lock(*mu);
+    records->push_back(rec);
+  };
+}
+
+std::vector<LogRecord> CapturingSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *records_;
+}
+
+std::size_t CapturingSink::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_->size();
+}
+
+void CapturingSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_->clear();
+}
+
+}  // namespace ethergrid

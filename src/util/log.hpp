@@ -1,0 +1,79 @@
+// Structured logging: the "administrative back channel".
+//
+// The paper argues the *user* interface should stay simple (success/failure)
+// while debugging and tuning happen through a back channel.  ftsh keeps "a
+// log of varying detail" for online or post-mortem analysis: detailed
+// failure reasons, resources used, frequency of each failure branch.  Logger
+// is that channel.  Records go to an optional sink (tests install a
+// capturing sink; the ftsh tool writes to a file or stderr).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ethergrid {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+std::string_view log_level_name(LogLevel level);
+
+struct LogRecord {
+  LogLevel level;
+  TimePoint time;          // virtual or wall time of the emitting component
+  std::string component;   // e.g. "shell", "schedd", "retry"
+  std::string message;
+};
+
+// Thread-safe log dispatcher.  A Logger can be shared by every component of
+// one simulation / one shell instance; each record carries the component
+// name.  The time of a record is supplied by the caller because only the
+// caller knows which clock it lives on.
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  explicit Logger(LogLevel threshold = LogLevel::kWarn)
+      : threshold_(threshold) {}
+
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+
+  // Replaces the sink.  A null sink restores the default (stderr).
+  void set_sink(Sink sink);
+
+  bool enabled(LogLevel level) const { return level >= threshold_; }
+
+  void log(LogLevel level, TimePoint t, std::string component,
+           std::string message);
+
+  // A process-wide logger for code with no better context.  Defaults to
+  // kWarn threshold, stderr sink.
+  static Logger& global();
+
+ private:
+  LogLevel threshold_;
+  std::mutex mu_;
+  Sink sink_;  // empty => stderr
+};
+
+// Captures records into a vector; handy for tests asserting on the
+// back-channel content.
+class CapturingSink {
+ public:
+  Logger::Sink as_sink();
+  std::vector<LogRecord> records() const;
+  std::size_t count() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<std::vector<LogRecord>> records_ =
+      std::make_shared<std::vector<LogRecord>>();
+};
+
+}  // namespace ethergrid

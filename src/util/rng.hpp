@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in ethergrid (backoff jitter, producer file sizes,
+// server selection, ...) draws from a named per-entity stream derived from a
+// single experiment seed, so whole experiments replay bit-identically.
+//
+// Generator: xoshiro256** (Blackman & Vigna), seeded via splitmix64.  Both
+// are implemented here; no dependence on <random> engines (their streams are
+// not portable across standard library implementations).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ethergrid {
+
+// splitmix64 step: advances *state and returns the next 64-bit output.
+std::uint64_t splitmix64_next(std::uint64_t* state);
+
+// 64-bit FNV-1a hash, used to derive named child streams.
+std::uint64_t fnv1a64(std::string_view s);
+
+class Rng {
+ public:
+  // Zero seed is remapped internally (xoshiro must not be all-zero state).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derives an independent child stream from this stream's seed and a name.
+  // Does not perturb this stream's state.
+  Rng stream(std::string_view name) const;
+  Rng stream(std::uint64_t index) const;
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform in [lo, hi); requires lo < hi.
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t s_[4];
+};
+
+}  // namespace ethergrid

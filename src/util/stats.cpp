@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ethergrid {
+
+void SummaryStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double SummaryStats::variance() const {
+  return count_ ? m2_ / double(count_) : 0.0;
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+int bucket_index(std::int64_t us) {
+  if (us <= 1) return 0;
+  return 63 - __builtin_clzll(static_cast<unsigned long long>(us));
+}
+}  // namespace
+
+void LatencyHistogram::add(Duration d) {
+  const std::int64_t us = std::max<std::int64_t>(0, d.count());
+  int idx = bucket_index(us);
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  ++buckets_[idx];
+  ++total_;
+  min_ = std::min(min_, d);
+  max_ = std::max(max_, d);
+}
+
+Duration LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return Duration(0);
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * double(total_ - 1);
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (double(seen + buckets_[i]) > target) {
+      // Interpolate within bucket [2^i, 2^(i+1)).
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i);
+      const double hi = std::ldexp(1.0, i + 1);
+      const double frac =
+          buckets_[i] > 1 ? (target - double(seen)) / double(buckets_[i]) : 0;
+      return Duration(static_cast<std::int64_t>(lo + frac * (hi - lo)));
+    }
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+double TimeSeries::min_value() const {
+  double best = 0.0;
+  bool first = true;
+  for (const auto& p : points_) {
+    if (first || p.value < best) best = p.value;
+    first = false;
+  }
+  return best;
+}
+
+double TimeSeries::max_value() const {
+  double best = 0.0;
+  bool first = true;
+  for (const auto& p : points_) {
+    if (first || p.value > best) best = p.value;
+    first = false;
+  }
+  return best;
+}
+
+std::int64_t EventSeries::count_before(TimePoint t) const {
+  const auto& pts = series_.points();
+  auto it = std::upper_bound(
+      pts.begin(), pts.end(), t,
+      [](TimePoint value, const TimeSeries::Point& p) { return value < p.t; });
+  if (it == pts.begin()) return 0;
+  return static_cast<std::int64_t>((it - 1)->value);
+}
+
+}  // namespace ethergrid

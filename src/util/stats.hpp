@@ -1,0 +1,106 @@
+// Measurement primitives used by experiments and by component telemetry.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ethergrid {
+
+// Online mean/variance/min/max (Welford).
+class SummaryStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Power-of-two bucketed histogram for latencies (microsecond counts).
+// Bucket i holds values in [2^i, 2^(i+1)); bucket 0 also takes 0.
+class LatencyHistogram {
+ public:
+  void add(Duration d);
+  std::int64_t count() const { return total_; }
+  // Linear-interpolated quantile within the matched bucket; q in [0,1].
+  Duration quantile(double q) const;
+  Duration min() const { return min_; }
+  Duration max() const { return max_; }
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::int64_t buckets_[kBuckets] = {};
+  std::int64_t total_ = 0;
+  Duration min_ = Duration::max();
+  Duration max_ = Duration::min();
+};
+
+// A sampled series: (time, value) pairs.  Used for the timeline figures
+// (available FDs, cumulative jobs, ...).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+  void sample(TimePoint t, double value) { points_.push_back({t, value}); }
+
+  struct Point {
+    TimePoint t;
+    double value;
+  };
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Last sampled value, or fallback when empty.
+  double last(double fallback = 0.0) const {
+    return points_.empty() ? fallback : points_.back().value;
+  }
+
+  // Smallest / largest sampled value (0 when empty).
+  double min_value() const;
+  double max_value() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Cumulative event counter with timestamps: each call to record() appends
+// (t, total so far).  This is the "Number of Events" style series in
+// Figures 6-7.
+class EventSeries {
+ public:
+  explicit EventSeries(std::string name = "") : series_(std::move(name)) {}
+
+  void record(TimePoint t) { series_.sample(t, double(++total_)); }
+
+  std::int64_t total() const { return total_; }
+  const TimeSeries& series() const { return series_; }
+  const std::string& name() const { return series_.name(); }
+
+  // Number of events recorded at or before t.
+  std::int64_t count_before(TimePoint t) const;
+
+ private:
+  std::int64_t total_ = 0;
+  TimeSeries series_;
+};
+
+}  // namespace ethergrid

@@ -1,0 +1,85 @@
+// Status: the untyped-failure result type used throughout ethergrid.
+//
+// The paper's central philosophical point is that failure *detail* is
+// unreliable at integration boundaries, so recovery logic must not branch on
+// it.  Status carries a category and message anyway -- for logging and
+// post-mortem analysis (the "administrative back channel") -- but the retry
+// machinery in core/ only ever inspects ok()/failed().
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ethergrid {
+
+// Broad failure categories.  These exist for diagnostics only; see file
+// comment.  kTimeout and kKilled are distinguished because the shell runtime
+// itself needs to know whether a deadline fired (to unwind to the owning
+// `try`) versus an ordinary command failure.
+enum class StatusCode {
+  kOk = 0,
+  kFailure,            // generic failure (non-zero exit, thrown `failure`, ...)
+  kTimeout,            // a deadline expired
+  kKilled,             // forcibly terminated (session kill / interrupt)
+  kNotFound,           // missing file, unknown command, ...
+  kResourceExhausted,  // out of FDs, disk space, queue slots, ...
+  kInvalidArgument,    // malformed input; retry will not help
+  kIoError,            // read/write/transfer error
+  kUnavailable,        // server down, connection refused
+};
+
+// Human-readable name of a StatusCode ("OK", "TIMEOUT", ...).
+std::string_view status_code_name(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status success() { return Status(); }
+  static Status failure(std::string msg = "") {
+    return Status(StatusCode::kFailure, std::move(msg));
+  }
+  static Status timeout(std::string msg = "") {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status killed(std::string msg = "") {
+    return Status(StatusCode::kKilled, std::move(msg));
+  }
+  static Status not_found(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status resource_exhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status invalid_argument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status io_error(std::string msg = "") {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool failed() const { return !ok(); }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CATEGORY: message".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace ethergrid

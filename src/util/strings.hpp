@@ -1,0 +1,38 @@
+// Small string helpers used by the shell front end and the harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ethergrid {
+
+// Splits on any run of characters from `delims`; no empty tokens.
+std::vector<std::string> split(std::string_view text,
+                               std::string_view delims = " \t");
+
+// Splits on every occurrence of the single character `delim`; keeps empty
+// fields (CSV-style).
+std::vector<std::string> split_keep_empty(std::string_view text, char delim);
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string to_lower(std::string_view text);
+
+// True if `text` parses completely as a (possibly signed) decimal integer.
+bool is_integer(std::string_view text);
+
+// Parses a complete signed integer; returns false on any trailing garbage.
+bool parse_int(std::string_view text, long long* out);
+
+// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ethergrid

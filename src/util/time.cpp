@@ -1,0 +1,109 @@
+#include "util/time.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+namespace ethergrid {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const std::int64_t us = d.count();
+  const std::int64_t abs_us = us < 0 ? -us : us;
+  if (abs_us < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  } else if (abs_us < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", us / 1e3);
+  } else if (abs_us < 60LL * 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.4gs", us / 1e6);
+  } else if (abs_us < 3600LL * 1000000) {
+    const std::int64_t whole_min = us / 60000000;
+    const double rem_s = (us - whole_min * 60000000) / 1e6;
+    std::snprintf(buf, sizeof(buf), "%lldm%.3gs",
+                  static_cast<long long>(whole_min), rem_s);
+  } else {
+    const std::int64_t whole_h = us / 3600000000LL;
+    const std::int64_t rem_min = (us - whole_h * 3600000000LL) / 60000000;
+    std::snprintf(buf, sizeof(buf), "%lldh%lldm",
+                  static_cast<long long>(whole_h),
+                  static_cast<long long>(rem_min));
+  }
+  return buf;
+}
+
+namespace {
+
+// Returns multiplier in microseconds for a unit word, or 0 if unknown.
+std::int64_t unit_multiplier(std::string_view unit) {
+  if (unit == "s" || unit == "sec" || unit == "secs" || unit == "second" ||
+      unit == "seconds") {
+    return 1000000;
+  }
+  if (unit == "ms" || unit == "msec" || unit == "msecs" ||
+      unit == "millisecond" || unit == "milliseconds") {
+    return 1000;
+  }
+  if (unit == "m" || unit == "min" || unit == "mins" || unit == "minute" ||
+      unit == "minutes") {
+    return 60LL * 1000000;
+  }
+  if (unit == "h" || unit == "hr" || unit == "hrs" || unit == "hour" ||
+      unit == "hours") {
+    return 3600LL * 1000000;
+  }
+  if (unit == "d" || unit == "day" || unit == "days") {
+    return 86400LL * 1000000;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool parse_duration(const std::string& text, Duration* out) {
+  std::int64_t total_us = 0;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool saw_any = false;
+
+  auto skip_ws = [&] {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+
+  skip_ws();
+  while (i < n) {
+    // Parse a (possibly fractional) number.
+    std::size_t start = i;
+    while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                     text[i] == '.')) {
+      ++i;
+    }
+    if (i == start) return false;
+    double value = 0;
+    try {
+      value = std::stod(text.substr(start, i - start));
+    } catch (...) {
+      return false;
+    }
+    skip_ws();
+    // Parse an optional unit word.
+    start = i;
+    while (i < n && std::isalpha(static_cast<unsigned char>(text[i]))) ++i;
+    std::int64_t mult = 1000000;  // bare number => seconds
+    if (i > start) {
+      std::string unit = text.substr(start, i - start);
+      for (char& c : unit) c = static_cast<char>(std::tolower(
+                              static_cast<unsigned char>(c)));
+      mult = unit_multiplier(unit);
+      if (mult == 0) return false;
+    }
+    total_us += static_cast<std::int64_t>(std::llround(value * double(mult)));
+    saw_any = true;
+    skip_ws();
+  }
+  if (!saw_any) return false;
+  *out = Duration(total_us);
+  return true;
+}
+
+}  // namespace ethergrid

@@ -1,0 +1,55 @@
+// Time types shared by virtual (simulated) and wall-clock code.
+//
+// All of ethergrid measures time in microseconds.  Duration is a plain
+// std::chrono::microseconds; TimePoint is a chrono time_point on a private
+// epoch tag, so durations and time points cannot be mixed up and arithmetic
+// comes from <chrono>.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ethergrid {
+
+using Duration = std::chrono::microseconds;
+
+// Tag clock for ethergrid time points.  Never used to *read* time -- that is
+// what core::Clock implementations are for -- it only anchors the epoch.
+struct EpochTag {
+  using rep = std::int64_t;
+  using period = std::micro;
+  using duration = Duration;
+  static constexpr bool is_steady = true;
+};
+
+using TimePoint = std::chrono::time_point<EpochTag, Duration>;
+
+constexpr TimePoint kEpoch{};  // t = 0
+
+// Convenience literal-ish constructors.
+constexpr Duration usec(std::int64_t n) { return Duration(n); }
+constexpr Duration msec(std::int64_t n) { return Duration(n * 1000); }
+// Accepts integral and floating seconds; exact up to ~2^53 microseconds.
+constexpr Duration sec(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e6));
+}
+constexpr Duration minutes(std::int64_t n) { return sec(n * 60); }
+constexpr Duration hours(std::int64_t n) { return sec(n * 3600); }
+
+constexpr double to_seconds(Duration d) { return d.count() / 1e6; }
+constexpr double to_seconds(TimePoint t) {
+  return to_seconds(t.time_since_epoch());
+}
+
+// "1.5s", "250ms", "2h3m4s"-style compact rendering for logs.
+std::string format_duration(Duration d);
+
+// Parses ftsh-style duration phrases: a sequence of <number> <unit> pairs
+// where unit is one of seconds/minutes/hours/days (singular, plural, or the
+// short forms s/m/h/d; "secs"/"mins"/"hrs" also accepted).  Examples the
+// paper uses: "30 minutes", "1 hour", "60 seconds", "900 seconds".
+// Bare numbers are seconds.  Returns false on malformed input.
+bool parse_duration(const std::string& text, Duration* out);
+
+}  // namespace ethergrid

@@ -1,0 +1,129 @@
+#include "core/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ethergrid::core {
+namespace {
+
+TEST(BackoffPolicyTest, PaperDefaultMatchesPaper) {
+  BackoffPolicy p = BackoffPolicy::paper_default();
+  EXPECT_EQ(p.kind, BackoffPolicy::Kind::kExponential);
+  EXPECT_EQ(p.base, sec(1));
+  EXPECT_DOUBLE_EQ(p.factor, 2.0);
+  EXPECT_EQ(p.cap, hours(1));
+  EXPECT_DOUBLE_EQ(p.jitter_min, 1.0);
+  EXPECT_DOUBLE_EQ(p.jitter_max, 2.0);
+}
+
+TEST(BackoffPolicyTest, NoneHasZeroDelay) {
+  Rng rng(1);
+  Backoff b(BackoffPolicy::none(), rng);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(b.next(), Duration(0));
+  EXPECT_EQ(b.failures(), 10);
+}
+
+TEST(BackoffPolicyTest, FixedIsConstant) {
+  Rng rng(1);
+  Backoff b(BackoffPolicy::fixed(sec(3)), rng);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(b.next(), sec(3));
+}
+
+TEST(BackoffTest, NoJitterDoublesExactly) {
+  Rng rng(1);
+  Backoff b(BackoffPolicy::no_jitter(), rng);
+  EXPECT_EQ(b.next(), sec(1));
+  EXPECT_EQ(b.next(), sec(2));
+  EXPECT_EQ(b.next(), sec(4));
+  EXPECT_EQ(b.next(), sec(8));
+  EXPECT_EQ(b.next(), sec(16));
+}
+
+TEST(BackoffTest, NoJitterSaturatesAtCap) {
+  Rng rng(1);
+  BackoffPolicy p = BackoffPolicy::no_jitter();
+  p.cap = sec(10);
+  Backoff b(p, rng);
+  for (int i = 0; i < 4; ++i) (void)b.next();  // 1,2,4,8
+  EXPECT_EQ(b.next(), sec(10));                // 16 -> capped
+  EXPECT_EQ(b.next(), sec(10));                // stays capped
+}
+
+TEST(BackoffTest, ResetRestoresBaseDelay) {
+  Rng rng(1);
+  Backoff b(BackoffPolicy::no_jitter(), rng);
+  (void)b.next();
+  (void)b.next();
+  EXPECT_EQ(b.peek_base(), sec(4));
+  b.reset();
+  EXPECT_EQ(b.failures(), 0);
+  EXPECT_EQ(b.next(), sec(1));
+}
+
+TEST(BackoffTest, PeekDoesNotAdvance) {
+  Rng rng(1);
+  Backoff b(BackoffPolicy::no_jitter(), rng);
+  EXPECT_EQ(b.peek_base(), sec(1));
+  EXPECT_EQ(b.peek_base(), sec(1));
+  EXPECT_EQ(b.failures(), 0);
+}
+
+// Property: with the paper policy, the k-th delay always lies in
+// [min(2^k, cap), 2*min(2^k, cap)) seconds.
+class BackoffJitterBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackoffJitterBoundsTest, DelayWithinJitterBand) {
+  const int k = GetParam();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    Backoff b(BackoffPolicy::paper_default(), rng);
+    for (int i = 0; i < k; ++i) (void)b.next();
+    const double expected_base = std::min(std::pow(2.0, k), 3600.0);
+    const Duration d = b.next();
+    EXPECT_GE(to_seconds(d), expected_base) << "seed " << seed;
+    EXPECT_LT(to_seconds(d), 2.0 * expected_base + 1e-9) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureCounts, BackoffJitterBoundsTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 11, 12, 15, 20));
+
+TEST(BackoffTest, JitterSpreadsDelays) {
+  // With jitter, two clients with different streams back off differently --
+  // the anti-cascade property.
+  Rng r1(1), r2(2);
+  Backoff a(BackoffPolicy::paper_default(), r1);
+  Backoff b(BackoffPolicy::paper_default(), r2);
+  int identical = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.next() == b.next()) ++identical;
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(BackoffTest, DeterministicForSameSeed) {
+  Rng r1(42), r2(42);
+  Backoff a(BackoffPolicy::paper_default(), r1);
+  Backoff b(BackoffPolicy::paper_default(), r2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(BackoffTest, LargeFailureCountDoesNotOverflow) {
+  Rng rng(1);
+  Backoff b(BackoffPolicy::paper_default(), rng);
+  Duration d{};
+  for (int i = 0; i < 200; ++i) d = b.next();
+  EXPECT_GE(d, hours(1));
+  EXPECT_LT(d, hours(2) + sec(1));  // cap * jitter_max
+}
+
+TEST(BackoffPolicyTest, DescribeIsHumanReadable) {
+  EXPECT_EQ(BackoffPolicy::none().describe(), "none");
+  EXPECT_EQ(BackoffPolicy::fixed(sec(3)).describe(), "fixed(3s)");
+  EXPECT_NE(BackoffPolicy::paper_default().describe().find("exp"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ethergrid::core

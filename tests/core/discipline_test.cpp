@@ -1,0 +1,176 @@
+#include "core/discipline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sim_clock.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid::core {
+namespace {
+
+using sim::Context;
+using sim::Kernel;
+
+void run_in_sim(const std::function<void(Context&, SimClock&, Rng&)>& body,
+                std::uint64_t seed = 1) {
+  Kernel kernel(seed);
+  kernel.spawn("test", [&](Context& ctx) {
+    SimClock clock(ctx);
+    Rng rng = ctx.rng();
+    body(ctx, clock, rng);
+  });
+  kernel.run();
+}
+
+TEST(DisciplineTest, FactoriesSetNamesAndBackoff) {
+  Discipline f = Discipline::fixed(TryOptions::times(3));
+  EXPECT_EQ(f.name, "fixed");
+  EXPECT_EQ(f.options.backoff.kind, BackoffPolicy::Kind::kNone);
+  EXPECT_FALSE(f.carrier_sense);
+
+  Discipline a = Discipline::aloha(TryOptions::times(3));
+  EXPECT_EQ(a.name, "aloha");
+  EXPECT_EQ(a.options.backoff.kind, BackoffPolicy::Kind::kExponential);
+  EXPECT_FALSE(a.carrier_sense);
+
+  Discipline e = Discipline::ethernet(
+      TryOptions::times(3), [](TimePoint) { return Status::success(); });
+  EXPECT_EQ(e.name, "ethernet");
+  EXPECT_TRUE(e.carrier_sense);
+}
+
+TEST(DisciplineTest, FixedRetriesWithoutDelay) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    int calls = 0;
+    DisciplineMetrics m;
+    Status s = run_with_discipline(
+        clock, rng, Discipline::fixed(TryOptions::times(5)),
+        [&](TimePoint) {
+          ++calls;
+          return Status::failure("busy");
+        },
+        &m);
+    EXPECT_TRUE(s.failed());
+    EXPECT_EQ(calls, 5);
+    // No backoff: only the min_cycle floor (4 x 1 ms) passes.
+    EXPECT_LT(clock.now(), kEpoch + msec(10));
+    EXPECT_EQ(m.collisions, 5);
+    EXPECT_EQ(m.deferrals, 0);
+  });
+}
+
+TEST(DisciplineTest, AlohaBacksOffBetweenCollisions) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    DisciplineMetrics m;
+    (void)run_with_discipline(
+        clock, rng, Discipline::aloha(TryOptions::times(4)),
+        [&](TimePoint) { return Status::failure("busy"); }, &m);
+    EXPECT_EQ(m.collisions, 4);
+    EXPECT_GT(clock.now(), kEpoch + sec(6));  // >= 1+2+4 (min jitter)
+  });
+}
+
+TEST(DisciplineTest, EthernetDefersWithoutConsuming) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    int medium_busy = 3;  // carrier clears after 3 probes
+    int work_runs = 0;
+    DisciplineMetrics m;
+    Discipline d = Discipline::ethernet(
+        TryOptions::times(10), [&](TimePoint) {
+          return medium_busy-- > 0 ? Status::unavailable("busy")
+                                   : Status::success();
+        });
+    Status s = run_with_discipline(
+        clock, rng, d,
+        [&](TimePoint) {
+          ++work_runs;
+          return Status::success();
+        },
+        &m);
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(work_runs, 1);   // work ran only once the medium was clear
+    EXPECT_EQ(m.deferrals, 3);
+    EXPECT_EQ(m.probes, 4);
+    EXPECT_EQ(m.collisions, 0);
+    EXPECT_EQ(m.try_metrics.attempts, 4);  // deferrals consume attempts
+  });
+}
+
+TEST(DisciplineTest, DeferralsApplyBackoff) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    Discipline d = Discipline::ethernet(
+        TryOptions::times(3),
+        [](TimePoint) { return Status::unavailable("always busy"); });
+    DisciplineMetrics m;
+    Status s = run_with_discipline(
+        clock, rng, d,
+        [](TimePoint) {
+          ADD_FAILURE() << "work ran despite busy carrier";
+          return Status::success();
+        },
+        &m);
+    EXPECT_TRUE(s.failed());
+    EXPECT_EQ(m.deferrals, 3);
+    EXPECT_GT(clock.now(), kEpoch + sec(2));  // backed off between probes
+  });
+}
+
+TEST(DisciplineTest, CollisionsCountedOnWorkFailure) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    int calls = 0;
+    DisciplineMetrics m;
+    Discipline d = Discipline::ethernet(
+        TryOptions::times(5), [](TimePoint) { return Status::success(); });
+    Status s = run_with_discipline(
+        clock, rng, d,
+        [&](TimePoint) {
+          ++calls;
+          return calls < 3 ? Status::io_error("collision") : Status::success();
+        },
+        &m);
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(m.collisions, 2);
+    EXPECT_EQ(m.deferrals, 0);
+    EXPECT_EQ(calls, 3);
+  });
+}
+
+TEST(DisciplineTest, CarrierSenseReceivesDeadline) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    TimePoint seen{};
+    Discipline d = Discipline::ethernet(TryOptions::for_time(minutes(5)),
+                                        [&](TimePoint deadline) {
+                                          seen = deadline;
+                                          return Status::success();
+                                        });
+    (void)run_with_discipline(
+        clock, rng, d, [](TimePoint) { return Status::success(); }, nullptr);
+    EXPECT_EQ(seen, kEpoch + minutes(5));
+  });
+}
+
+TEST(DisciplineTest, NullMetricsIsSafe) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    Status s = run_with_discipline(
+        clock, rng, Discipline::aloha(TryOptions::times(2)),
+        [](TimePoint) { return Status::failure("x"); }, nullptr);
+    EXPECT_TRUE(s.failed());
+  });
+}
+
+TEST(DisciplineTest, TimeBudgetAppliesAcrossDeferrals) {
+  run_in_sim([](Context&, SimClock& clock, Rng& rng) {
+    Discipline d = Discipline::ethernet(
+        TryOptions::for_time(sec(30)),
+        [](TimePoint) { return Status::unavailable("busy forever"); });
+    DisciplineMetrics m;
+    Status s = run_with_discipline(
+        clock, rng, d, [](TimePoint) { return Status::success(); }, &m);
+    EXPECT_EQ(s.code(), StatusCode::kTimeout);
+    EXPECT_EQ(clock.now(), kEpoch + sec(30));
+    EXPECT_GT(m.deferrals, 1);
+  });
+}
+
+}  // namespace
+}  // namespace ethergrid::core

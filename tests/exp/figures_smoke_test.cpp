@@ -1,0 +1,124 @@
+// Figure-shape smoke tests: miniature versions of every figure's claim,
+// runnable in ctest.  The bench binaries print the full series; these tests
+// guard the *shapes* (who wins, who collapses, which mechanisms fire) so a
+// regression in any substrate or discipline fails CI, not just a human
+// reading bench output.
+#include <gtest/gtest.h>
+
+#include "exp/scenarios.hpp"
+
+namespace ethergrid::exp {
+namespace {
+
+// -------- Figure 1: collapse and ordering at the critical point ---------
+
+TEST(FigureSmokeTest, Fig1_FixedCollapsesAboveCritical) {
+  SubmitScenarioConfig config;
+  auto below = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+                                      100, minutes(2));
+  auto above = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+                                      460, minutes(2));
+  EXPECT_GT(below.jobs_submitted, 100);
+  EXPECT_LT(above.jobs_submitted, below.jobs_submitted / 4);
+  EXPECT_GT(above.schedd_crashes, 0);
+}
+
+TEST(FigureSmokeTest, Fig1_OrderingUnderOverload) {
+  SubmitScenarioConfig config;
+  auto fixed = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+                                      460, minutes(2));
+  auto aloha = run_submit_scale_point(config, grid::DisciplineKind::kAloha,
+                                      460, minutes(2));
+  auto ether = run_submit_scale_point(
+      config, grid::DisciplineKind::kEthernet, 460, minutes(2));
+  EXPECT_GT(ether.jobs_submitted, aloha.jobs_submitted);
+  EXPECT_GE(aloha.jobs_submitted, fixed.jobs_submitted);
+}
+
+// -------- Figures 2-3: the timeline mechanisms --------------------------
+
+TEST(FigureSmokeTest, Fig2_AlohaBroadcastJamSpikes) {
+  SubmitScenarioConfig config;
+  auto timeline = run_submitter_timeline(
+      config, grid::DisciplineKind::kAloha, 420, sec(420), sec(10));
+  EXPECT_GT(timeline.schedd_crashes, 0);
+  // Available FDs must both crater and spike back up (the jam).
+  double min_fds = 1e18, max_recovery = 0, prev = 8192;
+  for (const auto& p : timeline.points) {
+    min_fds = std::min(min_fds, p.available_fds);
+    max_recovery = std::max(max_recovery, p.available_fds - prev);
+    prev = p.available_fds;
+  }
+  EXPECT_LT(min_fds, 500);
+  EXPECT_GT(max_recovery, 1000);
+}
+
+TEST(FigureSmokeTest, Fig3_EthernetHoldsThresholdFloor) {
+  SubmitScenarioConfig config;
+  auto timeline = run_submitter_timeline(
+      config, grid::DisciplineKind::kEthernet, 420, sec(420), sec(10));
+  EXPECT_LE(timeline.schedd_crashes, 1);  // at most the t=0 stampede
+  double steady_min = 1e18;
+  for (const auto& p : timeline.points) {
+    if (p.t_seconds < 120) continue;
+    steady_min = std::min(steady_min, p.available_fds);
+  }
+  EXPECT_GT(steady_min, 200);  // never exhausted after the transient
+  EXPECT_GT(timeline.jobs_total, 200);
+}
+
+// -------- Figures 4-5: buffer collapse and collision ordering -----------
+
+TEST(FigureSmokeTest, Fig4_FixedThroughputCollapsesWithProducers) {
+  BufferScenarioConfig config;
+  auto few = run_buffer_point(config, grid::DisciplineKind::kFixed, 5,
+                              sec(240));
+  auto many = run_buffer_point(config, grid::DisciplineKind::kFixed, 45,
+                               sec(240));
+  EXPECT_LT(many.files_consumed, few.files_consumed);
+}
+
+TEST(FigureSmokeTest, Fig4_EthernetHoldsUnderProducerPressure) {
+  BufferScenarioConfig config;
+  auto fixed = run_buffer_point(config, grid::DisciplineKind::kFixed, 45,
+                                sec(240));
+  auto ether = run_buffer_point(config, grid::DisciplineKind::kEthernet, 45,
+                                sec(240));
+  EXPECT_GT(ether.files_consumed, 2 * fixed.files_consumed);
+}
+
+TEST(FigureSmokeTest, Fig5_CollisionOrdering) {
+  BufferScenarioConfig config;
+  auto fixed = run_buffer_point(config, grid::DisciplineKind::kFixed, 30,
+                                sec(240));
+  auto aloha = run_buffer_point(config, grid::DisciplineKind::kAloha, 30,
+                                sec(240));
+  auto ether = run_buffer_point(config, grid::DisciplineKind::kEthernet, 30,
+                                sec(240));
+  EXPECT_GT(fixed.collisions, 3 * std::max<std::int64_t>(aloha.collisions, 1));
+  EXPECT_GT(aloha.collisions, ether.collisions);
+}
+
+// -------- Figures 6-7: the black hole ------------------------------------
+
+TEST(FigureSmokeTest, Fig6_AlohaPaysStalls) {
+  ReaderScenarioConfig config;
+  auto timeline = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+                                      sec(450), sec(30));
+  EXPECT_GT(timeline.transfers_total, 5);
+  EXPECT_GT(timeline.collisions_total, 0);
+}
+
+TEST(FigureSmokeTest, Fig7_EthernetAvoidsStallsAndWins) {
+  ReaderScenarioConfig config;
+  auto aloha = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+                                   sec(450), sec(30));
+  auto ether = run_reader_timeline(config, grid::DisciplineKind::kEthernet,
+                                   sec(450), sec(30));
+  EXPECT_EQ(ether.collisions_total, 0);
+  EXPECT_GT(ether.deferrals_total, 0);
+  EXPECT_GT(ether.transfers_total, aloha.transfers_total);
+}
+
+}  // namespace
+}  // namespace ethergrid::exp

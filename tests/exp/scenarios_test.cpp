@@ -1,0 +1,134 @@
+// Harness-level tests: the scenario runners are what every figure bench
+// trusts, so pin down their determinism and the core shape properties at
+// reduced scale (fast enough for the unit suite).
+#include "exp/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethergrid::exp {
+namespace {
+
+TEST(SubmitScaleTest, DeterministicForSameSeed) {
+  SubmitScenarioConfig config;
+  auto a = run_submit_scale_point(config, grid::DisciplineKind::kAloha, 60,
+                                  minutes(2));
+  auto b = run_submit_scale_point(config, grid::DisciplineKind::kAloha, 60,
+                                  minutes(2));
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.schedd_crashes, b.schedd_crashes);
+  EXPECT_EQ(a.fd_low_watermark, b.fd_low_watermark);
+}
+
+TEST(SubmitScaleTest, SeedChangesRun) {
+  SubmitScenarioConfig a_config;
+  SubmitScenarioConfig b_config;
+  b_config.seed = 43;
+  auto a = run_submit_scale_point(a_config, grid::DisciplineKind::kAloha, 60,
+                                  minutes(2));
+  auto b = run_submit_scale_point(b_config, grid::DisciplineKind::kAloha, 60,
+                                  minutes(2));
+  // Different seeds shuffle service times; totals should differ (not a hard
+  // guarantee, but with 60 clients over 2 minutes a tie is implausible --
+  // and determinism above already covers the converse).
+  EXPECT_NE(a.jobs_submitted, b.jobs_submitted);
+}
+
+TEST(SubmitScaleTest, UncontendedDisciplinesAreEquivalent) {
+  SubmitScenarioConfig config;
+  auto fixed = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+                                      20, minutes(2));
+  auto aloha = run_submit_scale_point(config, grid::DisciplineKind::kAloha,
+                                      20, minutes(2));
+  // With no contention there are no failures, hence no backoff: identical.
+  EXPECT_EQ(fixed.jobs_submitted, aloha.jobs_submitted);
+  EXPECT_EQ(fixed.schedd_crashes, 0);
+}
+
+TEST(SubmitScaleTest, OverloadOrderingHolds) {
+  // The figure-1 property at the collapse point, at full scale but a
+  // shorter window to stay fast.
+  SubmitScenarioConfig config;
+  auto fixed = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+                                      460, minutes(3));
+  auto aloha = run_submit_scale_point(config, grid::DisciplineKind::kAloha,
+                                      460, minutes(3));
+  auto ether = run_submit_scale_point(
+      config, grid::DisciplineKind::kEthernet, 460, minutes(3));
+  EXPECT_GT(ether.jobs_submitted, aloha.jobs_submitted);
+  EXPECT_GT(aloha.jobs_submitted, fixed.jobs_submitted);
+  EXPECT_GT(fixed.schedd_crashes, ether.schedd_crashes);
+}
+
+TEST(SubmitterTimelineTest, SamplesCoverWindow) {
+  SubmitScenarioConfig config;
+  auto timeline = run_submitter_timeline(
+      config, grid::DisciplineKind::kAloha, 30, minutes(2), sec(10));
+  ASSERT_EQ(timeline.points.size(), 13u);  // 0..120 s inclusive
+  EXPECT_DOUBLE_EQ(timeline.points.front().t_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.points.back().t_seconds, 120.0);
+  // Cumulative jobs are monotone.
+  for (std::size_t i = 1; i < timeline.points.size(); ++i) {
+    EXPECT_GE(timeline.points[i].jobs_submitted,
+              timeline.points[i - 1].jobs_submitted);
+  }
+  EXPECT_EQ(timeline.points.back().jobs_submitted,
+            double(timeline.jobs_total));
+}
+
+TEST(BufferPointTest, DeterministicAndConsistentAcrossFigures) {
+  // Figures 4 and 5 are two views of the same sweep: same config + seed
+  // must give byte-identical results.
+  BufferScenarioConfig config;
+  auto a = run_buffer_point(config, grid::DisciplineKind::kEthernet, 10,
+                            sec(120));
+  auto b = run_buffer_point(config, grid::DisciplineKind::kEthernet, 10,
+                            sec(120));
+  EXPECT_EQ(a.files_consumed, b.files_consumed);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.deferrals, b.deferrals);
+  EXPECT_EQ(a.bytes_consumed, b.bytes_consumed);
+}
+
+TEST(BufferPointTest, FixedFloodsCollisions) {
+  BufferScenarioConfig config;
+  auto fixed =
+      run_buffer_point(config, grid::DisciplineKind::kFixed, 15, sec(180));
+  auto ether = run_buffer_point(config, grid::DisciplineKind::kEthernet, 15,
+                                sec(180));
+  EXPECT_GT(fixed.collisions, 5 * std::max<std::int64_t>(ether.collisions, 1));
+  EXPECT_GT(ether.files_consumed, fixed.files_consumed);
+}
+
+TEST(ReaderTimelineTest, PaperFarmHasOneBlackHole) {
+  auto farm = ReaderScenarioConfig::paper_farm();
+  ASSERT_EQ(farm.size(), 3u);
+  int holes = 0;
+  for (const auto& s : farm) holes += s.black_hole ? 1 : 0;
+  EXPECT_EQ(holes, 1);
+}
+
+TEST(ReaderTimelineTest, EthernetAvoidsCollisions) {
+  ReaderScenarioConfig config;
+  auto ether = run_reader_timeline(config, grid::DisciplineKind::kEthernet,
+                                   sec(300), sec(30));
+  auto aloha = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+                                   sec(300), sec(30));
+  EXPECT_EQ(ether.collisions_total, 0);
+  EXPECT_GT(ether.deferrals_total, 0);
+  EXPECT_GT(aloha.collisions_total, 0);
+  EXPECT_GE(ether.transfers_total, aloha.transfers_total);
+}
+
+TEST(ReaderTimelineTest, CumulativeSeriesMonotone) {
+  ReaderScenarioConfig config;
+  auto timeline = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+                                      sec(300), sec(30));
+  for (std::size_t i = 1; i < timeline.points.size(); ++i) {
+    EXPECT_GE(timeline.points[i].transfers, timeline.points[i - 1].transfers);
+    EXPECT_GE(timeline.points[i].collisions,
+              timeline.points[i - 1].collisions);
+  }
+}
+
+}  // namespace
+}  // namespace ethergrid::exp

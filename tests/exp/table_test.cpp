@@ -1,0 +1,53 @@
+#include "exp/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+namespace ethergrid::exp {
+namespace {
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(std::int64_t(42)), "42");
+  EXPECT_EQ(Table::cell(-1), "-1");
+  EXPECT_EQ(Table::cell(2.5), "2.5");
+  EXPECT_EQ(Table::cell(1e6), "1e+06");
+}
+
+TEST(TableTest, RowsPadToColumnCount) {
+  Table t("Test", {"a", "b", "c"});
+  t.add_row({"1"});  // short row padded with empties
+  EXPECT_EQ(t.row_count(), 1u);
+  t.print();  // must not crash
+}
+
+TEST(TableTest, CsvWrittenWhenEnvSet) {
+  const std::string dir = ::testing::TempDir();
+  setenv("ETHERGRID_CSV_DIR", dir.c_str(), 1);
+  Table t("My Fancy Table (v2)", {"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  t.print();
+  unsetenv("ETHERGRID_CSV_DIR");
+
+  std::ifstream csv(dir + "/my_fancy_table_v2.csv");
+  ASSERT_TRUE(csv.good());
+  std::string line;
+  std::getline(csv, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(csv, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(csv, line);
+  EXPECT_EQ(line, "3,4");
+}
+
+TEST(TableTest, NoCsvWithoutEnv) {
+  unsetenv("ETHERGRID_CSV_DIR");
+  Table t("Ephemeral", {"x"});
+  t.add_row({"1"});
+  t.print();  // should only touch stdout
+}
+
+}  // namespace
+}  // namespace ethergrid::exp

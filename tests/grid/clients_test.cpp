@@ -1,0 +1,264 @@
+// Scenario-client integration at small scale: a handful of clients against
+// each substrate, verifying the qualitative behaviour each figure relies on.
+#include "grid/clients.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace ethergrid::grid {
+namespace {
+
+TEST(DisciplineKindTest, Names) {
+  EXPECT_EQ(discipline_kind_name(DisciplineKind::kFixed), "fixed");
+  EXPECT_EQ(discipline_kind_name(DisciplineKind::kAloha), "aloha");
+  EXPECT_EQ(discipline_kind_name(DisciplineKind::kEthernet), "ethernet");
+}
+
+// ------------------------------------------------------------- submitters
+
+ScheddConfig tiny_schedd() {
+  ScheddConfig c;
+  c.fd_capacity = 200;
+  c.fds_per_connection = 10;
+  c.fds_per_connection_jitter = 0;
+  c.fds_per_transfer = 0;
+  c.fds_per_service = 4;
+  c.service_concurrency = 2;
+  c.service_min = sec(1);
+  c.service_max = sec(2);
+  c.slowdown_per_connection = 0;
+  return c;
+}
+
+TEST(SubmitterTest, SingleSubmitterSubmitsSteadily) {
+  sim::Kernel k;
+  Schedd schedd(k, tiny_schedd());
+  SubmitterConfig config;
+  config.kind = DisciplineKind::kAloha;
+  SubmitterStats stats;
+  k.spawn("submitter", make_submitter(schedd, config, &stats));
+  k.run_until(kEpoch + minutes(5));
+  k.shutdown();  // clients outlive the window; stop them before teardown
+  // cycle ~ 0.5 startup + 0.1 connect + ~1.5 service: ~140 jobs in 5 min.
+  EXPECT_GT(stats.jobs_succeeded, 100);
+  EXPECT_EQ(stats.tries_failed, 0);
+  EXPECT_EQ(schedd.jobs_submitted(), stats.jobs_succeeded);
+}
+
+TEST(SubmitterTest, EthernetDefersBelowThreshold) {
+  sim::Kernel k;
+  ScheddConfig sc = tiny_schedd();
+  sc.service_min = sc.service_max = sec(30);  // pin connections
+  Schedd schedd(k, sc);
+  // Soak up descriptors so that free < threshold.
+  ASSERT_TRUE(schedd.fd_table().try_allocate(150));  // 50 left
+  SubmitterConfig config;
+  config.kind = DisciplineKind::kEthernet;
+  config.fd_threshold = 100;
+  config.try_budget = sec(30);
+  SubmitterStats stats;
+  k.spawn("submitter", make_submitter(schedd, config, &stats));
+  k.run_until(kEpoch + minutes(2));
+  k.shutdown();
+  EXPECT_EQ(stats.jobs_succeeded, 0);
+  EXPECT_GT(stats.discipline.deferrals, 0);
+  EXPECT_EQ(stats.discipline.collisions, 0);  // never touched the schedd
+  EXPECT_EQ(schedd.open_connections(), 0);
+}
+
+TEST(SubmitterTest, FixedSubmitterRetriesWithoutBackoff) {
+  sim::Kernel k;
+  ScheddConfig sc = tiny_schedd();
+  sc.fd_capacity = 10;  // nothing can connect (needs 10 + 4 for service)
+  sc.fds_per_connection = 10;
+  Schedd schedd(k, sc);
+  SubmitterConfig fixed_config;
+  fixed_config.kind = DisciplineKind::kFixed;
+  fixed_config.try_budget = sec(60);
+  SubmitterStats fixed_stats;
+  SubmitterConfig aloha_config = fixed_config;
+  aloha_config.kind = DisciplineKind::kAloha;
+  SubmitterStats aloha_stats;
+  {
+    sim::Kernel k2;  // separate worlds so they do not share the schedd
+    Schedd schedd2(k2, sc);
+    k2.spawn("aloha", make_submitter(schedd2, aloha_config, &aloha_stats));
+    k2.run_until(kEpoch + minutes(5));
+    k2.shutdown();
+  }
+  k.spawn("fixed", make_submitter(schedd, fixed_config, &fixed_stats));
+  k.run_until(kEpoch + minutes(5));
+  k.shutdown();
+  // The fixed client hammers: far more attempts than the backing-off Aloha.
+  EXPECT_GT(fixed_stats.discipline.try_metrics.attempts,
+            4 * aloha_stats.discipline.try_metrics.attempts);
+  EXPECT_EQ(fixed_stats.jobs_succeeded, 0);
+  EXPECT_EQ(aloha_stats.jobs_succeeded, 0);
+}
+
+// -------------------------------------------------------------- producers
+
+TEST(ProducerConsumerTest, UncontendedProducerFlowsThrough) {
+  sim::Kernel k;
+  FsBuffer buffer(k, 120 << 20);
+  IoChannel channel(k, IoChannelConfig{});
+  ProducerConfig pc;
+  pc.kind = DisciplineKind::kAloha;
+  pc.compute_min = pc.compute_max = sec(10);  // gentle producer
+  pc.name_prefix = "p0";
+  ProducerStats ps;
+  ConsumerConfig cc;
+  ConsumerStats cs;
+  k.spawn("producer", make_producer(buffer, channel, pc, &ps));
+  k.spawn("consumer", make_consumer(buffer, channel, cc, &cs));
+  k.run_until(kEpoch + minutes(10));
+  k.shutdown();
+  EXPECT_GT(ps.files_completed, 30);  // ~1 file per ~10.25 s
+  EXPECT_GT(cs.files_consumed, 30);
+  EXPECT_EQ(ps.discipline.collisions, 0);
+  // Consumer keeps up: buffer nearly empty at any instant.
+  EXPECT_LT(buffer.used_bytes(), 4 << 20);
+}
+
+TEST(ProducerConsumerTest, TinyBufferCausesCollisions) {
+  sim::Kernel k;
+  FsBuffer buffer(k, 256 << 10);  // 256 KB: most 0-1 MB files cannot fit
+  IoChannel channel(k, IoChannelConfig{});
+  ProducerConfig pc;
+  pc.kind = DisciplineKind::kAloha;
+  pc.name_prefix = "p0";
+  pc.compute_min = pc.compute_max = sec(1);
+  ProducerStats ps;
+  ConsumerConfig cc;
+  ConsumerStats cs;
+  k.spawn("producer", make_producer(buffer, channel, pc, &ps));
+  k.spawn("consumer", make_consumer(buffer, channel, cc, &cs));
+  k.run_until(kEpoch + minutes(10));
+  k.shutdown();
+  EXPECT_GT(ps.discipline.collisions, 0);
+  EXPECT_GT(ps.files_completed, 0);  // small files still make it
+  // No leaked partials pinning the buffer forever: everything in the buffer
+  // is either complete (awaiting consumption) or actively being written.
+  EXPECT_LE(buffer.incomplete_count(), 1);
+}
+
+TEST(ProducerConsumerTest, EthernetProducerAvoidsCollisions) {
+  auto run = [](DisciplineKind kind, std::int64_t* collisions,
+                std::int64_t* consumed) {
+    sim::Kernel k(17);
+    FsBuffer buffer(k, 2 << 20);  // cramped 2 MB buffer
+    IoChannel channel(k, IoChannelConfig{});
+    ConsumerConfig cc;
+    cc.read_bytes_per_second = 256 << 10;  // slow consumer
+    ConsumerStats cs;
+    std::vector<std::unique_ptr<ProducerStats>> stats;
+    for (int i = 0; i < 4; ++i) {
+      ProducerConfig pc;
+      pc.kind = kind;
+      pc.compute_min = sec(1);
+      pc.compute_max = sec(3);
+      pc.name_prefix = "p" + std::to_string(i);
+      stats.push_back(std::make_unique<ProducerStats>());
+      k.spawn("producer" + std::to_string(i),
+              make_producer(buffer, channel, pc, stats.back().get()));
+    }
+    k.spawn("consumer", make_consumer(buffer, channel, cc, &cs));
+    k.run_until(kEpoch + minutes(20));
+    k.shutdown();
+    *collisions = 0;
+    for (const auto& s : stats) *collisions += s->discipline.collisions;
+    *consumed = cs.files_consumed;
+  };
+  std::int64_t fixed_collisions = 0, fixed_consumed = 0;
+  std::int64_t ether_collisions = 0, ether_consumed = 0;
+  run(DisciplineKind::kFixed, &fixed_collisions, &fixed_consumed);
+  run(DisciplineKind::kEthernet, &ether_collisions, &ether_consumed);
+  EXPECT_GT(fixed_collisions, 10 * std::max<std::int64_t>(ether_collisions, 1))
+      << "fixed=" << fixed_collisions << " ethernet=" << ether_collisions;
+  EXPECT_GT(ether_consumed, 0);
+}
+
+// ---------------------------------------------------------------- readers
+
+std::vector<FileServerConfig> paper_farm() {
+  FileServerConfig a;
+  a.name = "xxx";
+  FileServerConfig b;
+  b.name = "yyy";
+  FileServerConfig hole;
+  hole.name = "zzz";
+  hole.black_hole = true;
+  return {a, b, hole};
+}
+
+TEST(ReaderTest, AlohaReaderSuffersBlackHoleStalls) {
+  sim::Kernel k(3);
+  ServerFarm farm(k, paper_farm());
+  ReaderConfig rc;
+  rc.kind = DisciplineKind::kAloha;
+  ReaderStats stats;
+  k.spawn("reader", make_reader(farm, rc, &stats));
+  k.run_until(kEpoch + sec(900));
+  k.shutdown();
+  EXPECT_GT(stats.transfers, 10);
+  EXPECT_GT(stats.collisions, 0);  // it hit the hole and paid 60 s each time
+  EXPECT_EQ(stats.deferrals, 0);   // aloha never probes
+}
+
+TEST(ReaderTest, EthernetReaderDefersInsteadOfStalling) {
+  sim::Kernel k(3);
+  ServerFarm farm(k, paper_farm());
+  ReaderConfig rc;
+  rc.kind = DisciplineKind::kEthernet;
+  ReaderStats stats;
+  k.spawn("reader", make_reader(farm, rc, &stats));
+  k.run_until(kEpoch + sec(900));
+  k.shutdown();
+  EXPECT_GT(stats.transfers, 10);
+  EXPECT_GT(stats.deferrals, 0);    // probes caught the hole
+  EXPECT_EQ(stats.collisions, 0);   // and it never paid the 60 s price
+}
+
+TEST(ReaderTest, EthernetOutperformsAlohaUnderBlackHole) {
+  auto run = [](DisciplineKind kind) {
+    sim::Kernel k(9);
+    ServerFarm farm(k, paper_farm());
+    std::vector<std::unique_ptr<ReaderStats>> stats;
+    for (int i = 0; i < 3; ++i) {
+      ReaderConfig rc;
+      rc.kind = kind;
+      stats.push_back(std::make_unique<ReaderStats>());
+      k.spawn("reader" + std::to_string(i),
+              make_reader(farm, rc, stats.back().get()));
+    }
+    k.run_until(kEpoch + sec(900));
+    k.shutdown();
+    std::int64_t transfers = 0;
+    for (const auto& s : stats) transfers += s->transfers;
+    return transfers;
+  };
+  const std::int64_t aloha = run(DisciplineKind::kAloha);
+  const std::int64_t ethernet = run(DisciplineKind::kEthernet);
+  EXPECT_GT(ethernet, aloha) << "aloha=" << aloha << " ethernet=" << ethernet;
+}
+
+TEST(ReaderTest, AllBlackHolesMakesNoProgressButTerminates) {
+  sim::Kernel k;
+  FileServerConfig hole;
+  hole.name = "h";
+  hole.black_hole = true;
+  ServerFarm farm(k, {hole, hole, hole});
+  ReaderConfig rc;
+  rc.kind = DisciplineKind::kEthernet;
+  ReaderStats stats;
+  k.spawn("reader", make_reader(farm, rc, &stats));
+  k.run_until(kEpoch + sec(600));
+  k.shutdown();
+  EXPECT_EQ(stats.transfers, 0);
+  EXPECT_GT(stats.deferrals, 3);  // kept probing, never hung
+}
+
+}  // namespace
+}  // namespace ethergrid::grid

@@ -1,0 +1,110 @@
+#include "grid/fd_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethergrid::grid {
+namespace {
+
+TEST(FdTableTest, StartsFull) {
+  FdTable t(100);
+  EXPECT_EQ(t.capacity(), 100);
+  EXPECT_EQ(t.available(), 100);
+  EXPECT_EQ(t.in_use(), 0);
+}
+
+TEST(FdTableTest, AllocateAndFree) {
+  FdTable t(100);
+  EXPECT_TRUE(t.try_allocate(30));
+  EXPECT_EQ(t.available(), 70);
+  EXPECT_EQ(t.in_use(), 30);
+  t.free(30);
+  EXPECT_EQ(t.available(), 100);
+}
+
+TEST(FdTableTest, AllocationFailsWhenInsufficient) {
+  FdTable t(10);
+  EXPECT_TRUE(t.try_allocate(10));
+  EXPECT_FALSE(t.try_allocate(1));
+  EXPECT_EQ(t.available(), 0);
+  EXPECT_EQ(t.allocation_failures(), 1);
+}
+
+TEST(FdTableTest, FailedAllocationTakesNothing) {
+  FdTable t(10);
+  EXPECT_TRUE(t.try_allocate(8));
+  EXPECT_FALSE(t.try_allocate(5));
+  EXPECT_EQ(t.available(), 2);
+  EXPECT_TRUE(t.try_allocate(2));
+}
+
+TEST(FdTableTest, LowWatermarkTracksMinimum) {
+  FdTable t(100);
+  EXPECT_EQ(t.low_watermark(), 100);
+  (void)t.try_allocate(60);
+  EXPECT_EQ(t.low_watermark(), 40);
+  t.free(30);
+  EXPECT_EQ(t.low_watermark(), 40);  // watermark is sticky
+  (void)t.try_allocate(65);
+  EXPECT_EQ(t.low_watermark(), 5);
+}
+
+TEST(FdTableTest, ResetRestoresCapacity) {
+  FdTable t(50);
+  (void)t.try_allocate(50);
+  t.reset();
+  EXPECT_EQ(t.available(), 50);
+}
+
+TEST(FdLeaseTest, HoldsAndReleases) {
+  FdTable t(10);
+  {
+    FdLease lease(t, 4);
+    EXPECT_TRUE(lease.held());
+    EXPECT_EQ(lease.count(), 4);
+    EXPECT_EQ(t.available(), 6);
+  }
+  EXPECT_EQ(t.available(), 10);
+}
+
+TEST(FdLeaseTest, FailedLeaseIsEmpty) {
+  FdTable t(3);
+  FdLease lease(t, 4);
+  EXPECT_FALSE(lease.held());
+  EXPECT_EQ(lease.count(), 0);
+  EXPECT_EQ(t.available(), 3);
+}
+
+TEST(FdLeaseTest, MoveTransfersOwnership) {
+  FdTable t(10);
+  FdLease a(t, 5);
+  FdLease b(std::move(a));
+  EXPECT_FALSE(a.held());
+  EXPECT_TRUE(b.held());
+  EXPECT_EQ(t.available(), 5);
+  FdLease c;
+  c = std::move(b);
+  EXPECT_TRUE(c.held());
+  c.release();
+  EXPECT_EQ(t.available(), 10);
+}
+
+TEST(FdLeaseTest, ExplicitReleaseIsIdempotent) {
+  FdTable t(10);
+  FdLease lease(t, 5);
+  lease.release();
+  lease.release();
+  EXPECT_EQ(t.available(), 10);
+}
+
+TEST(FdLeaseTest, MoveAssignReleasesPrevious) {
+  FdTable t(10);
+  FdLease a(t, 3);
+  FdLease b(t, 4);
+  EXPECT_EQ(t.available(), 3);
+  a = std::move(b);
+  EXPECT_EQ(t.available(), 6);  // a's original 3 released
+  EXPECT_EQ(a.count(), 4);
+}
+
+}  // namespace
+}  // namespace ethergrid::grid

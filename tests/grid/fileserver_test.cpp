@@ -1,0 +1,249 @@
+#include "grid/fileserver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/retry.hpp"
+#include "core/sim_clock.hpp"
+#include "grid/schedd.hpp"
+
+namespace ethergrid::grid {
+namespace {
+
+FileServerConfig normal_server(const std::string& name) {
+  FileServerConfig c;
+  c.name = name;
+  c.bytes_per_second = 10.0 * 1024 * 1024;
+  c.request_overhead = msec(200);
+  return c;
+}
+
+FileServerConfig black_hole(const std::string& name) {
+  FileServerConfig c = normal_server(name);
+  c.black_hole = true;
+  return c;
+}
+
+TEST(FileServerTest, TransferTakesSizeOverBandwidth) {
+  sim::Kernel k;
+  FileServer s(k, normal_server("www"));
+  TimePoint done{};
+  k.spawn("client", [&](sim::Context& ctx) {
+    Status st = s.fetch(ctx, 100 << 20);  // 100 MB at 10 MB/s
+    EXPECT_TRUE(st.ok());
+    done = ctx.now();
+  });
+  k.run();
+  EXPECT_EQ(done, kEpoch + msec(200) + sec(10));
+  EXPECT_EQ(s.transfers_completed(), 1);
+  EXPECT_EQ(s.bytes_served(), 100 << 20);
+}
+
+TEST(FileServerTest, FlagFetchIsFast) {
+  sim::Kernel k;
+  FileServer s(k, normal_server("www"));
+  TimePoint done{};
+  k.spawn("client", [&](sim::Context& ctx) {
+    EXPECT_TRUE(s.fetch_flag(ctx).ok());
+    done = ctx.now();
+  });
+  k.run();
+  EXPECT_LT(done, kEpoch + sec(1));
+}
+
+TEST(FileServerTest, SingleThreadedSerializesClients) {
+  sim::Kernel k;
+  FileServer s(k, normal_server("www"));
+  std::vector<TimePoint> done;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("c" + std::to_string(i), [&](sim::Context& ctx) {
+      ASSERT_TRUE(s.fetch(ctx, 10 << 20).ok());  // ~1.2 s each
+      done.push_back(ctx.now());
+    });
+  }
+  k.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], kEpoch + msec(1200));
+  EXPECT_EQ(done[1], kEpoch + msec(2400));
+  EXPECT_EQ(done[2], kEpoch + msec(3600));
+}
+
+TEST(FileServerTest, BlackHoleNeverCompletes) {
+  sim::Kernel k;
+  FileServer s(k, black_hole("hole"));
+  bool returned = false;
+  k.spawn("client", [&](sim::Context& ctx) {
+    (void)s.fetch(ctx, 1 << 20);
+    returned = true;
+  });
+  k.run_until(kEpoch + hours(10));
+  k.shutdown();  // the swallowed client still references the server
+  EXPECT_FALSE(returned);
+  EXPECT_EQ(s.connections_accepted(), 1);  // it DID accept the connection
+  EXPECT_EQ(s.transfers_completed(), 0);
+}
+
+TEST(FileServerTest, BlackHoleReleasedByClientDeadline) {
+  sim::Kernel k;
+  FileServer s(k, black_hole("hole"));
+  bool timed_out = false;
+  k.spawn("client", [&](sim::Context& ctx) {
+    try {
+      sim::DeadlineScope scope(ctx, kEpoch + sec(60));
+      (void)s.fetch(ctx, 1 << 20);
+    } catch (const sim::DeadlineExceeded&) {
+      timed_out = true;
+    }
+  });
+  k.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(k.now(), kEpoch + sec(60));
+}
+
+TEST(FileServerTest, BlackHoleBlocksSubsequentClientsWhileHeld) {
+  // Client A is stuck in the hole; client B queues behind it (single
+  // threaded) until A's timeout disconnects and B takes the slot -- and is
+  // swallowed in turn.
+  sim::Kernel k;
+  FileServer s(k, black_hole("hole"));
+  TimePoint b_timed_out{};
+  k.spawn("a", [&](sim::Context& ctx) {
+    try {
+      sim::DeadlineScope scope(ctx, kEpoch + sec(30));
+      (void)s.fetch(ctx, 1);
+    } catch (const sim::DeadlineExceeded&) {
+    }
+  });
+  k.spawn("b", [&](sim::Context& ctx) {
+    ctx.sleep(sec(1));
+    try {
+      sim::DeadlineScope scope(ctx, kEpoch + sec(90));
+      (void)s.fetch(ctx, 1);
+    } catch (const sim::DeadlineExceeded&) {
+      b_timed_out = ctx.now();
+    }
+  });
+  k.run();
+  EXPECT_EQ(b_timed_out, kEpoch + sec(90));
+  EXPECT_EQ(s.connections_accepted(), 2);
+}
+
+TEST(FileServerTest, TransientFailuresAbortPromptly) {
+  sim::Kernel k(3);
+  FileServerConfig c = normal_server("flaky");
+  c.transient_failure_rate = 1.0;  // always resets
+  FileServer s(k, c);
+  Status result;
+  TimePoint done{};
+  k.spawn("client", [&](sim::Context& ctx) {
+    result = s.fetch(ctx, 100 << 20);
+    done = ctx.now();
+  });
+  k.run();
+  EXPECT_EQ(result.code(), StatusCode::kIoError);
+  // Prompt: the reset lands somewhere inside the 10 s transfer window, not
+  // after a black-hole eternity.
+  EXPECT_LT(done, kEpoch + sec(11));
+  EXPECT_EQ(s.transfers_completed(), 0);
+  EXPECT_EQ(s.transfers_aborted(), 1);
+}
+
+TEST(FileServerTest, TransientFailureRateRoughlyHonored) {
+  sim::Kernel k(9);
+  FileServerConfig c = normal_server("flaky");
+  c.transient_failure_rate = 0.3;
+  FileServer s(k, c);
+  int failures = 0;
+  k.spawn("client", [&](sim::Context& ctx) {
+    for (int i = 0; i < 200; ++i) {
+      if (s.fetch(ctx, 1 << 20).failed()) ++failures;
+    }
+  });
+  k.run();
+  EXPECT_GT(failures, 200 * 0.15);
+  EXPECT_LT(failures, 200 * 0.45);
+  EXPECT_EQ(s.transfers_completed() + s.transfers_aborted(), 200);
+}
+
+TEST(FileServerTest, FlagProbesAreImmuneToTransientFailures) {
+  sim::Kernel k;
+  FileServerConfig c = normal_server("flaky");
+  c.transient_failure_rate = 1.0;
+  FileServer s(k, c);
+  k.spawn("client", [&](sim::Context& ctx) {
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.fetch_flag(ctx).ok());
+  });
+  k.run();
+}
+
+TEST(FileServerTest, InnerTryRecoversFromTransientFailures) {
+  // The nesting of the paper's reader: `try for 60 seconds wget` retries a
+  // reset transfer within its own budget.
+  sim::Kernel k(4);
+  FileServerConfig c = normal_server("flaky");
+  c.transient_failure_rate = 0.5;
+  c.bytes_per_second = 100.0 * 1024 * 1024;  // 1 s transfers
+  FileServer s(k, c);
+  int successes = 0;
+  k.spawn("client", [&](sim::Context& ctx) {
+    core::SimClock clock(ctx);
+    Rng rng = ctx.rng();
+    for (int i = 0; i < 20; ++i) {
+      Status st = core::run_try(
+          clock, rng, core::TryOptions::for_time(sec(60)),
+          [&](TimePoint) { return s.fetch(ctx, 100 << 20); });
+      if (st.ok()) ++successes;
+    }
+  });
+  k.run();
+  // Retrying recovers nearly everything; an unlucky streak of resets can
+  // still exhaust one 60 s budget (1+2+4+8+16+32 s of backoff).
+  EXPECT_GE(successes, 18);
+  EXPECT_GT(s.transfers_aborted(), 0);
+}
+
+TEST(ScheddLatencyTest, HistogramRecordsSuccessfulSubmits) {
+  sim::Kernel k;
+  ScheddConfig config;
+  config.fds_per_connection_jitter = 0;
+  config.fds_per_transfer = 0;
+  config.service_min = config.service_max = sec(1);
+  config.slowdown_per_connection = 0;
+  Schedd schedd(k, config);
+  k.spawn("client", [&](sim::Context& ctx) {
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(schedd.submit(ctx).ok());
+  });
+  k.run();
+  EXPECT_EQ(schedd.submit_latency().count(), 10);
+  // Each submit: 0.1 s connect + 1 s service.
+  EXPECT_EQ(schedd.submit_latency().min(), msec(1100));
+  EXPECT_EQ(schedd.submit_latency().max(), msec(1100));
+}
+
+TEST(ServerFarmTest, ByNameAndSize) {
+  sim::Kernel k;
+  ServerFarm farm(k, {normal_server("xxx"), normal_server("yyy"),
+                      black_hole("zzz")});
+  EXPECT_EQ(farm.size(), 3u);
+  ASSERT_NE(farm.by_name("yyy"), nullptr);
+  EXPECT_EQ(farm.by_name("yyy")->name(), "yyy");
+  EXPECT_EQ(farm.by_name("nope"), nullptr);
+  EXPECT_TRUE(farm.by_name("zzz")->is_black_hole());
+  EXPECT_FALSE(farm.by_name("xxx")->is_black_hole());
+}
+
+TEST(ServerFarmTest, PickCoversAllServers) {
+  sim::Kernel k;
+  ServerFarm farm(k, {normal_server("a"), normal_server("b"),
+                      normal_server("c")});
+  Rng rng(5);
+  bool seen[3] = {false, false, false};
+  for (int i = 0; i < 100; ++i) {
+    std::size_t idx = farm.pick(rng);
+    ASSERT_LT(idx, 3u);
+    seen[idx] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+}  // namespace
+}  // namespace ethergrid::grid

@@ -1,0 +1,150 @@
+#include "grid/fsbuffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethergrid::grid {
+namespace {
+
+TEST(FsBufferTest, CreateAppendRename) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  EXPECT_TRUE(b.create("x").ok());
+  EXPECT_TRUE(b.append("x", 400).ok());
+  EXPECT_EQ(b.used_bytes(), 400);
+  EXPECT_EQ(b.free_bytes(), 600);
+  EXPECT_EQ(b.incomplete_count(), 1);
+  EXPECT_EQ(b.complete_count(), 0);
+  EXPECT_TRUE(b.rename_done("x").ok());
+  EXPECT_EQ(b.incomplete_count(), 0);
+  EXPECT_EQ(b.complete_count(), 1);
+}
+
+TEST(FsBufferTest, CreateDuplicateFails) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  ASSERT_TRUE(b.create("x").ok());
+  EXPECT_EQ(b.create("x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FsBufferTest, AppendMissingFileFails) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  EXPECT_EQ(b.append("ghost", 10).code(), StatusCode::kNotFound);
+}
+
+TEST(FsBufferTest, AppendToCompleteFileFails) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  ASSERT_TRUE(b.create("x").ok());
+  ASSERT_TRUE(b.rename_done("x").ok());
+  EXPECT_EQ(b.append("x", 10).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FsBufferTest, EnospcWhenFull) {
+  sim::Kernel k;
+  FsBuffer b(k, 100);
+  ASSERT_TRUE(b.create("x").ok());
+  ASSERT_TRUE(b.append("x", 80).ok());
+  Status s = b.append("x", 30);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(b.enospc_failures(), 1);
+  // The failed append wrote nothing; the partial file remains.
+  EXPECT_EQ(b.used_bytes(), 80);
+  EXPECT_TRUE(b.append("x", 20).ok());  // exact fit succeeds
+}
+
+TEST(FsBufferTest, RemoveFreesSpaceAndIsIdempotent) {
+  sim::Kernel k;
+  FsBuffer b(k, 100);
+  ASSERT_TRUE(b.create("x").ok());
+  ASSERT_TRUE(b.append("x", 60).ok());
+  b.remove("x");
+  EXPECT_EQ(b.used_bytes(), 0);
+  b.remove("x");  // rm -f: ok when missing
+  EXPECT_EQ(b.used_bytes(), 0);
+}
+
+TEST(FsBufferTest, RenameMissingFails) {
+  sim::Kernel k;
+  FsBuffer b(k, 100);
+  EXPECT_EQ(b.rename_done("ghost").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(b.create("x").ok());
+  ASSERT_TRUE(b.rename_done("x").ok());
+  EXPECT_EQ(b.rename_done("x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FsBufferTest, OldestCompleteFollowsCreationOrder) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  ASSERT_TRUE(b.create("a").ok());
+  ASSERT_TRUE(b.create("b").ok());
+  ASSERT_TRUE(b.append("a", 10).ok());
+  ASSERT_TRUE(b.append("b", 20).ok());
+  EXPECT_FALSE(b.oldest_complete().has_value());
+  ASSERT_TRUE(b.rename_done("b").ok());
+  auto f = b.oldest_complete();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->name, "b");
+  ASSERT_TRUE(b.rename_done("a").ok());
+  f = b.oldest_complete();
+  EXPECT_EQ(f->name, "a");  // a was created first
+  b.remove("a");
+  EXPECT_EQ(b.oldest_complete()->name, "b");
+}
+
+TEST(FsBufferTest, AverageCompleteSize) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  EXPECT_EQ(b.average_complete_size(), 0);
+  ASSERT_TRUE(b.create("a").ok());
+  ASSERT_TRUE(b.append("a", 100).ok());
+  ASSERT_TRUE(b.rename_done("a").ok());
+  ASSERT_TRUE(b.create("b").ok());
+  ASSERT_TRUE(b.append("b", 300).ok());
+  EXPECT_EQ(b.average_complete_size(), 100);  // only complete files count
+  ASSERT_TRUE(b.rename_done("b").ok());
+  EXPECT_EQ(b.average_complete_size(), 200);
+}
+
+TEST(FsBufferTest, CompletionEventWakesConsumer) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  TimePoint woke{};
+  k.spawn("consumer", [&](sim::Context& ctx) {
+    ctx.wait(b.completion_event());
+    woke = ctx.now();
+  });
+  k.spawn("producer", [&](sim::Context& ctx) {
+    ASSERT_TRUE(b.create("x").ok());
+    ctx.sleep(sec(5));
+    ASSERT_TRUE(b.rename_done("x").ok());
+  });
+  k.run();
+  EXPECT_EQ(woke, kEpoch + sec(5));
+}
+
+TEST(FsBufferTest, ListShowsEverything) {
+  sim::Kernel k;
+  FsBuffer b(k, 1000);
+  ASSERT_TRUE(b.create("a").ok());
+  ASSERT_TRUE(b.append("a", 5).ok());
+  ASSERT_TRUE(b.create("b").ok());
+  ASSERT_TRUE(b.rename_done("b").ok());
+  auto files = b.list();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].name, "a");
+  EXPECT_EQ(files[0].size, 5);
+  EXPECT_FALSE(files[0].complete);
+  EXPECT_TRUE(files[1].complete);
+}
+
+TEST(FsBufferTest, ZeroByteFileCompletes) {
+  sim::Kernel k;
+  FsBuffer b(k, 100);
+  ASSERT_TRUE(b.create("empty").ok());
+  ASSERT_TRUE(b.rename_done("empty").ok());
+  EXPECT_EQ(b.oldest_complete()->size, 0);
+}
+
+}  // namespace
+}  // namespace ethergrid::grid

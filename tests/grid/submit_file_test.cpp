@@ -1,0 +1,149 @@
+#include "grid/submit_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/schedd.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid::grid {
+namespace {
+
+TEST(SubmitFileTest, ParsesClassicFile) {
+  SubmitDescription job;
+  Status s = parse_submit_file(R"(
+# my simulation
+executable = sim.exe
+arguments  = -n 10 --fast
+transfer_input_files = a.dat, b.dat, c.dat
+requirements = Memory > 512
+queue 5
+)",
+                               &job);
+  ASSERT_TRUE(s.ok()) << s.to_string();
+  EXPECT_EQ(job.executable, "sim.exe");
+  EXPECT_EQ(job.arguments, "-n 10 --fast");
+  EXPECT_EQ(job.transfer_input_files,
+            (std::vector<std::string>{"a.dat", "b.dat", "c.dat"}));
+  EXPECT_EQ(job.attributes.at("requirements"), "Memory > 512");
+  EXPECT_EQ(job.queue_count, 5);
+}
+
+TEST(SubmitFileTest, BareQueueIsOneJob) {
+  SubmitDescription job;
+  ASSERT_TRUE(parse_submit_file("executable = x\nqueue\n", &job).ok());
+  EXPECT_EQ(job.queue_count, 1);
+}
+
+TEST(SubmitFileTest, QueueStatementsAccumulate) {
+  SubmitDescription job;
+  ASSERT_TRUE(
+      parse_submit_file("executable = x\nqueue 2\nqueue\nqueue 3\n", &job)
+          .ok());
+  EXPECT_EQ(job.queue_count, 6);
+}
+
+TEST(SubmitFileTest, KeysAreCaseInsensitive) {
+  SubmitDescription job;
+  ASSERT_TRUE(
+      parse_submit_file("Executable = x\nQUEUE 1\nFooBar = baz\n", &job)
+          .ok());
+  EXPECT_EQ(job.executable, "x");
+  EXPECT_EQ(job.attributes.at("foobar"), "baz");
+}
+
+TEST(SubmitFileTest, LaterAssignmentsOverride) {
+  SubmitDescription job;
+  ASSERT_TRUE(
+      parse_submit_file("executable = a\nexecutable = b\nqueue\n", &job)
+          .ok());
+  EXPECT_EQ(job.executable, "b");
+}
+
+TEST(SubmitFileTest, MissingExecutableFails) {
+  SubmitDescription job;
+  Status s = parse_submit_file("arguments = -n\nqueue\n", &job);
+  EXPECT_TRUE(s.failed());
+  EXPECT_NE(s.message().find("executable"), std::string::npos);
+}
+
+TEST(SubmitFileTest, MissingQueueFails) {
+  SubmitDescription job;
+  Status s = parse_submit_file("executable = x\n", &job);
+  EXPECT_TRUE(s.failed());
+  EXPECT_NE(s.message().find("queue"), std::string::npos);
+}
+
+TEST(SubmitFileTest, MalformedLinesCarryLineNumbers) {
+  SubmitDescription job;
+  Status s = parse_submit_file("executable = x\nthis is not valid\n", &job);
+  EXPECT_TRUE(s.failed());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(SubmitFileTest, BadQueueCounts) {
+  SubmitDescription job;
+  EXPECT_TRUE(parse_submit_file("executable = x\nqueue zero\n", &job).failed());
+  EXPECT_TRUE(parse_submit_file("executable = x\nqueue 0\n", &job).failed());
+  EXPECT_TRUE(parse_submit_file("executable = x\nqueue -3\n", &job).failed());
+}
+
+TEST(SubmitFileTest, ConnectionFdCostCountsTransferFiles) {
+  SubmitDescription job;
+  ASSERT_TRUE(parse_submit_file(
+                  "executable = x\ntransfer_input_files = a, b\nqueue\n", &job)
+                  .ok());
+  EXPECT_EQ(job.connection_fd_cost(20), 22);
+}
+
+// ---- schedd integration ----
+
+ScheddConfig plain_schedd() {
+  ScheddConfig c;
+  c.fds_per_connection_jitter = 0;
+  c.fds_per_transfer = 0;
+  c.service_min = c.service_max = sec(1);
+  c.slowdown_per_connection = 0;
+  return c;
+}
+
+TEST(SubmitFileScheddTest, QueueCountLandsAtomically) {
+  sim::Kernel k;
+  Schedd schedd(k, plain_schedd());
+  SubmitDescription job;
+  ASSERT_TRUE(parse_submit_file("executable = x\nqueue 5\n", &job).ok());
+  k.spawn("client", [&](sim::Context& ctx) {
+    ASSERT_TRUE(schedd.submit(ctx, job).ok());
+  });
+  k.run();
+  EXPECT_EQ(schedd.jobs_submitted(), 5);
+  // Service time scaled by the queue count: 0.1 connect + 5 x 1 s.
+  EXPECT_EQ(k.now(), kEpoch + msec(5100));
+}
+
+TEST(SubmitFileScheddTest, TransferListSetsDescriptorFootprint) {
+  sim::Kernel k;
+  ScheddConfig config = plain_schedd();
+  config.fd_capacity = 50;
+  config.fds_per_connection = 20;
+  Schedd schedd(k, config);
+  SubmitDescription heavy;
+  ASSERT_TRUE(parse_submit_file(
+                  "executable = x\n"
+                  "transfer_input_files = "
+                  "f01,f02,f03,f04,f05,f06,f07,f08,f09,f10,"
+                  "f11,f12,f13,f14,f15,f16,f17,f18,f19,f20,"
+                  "f21,f22,f23,f24,f25,f26,f27,f28,f29,f30,f31\n"
+                  "queue\n",
+                  &heavy)
+                  .ok());
+  Status result;
+  k.spawn("client",
+          [&](sim::Context& ctx) { result = schedd.submit(ctx, heavy); });
+  k.run();
+  // 20 + 31 = 51 descriptors needed > 50 available: refused at connect.
+  EXPECT_EQ(result.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(schedd.jobs_submitted(), 0);
+}
+
+}  // namespace
+}  // namespace ethergrid::grid

@@ -1,0 +1,336 @@
+// Full-stack integration: the PAPER'S LITERAL SCRIPTS, interpreted by our
+// ftsh, driving the simulated grid substrates.  These are the fidelity
+// tests that tie the language to the evaluation.
+#include <gtest/gtest.h>
+
+#include "grid/fileserver.hpp"
+#include "grid/schedd.hpp"
+#include "grid/submit_file.hpp"
+#include "shell/interpreter.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid {
+namespace {
+
+// ---------------------------------------------------- ethernet submitter
+
+// The exact fragment from section 5 (read-file-nr standing in for
+// `cut -f2 /proc/sys/fs/file-nr`).
+constexpr const char* kEthernetSubmitter = R"(
+try for 5 minutes
+  read-file-nr -> n
+  if ${n} .lt. 1000
+    failure
+  else
+    condor_submit submit.job
+  end
+end
+)";
+
+struct SubmitWorld {
+  explicit SubmitWorld(std::uint64_t seed = 3)
+      : kernel(seed), schedd(kernel, config()), executor(kernel) {
+    executor.register_command(
+        "read-file-nr",
+        [this](sim::Context& ctx,
+               const shell::CommandInvocation&) -> shell::CommandResult {
+          ctx.sleep(msec(10));
+          return {Status::success(),
+                  std::to_string(schedd.fd_table().available()), ""};
+        });
+    executor.register_command(
+        "condor_submit",
+        [this](sim::Context& ctx,
+               const shell::CommandInvocation& inv) -> shell::CommandResult {
+          // With a submit file in the VFS, parse and submit the real
+          // description; otherwise fall back to a generic submission.
+          if (inv.argv.size() > 1) {
+            if (auto text = executor.read_file(inv.argv[1])) {
+              grid::SubmitDescription job;
+              Status parsed = grid::parse_submit_file(*text, &job);
+              if (parsed.failed()) return {parsed, "", ""};
+              return {schedd.submit(ctx, job), "", ""};
+            }
+          }
+          return {schedd.submit(ctx), "", ""};
+        });
+  }
+
+  static grid::ScheddConfig config() {
+    grid::ScheddConfig c;
+    c.fd_capacity = 4096;
+    c.fds_per_connection = 20;
+    c.fds_per_connection_jitter = 0;
+    c.fds_per_transfer = 0;
+    return c;
+  }
+
+  Status run_script(const char* source) {
+    Status result;
+    kernel.spawn("script", [&](sim::Context& ctx) {
+      shell::SimExecutor::ContextBinding binding(executor, ctx);
+      shell::Interpreter interpreter(executor);
+      shell::Environment env;
+      result = interpreter.run_source(source, env);
+    });
+    kernel.run();
+    return result;
+  }
+
+  sim::Kernel kernel;
+  grid::Schedd schedd;
+  shell::SimExecutor executor;
+};
+
+TEST(ScriptSubmitterTest, SubmitsWhenDescriptorsPlentiful) {
+  SubmitWorld world;
+  Status s = world.run_script(kEthernetSubmitter);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  EXPECT_EQ(world.schedd.jobs_submitted(), 1);
+}
+
+TEST(ScriptSubmitterTest, DefersWhileBelowThresholdThenTimesOut) {
+  SubmitWorld world;
+  // Pin descriptors so that free < 1000 for the whole budget.
+  ASSERT_TRUE(world.schedd.fd_table().try_allocate(3200));  // 896 free
+  Status s = world.run_script(kEthernetSubmitter);
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(world.schedd.jobs_submitted(), 0);  // never touched the schedd
+  EXPECT_EQ(world.kernel.now(), kEpoch + minutes(5));  // burned the budget
+}
+
+TEST(ScriptSubmitterTest, ResumesWhenDescriptorsReturn) {
+  SubmitWorld world;
+  ASSERT_TRUE(world.schedd.fd_table().try_allocate(3200));
+  // Free the hogged descriptors after 90 s: the script's backoff retries
+  // must then find n >= 1000 and submit within the 5-minute budget.
+  world.kernel.spawn("hog-release", [&](sim::Context& ctx) {
+    ctx.sleep(sec(90));
+    world.schedd.fd_table().free(3200);
+  });
+  Status s = world.run_script(kEthernetSubmitter);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  EXPECT_EQ(world.schedd.jobs_submitted(), 1);
+  EXPECT_GT(world.kernel.now(), kEpoch + sec(90));
+  EXPECT_LT(world.kernel.now(), kEpoch + minutes(5));
+}
+
+TEST(ScriptSubmitterTest, SubmitFileDescriptionDrivesTheSubmission) {
+  SubmitWorld world;
+  world.executor.write_file("submit.job",
+                            "executable = sim.exe\n"
+                            "transfer_input_files = a.dat, b.dat\n"
+                            "queue 3\n");
+  Status s = world.run_script(kEthernetSubmitter);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  EXPECT_EQ(world.schedd.jobs_submitted(), 3);  // the queue count landed
+}
+
+TEST(ScriptSubmitterTest, MalformedSubmitFileIsASpecificationError) {
+  // The paper's section-6 caveat: no amount of Ethernet retrying fixes a
+  // bad job description.  The try burns its budget and fails.
+  SubmitWorld world;
+  world.executor.write_file("submit.job", "arguments = -n 10\nqueue\n");
+  Status s = world.run_script(
+      "try for 10 seconds or 3 times\n"
+      "  condor_submit submit.job\n"
+      "end");
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(world.schedd.jobs_submitted(), 0);
+}
+
+// ---------------------------------------------------- black-hole readers
+
+struct ReaderWorld {
+  explicit ReaderWorld(std::uint64_t seed = 5)
+      : kernel(seed),
+        farm(kernel,
+             {server("xxx", false), server("yyy", false), server("zzz", true)}),
+        executor(kernel) {
+    executor.register_command(
+        "wget", [this](sim::Context& ctx, const shell::CommandInvocation& inv)
+                    -> shell::CommandResult {
+          const std::string& url = inv.argv.at(1);
+          const auto host_start = url.find("//") + 2;
+          const auto host_end = url.find('/', host_start);
+          const std::string host =
+              url.substr(host_start, host_end - host_start);
+          const std::string path = url.substr(host_end + 1);
+          grid::FileServer* s = farm.by_name(host);
+          if (!s) return {Status::not_found("host " + host), "", ""};
+          if (path == "flag") return {s->fetch_flag(ctx), "", ""};
+          return {s->fetch(ctx, 100 << 20), "", ""};
+        });
+  }
+
+  static grid::FileServerConfig server(const std::string& name, bool hole) {
+    grid::FileServerConfig c;
+    c.name = name;
+    c.black_hole = hole;
+    return c;
+  }
+
+  Status run_script(const char* source, double* elapsed_seconds) {
+    Status result;
+    kernel.spawn("reader", [&](sim::Context& ctx) {
+      shell::SimExecutor::ContextBinding binding(executor, ctx);
+      shell::Interpreter interpreter(executor);
+      shell::Environment env;
+      result = interpreter.run_source(source, env);
+    });
+    kernel.run();
+    *elapsed_seconds = to_seconds(kernel.now());
+    return result;
+  }
+
+  sim::Kernel kernel;
+  grid::ServerFarm farm;
+  shell::SimExecutor executor;
+};
+
+// The paper's Aloha reader (section 5, third scenario).
+constexpr const char* kAlohaReader = R"(
+try for 900 seconds
+  forany host in xxx yyy zzz
+    try for 60 seconds
+      wget http://${host}/data
+    end
+  end
+end
+)";
+
+// The paper's Ethernet reader with the one-byte flag probe.
+constexpr const char* kEthernetReader = R"(
+try for 900 seconds
+  forany host in xxx yyy zzz
+    try for 5 seconds
+      wget http://${host}/flag
+    end
+    try for 60 seconds
+      wget http://${host}/data
+    end
+  end
+end
+)";
+
+TEST(ScriptReaderTest, AlohaReaderCompletesDespiteBlackHole) {
+  ReaderWorld world;
+  double elapsed = 0;
+  Status s = world.run_script(kAlohaReader, &elapsed);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  // forany goes in list order xxx first (a good server): ~10.2 s.
+  EXPECT_LT(elapsed, 15.0);
+}
+
+TEST(ScriptReaderTest, AlohaPaysSixtySecondsInTheHole) {
+  // Remove the good servers: only the hole remains; the inner 60 s try must
+  // burn fully, then the outer forany fails, backs off, and ultimately the
+  // 900 s budget expires.
+  ReaderWorld world;
+  double elapsed = 0;
+  Status s = world.run_script(
+      "try for 130 seconds\n"
+      "  forany host in zzz\n"
+      "    try for 60 seconds\n"
+      "      wget http://${host}/data\n"
+      "    end\n"
+      "  end\n"
+      "end",
+      &elapsed);
+  EXPECT_TRUE(s.failed());
+  EXPECT_DOUBLE_EQ(elapsed, 130.0);
+  // Two full 60 s stalls plus the start of a third after backoffs.
+  EXPECT_EQ(world.farm.by_name("zzz")->connections_accepted(), 3);
+}
+
+TEST(ScriptReaderTest, EthernetProbeSkipsTheHoleQuickly) {
+  ReaderWorld world;
+  double elapsed = 0;
+  Status s = world.run_script(
+      "forany host in zzz xxx\n"  // hole FIRST: probe must reject it in 5 s
+      "  try for 5 seconds\n"
+      "    wget http://${host}/flag\n"
+      "  end\n"
+      "  try for 60 seconds\n"
+      "    wget http://${host}/data\n"
+      "  end\n"
+      "end\n"
+      "echo from ${host}",
+      &elapsed);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  // 5 s wasted on the hole's probe instead of 60 s on its data fetch.
+  EXPECT_GT(elapsed, 14.9);
+  EXPECT_LT(elapsed, 17.0);
+}
+
+TEST(ScriptReaderTest, EthernetBeatsAlohaWhenTheHoleComesFirst) {
+  // Force the worst-case alternative order (hole first) so the comparison
+  // is deterministic: Aloha pays the full 60 s per round; Ethernet pays
+  // only the 5 s probe.
+  constexpr const char* kAlohaHoleFirst =
+      "try for 900 seconds\n"
+      "  forany host in zzz xxx yyy\n"
+      "    try for 60 seconds\n"
+      "      wget http://${host}/data\n"
+      "    end\n"
+      "  end\n"
+      "end";
+  constexpr const char* kEthernetHoleFirst =
+      "try for 900 seconds\n"
+      "  forany host in zzz xxx yyy\n"
+      "    try for 5 seconds\n"
+      "      wget http://${host}/flag\n"
+      "    end\n"
+      "    try for 60 seconds\n"
+      "      wget http://${host}/data\n"
+      "    end\n"
+      "  end\n"
+      "end";
+  auto run_rounds = [](const char* script, int rounds) {
+    ReaderWorld world;
+    double total = 0;
+    for (int i = 0; i < rounds; ++i) {
+      double elapsed = 0;
+      Status s = world.run_script(script, &elapsed);
+      EXPECT_TRUE(s.ok());
+      total = elapsed;  // cumulative virtual time (kernel persists)
+    }
+    return total;
+  };
+  const double aloha_time = run_rounds(kAlohaHoleFirst, 3);
+  const double ethernet_time = run_rounds(kEthernetHoleFirst, 3);
+  EXPECT_GT(aloha_time, 3 * 60.0);          // a full stall every round
+  EXPECT_LT(ethernet_time, aloha_time / 3);  // probes instead of stalls
+}
+
+// ------------------------------------------------------- forall fan-out
+
+TEST(ScriptForallTest, ParallelFetchesOverlapOnDistinctServers) {
+  ReaderWorld world;
+  double elapsed = 0;
+  // Two 100 MB fetches from two different single-threaded servers run
+  // concurrently: total ~10.2 s, not ~20.4.
+  Status s = world.run_script(
+      "forall host in xxx yyy\n"
+      "  wget http://${host}/data\n"
+      "end",
+      &elapsed);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  EXPECT_LT(elapsed, 12.0);
+}
+
+TEST(ScriptForallTest, SameServerSerializesBranches) {
+  ReaderWorld world;
+  double elapsed = 0;
+  Status s = world.run_script(
+      "forall n in 1 2\n"
+      "  wget http://xxx/data\n"
+      "end",
+      &elapsed);
+  EXPECT_TRUE(s.ok());
+  EXPECT_GT(elapsed, 20.0);  // single-threaded server: 2 x ~10.2 s
+}
+
+}  // namespace
+}  // namespace ethergrid

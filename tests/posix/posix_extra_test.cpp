@@ -1,0 +1,145 @@
+// Additional POSIX executor coverage: termination plumbing, bad paths,
+// audit/trace through real processes.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <thread>
+
+#include "posix/posix_executor.hpp"
+#include "shell/audit.hpp"
+#include "shell/environment.hpp"
+#include "shell/interpreter.hpp"
+
+namespace ethergrid::posix {
+namespace {
+
+using shell::CommandInvocation;
+
+PosixExecutorOptions fast_options() {
+  PosixExecutorOptions o;
+  o.kill_grace = msec(200);
+  o.poll_interval = msec(5);
+  return o;
+}
+
+CommandInvocation inv(std::vector<std::string> argv) {
+  CommandInvocation i;
+  i.argv = std::move(argv);
+  return i;
+}
+
+TEST(PosixExtraTest, TerminateAllKillsRunningCommand) {
+  PosixExecutor ex(fast_options());
+  // Another thread terminates everything shortly after the command starts;
+  // the command must die long before its natural 30 s.
+  std::thread terminator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ex.terminate_all(SIGTERM);
+  });
+  const TimePoint start = ex.now();
+  Status s = ex.run(inv({"sleep", "30"})).status;
+  terminator.join();
+  EXPECT_TRUE(s.failed());
+  EXPECT_NE(s.message().find("signal"), std::string::npos);
+  EXPECT_LT(ex.now() - start, sec(5));
+}
+
+TEST(PosixExtraTest, UnwritableStdoutFileFails) {
+  PosixExecutor ex(fast_options());
+  CommandInvocation i = inv({"echo", "x"});
+  i.stdout_file = "/no/such/dir/file.txt";
+  Status s = ex.run(i).status;
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(PosixExtraTest, AlreadyExpiredDeadlineKillsImmediately) {
+  PosixExecutor ex(fast_options());
+  CommandInvocation i = inv({"sleep", "30"});
+  i.deadline = ex.now() - sec(1);  // in the past
+  const TimePoint start = ex.now();
+  Status s = ex.run(i).status;
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_LT(ex.now() - start, sec(2));
+}
+
+TEST(PosixExtraTest, ZeroExitCodeBeatsNoisyStderr) {
+  PosixExecutor ex(fast_options());
+  auto r = ex.run(inv({"sh", "-c", "echo warn >&2; exit 0"}));
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.err, "warn\n");
+}
+
+TEST(PosixExtraTest, SpecificExitCodesReported) {
+  PosixExecutor ex(fast_options());
+  Status s = ex.run(inv({"sh", "-c", "exit 42"})).status;
+  EXPECT_TRUE(s.failed());
+  EXPECT_NE(s.message().find("42"), std::string::npos);
+}
+
+TEST(PosixExtraTest, AuditThroughRealProcesses) {
+  PosixExecutor ex(fast_options());
+  shell::AuditLog audit;
+  shell::InterpreterOptions options;
+  options.audit = &audit;
+  options.backoff = core::BackoffPolicy::fixed(msec(5));
+  shell::Interpreter interp(ex, options);
+  shell::Environment env;
+  Status s = interp.run_source("try 3 times\n  false\nend", env);
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(audit.total_failures(), 4);  // 3 command failures + the try
+  bool saw_command = false;
+  for (const auto& e : audit.entries()) {
+    if (e.kind == shell::AuditEntry::Kind::kCommand) {
+      EXPECT_EQ(e.executions, 3);
+      saw_command = true;
+    }
+  }
+  EXPECT_TRUE(saw_command);
+}
+
+TEST(PosixExtraTest, TraceEmitsExpandedCommands) {
+  PosixExecutor ex(fast_options());
+  shell::InterpreterOptions options;
+  options.trace = true;
+  std::string traced;
+  options.stderr_sink = [&](std::string_view text) {
+    traced.append(text);
+  };
+  shell::Interpreter interp(ex, options);
+  shell::Environment env;
+  env.assign("what", "world");
+  ASSERT_TRUE(interp.run_source("echo hello ${what}", env).ok());
+  EXPECT_NE(traced.find("+ echo hello world"), std::string::npos);
+}
+
+TEST(PosixExtraTest, EnvironmentVariablePassthroughViaSh) {
+  // ftsh variables are shell-level, not process environment; passing data
+  // into a child goes through argv (documented behaviour).
+  PosixExecutor ex(fast_options());
+  shell::Interpreter interp(ex);
+  shell::Environment env;
+  env.assign("payload", "xyzzy");
+  ASSERT_TRUE(interp.run_source("sh -c \"echo got ${payload}\"", env).ok());
+  EXPECT_EQ(interp.output(), "got xyzzy\n");
+}
+
+TEST(PosixExtraTest, ForallBranchesUseDistinctSessions) {
+  // Two parallel branches each run a process; the failure of one kills the
+  // other's session without touching the test process itself.
+  PosixExecutor ex(fast_options());
+  shell::Interpreter interp(ex);
+  shell::Environment env;
+  const TimePoint start = ex.now();
+  Status s = interp.run_source(
+      "forall t in fail slow\n"
+      "  job-${t}\n"
+      "end",
+      env);
+  // job-fail / job-slow do not exist: both fail fast as NOT_FOUND.
+  EXPECT_TRUE(s.failed());
+  EXPECT_LT(ex.now() - start, sec(5));
+}
+
+}  // namespace
+}  // namespace ethergrid::posix

@@ -1,0 +1,139 @@
+// Property sweeps for the simulation kernel: invariants over randomized
+// workloads of sleepers, wakers, killers, and resource users.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/resource.hpp"
+
+namespace ethergrid::sim {
+namespace {
+
+class KernelPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelPropertyTest, ClockIsMonotoneAcrossAllProcesses) {
+  Kernel kernel(GetParam());
+  TimePoint last_seen = kEpoch;
+  bool monotone = true;
+  for (int i = 0; i < 20; ++i) {
+    kernel.spawn("p" + std::to_string(i), [&](Context& ctx) {
+      Rng& rng = ctx.rng();
+      for (int j = 0; j < 50; ++j) {
+        ctx.sleep(msec(rng.uniform_int(0, 500)));
+        if (ctx.now() < last_seen) monotone = false;
+        last_seen = ctx.now();
+      }
+    });
+  }
+  kernel.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(kernel.live_process_count(), 0u);
+}
+
+TEST_P(KernelPropertyTest, RandomKillsNeverLeakOrHang) {
+  Kernel kernel(GetParam());
+  std::vector<ProcessHandle> victims;
+  for (int i = 0; i < 15; ++i) {
+    victims.push_back(
+        kernel.spawn("victim" + std::to_string(i), [](Context& ctx) {
+          for (int j = 0; j < 100; ++j) ctx.sleep(sec(1));
+        }));
+  }
+  kernel.spawn("killer", [&](Context& ctx) {
+    Rng& rng = ctx.rng();
+    for (auto& victim : victims) {
+      ctx.sleep(msec(rng.uniform_int(1, 2000)));
+      ctx.kill(victim, "random kill");
+    }
+  });
+  kernel.run();
+  EXPECT_EQ(kernel.live_process_count(), 0u);
+  for (auto& victim : victims) {
+    EXPECT_TRUE(victim->finished());
+    EXPECT_EQ(victim->result().code(), StatusCode::kKilled);
+  }
+}
+
+TEST_P(KernelPropertyTest, ResourceNeverOversubscribed) {
+  Kernel kernel(GetParam());
+  const std::int64_t capacity = 3;
+  Resource resource(kernel, capacity);
+  std::int64_t in_use = 0;
+  std::int64_t max_in_use = 0;
+  std::int64_t grants = 0;
+  for (int i = 0; i < 12; ++i) {
+    kernel.spawn("w" + std::to_string(i), [&](Context& ctx) {
+      Rng& rng = ctx.rng();
+      for (int j = 0; j < 20; ++j) {
+        ctx.sleep(msec(rng.uniform_int(0, 100)));
+        ResourceLease lease(ctx, resource);
+        ++in_use;
+        ++grants;
+        max_in_use = std::max(max_in_use, in_use);
+        ctx.sleep(msec(rng.uniform_int(1, 50)));
+        --in_use;
+      }
+    });
+  }
+  kernel.run();
+  EXPECT_EQ(grants, 12 * 20);
+  EXPECT_LE(max_in_use, capacity);
+  EXPECT_EQ(resource.available(), capacity);
+  EXPECT_EQ(resource.queue_length(), 0u);
+}
+
+TEST_P(KernelPropertyTest, DeadlinesFireExactlyOnTime) {
+  Kernel kernel(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    kernel.spawn("p" + std::to_string(i), [](Context& ctx) {
+      Rng& rng = ctx.rng();
+      for (int j = 0; j < 10; ++j) {
+        const Duration budget = msec(rng.uniform_int(1, 1000));
+        const TimePoint start = ctx.now();
+        try {
+          DeadlineScope scope(ctx, start + budget);
+          while (true) ctx.sleep(msec(rng.uniform_int(1, 300)));
+        } catch (const DeadlineExceeded& d) {
+          EXPECT_EQ(ctx.now(), start + budget);
+          EXPECT_EQ(d.deadline, start + budget);
+        }
+      }
+    });
+  }
+  kernel.run();
+}
+
+TEST_P(KernelPropertyTest, IdenticalSeedsIdenticalTraces) {
+  auto trace_of = [&](std::uint64_t seed) {
+    Kernel kernel(seed);
+    std::vector<std::int64_t> trace;
+    Event gate(kernel);
+    for (int i = 0; i < 10; ++i) {
+      kernel.spawn("p" + std::to_string(i), [&, i](Context& ctx) {
+        Rng& rng = ctx.rng();
+        for (int j = 0; j < 20; ++j) {
+          if (rng.chance(0.2)) {
+            gate.pulse();
+          } else if (rng.chance(0.1)) {
+            (void)ctx.wait_for(gate, msec(rng.uniform_int(1, 500)));
+          } else {
+            ctx.sleep(msec(rng.uniform_int(0, 200)));
+          }
+          trace.push_back(i * 1000000 +
+                          ctx.now().time_since_epoch().count() % 1000000);
+        }
+      });
+    }
+    kernel.run();
+    return trace;
+  };
+  EXPECT_EQ(trace_of(GetParam()), trace_of(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 11, 42, 1000, 31337));
+
+}  // namespace
+}  // namespace ethergrid::sim

@@ -1,0 +1,131 @@
+// Property sweeps for run_try: invariants that must hold for every seed and
+// budget combination, checked across a parameterized grid.
+#include <gtest/gtest.h>
+
+#include "core/retry.hpp"
+#include "core/sim_clock.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid::core {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  double fail_probability;
+  std::int64_t budget_seconds;  // 0 => attempts-only budget
+  int attempt_limit;            // 0 => time-only budget
+};
+
+void PrintTo(const Case& c, std::ostream* os) {
+  *os << "seed=" << c.seed << " p=" << c.fail_probability
+      << " T=" << c.budget_seconds << " N=" << c.attempt_limit;
+}
+
+class RetryPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RetryPropertyTest, InvariantsHold) {
+  const Case c = GetParam();
+  sim::Kernel kernel(c.seed);
+  kernel.spawn("p", [&](sim::Context& ctx) {
+    SimClock clock(ctx);
+    Rng rng = ctx.rng();
+    Rng flake = ctx.rng().stream("flake");
+
+    TryOptions options;
+    if (c.budget_seconds > 0) options.time_limit = sec(c.budget_seconds);
+    if (c.attempt_limit > 0) options.attempt_limit = c.attempt_limit;
+    TryMetrics metrics;
+    options.metrics = &metrics;
+
+    const TimePoint start = ctx.now();
+    bool last_attempt_ok = false;
+    Status s = run_try(clock, rng, options, [&](TimePoint deadline) {
+      EXPECT_GE(deadline, start);  // deadline never in the past at start
+      ctx.sleep(msec(50));         // attempts take time
+      last_attempt_ok = !flake.chance(c.fail_probability);
+      return last_attempt_ok ? Status::success()
+                             : Status::failure("flake");
+    });
+    const Duration elapsed = ctx.now() - start;
+
+    // I1: something was attempted (budgets are positive).
+    EXPECT_GE(metrics.attempts, 1);
+    // I2: attempts = failures + (succeeded ? 1 : 0)  (a cut-short attempt
+    // never returns, so it is not counted as failed).
+    if (s.ok()) {
+      EXPECT_EQ(metrics.attempts, metrics.failures + 1);
+      EXPECT_TRUE(metrics.succeeded);
+      EXPECT_TRUE(last_attempt_ok);
+    } else {
+      EXPECT_FALSE(metrics.succeeded);
+      EXPECT_LE(metrics.failures, metrics.attempts);
+      EXPECT_GE(metrics.failures, metrics.attempts - 1);
+    }
+    // I3: never exceeds the attempt budget.
+    if (c.attempt_limit > 0) {
+      EXPECT_LE(metrics.attempts, c.attempt_limit);
+    }
+    // I4: never exceeds the time budget (the engine wakes exactly at it).
+    if (c.budget_seconds > 0) {
+      EXPECT_LE(elapsed, sec(c.budget_seconds));
+      if (s.failed() && metrics.timed_out) {
+        EXPECT_EQ(elapsed, sec(c.budget_seconds));
+      }
+    }
+    // I5: backoff time is accounted inside the elapsed window.
+    EXPECT_LE(metrics.backoff_total, elapsed);
+    // I6: the result is one of the three legal outcomes.
+    if (s.failed()) {
+      EXPECT_TRUE(metrics.timed_out || metrics.attempts_exhausted);
+    }
+  });
+  kernel.run();
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    for (double p : {0.0, 0.3, 0.9, 1.0}) {
+      cases.push_back(Case{seed, p, 60, 0});   // time-only
+      cases.push_back(Case{seed, p, 0, 5});    // attempts-only
+      cases.push_back(Case{seed, p, 30, 8});   // both
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RetryPropertyTest,
+                         ::testing::ValuesIn(make_cases()));
+
+// Determinism across identical runs, for a grid of seeds.
+class RetryDeterminismTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RetryDeterminismTest, IdenticalRunsAgree) {
+  auto run_once = [&](std::uint64_t seed) {
+    sim::Kernel kernel(seed);
+    std::int64_t result = 0;
+    kernel.spawn("p", [&](sim::Context& ctx) {
+      SimClock clock(ctx);
+      Rng rng = ctx.rng();
+      Rng flake = ctx.rng().stream("flake");
+      TryMetrics metrics;
+      TryOptions options = TryOptions::for_time_or_times(minutes(5), 50);
+      options.metrics = &metrics;
+      (void)run_try(clock, rng, options, [&](TimePoint) {
+        ctx.sleep(msec(10));
+        return flake.chance(0.8) ? Status::failure("x") : Status::success();
+      });
+      result = metrics.attempts * 1000000 + ctx.now().time_since_epoch().count() % 1000000;
+    });
+    kernel.run();
+    return result;
+  };
+  EXPECT_EQ(run_once(GetParam()), run_once(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryDeterminismTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ethergrid::core

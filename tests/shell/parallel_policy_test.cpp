@@ -1,0 +1,198 @@
+// The forall branch-creation governor (the paper's deferred "Ethernet-like
+// algorithm" for process creation), in both executors.
+#include <gtest/gtest.h>
+
+#include "posix/posix_executor.hpp"
+#include "shell/interpreter.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid::shell {
+namespace {
+
+struct SimRun {
+  Status status;
+  double elapsed = 0;
+};
+
+SimRun run_sim_script(const std::string& src, const ParallelPolicy& policy,
+                      SimExecutor** executor_out = nullptr,
+                      sim::Kernel** kernel_out = nullptr) {
+  static thread_local int unused;
+  (void)unused;
+  sim::Kernel kernel(1);
+  SimExecutor executor(kernel);
+  executor.set_parallel_policy(policy);
+  if (executor_out) *executor_out = &executor;
+  if (kernel_out) *kernel_out = &kernel;
+  SimRun result;
+  kernel.spawn("script", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(executor, ctx);
+    Interpreter interpreter(executor);
+    Environment env;
+    result.status = interpreter.run_source(src, env);
+  });
+  kernel.run();
+  result.elapsed = to_seconds(kernel.now());
+  return result;
+}
+
+TEST(SimParallelPolicyTest, WindowBoundsConcurrency) {
+  ParallelPolicy policy;
+  policy.max_concurrent = 2;
+  SimRun r = run_sim_script(
+      "forall t in 1 1 1 1 1 1\n  sleep ${t} seconds\nend", policy);
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.elapsed, 3.0);  // 6 one-second branches, two at a time
+}
+
+TEST(SimParallelPolicyTest, UnlimitedPolicyIsFullyParallel) {
+  SimRun r = run_sim_script(
+      "forall t in 1 1 1 1 1 1\n  sleep ${t} seconds\nend", ParallelPolicy{});
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.elapsed, 1.0);
+}
+
+TEST(SimParallelPolicyTest, WindowStillAbortsOnFailure) {
+  ParallelPolicy policy;
+  policy.max_concurrent = 1;
+  int runs = 0;
+  sim::Kernel kernel(1);
+  SimExecutor executor(kernel);
+  executor.set_parallel_policy(policy);
+  executor.register_command(
+      "job", [&](sim::Context& ctx, const CommandInvocation& inv) {
+        ++runs;
+        ctx.sleep(sec(1));
+        if (inv.argv[1] == "2") {
+          return CommandResult{Status::failure("branch 2 died"), "", ""};
+        }
+        return CommandResult{Status::success(), "", ""};
+      });
+  Status status;
+  kernel.spawn("script", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(executor, ctx);
+    Interpreter interpreter(executor);
+    Environment env;
+    status = interpreter.run_source(
+        "forall n in 1 2 3 4\n  job ${n}\nend", env);
+  });
+  kernel.run();
+  EXPECT_TRUE(status.failed());
+  // Serial window: branch 1 ok, branch 2 fails, branches 3-4 never spawn.
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SimParallelPolicyTest, ProcessTableSharedAcrossScripts) {
+  // Two scripts, each wanting 2 parallel branches, over a 2-slot table:
+  // total in-flight branches never exceed the table, yet everything
+  // completes (creation backs off rather than failing).
+  sim::Kernel kernel(1);
+  SimExecutor executor(kernel);
+  ParallelPolicy policy;
+  policy.process_table_slots = 2;
+  executor.set_parallel_policy(policy);
+  int in_flight = 0;
+  int max_in_flight = 0;
+  executor.register_command(
+      "work", [&](sim::Context& ctx, const CommandInvocation&) {
+        ++in_flight;
+        max_in_flight = std::max(max_in_flight, in_flight);
+        ctx.sleep(sec(2));
+        --in_flight;
+        return CommandResult{Status::success(), "", ""};
+      });
+  int completed = 0;
+  for (int s = 0; s < 2; ++s) {
+    kernel.spawn("script" + std::to_string(s), [&](sim::Context& ctx) {
+      SimExecutor::ContextBinding binding(executor, ctx);
+      Interpreter interpreter(executor);
+      Environment env;
+      if (interpreter.run_source("forall b in 1 2\n  work\nend", env).ok()) {
+        ++completed;
+      }
+    });
+  }
+  kernel.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_LE(max_in_flight, 2);
+  EXPECT_EQ(max_in_flight, 2);  // the table was actually used, not idle
+}
+
+TEST(SimParallelPolicyTest, TryDeadlinePreemptsGovernedWait) {
+  // All table slots are pinned by another script; a try around the starved
+  // forall must still time out on schedule.
+  sim::Kernel kernel(1);
+  SimExecutor executor(kernel);
+  ParallelPolicy policy;
+  policy.process_table_slots = 1;
+  executor.set_parallel_policy(policy);
+  executor.register_command("work",
+                            [&](sim::Context& ctx, const CommandInvocation&) {
+                              ctx.sleep(hours(1));
+                              return CommandResult{Status::success(), "", ""};
+                            });
+  Status hog_status, starved_status;
+  kernel.spawn("hog", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(executor, ctx);
+    Interpreter interpreter(executor);
+    Environment env;
+    hog_status = interpreter.run_source("forall x in 1\n  work\nend", env);
+  });
+  TimePoint starved_done{};
+  kernel.spawn("starved", [&](sim::Context& ctx) {
+    ctx.sleep(sec(1));  // let the hog take the slot
+    SimExecutor::ContextBinding binding(executor, ctx);
+    Interpreter interpreter(executor);
+    Environment env;
+    starved_status = interpreter.run_source(
+        "try for 10 seconds\n  forall x in 1\n    work\n  end\nend", env);
+    starved_done = ctx.now();
+  });
+  kernel.run_until(kEpoch + sec(30));
+  EXPECT_TRUE(starved_status.failed());
+  EXPECT_EQ(starved_done, kEpoch + sec(11));
+  kernel.shutdown();
+}
+
+// ---- POSIX ----
+
+TEST(PosixParallelPolicyTest, WindowBoundsConcurrency) {
+  posix::PosixExecutorOptions options;
+  options.kill_grace = msec(200);
+  options.poll_interval = msec(5);
+  posix::PosixExecutor executor(options);
+  ParallelPolicy policy;
+  policy.max_concurrent = 2;
+  executor.set_parallel_policy(policy);
+  Interpreter interpreter(executor);
+  Environment env;
+  const TimePoint start = executor.now();
+  Status s = interpreter.run_source(
+      "forall t in 0.2 0.2 0.2 0.2\n  sleep ${t}\nend", env);
+  const Duration took = executor.now() - start;
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  EXPECT_GE(took, msec(380));  // two waves of ~0.2 s
+  EXPECT_LT(took, msec(1500));
+}
+
+TEST(PosixParallelPolicyTest, ProcessTableLimitsAcrossBranches) {
+  posix::PosixExecutorOptions options;
+  options.poll_interval = msec(5);
+  posix::PosixExecutor executor(options);
+  ParallelPolicy policy;
+  policy.process_table_slots = 1;
+  policy.backoff = core::BackoffPolicy::fixed(msec(10));
+  executor.set_parallel_policy(policy);
+  Interpreter interpreter(executor);
+  Environment env;
+  const TimePoint start = executor.now();
+  Status s = interpreter.run_source(
+      "forall t in 0.2 0.2 0.2\n  sleep ${t}\nend", env);
+  const Duration took = executor.now() - start;
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  EXPECT_GE(took, msec(580));  // fully serialized by the 1-slot table
+}
+
+}  // namespace
+}  // namespace ethergrid::shell

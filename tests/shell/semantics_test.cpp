@@ -1,0 +1,544 @@
+// Deep ftsh semantics: interactions between constructs, scoping corners,
+// I/O transaction behaviour, and documented edge cases.
+#include <gtest/gtest.h>
+
+#include "shell/interpreter.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid::shell {
+namespace {
+
+struct RunResult {
+  Status status;
+  std::string output;
+  double elapsed = 0;
+};
+
+RunResult run_script(const std::string& src,
+                     const std::function<void(SimExecutor&)>& setup = {},
+                     Environment* env = nullptr,
+                     InterpreterOptions options = {}) {
+  sim::Kernel kernel(options.seed);
+  SimExecutor executor(kernel);
+  if (setup) setup(executor);
+  Environment local_env;
+  Environment* e = env ? env : &local_env;
+  RunResult result;
+  kernel.spawn("script", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(executor, ctx);
+    Interpreter interpreter(executor, options);
+    result.status = interpreter.run_source(src, *e);
+    result.output = interpreter.output();
+  });
+  kernel.run();
+  result.elapsed = to_seconds(kernel.now());
+  return result;
+}
+
+// ---------------------------------------------------------- construct mix
+
+TEST(SemanticsTest, ForanyInsideForall) {
+  // Each parallel branch independently races through its alternatives.
+  RunResult r = run_script(
+      "forall job in a b\n"
+      "  forany host in bad good\n"
+      "    probe ${host}\n"
+      "  end\n"
+      "end",
+      [](SimExecutor& ex) {
+        ex.register_command("probe", [](sim::Context& ctx,
+                                        const CommandInvocation& inv) {
+          ctx.sleep(sec(1));
+          if (inv.argv[1] == "bad") {
+            return CommandResult{Status::unavailable("bad host"), "", ""};
+          }
+          return CommandResult{Status::success(), "", ""};
+        });
+      });
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.elapsed, 2.0);  // branches in parallel, alternatives serial
+}
+
+TEST(SemanticsTest, ForallInsideForany) {
+  // First alternative's parallel group fails -> second alternative works.
+  RunResult r = run_script(
+      "forany cluster in broken healthy\n"
+      "  forall n in 1 2\n"
+      "    start ${cluster} ${n}\n"
+      "  end\n"
+      "end\n"
+      "echo used ${cluster}",
+      [](SimExecutor& ex) {
+        ex.register_command("start", [](sim::Context& ctx,
+                                        const CommandInvocation& inv) {
+          ctx.sleep(sec(1));
+          if (inv.argv[1] == "broken" && inv.argv[2] == "2") {
+            return CommandResult{Status::failure("node down"), "", ""};
+          }
+          return CommandResult{Status::success(), "", ""};
+        });
+      });
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "used healthy\n");
+}
+
+TEST(SemanticsTest, TryInsideCatch) {
+  RunResult r = run_script(
+      "try 1 times\n"
+      "  false\n"
+      "catch\n"
+      "  try 3 times\n"
+      "    recover\n"
+      "  end\n"
+      "end\n"
+      "echo done",
+      [](SimExecutor& ex) {
+        int calls = 0;
+        ex.register_command(
+            "recover",
+            [calls](sim::Context&, const CommandInvocation&) mutable {
+              ++calls;
+              if (calls < 3) {
+                return CommandResult{Status::failure("not yet"), "", ""};
+              }
+              return CommandResult{Status::success(), "", ""};
+            });
+      });
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "done\n");
+}
+
+TEST(SemanticsTest, NestedCatchRethrowCaughtByOuterTry) {
+  RunResult r = run_script(
+      "try 2 times\n"
+      "  try 1 times\n"
+      "    attempt\n"
+      "  catch\n"
+      "    echo cleanup\n"
+      "    failure\n"
+      "  end\n"
+      "end",
+      [](SimExecutor& ex) {
+        int calls = 0;
+        ex.register_command(
+            "attempt",
+            [calls](sim::Context&, const CommandInvocation&) mutable {
+              ++calls;
+              if (calls < 2) {
+                return CommandResult{Status::failure("first time"), "", ""};
+              }
+              return CommandResult{Status::success(), "", ""};
+            });
+      });
+  // First inner try fails -> catch echoes + rethrows -> outer retries ->
+  // second attempt succeeds (no catch entered).
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "cleanup\n");
+}
+
+TEST(SemanticsTest, TryZeroTimesFailsWithoutRunningBody) {
+  int calls = 0;
+  RunResult r = run_script("try 0 times\n  count\nend",
+                           [&](SimExecutor& ex) {
+                             ex.register_command(
+                                 "count",
+                                 [&](sim::Context&, const CommandInvocation&) {
+                                   ++calls;
+                                   return CommandResult{Status::success(), "",
+                                                        ""};
+                                 });
+                           });
+  EXPECT_TRUE(r.status.failed());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SemanticsTest, FiveLevelNestedTryDeadlines) {
+  // The outermost limit applies regardless of nesting depth (paper: "The
+  // outer time limit of thirty minutes applies regardless of the depth").
+  RunResult r = run_script(
+      "try for 4 seconds\n"
+      " try for 1 hour\n"
+      "  try for 2 hours\n"
+      "   try for 3 hours\n"
+      "    try for 4 hours\n"
+      "     sleep 1 day\n"
+      "    end\n"
+      "   end\n"
+      "  end\n"
+      " end\n"
+      "end");
+  EXPECT_TRUE(r.status.failed());
+  EXPECT_EQ(r.elapsed, 4.0);
+}
+
+TEST(SemanticsTest, WhileBodyFailureStopsLoopAndScript) {
+  RunResult r = run_script(
+      "i=0\n"
+      "while ${i} .lt. 10\n"
+      "  i = ${i} .add. 1\n"
+      "  if ${i} .eq. 3\n"
+      "    failure\n"
+      "  end\n"
+      "end\n"
+      "echo unreached",
+      {});
+  EXPECT_TRUE(r.status.failed());
+  EXPECT_EQ(r.output, "");
+}
+
+TEST(SemanticsTest, ReturnAtTopLevelEndsScriptWithSuccess) {
+  RunResult r = run_script("echo one\nreturn\necho two");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "one\n");
+}
+
+TEST(SemanticsTest, ReturnInsideWhileInsideFunction) {
+  RunResult r = run_script(
+      "function find_first\n"
+      "  i=0\n"
+      "  while ${i} .lt. 100\n"
+      "    i = ${i} .add. 1\n"
+      "    if ${i} .eq. 4\n"
+      "      found=${i}\n"
+      "      return\n"
+      "    end\n"
+      "  end\n"
+      "  failure\n"
+      "end\n"
+      "found=none\n"
+      "find_first\n"
+      "echo found ${found}");
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "found 4\n");
+}
+
+// ------------------------------------------------------------- functions
+
+TEST(SemanticsTest, FunctionsCallFunctions) {
+  RunResult r = run_script(
+      "function inner x\n"
+      "  echo inner ${x}\n"
+      "end\n"
+      "function outer y\n"
+      "  inner ${y}-a\n"
+      "  inner ${y}-b\n"
+      "end\n"
+      "outer top");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "inner top-a\ninner top-b\n");
+}
+
+TEST(SemanticsTest, RunawayRecursionFailsCleanly) {
+  RunResult r = run_script(
+      "function loop\n"
+      "  loop\n"
+      "end\n"
+      "loop");
+  EXPECT_TRUE(r.status.failed());
+  EXPECT_NE(r.status.message().find("recursion"), std::string::npos);
+}
+
+TEST(SemanticsTest, BoundedRecursionWorks) {
+  RunResult r = run_script(
+      "function countdown n\n"
+      "  if ${n} .gt. 0\n"
+      "    echo ${n}\n"
+      "    m = ${n} .sub. 1\n"
+      "    countdown ${m}\n"
+      "  end\n"
+      "end\n"
+      "countdown 3");
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "3\n2\n1\n");
+}
+
+TEST(SemanticsTest, QuotedArgumentsSurviveFunctionCalls) {
+  RunResult r = run_script(
+      "function show a\n"
+      "  echo [${a}]\n"
+      "end\n"
+      "show \"two words\"");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "[two words]\n");
+}
+
+TEST(SemanticsTest, FunctionAssignmentsReachEnclosingScope) {
+  // assign updates where defined: a global set inside a function persists.
+  RunResult r = run_script(
+      "x=before\n"
+      "function set_it\n"
+      "  x=after\n"
+      "end\n"
+      "set_it\n"
+      "echo ${x}");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "after\n");
+}
+
+// --------------------------------------------------- variables and words
+
+TEST(SemanticsTest, CapturedListFansOutForany) {
+  RunResult r = run_script(
+      "list-mirrors -> mirrors\n"
+      "forany m in ${mirrors}\n"
+      "  probe ${m}\n"
+      "end\n"
+      "echo ${m}",
+      [](SimExecutor& ex) {
+        ex.register_command("list-mirrors",
+                            [](sim::Context&, const CommandInvocation&) {
+                              return CommandResult{Status::success(),
+                                                   "m1 m2 m3\n", ""};
+                            });
+        ex.register_command("probe", [](sim::Context&,
+                                        const CommandInvocation& inv) {
+          if (inv.argv[1] == "m3") {
+            return CommandResult{Status::success(), "", ""};
+          }
+          return CommandResult{Status::unavailable("down"), "", ""};
+        });
+      });
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "m3\n");
+}
+
+TEST(SemanticsTest, IoTransactionThroughVariables) {
+  // The paper's pattern: hold output in a variable until the command
+  // definitely completed, then release it.
+  RunResult r = run_script(
+      "try 3 times\n"
+      "  run-simulation ->& tmp\n"
+      "end\n"
+      "cat -< tmp",
+      [](SimExecutor& ex) {
+        int calls = 0;
+        ex.register_command(
+            "run-simulation",
+            [calls](sim::Context&, const CommandInvocation&) mutable {
+              ++calls;
+              if (calls < 3) {
+                // Failed attempts still PRINT partial junk...
+                return CommandResult{Status::failure("sim crashed"),
+                                     "partial garbage\n", ""};
+              }
+              return CommandResult{Status::success(), "final result\n", ""};
+            });
+      });
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  // ...but none of the partial junk leaked into the committed value.
+  EXPECT_EQ(r.output, "final result");
+}
+
+TEST(SemanticsTest, FileRedirectionIsNotTransactional) {
+  // Contrast with the above (and with the paper's discussion): direct file
+  // redirection commits per command, so a failed later member leaves the
+  // file behind.
+  SimExecutor* captured = nullptr;
+  RunResult r = run_script(
+      "emit > out.txt\n"
+      "false",
+      [&](SimExecutor& ex) {
+        captured = &ex;
+        ex.register_command("emit", [](sim::Context&,
+                                       const CommandInvocation&) {
+          return CommandResult{Status::success(), "partial\n", ""};
+        });
+      });
+  EXPECT_TRUE(r.status.failed());
+  // The file exists despite the script failing.
+}
+
+TEST(SemanticsTest, RedirectTargetsMayUseVariables) {
+  Environment env;
+  env.assign("base", "result");
+  RunResult r = run_script(
+      "echo hello > ${base}.txt\n"
+      "cat < ${base}.txt",
+      {}, &env);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "hello\n");
+}
+
+TEST(SemanticsTest, ExistsSeesScriptSideEffects) {
+  RunResult r = run_script(
+      "if .exists. flagfile\n"
+      "  echo early\n"
+      "end\n"
+      "append-file flagfile x\n"
+      "if .exists. flagfile\n"
+      "  echo late\n"
+      "end");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "late\n");
+}
+
+TEST(SemanticsTest, DefaultExpansionUsesValueWhenSet) {
+  Environment env;
+  env.assign("x", "real");
+  RunResult r = run_script("echo ${x:-fallback}", {}, &env);
+  EXPECT_EQ(r.output, "real\n");
+}
+
+TEST(SemanticsTest, DefaultExpansionSubstitutesWithoutAssigning) {
+  Environment env;
+  RunResult r = run_script("echo ${x:-fallback}\necho ${x:-again}", {}, &env);
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "fallback\nagain\n");
+  EXPECT_FALSE(env.defined("x"));
+}
+
+TEST(SemanticsTest, AssignDefaultExpansionPersists) {
+  Environment env;
+  RunResult r = run_script("echo ${x:=sticky}\necho ${x:-other}", {}, &env);
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "sticky\nsticky\n");
+  EXPECT_EQ(env.get("x"), "sticky");
+}
+
+TEST(SemanticsTest, EmptyDefaultMakesUnsetHarmless) {
+  RunResult r = run_script("echo [${nothing:-}]");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "[]\n");
+}
+
+TEST(SemanticsTest, DefaultsWorkInListsAndSplit) {
+  RunResult r = run_script(
+      "forany h in ${mirrors:-m1 m2}\n"
+      "  probe ${h}\n"
+      "end\n"
+      "echo ${h}",
+      [](SimExecutor& ex) {
+        ex.register_command("probe", [](sim::Context&,
+                                        const CommandInvocation& inv) {
+          if (inv.argv[1] == "m2") {
+            return CommandResult{Status::success(), "", ""};
+          }
+          return CommandResult{Status::unavailable("down"), "", ""};
+        });
+      });
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "m2\n");  // the default split into two alternatives
+}
+
+TEST(SemanticsTest, EmptyListAfterSplittingFails) {
+  Environment env;
+  env.assign("hosts", "   ");
+  RunResult r = run_script("forany h in ${hosts}\n  true\nend", {}, &env);
+  EXPECT_TRUE(r.status.failed());
+}
+
+TEST(SemanticsTest, ForallOuterVariableLastWriteWins) {
+  // Documented semantics: branch-local loop var, but assignments to OUTER
+  // names are shared (sequential in virtual time => deterministic order).
+  RunResult r = run_script(
+      "winner=none\n"
+      "forall t in 3 1 2\n"
+      "  sleep ${t} seconds\n"
+      "  winner=${t}\n"
+      "end\n"
+      "echo ${winner}");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "3\n");  // the 3 s branch writes last
+}
+
+// ------------------------------------------------------------ arithmetic
+
+TEST(SemanticsTest, ArithmeticCorners) {
+  RunResult r = run_script(
+      "a = 0 .sub. 7\n"
+      "b = ${a} .mul. 3\n"
+      "c = ${b} .div. 4\n"
+      "d = 17 .mod. 5\n"
+      "echo ${a} ${b} ${c} ${d}");
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_EQ(r.output, "-7 -21 -5 2\n");  // C++ truncation semantics
+}
+
+TEST(SemanticsTest, ComparisonOfNegativeNumbers) {
+  RunResult r = run_script(
+      "a = 0 .sub. 2\n"
+      "if ${a} .lt. 1\n  echo yes\nend");
+  EXPECT_EQ(r.output, "yes\n");
+}
+
+TEST(SemanticsTest, StringVsNumericEquality) {
+  RunResult r = run_script(
+      "if abc .ne. abd\n  echo strings\nend\n"
+      "if 010 .eq. 10\n  echo numbers\nend");
+  EXPECT_EQ(r.output, "strings\nnumbers\n");
+}
+
+TEST(SemanticsTest, UndefinedVariableInConditionFailsScript) {
+  RunResult r = run_script("if ${ghost} .lt. 3\n  echo x\nend");
+  EXPECT_TRUE(r.status.failed());
+}
+
+// ----------------------------------------------------------- punctuation
+
+TEST(SemanticsTest, SemicolonsInsideBodies) {
+  RunResult r = run_script("try 1 times\n  echo a; echo b; echo c\nend");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "a\nb\nc\n");
+}
+
+TEST(SemanticsTest, CommentsInsideConstructs) {
+  RunResult r = run_script(
+      "try 1 times  # budget\n"
+      "  # the payload:\n"
+      "  echo ok    # trailing\n"
+      "end");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "ok\n");
+}
+
+TEST(SemanticsTest, LineContinuationAcrossArguments) {
+  RunResult r = run_script("echo one \\\n two \\\n three");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "one two three\n");
+}
+
+// -------------------------------------------------------- forall corners
+
+TEST(SemanticsTest, ForallSingleBranchActsLikeGroup) {
+  RunResult r = run_script("forall x in only\n  echo ${x}\nend");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.output, "only\n");
+}
+
+TEST(SemanticsTest, ForallFailureInsideTryIsRetried) {
+  RunResult r = run_script(
+      "try for 1 hour or 2 times\n"
+      "  forall n in 1 2\n"
+      "    job ${n}\n"
+      "  end\n"
+      "end",
+      [](SimExecutor& ex) {
+        int round = 0;
+        ex.register_command(
+            "job", [round](sim::Context& ctx,
+                           const CommandInvocation& inv) mutable {
+              ctx.sleep(sec(1));
+              if (inv.argv[1] == "2") ++round;
+              if (inv.argv[1] == "2" && round < 2) {
+                return CommandResult{Status::failure("flaked"), "", ""};
+              }
+              return CommandResult{Status::success(), "", ""};
+            });
+      });
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+}
+
+TEST(SemanticsTest, TryBudgetCutsForallBranches) {
+  RunResult r = run_script(
+      "try for 3 seconds\n"
+      "  forall t in 1h 2h\n"
+      "    sleep ${t}\n"
+      "  end\n"
+      "end");
+  EXPECT_TRUE(r.status.failed());
+  EXPECT_EQ(r.elapsed, 3.0);  // both branches killed at the deadline
+}
+
+}  // namespace
+}  // namespace ethergrid::shell

@@ -1,0 +1,279 @@
+#include "shell/sim_executor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethergrid::shell {
+namespace {
+
+// Runs body inside a simulated process with the executor bound.
+void in_sim(SimExecutor& executor, sim::Kernel& kernel,
+            const std::function<void(sim::Context&)>& body) {
+  kernel.spawn("test", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(executor, ctx);
+    body(ctx);
+  });
+  kernel.run();
+}
+
+CommandInvocation inv(std::vector<std::string> argv) {
+  CommandInvocation i;
+  i.argv = std::move(argv);
+  return i;
+}
+
+TEST(SimExecutorTest, UnknownCommandIsNotFound) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    CommandResult r = ex.run(inv({"mystery"}));
+    EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  });
+}
+
+TEST(SimExecutorTest, RegisteredCommandRuns) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  ex.register_command("hi", [](sim::Context&, const CommandInvocation& i) {
+    return CommandResult{Status::success(), "hello " + i.argv.back(), ""};
+  });
+  in_sim(ex, kernel, [&](sim::Context&) {
+    CommandResult r = ex.run(inv({"hi", "there"}));
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_EQ(r.out, "hello there");
+  });
+}
+
+TEST(SimExecutorTest, RegistrationOverrides) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  ex.register_command("true", [](sim::Context&, const CommandInvocation&) {
+    return CommandResult{Status::failure("not so true"), "", ""};
+  });
+  in_sim(ex, kernel, [&](sim::Context&) {
+    EXPECT_TRUE(ex.run(inv({"true"})).status.failed());
+  });
+}
+
+TEST(SimExecutorTest, EchoBuiltin) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    EXPECT_EQ(ex.run(inv({"echo", "a", "b"})).out, "a b\n");
+    EXPECT_EQ(ex.run(inv({"echo"})).out, "\n");
+  });
+}
+
+TEST(SimExecutorTest, SleepBuiltinTakesVirtualTime) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context& ctx) {
+    ASSERT_TRUE(ex.run(inv({"sleep", "90", "seconds"})).status.ok());
+    EXPECT_EQ(ctx.now(), kEpoch + sec(90));
+    EXPECT_TRUE(ex.run(inv({"sleep"})).status.failed());
+    EXPECT_TRUE(ex.run(inv({"sleep", "blue"})).status.failed());
+  });
+}
+
+TEST(SimExecutorTest, FailBuiltinCarriesMessage) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    CommandResult r = ex.run(inv({"fail", "disk", "full"}));
+    EXPECT_TRUE(r.status.failed());
+    EXPECT_EQ(r.status.message(), "disk full");
+  });
+}
+
+TEST(SimExecutorTest, FlakyRespectsPercentage) {
+  sim::Kernel kernel(7);
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    int failures = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (ex.run(inv({"flaky", "25"})).status.failed()) ++failures;
+    }
+    EXPECT_GT(failures, 20);
+    EXPECT_LT(failures, 80);
+    EXPECT_TRUE(ex.run(inv({"flaky", "0"})).status.ok());
+    EXPECT_TRUE(ex.run(inv({"flaky", "100"})).status.failed());
+    EXPECT_TRUE(ex.run(inv({"flaky", "142"})).status.failed());  // bad arg
+  });
+}
+
+TEST(SimExecutorTest, FileRedirectionWritesVfs) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    CommandInvocation i = inv({"echo", "data"});
+    i.stdout_file = "out.txt";
+    CommandResult r = ex.run(i);
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.out.empty());  // routed to the file, not the caller
+    EXPECT_EQ(ex.read_file("out.txt"), "data\n");
+  });
+}
+
+TEST(SimExecutorTest, AppendRedirection) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    CommandInvocation i = inv({"echo", "one"});
+    i.stdout_file = "log";
+    (void)ex.run(i);
+    i = inv({"echo", "two"});
+    i.stdout_file = "log";
+    i.stdout_append = true;
+    (void)ex.run(i);
+    EXPECT_EQ(ex.read_file("log"), "one\ntwo\n");
+  });
+}
+
+TEST(SimExecutorTest, StdinFileResolved) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  ex.write_file("input", "payload");
+  in_sim(ex, kernel, [&](sim::Context&) {
+    CommandInvocation i = inv({"cat"});
+    i.stdin_file = "input";
+    EXPECT_EQ(ex.run(i).out, "payload");
+    i.stdin_file = "missing";
+    EXPECT_EQ(ex.run(i).status.code(), StatusCode::kNotFound);
+  });
+}
+
+TEST(SimExecutorTest, MergeStderrFoldsIntoOut) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  ex.register_command("noisy", [](sim::Context&, const CommandInvocation&) {
+    return CommandResult{Status::success(), "out.", "err."};
+  });
+  in_sim(ex, kernel, [&](sim::Context&) {
+    CommandInvocation i = inv({"noisy"});
+    i.merge_stderr = true;
+    CommandResult r = ex.run(i);
+    EXPECT_EQ(r.out, "out.err.");
+    EXPECT_TRUE(r.err.empty());
+  });
+}
+
+TEST(SimExecutorTest, VfsHelpers) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  EXPECT_FALSE(ex.file_exists("f"));
+  ex.write_file("f", "v");
+  EXPECT_TRUE(ex.file_exists("f"));
+  EXPECT_EQ(ex.read_file("f"), "v");
+  ex.remove_file("f");
+  EXPECT_FALSE(ex.file_exists("f"));
+  EXPECT_FALSE(ex.read_file("f").has_value());
+}
+
+TEST(SimExecutorTest, UseOutsideProcessThrows) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  EXPECT_THROW((void)ex.now(), std::logic_error);
+  EXPECT_THROW((void)ex.run(inv({"echo"})), std::logic_error);
+}
+
+TEST(SimExecutorTest, WithDeadlinePreempts) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context& ctx) {
+    Status s = ex.with_deadline(kEpoch + sec(3), [&]() -> Status {
+      ctx.sleep(hours(1));
+      return Status::success();
+    });
+    EXPECT_EQ(s.code(), StatusCode::kTimeout);
+    EXPECT_EQ(ctx.now(), kEpoch + sec(3));
+  });
+}
+
+TEST(SimExecutorTest, RunParallelCollectsStatuses) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    auto statuses = ex.run_parallel({
+        [&] {
+          ex.sleep(sec(1));
+          return Status::success();
+        },
+        [&] {
+          ex.sleep(sec(2));
+          return Status::success();
+        },
+    });
+    ASSERT_EQ(statuses.size(), 2u);
+    EXPECT_TRUE(statuses[0].ok());
+    EXPECT_TRUE(statuses[1].ok());
+    EXPECT_EQ(ex.now(), kEpoch + sec(2));  // parallel, not serial
+  });
+}
+
+TEST(SimExecutorTest, RunParallelAbortsOnFirstFailure) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context&) {
+    auto statuses = ex.run_parallel({
+        [&] {
+          ex.sleep(sec(1));
+          return Status::failure("early death");
+        },
+        [&] {
+          ex.sleep(hours(5));
+          return Status::success();
+        },
+    });
+    ASSERT_EQ(statuses.size(), 2u);
+    EXPECT_TRUE(statuses[0].failed());
+    EXPECT_EQ(statuses[1].code(), StatusCode::kKilled);
+    EXPECT_EQ(ex.now(), kEpoch + sec(1));
+  });
+}
+
+TEST(SimExecutorTest, RunParallelBranchesGetOwnContexts) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  in_sim(ex, kernel, [&](sim::Context& parent_ctx) {
+    std::vector<TimePoint> times;
+    (void)ex.run_parallel({
+        [&] {
+          ex.sleep(sec(2));
+          times.push_back(ex.now());
+          return Status::success();
+        },
+        [&] {
+          ex.sleep(sec(4));
+          times.push_back(ex.now());
+          return Status::success();
+        },
+    });
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], kEpoch + sec(2));
+    EXPECT_EQ(times[1], kEpoch + sec(4));
+    EXPECT_EQ(parent_ctx.now(), kEpoch + sec(4));
+  });
+}
+
+TEST(SimExecutorTest, RunParallelUnderDeadlineKillsBranches) {
+  sim::Kernel kernel;
+  SimExecutor ex(kernel);
+  bool timed_out = false;
+  kernel.spawn("test", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(ex, ctx);
+    try {
+      sim::DeadlineScope scope(ctx, kEpoch + sec(2));
+      (void)ex.run_parallel({[&] {
+        ex.sleep(hours(1));
+        return Status::success();
+      }});
+    } catch (const sim::DeadlineExceeded&) {
+      timed_out = true;
+    }
+  });
+  kernel.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(kernel.live_process_count(), 0u);  // branch did not leak
+}
+
+}  // namespace
+}  // namespace ethergrid::shell

@@ -1,0 +1,134 @@
+// Additional kernel edges: shutdown semantics, cross-thread event pokes,
+// time-limit boundary conditions.
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hpp"
+
+namespace ethergrid::sim {
+namespace {
+
+TEST(KernelExtraTest, ShutdownIsIdempotent) {
+  Kernel k;
+  Event never(k);
+  k.spawn("blocked", [&](Context& ctx) { ctx.wait(never); });
+  k.run();
+  k.shutdown();
+  k.shutdown();
+  EXPECT_EQ(k.live_process_count(), 0u);
+}
+
+TEST(KernelExtraTest, SpawnAfterShutdownIsStillborn) {
+  Kernel k;
+  k.shutdown();
+  bool ran = false;
+  auto p = k.spawn("late", [&](Context&) { ran = true; });
+  k.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(p->finished());
+  EXPECT_EQ(p->result().code(), StatusCode::kKilled);
+}
+
+TEST(KernelExtraTest, RunUntilPastTimeIsNoOpOnClock) {
+  Kernel k;
+  k.run_until(kEpoch + sec(10));
+  EXPECT_EQ(k.now(), kEpoch + sec(10));
+  k.run_until(kEpoch + sec(5));  // earlier than now: must not go back
+  EXPECT_EQ(k.now(), kEpoch + sec(10));
+}
+
+TEST(KernelExtraTest, EventSetBetweenRunsWakesAtNextRun) {
+  Kernel k;
+  Event e(k);
+  TimePoint woke{};
+  k.spawn("waiter", [&](Context& ctx) {
+    ctx.wait(e);
+    woke = ctx.now();
+  });
+  k.run_until(kEpoch + sec(3));
+  EXPECT_EQ(woke, TimePoint{});  // still blocked
+  e.set();                       // poked from the main thread
+  k.run_until(kEpoch + sec(6));
+  EXPECT_EQ(woke, kEpoch + sec(3));  // woken at the set's timestamp
+}
+
+TEST(KernelExtraTest, WaitForZeroTimeoutPollsOnce) {
+  Kernel k;
+  Event unset(k), preset(k);
+  preset.set();
+  bool got_unset = true, got_preset = false;
+  k.spawn("p", [&](Context& ctx) {
+    got_unset = ctx.wait_for(unset, Duration(0));
+    got_preset = ctx.wait_for(preset, Duration(0));
+  });
+  k.run();
+  EXPECT_FALSE(got_unset);
+  EXPECT_TRUE(got_preset);
+}
+
+TEST(KernelExtraTest, FailureMessageSurvivesInResult) {
+  Kernel k;
+  k.set_propagate_errors(false);
+  auto p = k.spawn("thrower", [](Context&) {
+    throw std::runtime_error("the specific reason");
+  });
+  k.run();
+  EXPECT_EQ(p->result().message(), "the specific reason");
+}
+
+TEST(KernelExtraTest, ManySequentialKernelsDoNotInterfere) {
+  // Guards against hidden global state across kernel instances.
+  for (int i = 0; i < 20; ++i) {
+    Kernel k(std::uint64_t(i + 1));
+    TimePoint done{};
+    k.spawn("p", [&](Context& ctx) {
+      ctx.sleep(sec(1));
+      done = ctx.now();
+    });
+    k.run();
+    EXPECT_EQ(done, kEpoch + sec(1));
+  }
+}
+
+TEST(KernelExtraTest, KilledProcessDoneEventStillFiresForJoiners) {
+  Kernel k;
+  Event never(k);
+  auto victim = k.spawn("victim", [&](Context& ctx) { ctx.wait(never); });
+  TimePoint joined{};
+  k.spawn("joiner", [&](Context& ctx) {
+    ctx.join(victim);
+    joined = ctx.now();
+  });
+  k.spawn("killer", [&](Context& ctx) {
+    ctx.sleep(sec(2));
+    ctx.kill(victim);
+  });
+  k.run();
+  EXPECT_EQ(joined, kEpoch + sec(2));
+}
+
+TEST(KernelExtraTest, ZeroDurationRunForProcessesSameInstantEvents) {
+  Kernel k;
+  bool ran = false;
+  k.spawn("p", [&](Context&) { ran = true; });
+  k.run_for(Duration(0));
+  EXPECT_TRUE(ran);  // start event was scheduled at t=0
+}
+
+TEST(KernelExtraTest, DeadlineAtExactlyNowThrowsOnEntry) {
+  Kernel k;
+  bool threw = false;
+  k.spawn("p", [&](Context& ctx) {
+    ctx.sleep(sec(1));
+    try {
+      DeadlineScope scope(ctx, ctx.now());  // deadline == now
+      ctx.sleep(Duration(0));
+    } catch (const DeadlineExceeded&) {
+      threw = true;
+    }
+  });
+  k.run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace ethergrid::sim

@@ -1,0 +1,420 @@
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ethergrid::sim {
+namespace {
+
+TEST(KernelTest, ClockStartsAtEpoch) {
+  Kernel k;
+  EXPECT_EQ(k.now(), kEpoch);
+}
+
+TEST(KernelTest, ProcessBodyRunsToCompletion) {
+  Kernel k;
+  bool ran = false;
+  auto p = k.spawn("p", [&](Context&) { ran = true; });
+  EXPECT_FALSE(ran);  // nothing runs until the kernel does
+  k.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(p->finished());
+  EXPECT_TRUE(p->result().ok());
+}
+
+TEST(KernelTest, SleepAdvancesVirtualTime) {
+  Kernel k;
+  TimePoint observed{};
+  k.spawn("p", [&](Context& ctx) {
+    ctx.sleep(sec(10));
+    observed = ctx.now();
+  });
+  k.run();
+  EXPECT_EQ(observed, kEpoch + sec(10));
+  EXPECT_EQ(k.now(), kEpoch + sec(10));
+}
+
+TEST(KernelTest, SleepZeroYields) {
+  Kernel k;
+  std::vector<int> order;
+  k.spawn("a", [&](Context& ctx) {
+    order.push_back(1);
+    ctx.yield();
+    order.push_back(3);
+  });
+  k.spawn("b", [&](Context&) { order.push_back(2); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(KernelTest, ProcessesInterleaveDeterministicallyByTime) {
+  Kernel k;
+  std::vector<std::string> trace;
+  k.spawn("a", [&](Context& ctx) {
+    ctx.sleep(sec(2));
+    trace.push_back("a@2");
+    ctx.sleep(sec(2));
+    trace.push_back("a@4");
+  });
+  k.spawn("b", [&](Context& ctx) {
+    ctx.sleep(sec(3));
+    trace.push_back("b@3");
+  });
+  k.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"a@2", "b@3", "a@4"}));
+}
+
+TEST(KernelTest, EqualTimeEventsRunInScheduleOrder) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    k.spawn("p" + std::to_string(i), [&, i](Context& ctx) {
+      ctx.sleep(sec(1));
+      order.push_back(i);
+    });
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(KernelTest, RunUntilStopsAtLimitAndAdvancesClock) {
+  Kernel k;
+  int steps = 0;
+  k.spawn("p", [&](Context& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      ctx.sleep(sec(1));
+      ++steps;
+    }
+  });
+  bool more = k.run_until(kEpoch + sec(3));
+  EXPECT_EQ(steps, 3);
+  EXPECT_TRUE(more);
+  EXPECT_EQ(k.now(), kEpoch + sec(3));
+  more = k.run_until(kEpoch + sec(100));
+  EXPECT_EQ(steps, 10);
+  EXPECT_FALSE(more);
+  EXPECT_EQ(k.now(), kEpoch + sec(100));  // clock jumps to the limit
+}
+
+TEST(KernelTest, RunForIsRelative) {
+  Kernel k;
+  k.run_for(sec(5));
+  EXPECT_EQ(k.now(), kEpoch + sec(5));
+  k.run_for(sec(5));
+  EXPECT_EQ(k.now(), kEpoch + sec(10));
+}
+
+TEST(KernelTest, EventWakesWaiter) {
+  Kernel k;
+  Event e(k);
+  TimePoint woke{};
+  k.spawn("waiter", [&](Context& ctx) {
+    ctx.wait(e);
+    woke = ctx.now();
+  });
+  k.spawn("setter", [&](Context& ctx) {
+    ctx.sleep(sec(7));
+    e.set();
+  });
+  k.run();
+  EXPECT_EQ(woke, kEpoch + sec(7));
+}
+
+TEST(KernelTest, LatchedEventReturnsImmediately) {
+  Kernel k;
+  Event e(k);
+  e.set();
+  TimePoint woke = kEpoch + sec(99);
+  k.spawn("waiter", [&](Context& ctx) {
+    ctx.wait(e);
+    woke = ctx.now();
+  });
+  k.run();
+  EXPECT_EQ(woke, kEpoch);
+}
+
+TEST(KernelTest, PulseWakesCurrentWaitersOnly) {
+  Kernel k;
+  Event e(k);
+  bool first_woke = false, second_woke = false;
+  k.spawn("first", [&](Context& ctx) {
+    ctx.wait(e);
+    first_woke = true;
+  });
+  k.spawn("pulser", [&](Context& ctx) {
+    ctx.sleep(sec(1));
+    e.pulse();
+  });
+  k.run();
+  EXPECT_TRUE(first_woke);
+  // A waiter arriving after the pulse blocks (pulse does not latch).
+  k.spawn("second", [&](Context& ctx) {
+    ctx.wait(e);
+    second_woke = true;
+  });
+  k.run();
+  EXPECT_FALSE(second_woke);
+  EXPECT_EQ(k.live_process_count(), 1u);
+}
+
+TEST(KernelTest, EventResetBlocksFutureWaiters) {
+  Kernel k;
+  Event e(k);
+  e.set();
+  e.reset();
+  bool woke = false;
+  k.spawn("waiter", [&](Context& ctx) {
+    ctx.wait(e);
+    woke = true;
+  });
+  k.run();
+  EXPECT_FALSE(woke);
+}
+
+TEST(KernelTest, WaitForTimesOut) {
+  Kernel k;
+  Event e(k);
+  bool fired = true;
+  TimePoint at{};
+  k.spawn("p", [&](Context& ctx) {
+    fired = ctx.wait_for(e, sec(5));
+    at = ctx.now();
+  });
+  k.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(at, kEpoch + sec(5));
+}
+
+TEST(KernelTest, WaitForSucceedsBeforeTimeout) {
+  Kernel k;
+  Event e(k);
+  bool fired = false;
+  TimePoint at{};
+  k.spawn("p", [&](Context& ctx) {
+    fired = ctx.wait_for(e, sec(5));
+    at = ctx.now();
+  });
+  k.spawn("setter", [&](Context& ctx) {
+    ctx.sleep(sec(2));
+    e.set();
+  });
+  k.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(at, kEpoch + sec(2));
+}
+
+TEST(KernelTest, KillWhileSleepingInterrupts) {
+  Kernel k;
+  bool unwound = false;
+  auto victim = k.spawn("victim", [&](Context& ctx) {
+    try {
+      ctx.sleep(hours(1));
+    } catch (const Interrupted&) {
+      unwound = true;
+      throw;
+    }
+  });
+  k.spawn("killer", [&](Context& ctx) {
+    ctx.sleep(sec(1));
+    ctx.kill(victim, "test kill");
+  });
+  k.run();
+  EXPECT_TRUE(unwound);
+  EXPECT_TRUE(victim->finished());
+  EXPECT_EQ(victim->result().code(), StatusCode::kKilled);
+  EXPECT_EQ(victim->result().message(), "test kill");
+  EXPECT_EQ(k.now(), kEpoch + sec(1));  // did not wait out the hour
+}
+
+TEST(KernelTest, KillWhileWaitingOnEventInterrupts) {
+  Kernel k;
+  Event e(k);
+  auto victim = k.spawn("victim", [&](Context& ctx) { ctx.wait(e); });
+  k.spawn("killer", [&](Context& ctx) {
+    ctx.sleep(sec(2));
+    ctx.kill(victim);
+  });
+  k.run();
+  EXPECT_EQ(victim->result().code(), StatusCode::kKilled);
+}
+
+TEST(KernelTest, KillBeforeFirstRunSkipsBody) {
+  Kernel k;
+  bool ran = false;
+  auto victim = k.spawn("victim", [&](Context&) { ran = true; });
+  k.kill(*victim, "never started");
+  k.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(victim->result().code(), StatusCode::kKilled);
+}
+
+TEST(KernelTest, SelfKillTakesEffectAtNextWait) {
+  Kernel k;
+  bool after_kill = false;
+  bool after_wait = false;
+  auto p = k.spawn("p", [&](Context& ctx) {
+    ctx.kill(ctx.process(), "suicide");
+    after_kill = true;  // kill is deferred to the next wait
+    ctx.sleep(sec(1));
+    after_wait = true;
+  });
+  k.run();
+  EXPECT_TRUE(after_kill);
+  EXPECT_FALSE(after_wait);
+  EXPECT_EQ(p->result().code(), StatusCode::kKilled);
+}
+
+TEST(KernelTest, KilledProcessCannotWaitAgain) {
+  Kernel k;
+  int interrupts = 0;
+  auto p = k.spawn("stubborn", [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      try {
+        ctx.sleep(sec(10));
+      } catch (const Interrupted&) {
+        ++interrupts;  // swallow and try to keep going
+      }
+    }
+  });
+  k.spawn("killer", [&](Context& ctx) {
+    ctx.sleep(sec(1));
+    ctx.kill(p);
+  });
+  k.run();
+  EXPECT_EQ(interrupts, 3);  // every wait re-throws once killed
+  EXPECT_TRUE(p->finished());
+  EXPECT_EQ(k.now(), kEpoch + sec(1));  // no further time passed
+}
+
+TEST(KernelTest, JoinWaitsForChild) {
+  Kernel k;
+  TimePoint joined{};
+  k.spawn("parent", [&](Context& ctx) {
+    auto child = ctx.spawn("child", [](Context& c) { c.sleep(sec(5)); });
+    ctx.join(child);
+    joined = ctx.now();
+  });
+  k.run();
+  EXPECT_EQ(joined, kEpoch + sec(5));
+}
+
+TEST(KernelTest, JoinFinishedChildIsImmediate) {
+  Kernel k;
+  TimePoint joined{};
+  k.spawn("parent", [&](Context& ctx) {
+    auto child = ctx.spawn("child", [](Context&) {});
+    ctx.sleep(sec(3));  // child finishes meanwhile
+    ctx.join(child);
+    joined = ctx.now();
+  });
+  k.run();
+  EXPECT_EQ(joined, kEpoch + sec(3));
+}
+
+TEST(KernelTest, SpawnedChildStartsAtCurrentTime) {
+  Kernel k;
+  TimePoint child_start{kEpoch + hours(99)};
+  k.spawn("parent", [&](Context& ctx) {
+    ctx.sleep(sec(4));
+    ctx.spawn("child", [&](Context& c) { child_start = c.now(); });
+  });
+  k.run();
+  EXPECT_EQ(child_start, kEpoch + sec(4));
+}
+
+TEST(KernelTest, ProcessExceptionPropagatesFromRun) {
+  Kernel k;
+  auto p = k.spawn("bad", [](Context&) {
+    throw std::runtime_error("body bug");
+  });
+  EXPECT_THROW(k.run(), std::runtime_error);
+  EXPECT_EQ(p->result().code(), StatusCode::kFailure);
+  EXPECT_EQ(p->result().message(), "body bug");
+}
+
+TEST(KernelTest, ProcessExceptionCanBeSuppressed) {
+  Kernel k;
+  k.set_propagate_errors(false);
+  auto p = k.spawn("bad", [](Context&) {
+    throw std::runtime_error("body bug");
+  });
+  EXPECT_NO_THROW(k.run());
+  EXPECT_EQ(p->result().code(), StatusCode::kFailure);
+}
+
+TEST(KernelTest, LiveProcessCountTracksLifecycles) {
+  Kernel k;
+  Event never(k);
+  EXPECT_EQ(k.live_process_count(), 0u);
+  k.spawn("done", [](Context&) {});
+  k.spawn("blocked", [&](Context& ctx) { ctx.wait(never); });
+  EXPECT_EQ(k.live_process_count(), 2u);
+  k.run();
+  EXPECT_EQ(k.live_process_count(), 1u);  // blocked remains
+}
+
+TEST(KernelTest, DestructorKillsBlockedProcesses) {
+  bool unwound = false;
+  {
+    Kernel k;
+    Event never(k);
+    k.spawn("blocked", [&](Context& ctx) {
+      try {
+        ctx.wait(never);
+      } catch (const Interrupted&) {
+        unwound = true;
+        throw;
+      }
+    });
+    k.run();
+    EXPECT_FALSE(unwound);
+  }
+  EXPECT_TRUE(unwound);
+}
+
+TEST(KernelTest, ManyProcessesDeterministicTotalTime) {
+  auto run_once = [] {
+    Kernel k(123);
+    std::vector<ProcessHandle> ps;
+    std::int64_t sum = 0;
+    for (int i = 0; i < 100; ++i) {
+      ps.push_back(k.spawn("p" + std::to_string(i), [&, i](Context& ctx) {
+        Rng& rng = ctx.rng();
+        for (int j = 0; j < 20; ++j) {
+          ctx.sleep(msec(rng.uniform_int(1, 1000)));
+          sum += i;
+        }
+      }));
+    }
+    k.run();
+    return std::pair<TimePoint, std::int64_t>(k.now(), sum);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.first, kEpoch);
+}
+
+TEST(KernelTest, PerProcessRngStreamsDiffer) {
+  Kernel k(7);
+  std::uint64_t a = 0, b = 0;
+  k.spawn("a", [&](Context& ctx) { a = ctx.rng().next_u64(); });
+  k.spawn("b", [&](Context& ctx) { b = ctx.rng().next_u64(); });
+  k.run();
+  EXPECT_NE(a, b);
+}
+
+TEST(KernelTest, ProcessNamesAndIdsAreAssigned) {
+  Kernel k;
+  auto p = k.spawn("worker", [](Context&) {});
+  auto q = k.spawn("worker2", [](Context&) {});
+  EXPECT_EQ(p->name(), "worker");
+  EXPECT_NE(p->id(), q->id());
+  k.run();
+}
+
+}  // namespace
+}  // namespace ethergrid::sim

@@ -1,0 +1,146 @@
+#include "sim/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ethergrid::sim {
+namespace {
+
+TEST(StoreTest, PutThenGet) {
+  Kernel k;
+  Store<int> s(k);
+  int got = 0;
+  k.spawn("p", [&](Context& ctx) {
+    s.put(ctx, 42);
+    got = s.get(ctx);
+  });
+  k.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(StoreTest, GetBlocksUntilPut) {
+  Kernel k;
+  Store<std::string> s(k);
+  TimePoint at{};
+  std::string got;
+  k.spawn("consumer", [&](Context& ctx) {
+    got = s.get(ctx);
+    at = ctx.now();
+  });
+  k.spawn("producer", [&](Context& ctx) {
+    ctx.sleep(sec(6));
+    s.put(ctx, "hello");
+  });
+  k.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(at, kEpoch + sec(6));
+}
+
+TEST(StoreTest, FifoOrdering) {
+  Kernel k;
+  Store<int> s(k);
+  std::vector<int> got;
+  k.spawn("producer", [&](Context& ctx) {
+    for (int i = 0; i < 5; ++i) s.put(ctx, i);
+  });
+  k.spawn("consumer", [&](Context& ctx) {
+    ctx.sleep(sec(1));
+    for (int i = 0; i < 5; ++i) got.push_back(s.get(ctx));
+  });
+  k.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(StoreTest, BoundedPutBlocksUntilSpace) {
+  Kernel k;
+  Store<int> s(k, 2);
+  TimePoint third_put{};
+  k.spawn("producer", [&](Context& ctx) {
+    s.put(ctx, 1);
+    s.put(ctx, 2);
+    s.put(ctx, 3);  // blocks: capacity 2
+    third_put = ctx.now();
+  });
+  k.spawn("consumer", [&](Context& ctx) {
+    ctx.sleep(sec(4));
+    (void)s.get(ctx);
+  });
+  k.run();
+  EXPECT_EQ(third_put, kEpoch + sec(4));
+}
+
+TEST(StoreTest, TryGetNonBlocking) {
+  Kernel k;
+  Store<int> s(k);
+  int out = 0;
+  EXPECT_FALSE(s.try_get(&out));
+  k.spawn("p", [&](Context& ctx) { s.put(ctx, 9); });
+  k.run();
+  EXPECT_TRUE(s.try_get(&out));
+  EXPECT_EQ(out, 9);
+  EXPECT_FALSE(s.try_get(&out));
+}
+
+TEST(StoreTest, TryPutRespectsCapacity) {
+  Kernel k;
+  Store<int> s(k, 1);
+  EXPECT_TRUE(s.try_put(1));
+  EXPECT_FALSE(s.try_put(2));
+  int out = 0;
+  EXPECT_TRUE(s.try_get(&out));
+  EXPECT_TRUE(s.try_put(3));
+}
+
+TEST(StoreTest, SizeTracksContents) {
+  Kernel k;
+  Store<int> s(k);
+  EXPECT_EQ(s.size(), 0u);
+  k.spawn("p", [&](Context& ctx) {
+    s.put(ctx, 1);
+    s.put(ctx, 2);
+  });
+  k.run();
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StoreTest, GetRespectsDeadline) {
+  Kernel k;
+  Store<int> s(k);
+  bool threw = false;
+  k.spawn("p", [&](Context& ctx) {
+    try {
+      DeadlineScope scope(ctx, kEpoch + sec(2));
+      (void)s.get(ctx);
+    } catch (const DeadlineExceeded&) {
+      threw = true;
+    }
+  });
+  k.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(k.now(), kEpoch + sec(2));
+}
+
+TEST(StoreTest, MultipleConsumersEachGetOneItem) {
+  Kernel k;
+  Store<int> s(k);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("c" + std::to_string(i), [&](Context& ctx) {
+      got.push_back(s.get(ctx));
+    });
+  }
+  k.spawn("producer", [&](Context& ctx) {
+    ctx.sleep(sec(1));
+    for (int i = 0; i < 3; ++i) s.put(ctx, i + 100);
+  });
+  k.run();
+  ASSERT_EQ(got.size(), 3u);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{100, 101, 102}));
+}
+
+}  // namespace
+}  // namespace ethergrid::sim

@@ -1,0 +1,38 @@
+#!/bin/sh
+# End-to-end test of the paper's nested-shell protocol (section 4):
+#
+#   "Exactly this problem occurs when one ftsh script executes another as
+#    an external command. ... ftsh handles this gracefully by trapping the
+#    warning SIGTERMs from its parent and then reacting by killing its own
+#    children."
+#
+# The outer ftsh gives a 1-second budget to an inner ftsh that starts a
+# 60-second sleep in a session of its own.  At the deadline the outer shell
+# SIGTERMs the inner shell's session; the inner shell's handler terminates
+# the sleep's session; everything unwinds in seconds, and the outer shell
+# reports failure.
+#
+# Usage: nested_ftsh_test.sh /path/to/ftsh
+
+FTSH="$1"
+if [ -z "$FTSH" ] || [ ! -x "$FTSH" ]; then
+  echo "usage: $0 /path/to/ftsh" >&2
+  exit 2
+fi
+
+start=$(date +%s)
+if "$FTSH" -c "try for 1 seconds
+  $FTSH -c 'sleep 60'
+end" 2>/dev/null; then
+  echo "FAIL: outer ftsh unexpectedly succeeded" >&2
+  exit 1
+fi
+elapsed=$(( $(date +%s) - start ))
+
+if [ "$elapsed" -gt 15 ]; then
+  echo "FAIL: nested teardown took ${elapsed}s (sleep 60 not cancelled?)" >&2
+  exit 1
+fi
+
+echo "OK: nested ftsh tree terminated in ${elapsed}s"
+exit 0

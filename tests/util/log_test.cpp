@@ -1,0 +1,72 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethergrid {
+namespace {
+
+TEST(LoggerTest, ThresholdFilters) {
+  Logger logger(LogLevel::kWarn);
+  CapturingSink sink;
+  logger.set_sink(sink.as_sink());
+  logger.log(LogLevel::kDebug, kEpoch, "c", "dropped");
+  logger.log(LogLevel::kInfo, kEpoch, "c", "dropped");
+  logger.log(LogLevel::kWarn, kEpoch, "c", "kept");
+  logger.log(LogLevel::kError, kEpoch, "c", "kept");
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST(LoggerTest, OffSilencesEverything) {
+  Logger logger(LogLevel::kOff);
+  CapturingSink sink;
+  logger.set_sink(sink.as_sink());
+  logger.log(LogLevel::kError, kEpoch, "c", "dropped");
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(LoggerTest, RecordsCarryFields) {
+  Logger logger(LogLevel::kDebug);
+  CapturingSink sink;
+  logger.set_sink(sink.as_sink());
+  logger.log(LogLevel::kInfo, kEpoch + sec(3), "schedd", "crashed");
+  auto records = sink.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records[0].time, kEpoch + sec(3));
+  EXPECT_EQ(records[0].component, "schedd");
+  EXPECT_EQ(records[0].message, "crashed");
+}
+
+TEST(LoggerTest, EnabledMatchesThreshold) {
+  Logger logger(LogLevel::kInfo);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+}
+
+TEST(LoggerTest, ThresholdAdjustable) {
+  Logger logger(LogLevel::kError);
+  CapturingSink sink;
+  logger.set_sink(sink.as_sink());
+  logger.log(LogLevel::kInfo, kEpoch, "c", "dropped");
+  logger.set_threshold(LogLevel::kDebug);
+  logger.log(LogLevel::kDebug, kEpoch, "c", "kept");
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(LoggerTest, ClearResetsCapture) {
+  Logger logger(LogLevel::kDebug);
+  CapturingSink sink;
+  logger.set_sink(sink.as_sink());
+  logger.log(LogLevel::kInfo, kEpoch, "c", "one");
+  sink.clear();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(LogLevelTest, Names) {
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace ethergrid

@@ -1,0 +1,149 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ethergrid {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 5u);  // not stuck at a fixed point
+}
+
+TEST(RngTest, NamedStreamsAreIndependentAndStable) {
+  Rng root(7);
+  Rng a1 = root.stream("alpha");
+  Rng a2 = root.stream("alpha");
+  Rng b = root.stream("beta");
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  Rng a3 = root.stream("alpha");
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, IndexedStreamsAreDecorrelated) {
+  Rng root(7);
+  Rng s0 = root.stream(std::uint64_t{0});
+  Rng s1 = root.stream(std::uint64_t{1});
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0.next_u64() == s1.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, StreamDerivationDoesNotPerturbParent) {
+  Rng a(9), b(9);
+  (void)a.stream("child");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.uniform(1.0, 2.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LT(x, 2.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng r(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng r(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(double(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng r(12);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double x = r.exponential(4.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, Fnv1a64KnownValues) {
+  // FNV-1a reference: hash of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(RngTest, SplitmixAdvancesState) {
+  std::uint64_t s = 1;
+  std::uint64_t a = splitmix64_next(&s);
+  std::uint64_t b = splitmix64_next(&s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 1u);
+}
+
+}  // namespace
+}  // namespace ethergrid

@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethergrid {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  SummaryStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStatsTest, KnownMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(LatencyHistogramTest, EmptyQuantileIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), Duration(0));
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(LatencyHistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.add(msec(10));
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), msec(10));
+  EXPECT_EQ(h.max(), msec(10));
+  // Bucketed: the quantile lands within [2^k, 2^(k+1)) around 10ms.
+  EXPECT_GE(h.quantile(0.5), msec(5));
+  EXPECT_LE(h.quantile(0.5), msec(20));
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(msec(i));
+  Duration previous(0);
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    Duration v = h.quantile(q);
+    EXPECT_GE(v, previous) << "q=" << q;
+    previous = v;
+  }
+}
+
+TEST(LatencyHistogramTest, MedianRoughlyCorrect) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(msec(i));
+  // Power-of-two buckets: median of U(1ms,1000ms) is ~500ms; accept the
+  // bucket span [256ms, 1024ms).
+  Duration med = h.quantile(0.5);
+  EXPECT_GE(med, msec(256));
+  EXPECT_LT(med, msec(1024));
+}
+
+TEST(LatencyHistogramTest, ZeroAndNegativeDurationsLandInFirstBucket) {
+  LatencyHistogram h;
+  h.add(Duration(0));
+  h.add(Duration(-5));
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_LE(h.quantile(1.0), Duration(2));
+}
+
+TEST(TimeSeriesTest, RecordsPoints) {
+  TimeSeries ts("fds");
+  EXPECT_TRUE(ts.empty());
+  ts.sample(kEpoch + sec(1), 10.0);
+  ts.sample(kEpoch + sec(2), 20.0);
+  ASSERT_EQ(ts.points().size(), 2u);
+  EXPECT_EQ(ts.name(), "fds");
+  EXPECT_DOUBLE_EQ(ts.last(), 20.0);
+  EXPECT_DOUBLE_EQ(ts.min_value(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 20.0);
+}
+
+TEST(TimeSeriesTest, LastFallback) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.last(-1.0), -1.0);
+}
+
+TEST(EventSeriesTest, CountsCumulatively) {
+  EventSeries es("transfers");
+  es.record(kEpoch + sec(1));
+  es.record(kEpoch + sec(5));
+  es.record(kEpoch + sec(5));
+  EXPECT_EQ(es.total(), 3);
+  ASSERT_EQ(es.series().points().size(), 3u);
+  EXPECT_DOUBLE_EQ(es.series().points().back().value, 3.0);
+}
+
+TEST(EventSeriesTest, CountBefore) {
+  EventSeries es;
+  es.record(kEpoch + sec(10));
+  es.record(kEpoch + sec(20));
+  es.record(kEpoch + sec(30));
+  EXPECT_EQ(es.count_before(kEpoch + sec(5)), 0);
+  EXPECT_EQ(es.count_before(kEpoch + sec(10)), 1);
+  EXPECT_EQ(es.count_before(kEpoch + sec(25)), 2);
+  EXPECT_EQ(es.count_before(kEpoch + sec(99)), 3);
+}
+
+}  // namespace
+}  // namespace ethergrid

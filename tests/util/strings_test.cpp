@@ -1,0 +1,87 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ethergrid {
+namespace {
+
+TEST(SplitTest, SplitsOnWhitespaceByDefault) {
+  EXPECT_EQ(split("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("  a\tb "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(SplitTest, CustomDelimiters) {
+  EXPECT_EQ(split("a,b,,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitKeepEmptyTest, PreservesEmptyFields) {
+  EXPECT_EQ(split_keep_empty("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_keep_empty(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split_keep_empty("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(AffixTest, StartsAndEndsWith) {
+  EXPECT_TRUE(starts_with("filename.done", "file"));
+  EXPECT_FALSE(starts_with("file", "filename"));
+  EXPECT_TRUE(ends_with("filename.done", ".done"));
+  EXPECT_FALSE(ends_with("done", "x.done"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(ToLowerTest, Lowercases) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+TEST(ParseIntTest, AcceptsIntegers) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parse_int("+3", &v));
+  EXPECT_EQ(v, 3);
+  EXPECT_TRUE(parse_int("  10 ", &v));
+  EXPECT_EQ(v, 10);
+}
+
+TEST(ParseIntTest, RejectsGarbage) {
+  long long v = 0;
+  EXPECT_FALSE(parse_int("", &v));
+  EXPECT_FALSE(parse_int("4x", &v));
+  EXPECT_FALSE(parse_int("x4", &v));
+  EXPECT_FALSE(parse_int("-", &v));
+  EXPECT_FALSE(parse_int("1.5", &v));
+}
+
+TEST(IsIntegerTest, MatchesParseInt) {
+  EXPECT_TRUE(is_integer("123"));
+  EXPECT_TRUE(is_integer("-1"));
+  EXPECT_FALSE(is_integer("1.0"));
+  EXPECT_FALSE(is_integer("abc"));
+}
+
+TEST(StrprintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace ethergrid
