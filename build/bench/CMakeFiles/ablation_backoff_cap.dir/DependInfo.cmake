@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_backoff_cap.cpp" "bench/CMakeFiles/ablation_backoff_cap.dir/ablation_backoff_cap.cpp.o" "gcc" "bench/CMakeFiles/ablation_backoff_cap.dir/ablation_backoff_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ethergrid_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ethergrid_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/ethergrid_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ethergrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethergrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ethergrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

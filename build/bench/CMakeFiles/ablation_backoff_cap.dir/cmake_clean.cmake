@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backoff_cap.dir/ablation_backoff_cap.cpp.o"
+  "CMakeFiles/ablation_backoff_cap.dir/ablation_backoff_cap.cpp.o.d"
+  "ablation_backoff_cap"
+  "ablation_backoff_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backoff_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

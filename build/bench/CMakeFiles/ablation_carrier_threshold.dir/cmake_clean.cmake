@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_carrier_threshold.dir/ablation_carrier_threshold.cpp.o"
+  "CMakeFiles/ablation_carrier_threshold.dir/ablation_carrier_threshold.cpp.o.d"
+  "ablation_carrier_threshold"
+  "ablation_carrier_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carrier_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

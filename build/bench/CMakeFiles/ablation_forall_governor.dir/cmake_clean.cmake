@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forall_governor.dir/ablation_forall_governor.cpp.o"
+  "CMakeFiles/ablation_forall_governor.dir/ablation_forall_governor.cpp.o.d"
+  "ablation_forall_governor"
+  "ablation_forall_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forall_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_limited_allocation.dir/ablation_limited_allocation.cpp.o"
+  "CMakeFiles/ablation_limited_allocation.dir/ablation_limited_allocation.cpp.o.d"
+  "ablation_limited_allocation"
+  "ablation_limited_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_limited_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

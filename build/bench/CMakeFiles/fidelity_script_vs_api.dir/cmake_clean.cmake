@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidelity_script_vs_api.dir/fidelity_script_vs_api.cpp.o"
+  "CMakeFiles/fidelity_script_vs_api.dir/fidelity_script_vs_api.cpp.o.d"
+  "fidelity_script_vs_api"
+  "fidelity_script_vs_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidelity_script_vs_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fidelity_script_vs_api.
+# This may be replaced when dependencies are built.

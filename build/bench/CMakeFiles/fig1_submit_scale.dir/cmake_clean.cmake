@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_submit_scale.dir/fig1_submit_scale.cpp.o"
+  "CMakeFiles/fig1_submit_scale.dir/fig1_submit_scale.cpp.o.d"
+  "fig1_submit_scale"
+  "fig1_submit_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_submit_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_buffer_collisions.dir/fig5_buffer_collisions.cpp.o"
+  "CMakeFiles/fig5_buffer_collisions.dir/fig5_buffer_collisions.cpp.o.d"
+  "fig5_buffer_collisions"
+  "fig5_buffer_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_buffer_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_aloha_reader.dir/fig6_aloha_reader.cpp.o"
+  "CMakeFiles/fig6_aloha_reader.dir/fig6_aloha_reader.cpp.o.d"
+  "fig6_aloha_reader"
+  "fig6_aloha_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_aloha_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ethernet_reader.dir/fig7_ethernet_reader.cpp.o"
+  "CMakeFiles/fig7_ethernet_reader.dir/fig7_ethernet_reader.cpp.o.d"
+  "fig7_ethernet_reader"
+  "fig7_ethernet_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ethernet_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_shell.dir/micro_shell.cpp.o"
+  "CMakeFiles/micro_shell.dir/micro_shell.cpp.o.d"
+  "micro_shell"
+  "micro_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

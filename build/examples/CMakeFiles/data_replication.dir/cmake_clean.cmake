@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_replication.dir/data_replication.cpp.o"
+  "CMakeFiles/data_replication.dir/data_replication.cpp.o.d"
+  "data_replication"
+  "data_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

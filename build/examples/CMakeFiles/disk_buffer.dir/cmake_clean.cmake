@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_buffer.dir/disk_buffer.cpp.o"
+  "CMakeFiles/disk_buffer.dir/disk_buffer.cpp.o.d"
+  "disk_buffer"
+  "disk_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsh.dir/ftsh.cpp.o"
+  "CMakeFiles/ftsh.dir/ftsh.cpp.o.d"
+  "ftsh"
+  "ftsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ftsh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_submission.dir/job_submission.cpp.o"
+  "CMakeFiles/job_submission.dir/job_submission.cpp.o.d"
+  "job_submission"
+  "job_submission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_submission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ftsh_syntax_archive-unpack "/root/repo/build/examples/ftsh" "-n" "/root/repo/examples/scripts/archive-unpack.ftsh")
+set_tests_properties(ftsh_syntax_archive-unpack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(ftsh_syntax_local-test-first "/root/repo/build/examples/ftsh" "-n" "/root/repo/examples/scripts/local-test-first.ftsh")
+set_tests_properties(ftsh_syntax_local-test-first PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(ftsh_syntax_mirror-fetch "/root/repo/build/examples/ftsh" "-n" "/root/repo/examples/scripts/mirror-fetch.ftsh")
+set_tests_properties(ftsh_syntax_mirror-fetch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(ftsh_syntax_probe-before-submit "/root/repo/build/examples/ftsh" "-n" "/root/repo/examples/scripts/probe-before-submit.ftsh")
+set_tests_properties(ftsh_syntax_probe-before-submit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backoff.cpp" "src/core/CMakeFiles/ethergrid_core.dir/backoff.cpp.o" "gcc" "src/core/CMakeFiles/ethergrid_core.dir/backoff.cpp.o.d"
+  "/root/repo/src/core/clock.cpp" "src/core/CMakeFiles/ethergrid_core.dir/clock.cpp.o" "gcc" "src/core/CMakeFiles/ethergrid_core.dir/clock.cpp.o.d"
+  "/root/repo/src/core/discipline.cpp" "src/core/CMakeFiles/ethergrid_core.dir/discipline.cpp.o" "gcc" "src/core/CMakeFiles/ethergrid_core.dir/discipline.cpp.o.d"
+  "/root/repo/src/core/retry.cpp" "src/core/CMakeFiles/ethergrid_core.dir/retry.cpp.o" "gcc" "src/core/CMakeFiles/ethergrid_core.dir/retry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ethergrid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethergrid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

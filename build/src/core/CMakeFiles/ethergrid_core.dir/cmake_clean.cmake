@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethergrid_core.dir/backoff.cpp.o"
+  "CMakeFiles/ethergrid_core.dir/backoff.cpp.o.d"
+  "CMakeFiles/ethergrid_core.dir/clock.cpp.o"
+  "CMakeFiles/ethergrid_core.dir/clock.cpp.o.d"
+  "CMakeFiles/ethergrid_core.dir/discipline.cpp.o"
+  "CMakeFiles/ethergrid_core.dir/discipline.cpp.o.d"
+  "CMakeFiles/ethergrid_core.dir/retry.cpp.o"
+  "CMakeFiles/ethergrid_core.dir/retry.cpp.o.d"
+  "libethergrid_core.a"
+  "libethergrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethergrid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

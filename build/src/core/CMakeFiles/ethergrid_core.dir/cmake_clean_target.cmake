@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libethergrid_core.a"
+)

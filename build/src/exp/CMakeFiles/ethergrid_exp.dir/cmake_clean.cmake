@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethergrid_exp.dir/scenarios.cpp.o"
+  "CMakeFiles/ethergrid_exp.dir/scenarios.cpp.o.d"
+  "CMakeFiles/ethergrid_exp.dir/table.cpp.o"
+  "CMakeFiles/ethergrid_exp.dir/table.cpp.o.d"
+  "libethergrid_exp.a"
+  "libethergrid_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethergrid_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/clients.cpp" "src/grid/CMakeFiles/ethergrid_grid.dir/clients.cpp.o" "gcc" "src/grid/CMakeFiles/ethergrid_grid.dir/clients.cpp.o.d"
+  "/root/repo/src/grid/fd_table.cpp" "src/grid/CMakeFiles/ethergrid_grid.dir/fd_table.cpp.o" "gcc" "src/grid/CMakeFiles/ethergrid_grid.dir/fd_table.cpp.o.d"
+  "/root/repo/src/grid/fileserver.cpp" "src/grid/CMakeFiles/ethergrid_grid.dir/fileserver.cpp.o" "gcc" "src/grid/CMakeFiles/ethergrid_grid.dir/fileserver.cpp.o.d"
+  "/root/repo/src/grid/fsbuffer.cpp" "src/grid/CMakeFiles/ethergrid_grid.dir/fsbuffer.cpp.o" "gcc" "src/grid/CMakeFiles/ethergrid_grid.dir/fsbuffer.cpp.o.d"
+  "/root/repo/src/grid/io_channel.cpp" "src/grid/CMakeFiles/ethergrid_grid.dir/io_channel.cpp.o" "gcc" "src/grid/CMakeFiles/ethergrid_grid.dir/io_channel.cpp.o.d"
+  "/root/repo/src/grid/schedd.cpp" "src/grid/CMakeFiles/ethergrid_grid.dir/schedd.cpp.o" "gcc" "src/grid/CMakeFiles/ethergrid_grid.dir/schedd.cpp.o.d"
+  "/root/repo/src/grid/submit_file.cpp" "src/grid/CMakeFiles/ethergrid_grid.dir/submit_file.cpp.o" "gcc" "src/grid/CMakeFiles/ethergrid_grid.dir/submit_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ethergrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethergrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ethergrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

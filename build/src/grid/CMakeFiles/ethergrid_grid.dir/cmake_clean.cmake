@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethergrid_grid.dir/clients.cpp.o"
+  "CMakeFiles/ethergrid_grid.dir/clients.cpp.o.d"
+  "CMakeFiles/ethergrid_grid.dir/fd_table.cpp.o"
+  "CMakeFiles/ethergrid_grid.dir/fd_table.cpp.o.d"
+  "CMakeFiles/ethergrid_grid.dir/fileserver.cpp.o"
+  "CMakeFiles/ethergrid_grid.dir/fileserver.cpp.o.d"
+  "CMakeFiles/ethergrid_grid.dir/fsbuffer.cpp.o"
+  "CMakeFiles/ethergrid_grid.dir/fsbuffer.cpp.o.d"
+  "CMakeFiles/ethergrid_grid.dir/io_channel.cpp.o"
+  "CMakeFiles/ethergrid_grid.dir/io_channel.cpp.o.d"
+  "CMakeFiles/ethergrid_grid.dir/schedd.cpp.o"
+  "CMakeFiles/ethergrid_grid.dir/schedd.cpp.o.d"
+  "CMakeFiles/ethergrid_grid.dir/submit_file.cpp.o"
+  "CMakeFiles/ethergrid_grid.dir/submit_file.cpp.o.d"
+  "libethergrid_grid.a"
+  "libethergrid_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethergrid_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

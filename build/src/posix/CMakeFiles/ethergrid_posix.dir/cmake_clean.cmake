@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethergrid_posix.dir/posix_executor.cpp.o"
+  "CMakeFiles/ethergrid_posix.dir/posix_executor.cpp.o.d"
+  "libethergrid_posix.a"
+  "libethergrid_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethergrid_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

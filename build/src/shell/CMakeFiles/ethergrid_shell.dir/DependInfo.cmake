@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shell/audit.cpp" "src/shell/CMakeFiles/ethergrid_shell.dir/audit.cpp.o" "gcc" "src/shell/CMakeFiles/ethergrid_shell.dir/audit.cpp.o.d"
+  "/root/repo/src/shell/environment.cpp" "src/shell/CMakeFiles/ethergrid_shell.dir/environment.cpp.o" "gcc" "src/shell/CMakeFiles/ethergrid_shell.dir/environment.cpp.o.d"
+  "/root/repo/src/shell/interpreter.cpp" "src/shell/CMakeFiles/ethergrid_shell.dir/interpreter.cpp.o" "gcc" "src/shell/CMakeFiles/ethergrid_shell.dir/interpreter.cpp.o.d"
+  "/root/repo/src/shell/lexer.cpp" "src/shell/CMakeFiles/ethergrid_shell.dir/lexer.cpp.o" "gcc" "src/shell/CMakeFiles/ethergrid_shell.dir/lexer.cpp.o.d"
+  "/root/repo/src/shell/parser.cpp" "src/shell/CMakeFiles/ethergrid_shell.dir/parser.cpp.o" "gcc" "src/shell/CMakeFiles/ethergrid_shell.dir/parser.cpp.o.d"
+  "/root/repo/src/shell/sim_executor.cpp" "src/shell/CMakeFiles/ethergrid_shell.dir/sim_executor.cpp.o" "gcc" "src/shell/CMakeFiles/ethergrid_shell.dir/sim_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ethergrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethergrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ethergrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethergrid_shell.dir/audit.cpp.o"
+  "CMakeFiles/ethergrid_shell.dir/audit.cpp.o.d"
+  "CMakeFiles/ethergrid_shell.dir/environment.cpp.o"
+  "CMakeFiles/ethergrid_shell.dir/environment.cpp.o.d"
+  "CMakeFiles/ethergrid_shell.dir/interpreter.cpp.o"
+  "CMakeFiles/ethergrid_shell.dir/interpreter.cpp.o.d"
+  "CMakeFiles/ethergrid_shell.dir/lexer.cpp.o"
+  "CMakeFiles/ethergrid_shell.dir/lexer.cpp.o.d"
+  "CMakeFiles/ethergrid_shell.dir/parser.cpp.o"
+  "CMakeFiles/ethergrid_shell.dir/parser.cpp.o.d"
+  "CMakeFiles/ethergrid_shell.dir/sim_executor.cpp.o"
+  "CMakeFiles/ethergrid_shell.dir/sim_executor.cpp.o.d"
+  "libethergrid_shell.a"
+  "libethergrid_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethergrid_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

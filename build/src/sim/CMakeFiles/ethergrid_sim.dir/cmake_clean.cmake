@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethergrid_sim.dir/kernel.cpp.o"
+  "CMakeFiles/ethergrid_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/ethergrid_sim.dir/resource.cpp.o"
+  "CMakeFiles/ethergrid_sim.dir/resource.cpp.o.d"
+  "libethergrid_sim.a"
+  "libethergrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethergrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethergrid_util.dir/log.cpp.o"
+  "CMakeFiles/ethergrid_util.dir/log.cpp.o.d"
+  "CMakeFiles/ethergrid_util.dir/rng.cpp.o"
+  "CMakeFiles/ethergrid_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ethergrid_util.dir/stats.cpp.o"
+  "CMakeFiles/ethergrid_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ethergrid_util.dir/status.cpp.o"
+  "CMakeFiles/ethergrid_util.dir/status.cpp.o.d"
+  "CMakeFiles/ethergrid_util.dir/strings.cpp.o"
+  "CMakeFiles/ethergrid_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ethergrid_util.dir/time.cpp.o"
+  "CMakeFiles/ethergrid_util.dir/time.cpp.o.d"
+  "libethergrid_util.a"
+  "libethergrid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethergrid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

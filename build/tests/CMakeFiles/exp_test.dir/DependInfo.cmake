@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp/figures_smoke_test.cpp" "tests/CMakeFiles/exp_test.dir/exp/figures_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/exp_test.dir/exp/figures_smoke_test.cpp.o.d"
+  "/root/repo/tests/exp/scenarios_test.cpp" "tests/CMakeFiles/exp_test.dir/exp/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/exp_test.dir/exp/scenarios_test.cpp.o.d"
+  "/root/repo/tests/exp/table_test.cpp" "tests/CMakeFiles/exp_test.dir/exp/table_test.cpp.o" "gcc" "tests/CMakeFiles/exp_test.dir/exp/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ethergrid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethergrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/ethergrid_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ethergrid_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ethergrid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_test.dir/grid/clients_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/clients_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/fd_table_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/fd_table_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/fileserver_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/fileserver_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/fsbuffer_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/fsbuffer_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/io_channel_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/io_channel_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/schedd_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/schedd_test.cpp.o.d"
+  "CMakeFiles/grid_test.dir/grid/submit_file_test.cpp.o"
+  "CMakeFiles/grid_test.dir/grid/submit_file_test.cpp.o.d"
+  "grid_test"
+  "grid_test.pdb"
+  "grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

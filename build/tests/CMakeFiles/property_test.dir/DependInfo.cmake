@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/buffer_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/buffer_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/buffer_property_test.cpp.o.d"
+  "/root/repo/tests/property/kernel_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/kernel_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/kernel_property_test.cpp.o.d"
+  "/root/repo/tests/property/retry_property_test.cpp" "tests/CMakeFiles/property_test.dir/property/retry_property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property/retry_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ethergrid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethergrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ethergrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/ethergrid_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

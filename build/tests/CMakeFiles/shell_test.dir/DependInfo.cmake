@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/shell/audit_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/audit_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/audit_test.cpp.o.d"
+  "/root/repo/tests/shell/environment_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/environment_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/environment_test.cpp.o.d"
+  "/root/repo/tests/shell/interpreter_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/interpreter_test.cpp.o.d"
+  "/root/repo/tests/shell/lexer_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/lexer_test.cpp.o.d"
+  "/root/repo/tests/shell/parser_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/parser_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/parser_test.cpp.o.d"
+  "/root/repo/tests/shell/robustness_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/robustness_test.cpp.o.d"
+  "/root/repo/tests/shell/semantics_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/semantics_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/semantics_test.cpp.o.d"
+  "/root/repo/tests/shell/sim_executor_test.cpp" "tests/CMakeFiles/shell_test.dir/shell/sim_executor_test.cpp.o" "gcc" "tests/CMakeFiles/shell_test.dir/shell/sim_executor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ethergrid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ethergrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/ethergrid_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ethergrid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

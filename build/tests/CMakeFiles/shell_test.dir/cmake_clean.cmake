@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_test.dir/shell/audit_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/audit_test.cpp.o.d"
+  "CMakeFiles/shell_test.dir/shell/environment_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/environment_test.cpp.o.d"
+  "CMakeFiles/shell_test.dir/shell/interpreter_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/interpreter_test.cpp.o.d"
+  "CMakeFiles/shell_test.dir/shell/lexer_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/lexer_test.cpp.o.d"
+  "CMakeFiles/shell_test.dir/shell/parser_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/parser_test.cpp.o.d"
+  "CMakeFiles/shell_test.dir/shell/robustness_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/robustness_test.cpp.o.d"
+  "CMakeFiles/shell_test.dir/shell/semantics_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/semantics_test.cpp.o.d"
+  "CMakeFiles/shell_test.dir/shell/sim_executor_test.cpp.o"
+  "CMakeFiles/shell_test.dir/shell/sim_executor_test.cpp.o.d"
+  "shell_test"
+  "shell_test.pdb"
+  "shell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
