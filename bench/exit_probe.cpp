@@ -1,0 +1,19 @@
+// Prints a nanosecond wall-clock timestamp and exits with no teardown at
+// all: the gap between this timestamp and PosixExecutor::run returning is
+// pure supervision latency (EOF drain + exit wake + reap).  Used by
+// micro_shell's BM_PosixExitToReturnLatency.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+int main() {
+  const long long ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  char buf[32];
+  const int len = std::snprintf(buf, sizeof(buf), "%lld", ns);
+  (void)!::write(1, buf, len);
+  ::_exit(0);
+}

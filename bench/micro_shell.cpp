@@ -4,6 +4,7 @@
 #include "core/backoff.hpp"
 #include "core/retry.hpp"
 #include "core/sim_clock.hpp"
+#include "posix/posix_executor.hpp"
 #include "shell/interpreter.hpp"
 #include "shell/lexer.hpp"
 #include "shell/parser.hpp"
@@ -100,6 +101,74 @@ void BM_RunTrySucceedFirst(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 100);
 }
 BENCHMARK(BM_RunTrySucceedFirst);
+
+// ---- process-supervision latency (the event-driven engine's contract) ----
+//
+// Both cases set poll_interval far above the expected latency: if a fixed
+// polling term ever re-enters the supervision hot path, the reported times
+// jump to poll_interval and the regression is unmissable.
+
+// Exit-to-return: total run() time for a trivial command with stdout sent
+// to a file, so child exit is the *only* wake event the supervisor gets.
+void BM_PosixExitToReturn(benchmark::State& state) {
+  posix::PosixExecutorOptions o;
+  o.poll_interval = msec(250);
+  posix::PosixExecutor ex(o);
+  for (auto _ : state) {
+    shell::CommandInvocation i;
+    i.argv = {"true"};
+    i.stdout_file = "/dev/null";
+    auto r = ex.run(i);
+    benchmark::DoNotOptimize(r.status.ok());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_PosixExitToReturn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// True exit-to-return latency: the exit_probe helper prints a nanosecond
+// timestamp and _exits; the measured (manual) iteration time is the gap
+// between that instant and run() returning -- EOF drain + exit wake + reap
+// + status assembly, with fork/exec startup and child teardown excluded.
+void BM_PosixExitToReturnLatency(benchmark::State& state) {
+  posix::PosixExecutorOptions o;
+  o.poll_interval = msec(250);
+  posix::PosixExecutor ex(o);
+  for (auto _ : state) {
+    shell::CommandInvocation i;
+    i.argv = {ETHERGRID_EXIT_PROBE_PATH};
+    auto r = ex.run(i);
+    const auto returned = std::chrono::system_clock::now();
+    const long long exit_ns = std::atoll(r.out.c_str());
+    const long long returned_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            returned.time_since_epoch())
+            .count();
+    state.SetIterationTime(
+        std::max(0.0, double(returned_ns - exit_ns) / 1e9));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_PosixExitToReturnLatency)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Kill-to-reap: deadline already expired, so run() immediately SIGTERMs the
+// session and the measured time is kill -> death -> reap -> return.
+void BM_PosixKillToReap(benchmark::State& state) {
+  posix::PosixExecutorOptions o;
+  o.poll_interval = msec(250);
+  o.kill_grace = msec(100);
+  posix::PosixExecutor ex(o);
+  for (auto _ : state) {
+    shell::CommandInvocation i;
+    i.argv = {"sleep", "30"};
+    i.deadline = ex.now() - sec(1);
+    auto r = ex.run(i);
+    benchmark::DoNotOptimize(r.status.code() == StatusCode::kTimeout);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_PosixKillToReap)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

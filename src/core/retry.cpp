@@ -66,8 +66,17 @@ Status run_try(Clock& clock, Rng& rng, const TryOptions& options,
         delay = std::min(delay, deadline - clock.now());
       }
       if (delay > Duration(0)) {
-        local.backoff_total += delay;
-        clock.sleep(delay);
+        // Record what was actually slept, not what was asked for: a group
+        // abort (or an unwinding deadline) can cut the sleep short, and the
+        // back channel must not overstate time spent backing off.
+        const TimePoint sleep_start = clock.now();
+        try {
+          clock.sleep(delay);
+        } catch (...) {
+          local.backoff_total += clock.now() - sleep_start;
+          throw;
+        }
+        local.backoff_total += clock.now() - sleep_start;
       }
     }
   });

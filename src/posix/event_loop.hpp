@@ -1,0 +1,73 @@
+// Event-driven child supervision primitives for the POSIX executor.
+//
+// The paper's cancellation protocol ("processes are first gently requested
+// to exit, then forcibly terminated") only delivers its latency promise if
+// the supervising shell *notices* exits, EOFs, and aborts immediately.
+// These pieces replace the old fixed-interval polling loop:
+//
+//  * pump_fd       -- drain a nonblocking pipe, distinguishing EOF from
+//                     hard errors (the latter must also end supervision);
+//  * kill_session  -- session kill with a pre-setsid fallback so an early
+//                     kill is never silently lost to ESRCH;
+//  * ChildExitWatch-- a pollable fd that becomes readable when the child
+//                     exits (pidfd on modern kernels);
+//  * SigchldSelfPipe-- process-wide fallback wake source when pidfd is
+//                     unavailable.
+#pragma once
+
+#include <string>
+
+namespace ethergrid::posix {
+
+// Result of draining a nonblocking read end.
+enum class PumpResult {
+  kOpen,   // drained everything currently available; stream still open
+  kEof,    // orderly end of stream
+  kError,  // hard read error (EBADF, EIO, ...): the stream is dead
+};
+
+// Reads everything currently available from fd into *sink.  Never blocks
+// (fd must be O_NONBLOCK).  EINTR is retried; EAGAIN means kOpen; any other
+// error is kError -- callers must close the fd and stop supervising it, or
+// a dead descriptor would keep the supervision loop alive forever.
+PumpResult pump_fd(int fd, std::string* sink);
+
+// Signals the child's session (kill(-pid)).  A freshly forked child only
+// becomes its own process group once it reaches setsid(); until then the
+// group kill fails with ESRCH, so fall back to signalling the pid directly
+// rather than losing the kill.  (The fallback only fires in that pre-setsid
+// window, when the child cannot yet have been reaped, so there is no
+// pid-reuse hazard.)
+void kill_session(long pid, int signo);
+
+// Pollable child-exit notification.  fd() is a pidfd (readable once the
+// child is a zombie) or -1 when the kernel lacks pidfd_open -- then the
+// caller must combine SigchldSelfPipe::fd() with a bounded poll timeout.
+class ChildExitWatch {
+ public:
+  explicit ChildExitWatch(long pid);
+  ~ChildExitWatch();
+  ChildExitWatch(const ChildExitWatch&) = delete;
+  ChildExitWatch& operator=(const ChildExitWatch&) = delete;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+// Process-wide SIGCHLD self-pipe.  install() is idempotent and chains the
+// previous handler; fd() is the nonblocking read end.  The pipe is shared
+// by every concurrent supervision loop, so a reader may consume a byte
+// meant for a sibling: treat readability as a hint and keep a bounded poll
+// timeout as backstop.  Only used when pidfd is unavailable.
+class SigchldSelfPipe {
+ public:
+  // Returns the read end, installing the handler on first use; -1 if the
+  // pipe or handler could not be installed.
+  static int fd();
+  // Drains any pending wake bytes (nonblocking).
+  static void drain();
+};
+
+}  // namespace ethergrid::posix

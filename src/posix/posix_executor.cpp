@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/eventfd.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -12,6 +13,7 @@
 #include <cstring>
 #include <thread>
 
+#include "posix/event_loop.hpp"
 #include "util/strings.hpp"
 
 namespace ethergrid::posix {
@@ -45,7 +47,43 @@ void close_fd(int* fd) {
   }
 }
 
+// All parent-side pipe and redirection fds are O_CLOEXEC: a sibling forall
+// branch forking concurrently must not capture them, or a fast-exiting
+// command's stdout never reaches EOF until the unrelated sibling exits.
+int open_cloexec(const char* path, int flags, mode_t mode = 0) {
+  return ::open(path, flags | O_CLOEXEC, mode);
+}
+
+// Ceiling ms conversion for poll(2); never returns 0 for a positive wait
+// (a truncated-to-zero timeout would busy-spin just short of a deadline).
+int poll_timeout_ms(Duration d) {
+  if (d <= Duration(0)) return 0;
+  const std::int64_t ms = (d.count() + 999) / 1000;
+  return static_cast<int>(std::min<std::int64_t>(ms, 60'000));
+}
+
 }  // namespace
+
+PosixExecutor::ParallelGroup::ParallelGroup()
+    : abort_fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+
+PosixExecutor::ParallelGroup::~ParallelGroup() {
+  if (abort_fd >= 0) ::close(abort_fd);
+}
+
+void PosixExecutor::ParallelGroup::signal_abort() {
+  if (abort.exchange(true)) return;  // only the first failure broadcasts
+  {
+    // Empty critical section: pairs with the cv.wait in sleeping branches
+    // so the store cannot slip between their predicate check and the wait.
+    std::lock_guard<std::mutex> lock(m);
+  }
+  cv.notify_all();
+  if (abort_fd >= 0) {
+    const std::uint64_t one = 1;
+    (void)!::write(abort_fd, &one, sizeof(one));
+  }
+}
 
 PosixExecutor::PosixExecutor(PosixExecutorOptions options)
     : options_(options) {
@@ -57,18 +95,23 @@ PosixExecutor::~PosixExecutor() = default;
 TimePoint PosixExecutor::now() { return clock_.now(); }
 
 void PosixExecutor::sleep(Duration d) {
-  // Chunked so an aborting forall does not sit out a long backoff delay.
-  TimePoint end = clock_.now() + d;
-  while (clock_.now() < end) {
-    if (tls_group_ && tls_group_->abort.load()) return;
-    Duration chunk = std::min(options_.poll_interval, end - clock_.now());
-    clock_.sleep(chunk);
+  // Inside a forall branch, an abort must cut the sleep short immediately;
+  // the group condition variable delivers the wake with no polling.
+  if (ParallelGroup* group = tls_group_) {
+    std::unique_lock<std::mutex> lock(group->m);
+    group->cv.wait_for(lock, d, [&] { return group->abort.load(); });
+    return;
   }
+  clock_.sleep(d);
 }
 
 Status PosixExecutor::with_deadline(TimePoint deadline,
                                     const std::function<Status()>& fn) {
   return clock_.with_deadline(deadline, fn);
+}
+
+bool PosixExecutor::abort_requested() {
+  return tls_group_ != nullptr && tls_group_->abort.load();
 }
 
 bool PosixExecutor::file_exists(const std::string& path) {
@@ -95,7 +138,7 @@ void PosixExecutor::set_parallel_policy(const shell::ParallelPolicy& policy) {
 void PosixExecutor::terminate_all(int signo) {
   std::lock_guard<std::mutex> lock(mu_);
   for (long pid : live_pids_) {
-    ::kill(static_cast<pid_t>(-pid), signo);  // whole session
+    kill_session(pid, signo);
   }
 }
 
@@ -103,7 +146,8 @@ shell::CommandResult PosixExecutor::run(
     const shell::CommandInvocation& invocation) {
   using shell::CommandResult;
 
-  if (tls_group_ && tls_group_->abort.load()) {
+  ParallelGroup* const group = tls_group_;
+  if (group && group->abort.load()) {
     return CommandResult{Status::killed("forall branch aborted"), "", ""};
   }
 
@@ -124,37 +168,43 @@ shell::CommandResult PosixExecutor::run(
 
   if (invocation.stdin_data) {
     int fds[2];
-    if (pipe(fds) != 0) return fail_setup("pipe: " + std::string(strerror(errno)));
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+      return fail_setup("pipe: " + std::string(strerror(errno)));
+    }
     stdin_read = fds[0];
     stdin_write = fds[1];
   } else if (invocation.stdin_file) {
-    stdin_read = ::open(invocation.stdin_file->c_str(), O_RDONLY);
+    stdin_read = open_cloexec(invocation.stdin_file->c_str(), O_RDONLY);
     if (stdin_read < 0) {
       return fail_setup("cannot open " + *invocation.stdin_file + ": " +
                         strerror(errno));
     }
   } else {
-    stdin_read = ::open("/dev/null", O_RDONLY);
+    stdin_read = open_cloexec("/dev/null", O_RDONLY);
   }
 
   if (invocation.stdout_file) {
     int flags = O_WRONLY | O_CREAT |
                 (invocation.stdout_append ? O_APPEND : O_TRUNC);
-    stdout_write = ::open(invocation.stdout_file->c_str(), flags, 0644);
+    stdout_write = open_cloexec(invocation.stdout_file->c_str(), flags, 0644);
     if (stdout_write < 0) {
       return fail_setup("cannot open " + *invocation.stdout_file + ": " +
                         strerror(errno));
     }
   } else {
     int fds[2];
-    if (pipe(fds) != 0) return fail_setup("pipe: " + std::string(strerror(errno)));
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+      return fail_setup("pipe: " + std::string(strerror(errno)));
+    }
     stdout_read = fds[0];
     stdout_write = fds[1];
   }
 
   if (!invocation.merge_stderr) {
     int fds[2];
-    if (pipe(fds) != 0) return fail_setup("pipe: " + std::string(strerror(errno)));
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+      return fail_setup("pipe: " + std::string(strerror(errno)));
+    }
     stderr_read = fds[0];
     stderr_write = fds[1];
   }
@@ -170,15 +220,23 @@ shell::CommandResult PosixExecutor::run(
   const pid_t pid = ::fork();
   if (pid < 0) return fail_setup("fork: " + std::string(strerror(errno)));
   if (pid == 0) {
-    // Child: own session so kill(-pid) reaches every descendant.
+    // Child: own session so kill(-pid) reaches every descendant.  The
+    // dup2'd standard fds lose O_CLOEXEC; every other endpoint closes
+    // itself at exec.  dup2(fd, fd) is a no-op that would *keep* the flag
+    // (possible when the parent's own stdio was closed), so clear it
+    // explicitly in that case.
+    auto install_stdio = [](int from, int to) {
+      if (from == to) {
+        const int flags = ::fcntl(from, F_GETFD, 0);
+        if (flags >= 0) ::fcntl(from, F_SETFD, flags & ~FD_CLOEXEC);
+      } else {
+        ::dup2(from, to);
+      }
+    };
     ::setsid();
-    ::dup2(stdin_read, 0);
-    ::dup2(stdout_write, 1);
-    ::dup2(invocation.merge_stderr ? stdout_write : stderr_write, 2);
-    for (int fd : {stdin_read, stdin_write, stdout_read, stdout_write,
-                   stderr_read, stderr_write}) {
-      if (fd > 2) ::close(fd);
-    }
+    install_stdio(stdin_read, 0);
+    install_stdio(stdout_write, 1);
+    install_stdio(invocation.merge_stderr ? stdout_write : stderr_write, 2);
     ::execvp(argv[0], argv.data());
     _exit(127);  // shell convention: command not runnable
   }
@@ -208,16 +266,16 @@ shell::CommandResult PosixExecutor::run(
   int exit_status = 0;
   bool exited = false;
 
-  auto pump = [&](int fd, std::string* sink) {
-    char buf[4096];
-    while (true) {
-      ssize_t n = ::read(fd, buf, sizeof(buf));
-      if (n > 0) {
-        sink->append(buf, std::size_t(n));
-        continue;
-      }
-      return n == 0;  // true => EOF
-    }
+  // Exit notification: pidfd when the kernel has it; otherwise the shared
+  // SIGCHLD self-pipe plus a bounded poll timeout as backstop.
+  ChildExitWatch exit_watch(pid);
+  const int sigchld_fd = exit_watch.fd() < 0 ? SigchldSelfPipe::fd() : -1;
+
+  // Drains one pipe; EOF and hard errors both retire the fd, so a dead
+  // descriptor can never pin the loop open.
+  auto drain = [](int* fd, std::string* sink) {
+    if (*fd < 0) return;
+    if (pump_fd(*fd, sink) != PumpResult::kOpen) close_fd(fd);
   };
 
   while (true) {
@@ -238,8 +296,8 @@ shell::CommandResult PosixExecutor::run(
     }
 
     // Drain output.
-    if (stdout_read >= 0 && pump(stdout_read, &out)) close_fd(&stdout_read);
-    if (stderr_read >= 0 && pump(stderr_read, &err)) close_fd(&stderr_read);
+    drain(&stdout_read, &out);
+    drain(&stderr_read, &err);
 
     // Reap?
     if (!exited) {
@@ -253,39 +311,60 @@ shell::CommandResult PosixExecutor::run(
     if (exited && stdout_read < 0 && stderr_read < 0) break;
     if (exited && phase != KillPhase::kNone) {
       // Killed: do not wait for grandchildren holding the pipes open.
-      if (stdout_read >= 0) pump(stdout_read, &out);
-      if (stderr_read >= 0) pump(stderr_read, &err);
+      if (stdout_read >= 0) pump_fd(stdout_read, &out);
+      if (stderr_read >= 0) pump_fd(stderr_read, &err);
       break;
     }
 
     // Deadline / abort enforcement on the whole session.
-    const bool want_abort = tls_group_ && tls_group_->abort.load();
+    const bool want_abort = group && group->abort.load();
     const bool past_deadline = clock_.now() >= invocation.deadline;
     if (!exited && phase == KillPhase::kNone && (want_abort || past_deadline)) {
       killed_for_abort = want_abort;
       killed_for_deadline = past_deadline && !want_abort;
-      ::kill(-pid, SIGTERM);
+      kill_session(pid, SIGTERM);
       phase = KillPhase::kTermSent;
       term_time = clock_.now();
     } else if (!exited && phase == KillPhase::kTermSent &&
                clock_.now() - term_time >= options_.kill_grace) {
-      ::kill(-pid, SIGKILL);
+      kill_session(pid, SIGKILL);
       phase = KillPhase::kKillSent;
     }
 
-    // Sleep on whatever is still open.
-    struct pollfd fds[3];
+    // Sleep until the next event: pipe readiness, child exit, group abort,
+    // or the next enforcement edge (deadline, then TERM->KILL escalation).
+    // There is no fixed polling interval on this path.
+    struct pollfd fds[6];
     nfds_t nfds = 0;
     if (stdin_write >= 0) fds[nfds++] = {stdin_write, POLLOUT, 0};
     if (stdout_read >= 0) fds[nfds++] = {stdout_read, POLLIN, 0};
     if (stderr_read >= 0) fds[nfds++] = {stderr_read, POLLIN, 0};
-    const int timeout_ms =
-        int(std::max<std::int64_t>(1, options_.poll_interval.count() / 1000));
-    if (nfds > 0) {
-      ::poll(fds, nfds, timeout_ms);
-    } else if (!exited) {
-      std::this_thread::sleep_for(options_.poll_interval);
+    if (!exited && exit_watch.fd() >= 0) {
+      fds[nfds++] = {exit_watch.fd(), POLLIN, 0};
     }
+    if (!exited && sigchld_fd >= 0) fds[nfds++] = {sigchld_fd, POLLIN, 0};
+    // The abort eventfd stays readable once signalled, so only poll it
+    // while an abort could still change our behaviour (before any kill).
+    if (group && phase == KillPhase::kNone && group->abort_fd >= 0) {
+      fds[nfds++] = {group->abort_fd, POLLIN, 0};
+    }
+
+    int timeout = -1;  // wait indefinitely: every exit path has a wake fd
+    if (!exited && phase == KillPhase::kNone &&
+        invocation.deadline != TimePoint::max()) {
+      timeout = poll_timeout_ms(invocation.deadline - clock_.now());
+    } else if (!exited && phase == KillPhase::kTermSent) {
+      timeout = poll_timeout_ms(term_time + options_.kill_grace -
+                                clock_.now());
+    }
+    if (!exited && exit_watch.fd() < 0) {
+      // Fallback mode: the shared self-pipe may be drained by a sibling, so
+      // bound the wait; this is the only place poll_interval survives.
+      const int backstop = poll_timeout_ms(options_.poll_interval);
+      timeout = timeout < 0 ? backstop : std::min(timeout, backstop);
+    }
+    ::poll(fds, nfds, timeout);
+    if (sigchld_fd >= 0) SigchldSelfPipe::drain();
   }
 
   if (tls_branch_) tls_branch_->current_pid.store(0);
@@ -293,7 +372,9 @@ shell::CommandResult PosixExecutor::run(
   close_fd(&stdin_write);
   close_fd(&stdout_read);
   close_fd(&stderr_read);
-  // Make sure nothing of the session survives a kill.
+  // Make sure nothing of the session survives a kill.  Group kill only: the
+  // child is already reaped here, so a pid fallback could hit a recycled
+  // pid; the session id itself is never recycled while members remain.
   if (phase != KillPhase::kNone) ::kill(-pid, SIGKILL);
 
   Status status;
@@ -360,9 +441,11 @@ std::vector<Status> PosixExecutor::run_parallel(
           return true;
         }
       }
+      // Jittered carrier-sense backoff, but woken early by a group abort.
       Duration delay =
           std::min<Duration>(backoff.next(), options_.poll_interval * 10);
-      std::this_thread::sleep_for(delay);
+      std::unique_lock<std::mutex> lock(group.m);
+      group.cv.wait_for(lock, delay, [&] { return group.abort.load(); });
     }
     return false;
   };
@@ -388,7 +471,7 @@ std::vector<Status> PosixExecutor::run_parallel(
         tls_branch_ = nullptr;
         if (table_limited) return_table_slot();
         if (statuses[i].failed()) {
-          group.abort.store(true);  // siblings' run() loops enforce the kill
+          group.signal_abort();  // wakes sibling poll loops and sleeps
         }
       }
       tls_group_ = previous_group;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,7 +31,10 @@ namespace ethergrid::posix {
 struct PosixExecutorOptions {
   // Grace between SIGTERM and SIGKILL on timeout/abort.
   Duration kill_grace = sec(5);
-  // Poll interval for child I/O and exit status.
+  // Backstop wait bound for the supervision loop when the kernel lacks
+  // pidfd_open (the SIGCHLD self-pipe is shared, so a wake byte can be
+  // consumed by a sibling loop).  On pidfd kernels supervision is fully
+  // event-driven and this value never enters the hot path.
   Duration poll_interval = msec(20);
 };
 
@@ -48,6 +52,7 @@ class PosixExecutor final : public shell::Executor {
   void sleep(Duration d) override;
   Status with_deadline(TimePoint deadline,
                        const std::function<Status()>& fn) override;
+  bool abort_requested() override;
 
   // Terminates every command session this executor currently has in flight
   // (used by the ftsh tool's SIGTERM handler: kill our children before
@@ -64,8 +69,19 @@ class PosixExecutor final : public shell::Executor {
   struct BranchState {
     std::atomic<long> current_pid{0};  // pid of the running command, if any
   };
+  // One forall in flight.  Abort is broadcast on three channels at once so
+  // every kind of waiter wakes immediately: the atomic (cheap checks), the
+  // condition variable (sleeping branches, table-slot backoff), and an
+  // eventfd (supervision loops blocked in poll alongside child fds).
   struct ParallelGroup {
+    ParallelGroup();
+    ~ParallelGroup();
+    void signal_abort();
+
     std::atomic<bool> abort{false};
+    std::mutex m;
+    std::condition_variable cv;
+    int abort_fd = -1;  // eventfd; written once on abort, never drained
     std::vector<std::unique_ptr<BranchState>> branches;
   };
 

@@ -84,6 +84,13 @@ class Executor : public core::Clock {
   virtual std::vector<Status> run_parallel(
       std::vector<std::function<Status()>> branches) = 0;
 
+  // True when the ambient forall group (if any) has aborted because a
+  // sibling branch failed.  The interpreter polls this between statements
+  // so even branches that never block -- pure arithmetic loops -- honor the
+  // abort promptly.  Executors whose branches are preempted externally
+  // (virtual time kills the process outright) keep the default.
+  virtual bool abort_requested() { return false; }
+
   virtual bool file_exists(const std::string& path) = 0;
 };
 

@@ -85,6 +85,11 @@ void Interpreter::log(LogLevel level, const std::string& message) {
 Interpreter::EvalResult Interpreter::eval_group(const Group& group,
                                                 EvalCtx& ctx) {
   for (const StatementPtr& stmt : group.statements) {
+    // A sibling forall branch failed: stop this branch between statements
+    // instead of letting command-free stretches (arithmetic loops) run on.
+    if (executor_->abort_requested()) {
+      return EvalResult::from(Status::killed("forall branch aborted"));
+    }
     EvalResult result = eval_statement(*stmt, ctx);
     if (result.flow == Flow::kReturn || result.status.failed()) {
       return result;  // fail-fast: the rest of the group does not run

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/sim_clock.hpp"
 #include "sim/kernel.hpp"
 
@@ -288,6 +290,39 @@ TEST(RunTryTest, SuccessStatusIsReturnedVerbatim) {
                        [&](TimePoint) { return Status::success(); });
     EXPECT_EQ(s, Status::success());
   });
+}
+
+// A clock whose sleeps are cut short, the way a forall abort (or any
+// cooperative wake) truncates a real backoff delay.
+class TruncatingClock final : public Clock {
+ public:
+  explicit TruncatingClock(Duration cap) : cap_(cap) {}
+  TimePoint now() override { return now_; }
+  void sleep(Duration d) override { now_ += std::min(d, cap_); }
+  Status with_deadline(TimePoint,
+                       const std::function<Status()>& fn) override {
+    return fn();
+  }
+
+ private:
+  Duration cap_;
+  TimePoint now_ = kEpoch;
+};
+
+TEST(TryMetricsTest, TruncatedBackoffRecordsSleptNotRequested) {
+  TruncatingClock clock(msec(5));  // every sleep is interrupted after 5 ms
+  Rng rng(1);
+  TryMetrics metrics;
+  TryOptions options = TryOptions::times(2);
+  options.backoff = BackoffPolicy::fixed(msec(100));
+  options.metrics = &metrics;
+  Status s = run_try(clock, rng, options,
+                     [](TimePoint) { return Status::failure("nope"); });
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(metrics.attempts, 2);
+  // One backoff between the two attempts: 100 ms was requested, 5 ms was
+  // actually slept, and only the slept time may be reported.
+  EXPECT_EQ(metrics.backoff_total, msec(5));
 }
 
 TEST(TryMetricsTest, MergeAccumulates) {

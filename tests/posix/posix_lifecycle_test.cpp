@@ -1,0 +1,284 @@
+// Child-lifecycle regressions: O_CLOEXEC fd hygiene, event-driven exit and
+// abort latency, pump error paths, pre-setsid kill delivery, and the
+// SIGTERM -> grace -> SIGKILL escalation order.
+//
+// The latency assertions are deliberately paired with huge poll_interval
+// values: if a fixed polling term ever sneaks back into the supervision hot
+// path, these tests time out the bound instead of passing by luck.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <dirent.h>
+#include <set>
+#include <thread>
+
+#include "posix/event_loop.hpp"
+#include "posix/posix_executor.hpp"
+#include "shell/environment.hpp"
+#include "shell/interpreter.hpp"
+
+namespace ethergrid::posix {
+namespace {
+
+using shell::CommandInvocation;
+
+CommandInvocation inv(std::vector<std::string> argv) {
+  CommandInvocation i;
+  i.argv = std::move(argv);
+  return i;
+}
+
+// Fds open in this process right now.
+std::set<int> own_open_fds() {
+  std::set<int> fds;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (!dir) return fds;
+  while (struct dirent* entry = ::readdir(dir)) {
+    int fd = ::atoi(entry->d_name);
+    if (fd > 0 || entry->d_name[0] == '0') fds.insert(fd);
+  }
+  ::closedir(dir);
+  return fds;
+}
+
+// ---- satellite: fd hygiene (pipe2 + O_CLOEXEC everywhere) ----
+
+TEST(PosixLifecycleTest, PipesDoNotLeakIntoConcurrentSiblings) {
+  // Fds that were already inheritable before the executor existed (test
+  // runner plumbing) are not ours to police.
+  std::set<int> preexisting;
+  for (int fd : own_open_fds()) {
+    const int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags >= 0 && !(flags & FD_CLOEXEC)) preexisting.insert(fd);
+  }
+
+  PosixExecutorOptions o;
+  o.kill_grace = msec(200);
+  PosixExecutor ex(o);
+
+  // Hold a command in flight so its parent-side pipe ends are live while a
+  // second command forks: without O_CLOEXEC the probe would inherit them.
+  std::thread holder([&] {
+    CommandInvocation slow = inv({"sleep", "0.8"});
+    slow.stdin_data = "unread";  // keeps all three pipes open
+    (void)ex.run(slow);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  auto probe = ex.run(inv({"ls", "-l", "/proc/self/fd"}));
+  holder.join();
+  ASSERT_TRUE(probe.status.ok()) << probe.status.to_string();
+
+  // Lines look like "l-wx------ 1 u g 64 Jan 1 00:00 4 -> pipe:[123]".
+  // A leaked supervision fd shows up as a pipe on an fd above the child's
+  // stdio triple; ls's own /proc fd and whitelisted inherited fds are fine.
+  std::size_t pos = 0;
+  while (pos < probe.out.size()) {
+    std::size_t end = probe.out.find('\n', pos);
+    if (end == std::string::npos) end = probe.out.size();
+    const std::string line = probe.out.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t arrow = line.find(" -> ");
+    if (arrow == std::string::npos) continue;
+    const std::size_t name_start = line.rfind(' ', arrow - 1) + 1;
+    const int fd = ::atoi(line.substr(name_start, arrow - name_start).c_str());
+    const std::string target = line.substr(arrow + 4);
+    if (fd <= 2 || preexisting.count(fd)) continue;
+    EXPECT_TRUE(target.compare(0, 5, "pipe:") != 0)
+        << "pipe fd " << fd << " leaked into a child; listing:\n"
+        << probe.out;
+  }
+}
+
+// ---- satellite: pump must retire dead descriptors ----
+
+TEST(PosixLifecycleTest, PumpReportsEofWithData) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+  ::close(fds[1]);
+  std::string sink;
+  EXPECT_EQ(pump_fd(fds[0], &sink), PumpResult::kEof);
+  EXPECT_EQ(sink, "abc");
+  ::close(fds[0]);
+}
+
+TEST(PosixLifecycleTest, PumpReportsOpenOnEmptyPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+  std::string sink;
+  EXPECT_EQ(pump_fd(fds[0], &sink), PumpResult::kOpen);
+  EXPECT_TRUE(sink.empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(PosixLifecycleTest, PumpReportsHardErrorNotOpen) {
+  // Reading a write-only fd fails with EBADF: the old code treated any
+  // negative read as "still open" and could supervise a dead fd forever.
+  int fd = ::open("/dev/null", O_WRONLY);
+  ASSERT_GE(fd, 0);
+  std::string sink;
+  EXPECT_EQ(pump_fd(fd, &sink), PumpResult::kError);
+  ::close(fd);
+}
+
+// ---- satellite: kill delivery before the child reaches setsid ----
+
+TEST(PosixLifecycleTest, KillSessionReachesPreSetsidChild) {
+  // The child never calls setsid, modeling the window between fork and
+  // setsid: kill(-pid) alone fails with ESRCH and the kill would be lost.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    for (;;) ::pause();
+  }
+  kill_session(pid, SIGKILL);
+  int status = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      EXPECT_TRUE(WIFSIGNALED(status));
+      EXPECT_EQ(WTERMSIG(status), SIGKILL);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, &status, 0);
+  FAIL() << "pre-setsid child survived kill_session";
+}
+
+// ---- satellite: SIGTERM precedes SIGKILL by kill_grace ----
+
+TEST(PosixLifecycleTest, DeadlineEscalatesTermThenKill) {
+  PosixExecutorOptions o;
+  o.kill_grace = msec(400);
+  PosixExecutor ex(o);
+  // The trap proves SIGTERM arrived; the loop ignores it so only the
+  // SIGKILL after kill_grace actually ends the session.
+  CommandInvocation i = inv(
+      {"sh", "-c", "trap 'echo got-term' TERM; while true; do sleep 0.05; done"});
+  i.deadline = ex.now() + msec(200);
+  const TimePoint start = ex.now();
+  auto r = ex.run(i);
+  const Duration took = ex.now() - start;
+  EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
+  EXPECT_NE(r.out.find("got-term"), std::string::npos)
+      << "SIGTERM was not delivered before SIGKILL; out=" << r.out;
+  EXPECT_GE(took, msec(550));  // deadline + most of the grace period
+  EXPECT_LT(took, sec(3));
+}
+
+// ---- tentpole: supervision is event-driven, not polled ----
+
+TEST(PosixLifecycleTest, ExitToReturnDoesNotWaitForPollInterval) {
+  PosixExecutorOptions o;
+  o.poll_interval = msec(500);  // a polling loop would eat this whole
+  PosixExecutor ex(o);
+  CommandInvocation i = inv({"true"});
+  i.stdout_file = "/dev/null";  // no pipes: child exit is the only event
+  const TimePoint start = ex.now();
+  ASSERT_TRUE(ex.run(i).status.ok());
+  EXPECT_LT(ex.now() - start, msec(250));
+}
+
+TEST(PosixLifecycleTest, DeadlineEnforcementDoesNotWaitForPollInterval) {
+  PosixExecutorOptions o;
+  o.poll_interval = sec(2);
+  o.kill_grace = msec(100);
+  PosixExecutor ex(o);
+  CommandInvocation i = inv({"sleep", "30"});
+  i.deadline = ex.now() + msec(100);
+  const TimePoint start = ex.now();
+  Status s = ex.run(i).status;
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_LT(ex.now() - start, msec(700));
+}
+
+TEST(PosixLifecycleTest, GroupAbortWakesSiblingSupervisionImmediately) {
+  PosixExecutorOptions o;
+  o.poll_interval = sec(1);
+  o.kill_grace = msec(100);
+  PosixExecutor ex(o);
+  const TimePoint start = ex.now();
+  auto statuses = ex.run_parallel({
+      [&] { return ex.run(inv({"false"})).status; },
+      [&] { return ex.run(inv({"sleep", "30"})).status; },
+  });
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].failed());
+  EXPECT_TRUE(statuses[1].failed());
+  EXPECT_LT(ex.now() - start, msec(700));
+}
+
+TEST(PosixLifecycleTest, GroupAbortWakesSleepingBranchImmediately) {
+  PosixExecutorOptions o;
+  o.poll_interval = sec(1);
+  PosixExecutor ex(o);
+  const TimePoint start = ex.now();
+  Status slept = Status::success();
+  auto statuses = ex.run_parallel({
+      [&] { return ex.run(inv({"false"})).status; },
+      [&] {
+        ex.sleep(sec(20));  // must be cut short by the sibling's failure
+        slept = Status::success();
+        return Status::success();
+      },
+  });
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_LT(ex.now() - start, sec(2));
+}
+
+TEST(PosixLifecycleTest, ParallelFastExitDoesNotWaitForSibling) {
+  PosixExecutor ex;
+  Duration echo_took = sec(100);
+  auto statuses = ex.run_parallel({
+      [&] {
+        const TimePoint start = ex.now();
+        Status s = ex.run(inv({"echo", "hi"})).status;
+        echo_took = ex.now() - start;
+        return s;
+      },
+      [&] { return ex.run(inv({"sleep", "1"})).status; },
+  });
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].ok());
+  // Pre-O_CLOEXEC, the sleep child could inherit the echo pipe's write end
+  // and hold its EOF hostage for the full second.
+  EXPECT_LT(echo_took, msec(700));
+}
+
+// ---- abort propagation through the interpreter ----
+
+TEST(PosixLifecycleTest, AbortStopsCommandFreeBranch) {
+  // Branch b is pure arithmetic -- it never runs a process, so only the
+  // interpreter's between-statement abort check can stop it.
+  PosixExecutor ex;
+  shell::Interpreter interp(ex);
+  shell::Environment env;
+  Status s = interp.run_source(
+      "forall t in a b\n"
+      "  if ${t} .eq. a\n"
+      "    false\n"
+      "  end\n"
+      "  if ${t} .eq. b\n"
+      "    i = 0\n"
+      "    while ${i} .lt. 300000\n"
+      "      i = ${i} .add. 1\n"
+      "    end\n"
+      "    echo completed\n"
+      "  end\n"
+      "end",
+      env);
+  EXPECT_TRUE(s.failed());
+  EXPECT_EQ(interp.output().find("completed"), std::string::npos)
+      << "aborted branch ran to completion: " << interp.output();
+}
+
+}  // namespace
+}  // namespace ethergrid::posix
