@@ -2,14 +2,20 @@
 //
 // Usage:
 //   gridsim submit  [--clients N] [--discipline D] [--minutes M]
-//                   [--threshold FDS] [--seed S] [--timeline]
+//                   [--threshold FDS] [--seed S] [--faults SPEC] [--timeline]
 //   gridsim buffer  [--producers N] [--discipline D] [--seconds S]
-//                   [--capacity-mb MB] [--seed S]
+//                   [--capacity-mb MB] [--seed S] [--faults SPEC]
 //   gridsim readers [--discipline D] [--readers N] [--seconds S]
-//                   [--flaky P] [--seed S]
+//                   [--flaky P] [--seed S] [--faults SPEC]
 //
 // D is one of fixed | aloha | ethernet.  Every run is deterministic in the
 // seed; change --seed to see another realization.
+//
+// SPEC is a semicolon-separated fault plan, e.g.
+//   --faults 'fileserver.*.fetch:reset@0.2;schedd.submit:stall@0.1,5'
+// (see sim/fault_plan.hpp for the grammar; times are plain seconds).  Same
+// seed + same plan replays the identical fault sequence; the run ends by
+// printing the fault audit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +68,24 @@ bool parse_flags(int argc, char** argv, int start, Flags* flags) {
   return true;
 }
 
+// Parses --faults into *plan; returns false (with a message) on bad specs.
+bool parse_fault_flag(const Flags& flags, sim::FaultPlan* plan) {
+  if (!flags.has("faults")) return true;
+  Status status = sim::FaultPlan::parse(flags.get("faults", ""), plan);
+  if (status.failed()) {
+    std::fprintf(stderr, "gridsim: --faults: %s\n",
+                 status.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+void print_fault_audit(std::int64_t fired, const std::string& audit) {
+  if (fired == 0) return;
+  std::printf("\nfault audit (%lld fired):\n%s", (long long)fired,
+              audit.c_str());
+}
+
 bool parse_discipline(const std::string& name, grid::DisciplineKind* kind) {
   if (name == "fixed") {
     *kind = grid::DisciplineKind::kFixed;
@@ -84,6 +108,7 @@ int run_submit(const Flags& flags) {
   exp::SubmitScenarioConfig config;
   config.seed = std::uint64_t(flags.get_int("seed", 42));
   config.submitter.fd_threshold = flags.get_int("threshold", 1000);
+  if (!parse_fault_flag(flags, &config.faults)) return 2;
 
   if (flags.has("timeline")) {
     auto timeline = exp::run_submitter_timeline(
@@ -98,6 +123,7 @@ int run_submit(const Flags& flags) {
     table.print();
     std::printf("\njobs=%lld crashes=%d\n", (long long)timeline.jobs_total,
                 timeline.schedd_crashes);
+    print_fault_audit(timeline.faults_injected, timeline.fault_audit);
     return 0;
   }
 
@@ -108,6 +134,7 @@ int run_submit(const Flags& flags) {
       clients, std::string(grid::discipline_kind_name(kind)).c_str(),
       minutes_total, (long long)point.jobs_submitted, point.schedd_crashes,
       (long long)point.fd_low_watermark);
+  print_fault_audit(point.faults_injected, point.fault_audit);
   return 0;
 }
 
@@ -119,6 +146,7 @@ int run_buffer(const Flags& flags) {
   exp::BufferScenarioConfig config;
   config.seed = std::uint64_t(flags.get_int("seed", 42));
   config.buffer_bytes = flags.get_int("capacity-mb", 120) << 20;
+  if (!parse_fault_flag(flags, &config.faults)) return 2;
 
   auto point = exp::run_buffer_point(config, kind, producers, sec(seconds));
   std::printf(
@@ -131,6 +159,7 @@ int run_buffer(const Flags& flags) {
       double(point.bytes_consumed) / (1 << 20),
       (long long)point.files_completed, (long long)point.collisions,
       (long long)point.deferrals);
+  print_fault_audit(point.faults_injected, point.fault_audit);
   return 0;
 }
 
@@ -146,6 +175,7 @@ int run_readers(const Flags& flags) {
   for (auto& server : config.servers) {
     if (!server.black_hole) server.transient_failure_rate = flaky;
   }
+  if (!parse_fault_flag(flags, &config.faults)) return 2;
 
   auto timeline = exp::run_reader_timeline(config, kind, sec(seconds),
                                            sec(30));
@@ -156,6 +186,7 @@ int run_readers(const Flags& flags) {
       seconds, flaky, (long long)timeline.transfers_total,
       (long long)timeline.collisions_total,
       (long long)timeline.deferrals_total);
+  print_fault_audit(timeline.faults_injected, timeline.fault_audit);
   return 0;
 }
 
@@ -164,10 +195,15 @@ int usage() {
       stderr,
       "usage: gridsim submit|buffer|readers [--flag value ...]\n"
       "  submit:  --clients N --discipline D --minutes M --threshold FDS\n"
-      "           --seed S --timeline\n"
+      "           --seed S --faults SPEC --timeline\n"
       "  buffer:  --producers N --discipline D --seconds S --capacity-mb MB\n"
-      "           --seed S\n"
-      "  readers: --readers N --discipline D --seconds S --flaky P --seed S\n");
+      "           --seed S --faults SPEC\n"
+      "  readers: --readers N --discipline D --seconds S --flaky P --seed S\n"
+      "           --faults SPEC\n"
+      "SPEC: 'site:kind@args;...', e.g.\n"
+      "  'fileserver.*.fetch:reset@0.2;schedd.submit:crash@120'\n"
+      "kinds: fail@P  stall@P,SECS  reset@P[,F1-F2]  crash@T  drop@T1-T2\n"
+      "(times in plain seconds)\n");
   return 2;
 }
 

@@ -1,0 +1,133 @@
+#include "core/fault.hpp"
+
+#include "util/strings.hpp"
+
+namespace ethergrid::core {
+
+FaultInjector::FaultInjector(const sim::FaultPlan& plan, Rng root)
+    : plan_(plan),
+      root_(root),
+      crash_fired_(plan.rules().size(), false) {}
+
+Rng& FaultInjector::site_rng(std::string_view site) {
+  auto it = streams_.find(site);
+  if (it == streams_.end()) {
+    // Derived from the root by name, so the stream a site gets does not
+    // depend on which other sites were consulted first.
+    it = streams_.emplace(std::string(site), root_.stream(site)).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::record(TimePoint now, std::string_view site,
+                           const sim::FaultSpec& spec, std::string detail) {
+  FaultEvent event{now, std::string(site),
+                   std::string(fault_kind_name(spec.kind)),
+                   std::move(detail)};
+  events_.push_back(event);
+  ++fired_[event.site];
+  if (observer_) observer_(event);
+}
+
+FaultDecision FaultInjector::decide(std::string_view site, TimePoint now) {
+  FaultDecision decision;
+  if (plan_.empty()) return decision;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& rules = plan_.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const sim::FaultRule& rule = rules[i];
+    if (!sim::site_matches(rule.site_pattern, site)) continue;
+    const sim::FaultSpec& spec = rule.spec;
+    switch (spec.kind) {
+      case sim::FaultSpec::Kind::kError:
+        if (!site_rng(site).chance(spec.probability)) continue;
+        decision.action = FaultDecision::Action::kFail;
+        decision.status = Status(spec.code, "injected fault: " +
+                                                std::string(site));
+        record(now, site, spec, "");
+        return decision;
+      case sim::FaultSpec::Kind::kStall:
+        if (!site_rng(site).chance(spec.probability)) continue;
+        decision.action = FaultDecision::Action::kStall;
+        decision.stall = spec.stall;
+        record(now, site, spec,
+               strprintf("stall=%gs", to_seconds(spec.stall)));
+        return decision;
+      case sim::FaultSpec::Kind::kReset: {
+        Rng& rng = site_rng(site);
+        // Draw the fraction unconditionally so the stream's advance per
+        // consultation is fixed whether or not the reset fires.
+        const double fraction =
+            spec.fraction_max > spec.fraction_min
+                ? rng.uniform(spec.fraction_min, spec.fraction_max)
+                : spec.fraction_min;
+        if (!rng.chance(spec.probability)) continue;
+        decision.action = FaultDecision::Action::kReset;
+        decision.fraction = fraction;
+        decision.status = Status(spec.code, "injected reset: " +
+                                                std::string(site));
+        record(now, site, spec, strprintf("fraction=%.3f", fraction));
+        return decision;
+      }
+      case sim::FaultSpec::Kind::kCrash:
+        if (crash_fired_[i] || now < spec.at) continue;
+        crash_fired_[i] = true;
+        decision.action = FaultDecision::Action::kCrash;
+        decision.status =
+            Status(StatusCode::kUnavailable,
+                   "injected crash: " + std::string(site));
+        record(now, site, spec, strprintf("at=%gs", to_seconds(spec.at)));
+        return decision;
+      case sim::FaultSpec::Kind::kPartition:
+        if (now < spec.window_start || now >= spec.window_end) continue;
+        decision.action = FaultDecision::Action::kPartition;
+        decision.status =
+            Status(StatusCode::kUnavailable,
+                   "injected partition: " + std::string(site));
+        record(now, site, spec,
+               strprintf("window=%g-%gs", to_seconds(spec.window_start),
+                         to_seconds(spec.window_end)));
+        return decision;
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::set_observer(
+    std::function<void(const FaultEvent&)> observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(observer);
+}
+
+std::int64_t FaultInjector::fired_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::int64_t(events_.size());
+}
+
+std::int64_t FaultInjector::fired_at(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fired_.find(site);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string FaultInjector::audit_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const FaultEvent& event : events_) {
+    out += strprintf("t=%.6f %s %s", to_seconds(event.time),
+                     event.site.c_str(), event.kind.c_str());
+    if (!event.detail.empty()) {
+      out += ' ';
+      out += event.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ethergrid::core

@@ -1,0 +1,95 @@
+// FaultInjector: the deterministic chaos harness.
+//
+// Substrates declare named injection *sites* ("fileserver.xxx.fetch",
+// "schedd.submit", "iochannel.write", "fsbuffer.append") and ask the
+// injector for a decision at each pass.  The injector interprets a
+// sim::FaultPlan against per-site RNG streams derived from one root stream,
+// so a run with the same seed and plan replays the identical fault
+// sequence -- and the injector's own audit trail (every fired fault, in
+// order, with virtual timestamps) is byte-identical across replays.  That
+// trail is the post-mortem "which injected fault did each discipline
+// absorb" view; an observer hook forwards fired faults to richer back
+// channels such as shell::AuditLog.
+//
+// The injector only *decides*; the site executes.  A kFail decision is a
+// status the site returns, a kStall is extra latency the site sleeps, a
+// kReset is a failure after a fraction of the payload, kPartition means
+// "behave as a black hole right now", and kCrash maps to whatever
+// whole-component failure the site models (the schedd's crash, for
+// example).  Keeping execution at the site is what lets one injector span
+// the simulated substrates and, via the syscall shim, the POSIX layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::core {
+
+// What a site must do right now.  kNone means proceed normally.
+struct FaultDecision {
+  enum class Action { kNone, kFail, kStall, kReset, kPartition, kCrash };
+
+  Action action = Action::kNone;
+  Status status;        // kFail / kReset / kCrash: what the caller returns
+  Duration stall{};     // kStall: extra latency to serve
+  double fraction = 0;  // kReset: payload fraction consumed before the reset
+};
+
+// One fired fault, as recorded in the audit trail.
+struct FaultEvent {
+  TimePoint time{};
+  std::string site;
+  std::string kind;    // fault_kind_name of the firing rule
+  std::string detail;  // human-readable parameters ("fraction=0.42", ...)
+};
+
+class FaultInjector {
+ public:
+  // An empty injector never fires; substrates may hold one by value.
+  FaultInjector() = default;
+  FaultInjector(const sim::FaultPlan& plan, Rng root);
+
+  bool enabled() const { return !plan_.empty(); }
+
+  // Evaluates the plan's rules in order against `site` at virtual time
+  // `now`; the first rule that fires wins.  Draws from the site's private
+  // RNG stream, so distinct sites never perturb each other's sequences.
+  FaultDecision decide(std::string_view site, TimePoint now);
+
+  // Called synchronously for every fired fault (after it is recorded).
+  void set_observer(std::function<void(const FaultEvent&)> observer);
+
+  // --- audit trail ---
+  std::int64_t fired_total() const;
+  std::int64_t fired_at(std::string_view site) const;
+  std::vector<FaultEvent> events() const;
+  // One line per fired fault: "t=<seconds> <site> <kind> <detail>".
+  // Byte-identical across replays of the same seed + plan.
+  std::string audit_text() const;
+
+ private:
+  Rng& site_rng(std::string_view site);
+  void record(TimePoint now, std::string_view site, const sim::FaultSpec& spec,
+              std::string detail);
+
+  sim::FaultPlan plan_;
+  Rng root_;
+  mutable std::mutex mu_;
+  std::map<std::string, Rng, std::less<>> streams_;
+  std::vector<bool> crash_fired_;  // one-shot latch per kCrash rule
+  std::vector<FaultEvent> events_;
+  std::map<std::string, std::int64_t, std::less<>> fired_;
+  std::function<void(const FaultEvent&)> observer_;
+};
+
+}  // namespace ethergrid::core

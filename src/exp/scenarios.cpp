@@ -3,17 +3,31 @@
 #include <memory>
 #include <string>
 
+#include "core/fault.hpp"
 #include "sim/kernel.hpp"
 
 namespace ethergrid::exp {
 
 namespace {
 
+// One injector per world, fed by the kernel's "faults" stream: derived by
+// name, so adding fault rules perturbs nothing else in the run.  Null when
+// the plan is empty -- substrates then skip the consultation entirely.
+std::unique_ptr<core::FaultInjector> make_injector(sim::Kernel& kernel,
+                                                   const sim::FaultPlan& plan) {
+  if (plan.rules().empty()) return nullptr;
+  return std::make_unique<core::FaultInjector>(plan,
+                                               kernel.rng().stream("faults"));
+}
+
 // Spawns n submitters against a fresh schedd world; returns after `window`.
 struct SubmitWorld {
   SubmitWorld(const SubmitScenarioConfig& config, grid::DisciplineKind kind,
               int submitters)
-      : kernel(config.seed), schedd(kernel, config.schedd) {
+      : kernel(config.seed),
+        schedd(kernel, config.schedd),
+        faults(make_injector(kernel, config.faults)) {
+    schedd.set_fault_injector(faults.get());
     grid::SubmitterConfig sc = config.submitter;
     sc.kind = kind;
     stats.resize(std::size_t(submitters));
@@ -25,6 +39,7 @@ struct SubmitWorld {
 
   sim::Kernel kernel;
   grid::Schedd schedd;
+  std::unique_ptr<core::FaultInjector> faults;
   std::vector<grid::SubmitterStats> stats;
 };
 
@@ -41,6 +56,10 @@ SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
   point.jobs_submitted = world.schedd.jobs_submitted();
   point.schedd_crashes = world.schedd.crashes();
   point.fd_low_watermark = world.schedd.fd_table().low_watermark();
+  if (world.faults) {
+    point.faults_injected = world.faults->fired_total();
+    point.fault_audit = world.faults->audit_text();
+  }
   world.kernel.shutdown();
   return point;
 }
@@ -61,6 +80,10 @@ SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
   }
   timeline.jobs_total = world.schedd.jobs_submitted();
   timeline.schedd_crashes = world.schedd.crashes();
+  if (world.faults) {
+    timeline.faults_injected = world.faults->fired_total();
+    timeline.fault_audit = world.faults->audit_text();
+  }
   world.kernel.shutdown();
   return timeline;
 }
@@ -71,6 +94,9 @@ BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
   sim::Kernel kernel(config.seed);
   grid::FsBuffer buffer(kernel, config.buffer_bytes);
   grid::IoChannel channel(kernel, config.channel);
+  auto faults = make_injector(kernel, config.faults);
+  channel.set_fault_injector(faults.get());
+  buffer.set_fault_injector(faults.get());
   grid::ConsumerStats consumer_stats;
   kernel.spawn("consumer", grid::make_consumer(buffer, channel,
                                                config.consumer,
@@ -96,6 +122,11 @@ BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
     point.collisions += stats->discipline.collisions;
     point.deferrals += stats->discipline.deferrals;
     point.files_completed += stats->files_completed;
+    point.tries_failed += stats->tries_failed;
+  }
+  if (faults) {
+    point.faults_injected = faults->fired_total();
+    point.fault_audit = faults->audit_text();
   }
   kernel.shutdown();
   return point;
@@ -119,6 +150,8 @@ ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
   auto servers = config.servers;
   if (servers.empty()) servers = ReaderScenarioConfig::paper_farm();
   grid::ServerFarm farm(kernel, servers);
+  auto faults = make_injector(kernel, config.faults);
+  if (faults) farm.set_fault_injector(faults.get());
   std::vector<std::unique_ptr<grid::ReaderStats>> stats;
   for (int i = 0; i < config.readers; ++i) {
     grid::ReaderConfig rc = config.reader;
@@ -145,6 +178,10 @@ ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
     timeline.transfers_total += s->transfers;
     timeline.collisions_total += s->collisions;
     timeline.deferrals_total += s->deferrals;
+  }
+  if (faults) {
+    timeline.faults_injected = faults->fired_total();
+    timeline.fault_audit = faults->audit_text();
   }
   kernel.shutdown();
   return timeline;

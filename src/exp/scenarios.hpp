@@ -7,14 +7,24 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "grid/clients.hpp"
 #include "grid/fileserver.hpp"
 #include "grid/schedd.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/time.hpp"
 
 namespace ethergrid::exp {
+
+// Every scenario config carries an optional fault plan.  When non-empty,
+// the runner builds one core::FaultInjector from the kernel's "faults"
+// stream and installs it on every substrate, so the whole run -- workload
+// and injected faults alike -- replays identically from (seed, plan).
+// Results report faults_injected plus the injector's audit text (one line
+// per fired fault, in firing order): byte-equal audits are the replay
+// check the chaos suite asserts.
 
 // ------------------------------------------------ scenario 1: submission
 
@@ -22,6 +32,7 @@ struct SubmitScenarioConfig {
   grid::ScheddConfig schedd;        // paper defaults from ScheddConfig
   grid::SubmitterConfig submitter;  // .kind overridden by the runners
   std::uint64_t seed = 42;
+  sim::FaultPlan faults;            // sites: schedd.submit
 };
 
 // Figure 1: jobs submitted in `window` by `submitters` clients of `kind`.
@@ -31,6 +42,8 @@ struct SubmitScalePoint {
   std::int64_t jobs_submitted = 0;
   int schedd_crashes = 0;
   std::int64_t fd_low_watermark = 0;
+  std::int64_t faults_injected = 0;
+  std::string fault_audit;
 };
 
 SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
@@ -51,6 +64,8 @@ struct SubmitterTimeline {
   std::vector<TimelinePoint> points;
   std::int64_t jobs_total = 0;
   int schedd_crashes = 0;
+  std::int64_t faults_injected = 0;
+  std::string fault_audit;
 };
 
 SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
@@ -67,6 +82,7 @@ struct BufferScenarioConfig {
   grid::ProducerConfig producer;          // .kind overridden
   grid::ConsumerConfig consumer;
   std::uint64_t seed = 42;
+  sim::FaultPlan faults;  // sites: iochannel.write, fsbuffer.{create,append,rename}
 };
 
 // Figures 4-5: one sweep point.
@@ -78,6 +94,9 @@ struct BufferSweepPoint {
   std::int64_t collisions = 0;   // failed writes (producer-observed)
   std::int64_t deferrals = 0;    // Ethernet carrier-sense deferrals
   std::int64_t files_completed = 0;
+  std::int64_t tries_failed = 0;  // wasted producer attempts
+  std::int64_t faults_injected = 0;
+  std::string fault_audit;
 };
 
 BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
@@ -91,6 +110,7 @@ struct ReaderScenarioConfig {
   grid::ReaderConfig reader;                    // .kind overridden
   int readers = 3;
   std::uint64_t seed = 42;
+  sim::FaultPlan faults;  // sites: fileserver.<name>.{fetch,flag}
 
   // "three web servers ... one of the three is a permanent black hole"
   static std::vector<grid::FileServerConfig> paper_farm();
@@ -110,6 +130,8 @@ struct ReaderTimeline {
   std::int64_t transfers_total = 0;
   std::int64_t collisions_total = 0;
   std::int64_t deferrals_total = 0;
+  std::int64_t faults_injected = 0;
+  std::string fault_audit;
 };
 
 ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,

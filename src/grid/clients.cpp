@@ -114,7 +114,9 @@ sim::ProcessBody make_producer(FsBuffer& buffer, IoChannel& channel,
       // for the transmission it is about to start.
       discipline.carrier_sense = [&buffer, &channel,
                                   &ctx](TimePoint) -> Status {
-        channel.transfer(ctx, 0);  // df + ls of the buffer directory
+        // df + ls of the buffer directory; a failed probe is a busy medium.
+        Status probe = channel.transfer(ctx, 0);
+        if (probe.failed()) return probe;
         const std::int64_t estimate =
             buffer.free_bytes() -
             (std::int64_t(buffer.incomplete_count()) + 1) *
@@ -142,8 +144,9 @@ sim::ProcessBody make_producer(FsBuffer& buffer, IoChannel& channel,
             // dirty state is discarded server-side, and charging an RPC
             // inside unwind paths could itself block on an expired deadline.
             PartialFileGuard guard(buffer, name);
-            channel.transfer(ctx, 0);  // create RPC
-            Status status = buffer.create(name);
+            Status status = channel.transfer(ctx, 0);  // create RPC
+            if (status.failed()) return status;
+            status = buffer.create(name);
             if (status.failed()) return status;
             std::int64_t written = 0;
             while (written < size) {
@@ -151,13 +154,15 @@ sim::ProcessBody make_producer(FsBuffer& buffer, IoChannel& channel,
                   std::min(config.chunk_bytes, size - written);
               // The chunk travels to the server whether or not it fits:
               // a doomed write still consumes the shared medium.
-              channel.transfer(ctx, n);
+              status = channel.transfer(ctx, n);
+              if (status.failed()) return status;
               status = buffer.append(name, n);
               // "If the output cannot be written, it is deleted" (guard).
               if (status.failed()) return status;
               written += n;
             }
-            channel.transfer(ctx, 0);  // rename RPC
+            status = channel.transfer(ctx, 0);  // rename RPC
+            if (status.failed()) return status;
             status = buffer.rename_done(name);
             if (status.failed()) return status;
             guard.disarm();
@@ -187,10 +192,14 @@ sim::ProcessBody make_consumer(FsBuffer& buffer, IoChannel& channel,
       }
       // Read the file over the shared medium (competing with producer
       // traffic), forward it downstream at the archive rate, then delete
-      // ("deleting each as it is consumed").
-      channel.transfer(ctx, file->size);
+      // ("deleting each as it is consumed").  A failed read leaves the file
+      // in place; the next pass retries it.
+      if (channel.transfer(ctx, file->size).failed()) {
+        ctx.sleep(config.idle_poll);
+        continue;
+      }
       ctx.sleep(sec(double(file->size) / config.read_bytes_per_second));
-      channel.transfer(ctx, 0);  // unlink RPC
+      (void)channel.transfer(ctx, 0);  // unlink RPC: best-effort
       buffer.remove(file->name);
       ++stats->files_consumed;
       stats->bytes_consumed += file->size;

@@ -4,12 +4,31 @@
 
 namespace ethergrid::grid {
 
+namespace {
+
+sim::FaultPlan builtin_plan(const FileServerConfig& config) {
+  sim::FaultPlan plan;
+  if (config.transient_failure_rate > 0) {
+    plan.add("fileserver." + config.name + ".fetch",
+             sim::FaultPlan::reset(config.transient_failure_rate));
+  }
+  return plan;
+}
+
+}  // namespace
+
 FileServer::FileServer(sim::Kernel& kernel, const FileServerConfig& config)
     : kernel_(&kernel),
       config_(config),
       slots_(kernel, config.concurrency),
       never_(kernel),
-      failure_rng_(kernel.rng().stream("server-" + config.name)) {}
+      builtin_faults_(builtin_plan(config),
+                      kernel.rng().stream("server-" + config.name)),
+      faults_(&builtin_faults_) {}
+
+void FileServer::set_fault_injector(core::FaultInjector* injector) {
+  faults_ = injector ? injector : &builtin_faults_;
+}
 
 Status FileServer::fetch(sim::Context& ctx, std::int64_t bytes) {
   return serve(ctx, bytes, /*flag_only=*/false);
@@ -32,15 +51,41 @@ Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
     return Status::io_error("black hole responded?!");  // unreachable
   }
 
+  core::FaultDecision fault;
+  if (faults_->enabled()) {
+    const std::string site = "fileserver." + config_.name +
+                             (flag_only ? ".flag" : ".fetch");
+    fault = faults_->decide(site, ctx.now());
+  }
+
+  if (fault.action == core::FaultDecision::Action::kPartition) {
+    // Windowed black hole: swallow the connection until the client's
+    // deadline breaks it.  The slot stays held -- a partitioned server
+    // still blocks the clients queued behind the victim.
+    ctx.wait(never_);
+    return Status::io_error("partitioned server responded?!");  // unreachable
+  }
+
   ctx.sleep(config_.request_overhead);
+  if (fault.action == core::FaultDecision::Action::kStall) {
+    ctx.sleep(fault.stall);
+  }
+
   const double seconds = double(bytes) / config_.bytes_per_second;
 
-  if (!flag_only && config_.transient_failure_rate > 0 &&
-      failure_rng_.chance(config_.transient_failure_rate)) {
-    // Connection resets somewhere mid-transfer: prompt, retryable failure.
-    ctx.sleep(sec(seconds * failure_rng_.uniform(0.05, 0.95)));
+  if (fault.action == core::FaultDecision::Action::kFail ||
+      fault.action == core::FaultDecision::Action::kCrash) {
     ++aborted_;
-    return Status::io_error("connection reset during transfer");
+    return fault.status;
+  }
+  if (fault.action == core::FaultDecision::Action::kReset) {
+    if (!flag_only) {
+      // Connection resets somewhere mid-transfer: prompt, retryable
+      // failure that still consumed a fraction of the service time.
+      ctx.sleep(sec(seconds * fault.fraction));
+    }
+    ++aborted_;
+    return fault.status;
   }
 
   ctx.sleep(sec(seconds));
@@ -67,6 +112,12 @@ FileServer* ServerFarm::by_name(const std::string& name) {
 std::size_t ServerFarm::pick(Rng& rng) const {
   return static_cast<std::size_t>(
       rng.uniform_int(0, std::int64_t(servers_.size()) - 1));
+}
+
+void ServerFarm::set_fault_injector(core::FaultInjector* injector) {
+  for (auto& server : servers_) {
+    server->set_fault_injector(injector);
+  }
 }
 
 }  // namespace ethergrid::grid

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "sim/kernel.hpp"
 #include "sim/resource.hpp"
 #include "util/stats.hpp"
@@ -34,7 +35,9 @@ struct FileServerConfig {
   // Probability that a data transfer aborts partway (connection reset,
   // server hiccup).  Distinct from a black hole: the failure is *prompt*,
   // so plain retry (the inner `try`) handles it.  Flag probes are immune
-  // (they are one byte).
+  // (they are one byte).  Implemented as a built-in fault plan -- a
+  // mid-transfer reset rule on this server's fetch site -- so the knob and
+  // an externally installed FaultInjector share one code path.
   double transient_failure_rate = 0.0;
 };
 
@@ -54,6 +57,12 @@ class FileServer {
   const std::string& name() const { return config_.name; }
   bool is_black_hole() const { return config_.black_hole; }
 
+  // Injection sites: "fileserver.<name>.fetch" and "fileserver.<name>.flag".
+  // Installs a shared injector (not owned; must outlive the server),
+  // replacing the built-in one derived from transient_failure_rate.
+  // nullptr restores the built-in.
+  void set_fault_injector(core::FaultInjector* injector);
+
   // Telemetry.
   std::int64_t transfers_completed() const { return transfers_; }
   std::int64_t bytes_served() const { return bytes_served_; }
@@ -67,7 +76,8 @@ class FileServer {
   FileServerConfig config_;
   sim::Resource slots_;
   sim::Event never_;  // black-hole clients wait on this forever
-  Rng failure_rng_;
+  core::FaultInjector builtin_faults_;  // transient_failure_rate, as a plan
+  core::FaultInjector* faults_;         // active injector
   std::int64_t transfers_ = 0;
   std::int64_t bytes_served_ = 0;
   std::int64_t connections_ = 0;
@@ -85,6 +95,9 @@ class ServerFarm {
 
   // Uniform random server index using the caller's RNG stream.
   std::size_t pick(Rng& rng) const;
+
+  // Installs one shared injector on every server in the farm.
+  void set_fault_injector(core::FaultInjector* injector);
 
  private:
   std::vector<std::unique_ptr<FileServer>> servers_;

@@ -3,10 +3,33 @@
 namespace ethergrid::grid {
 
 FsBuffer::FsBuffer(sim::Kernel& kernel, std::int64_t capacity_bytes)
-    : capacity_(capacity_bytes), completion_event_(kernel) {}
+    : kernel_(&kernel), capacity_(capacity_bytes), completion_event_(kernel) {}
+
+void FsBuffer::set_fault_injector(core::FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = injector;
+}
+
+std::optional<Status> FsBuffer::injected(const char* site) {
+  if (!faults_ || !faults_->enabled()) return std::nullopt;
+  core::FaultDecision fault = faults_->decide(site, kernel_->now());
+  switch (fault.action) {
+    case core::FaultDecision::Action::kNone:
+    case core::FaultDecision::Action::kStall:  // no duration to stretch here
+      return std::nullopt;
+    case core::FaultDecision::Action::kFail:
+    case core::FaultDecision::Action::kReset:
+    case core::FaultDecision::Action::kCrash:
+    case core::FaultDecision::Action::kPartition:
+      ++injected_failures_;
+      return fault.status;
+  }
+  return std::nullopt;
+}
 
 Status FsBuffer::create(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (auto fault = injected("fsbuffer.create")) return *fault;
   auto [it, inserted] = files_.try_emplace(name);
   if (!inserted) {
     return Status::invalid_argument("file exists: " + name);
@@ -17,6 +40,7 @@ Status FsBuffer::create(const std::string& name) {
 
 Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (auto fault = injected("fsbuffer.append")) return *fault;
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::not_found("no such file: " + name);
@@ -36,6 +60,7 @@ Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
 Status FsBuffer::rename_done(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (auto fault = injected("fsbuffer.rename")) return *fault;
     auto it = files_.find(name);
     if (it == files_.end()) {
       return Status::not_found("no such file: " + name);
@@ -116,6 +141,11 @@ std::int64_t FsBuffer::average_complete_size() const {
 std::int64_t FsBuffer::enospc_failures() const {
   std::lock_guard<std::mutex> lock(mu_);
   return enospc_;
+}
+
+std::int64_t FsBuffer::injected_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_failures_;
 }
 
 std::vector<FsBuffer::FileInfo> FsBuffer::list() const {

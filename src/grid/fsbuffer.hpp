@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "sim/kernel.hpp"
 #include "util/status.hpp"
 
@@ -68,8 +69,16 @@ class FsBuffer {
   // Mean size of complete files; 0 when none exist.
   std::int64_t average_complete_size() const;
 
+  // Injection sites: "fsbuffer.create", "fsbuffer.append",
+  // "fsbuffer.rename".  Metadata ops are instantaneous, so only prompt
+  // error faults apply (a stall decision is ignored here; stall the
+  // IoChannel the traffic flows over instead).  Not owned; nullptr
+  // disables.
+  void set_fault_injector(core::FaultInjector* injector);
+
   // Telemetry.
   std::int64_t enospc_failures() const;
+  std::int64_t injected_failures() const;
   std::vector<FileInfo> list() const;
 
  private:
@@ -79,12 +88,18 @@ class FsBuffer {
     std::uint64_t order = 0;  // creation order; completion keeps it
   };
 
+  // Returns the injected failure for `site`, if one fires.
+  std::optional<Status> injected(const char* site);
+
+  sim::Kernel* kernel_;
   const std::int64_t capacity_;
+  core::FaultInjector* faults_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, File> files_;
   std::int64_t used_ = 0;
   std::uint64_t next_order_ = 0;
   std::int64_t enospc_ = 0;
+  std::int64_t injected_failures_ = 0;
   sim::Event completion_event_;
 };
 

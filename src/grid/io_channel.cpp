@@ -5,15 +5,47 @@ namespace ethergrid::grid {
 IoChannel::IoChannel(sim::Kernel& kernel, const IoChannelConfig& config)
     : config_(config), slot_(kernel, 1) {}
 
-void IoChannel::transfer(sim::Context& ctx, std::int64_t bytes) {
+Status IoChannel::transfer(sim::Context& ctx, std::int64_t bytes) {
   sim::ResourceLease lease(ctx, slot_);
-  const Duration cost =
-      config_.per_op_overhead +
-      sec(double(bytes) / config_.bytes_per_second);
+  Duration cost = config_.per_op_overhead +
+                  sec(double(bytes) / config_.bytes_per_second);
+
+  if (faults_ && faults_->enabled()) {
+    core::FaultDecision fault = faults_->decide("iochannel.write", ctx.now());
+    switch (fault.action) {
+      case core::FaultDecision::Action::kNone:
+        break;
+      case core::FaultDecision::Action::kStall:
+        // Server hiccup: the RPC completes but holds the medium longer.
+        cost += fault.stall;
+        break;
+      case core::FaultDecision::Action::kReset: {
+        // The RPC dies after a fraction of the payload moved; the medium
+        // time it burned is gone either way.
+        const Duration consumed =
+            config_.per_op_overhead +
+            sec(fault.fraction * double(bytes) / config_.bytes_per_second);
+        ctx.sleep(consumed);
+        busy_ += consumed;
+        ++failed_ops_;
+        return fault.status;
+      }
+      case core::FaultDecision::Action::kFail:
+      case core::FaultDecision::Action::kCrash:
+      case core::FaultDecision::Action::kPartition:
+        // Prompt refusal still costs the request overhead on the medium.
+        ctx.sleep(config_.per_op_overhead);
+        busy_ += config_.per_op_overhead;
+        ++failed_ops_;
+        return fault.status;
+    }
+  }
+
   ctx.sleep(cost);
   ++ops_;
   bytes_ += bytes;
   busy_ += cost;
+  return Status::success();
 }
 
 }  // namespace ethergrid::grid

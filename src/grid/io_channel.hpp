@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/fault.hpp"
 #include "sim/kernel.hpp"
 #include "sim/resource.hpp"
 #include "util/time.hpp"
@@ -29,19 +30,30 @@ class IoChannel {
   IoChannel(sim::Kernel& kernel, const IoChannelConfig& config);
 
   // Performs one RPC moving `bytes` of payload (0 for pure metadata ops).
-  // Occupies the channel FIFO for overhead + bytes/bandwidth.
-  void transfer(sim::Context& ctx, std::int64_t bytes);
+  // Occupies the channel FIFO for overhead + bytes/bandwidth.  With a fault
+  // injector installed, the RPC may fail -- and a failed RPC still occupies
+  // the medium for the time it consumed before dying, which is exactly the
+  // contention property the disciplines are measured against.
+  Status transfer(sim::Context& ctx, std::int64_t bytes);
+
+  // Injection site: "iochannel.write".  Not owned; nullptr disables.
+  void set_fault_injector(core::FaultInjector* injector) {
+    faults_ = injector;
+  }
 
   // Telemetry.
   std::int64_t ops() const { return ops_; }
   std::int64_t bytes_moved() const { return bytes_; }
+  std::int64_t failed_ops() const { return failed_ops_; }
   Duration busy_time() const { return busy_; }
 
  private:
   IoChannelConfig config_;
   sim::Resource slot_;
+  core::FaultInjector* faults_ = nullptr;
   std::int64_t ops_ = 0;
   std::int64_t bytes_ = 0;
+  std::int64_t failed_ops_ = 0;
   Duration busy_{};
 };
 

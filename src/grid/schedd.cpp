@@ -127,6 +127,26 @@ Status Schedd::submit_internal(sim::Context& ctx,
     return Status::unavailable("schedd restarting");
   }
 
+  Duration injected_stall{};
+  if (faults_ && faults_->enabled()) {
+    core::FaultDecision fault = faults_->decide("schedd.submit", ctx.now());
+    switch (fault.action) {
+      case core::FaultDecision::Action::kNone:
+        break;
+      case core::FaultDecision::Action::kStall:
+        injected_stall = fault.stall;  // slow daemon: stretches this service
+        break;
+      case core::FaultDecision::Action::kFail:
+      case core::FaultDecision::Action::kReset:
+        return fault.status;  // this submission's connection dies
+      case core::FaultDecision::Action::kPartition:
+        return fault.status;  // daemon unreachable for the window
+      case core::FaultDecision::Action::kCrash:
+        crash(ctx);  // the whole daemon dies: the broadcast jam
+        return fault.status;
+    }
+  }
+
   std::int64_t connection_count;
   if (job) {
     // Deterministic footprint from the job's own transfer list.
@@ -172,7 +192,8 @@ Status Schedd::submit_internal(sim::Context& ctx,
   const double seconds = service_rng_.uniform(to_seconds(config_.service_min),
                                               to_seconds(config_.service_max));
   const Duration service_time =
-      sec(seconds * load_factor() * double(jobs_in_submission));
+      sec(seconds * load_factor() * double(jobs_in_submission)) +
+      injected_stall;
 
   // Phase 1: receive the job description.
   if (ctx.wait_for(crash_pulse_, service_time / 2)) {

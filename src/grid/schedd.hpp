@@ -22,6 +22,7 @@
 
 #include <deque>
 
+#include "core/fault.hpp"
 #include "grid/fd_table.hpp"
 #include "grid/submit_file.hpp"
 #include "sim/kernel.hpp"
@@ -107,6 +108,15 @@ class Schedd {
 
   FdTable& fd_table() { return fds_; }
 
+  // Injection site: "schedd.submit", consulted once per submission after
+  // the connect.  kFail/kReset reject that submission; kStall stretches its
+  // service; kCrash takes the whole daemon down (the broadcast jam);
+  // kPartition refuses connections for the window.  Not owned; nullptr
+  // disables.
+  void set_fault_injector(core::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
   // Telemetry.
   std::int64_t jobs_submitted() const { return submissions_.total(); }
   const EventSeries& submissions() const { return submissions_; }
@@ -123,6 +133,7 @@ class Schedd {
 
   sim::Kernel* kernel_;
   ScheddConfig config_;
+  core::FaultInjector* faults_ = nullptr;
   FdTable fds_;
   ServiceQueue service_slots_;
   sim::Event crash_pulse_;

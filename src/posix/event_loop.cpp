@@ -9,18 +9,21 @@
 
 #include <cerrno>
 
+#include "posix/syscall_shim.hpp"
+
 namespace ethergrid::posix {
 
 PumpResult pump_fd(int fd, std::string* sink) {
   char buf[4096];
   while (true) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    // xread retries EINTR internally; the shim also lets tests inject
+    // short reads and interrupt storms here.
+    ssize_t n = xread(fd, buf, sizeof(buf));
     if (n > 0) {
       sink->append(buf, static_cast<std::size_t>(n));
       continue;
     }
     if (n == 0) return PumpResult::kEof;
-    if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return PumpResult::kOpen;
     return PumpResult::kError;
   }

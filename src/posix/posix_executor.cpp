@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "posix/event_loop.hpp"
+#include "posix/syscall_shim.hpp"
 #include "util/strings.hpp"
 
 namespace ethergrid::posix {
@@ -51,7 +52,11 @@ void close_fd(int* fd) {
 // branch forking concurrently must not capture them, or a fast-exiting
 // command's stdout never reaches EOF until the unrelated sibling exits.
 int open_cloexec(const char* path, int flags, mode_t mode = 0) {
-  return ::open(path, flags | O_CLOEXEC, mode);
+  int fd;
+  do {
+    fd = ::open(path, flags | O_CLOEXEC, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
 }
 
 // Ceiling ms conversion for poll(2); never returns 0 for a positive wait
@@ -168,7 +173,7 @@ shell::CommandResult PosixExecutor::run(
 
   if (invocation.stdin_data) {
     int fds[2];
-    if (::pipe2(fds, O_CLOEXEC) != 0) {
+    if (xpipe2(fds, O_CLOEXEC) != 0) {
       return fail_setup("pipe: " + std::string(strerror(errno)));
     }
     stdin_read = fds[0];
@@ -193,7 +198,7 @@ shell::CommandResult PosixExecutor::run(
     }
   } else {
     int fds[2];
-    if (::pipe2(fds, O_CLOEXEC) != 0) {
+    if (xpipe2(fds, O_CLOEXEC) != 0) {
       return fail_setup("pipe: " + std::string(strerror(errno)));
     }
     stdout_read = fds[0];
@@ -202,7 +207,7 @@ shell::CommandResult PosixExecutor::run(
 
   if (!invocation.merge_stderr) {
     int fds[2];
-    if (::pipe2(fds, O_CLOEXEC) != 0) {
+    if (xpipe2(fds, O_CLOEXEC) != 0) {
       return fail_setup("pipe: " + std::string(strerror(errno)));
     }
     stderr_read = fds[0];
@@ -217,7 +222,7 @@ shell::CommandResult PosixExecutor::run(
   }
   argv.push_back(nullptr);
 
-  const pid_t pid = ::fork();
+  const pid_t pid = xfork();
   if (pid < 0) return fail_setup("fork: " + std::string(strerror(errno)));
   if (pid == 0) {
     // Child: own session so kill(-pid) reaches every descendant.  The
@@ -230,7 +235,9 @@ shell::CommandResult PosixExecutor::run(
         const int flags = ::fcntl(from, F_GETFD, 0);
         if (flags >= 0) ::fcntl(from, F_SETFD, flags & ~FD_CLOEXEC);
       } else {
-        ::dup2(from, to);
+        // xdup2 reads a function pointer and loops on EINTR: both safe in
+        // the fork/exec window.
+        xdup2(from, to);
       }
     };
     ::setsid();
@@ -282,8 +289,8 @@ shell::CommandResult PosixExecutor::run(
     // Feed stdin.
     if (stdin_write >= 0) {
       while (stdin_sent < stdin_data.size()) {
-        ssize_t n = ::write(stdin_write, stdin_data.data() + stdin_sent,
-                            stdin_data.size() - stdin_sent);
+        ssize_t n = xwrite(stdin_write, stdin_data.data() + stdin_sent,
+                           stdin_data.size() - stdin_sent);
         if (n > 0) {
           stdin_sent += std::size_t(n);
         } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -302,7 +309,7 @@ shell::CommandResult PosixExecutor::run(
     // Reap?
     if (!exited) {
       int status = 0;
-      pid_t r = ::waitpid(pid, &status, WNOHANG);
+      pid_t r = xwaitpid(pid, &status, WNOHANG);
       if (r == pid) {
         exited = true;
         exit_status = status;

@@ -1,0 +1,94 @@
+#include "posix/syscall_shim.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace ethergrid::posix {
+
+namespace {
+
+// Plain functions (not lambdas) so the table entries are ordinary function
+// pointers with external call semantics identical to libc.
+int real_pipe2(int fds[2], int flags) { return ::pipe2(fds, flags); }
+pid_t real_fork() { return ::fork(); }
+int real_dup2(int oldfd, int newfd) { return ::dup2(oldfd, newfd); }
+ssize_t real_read(int fd, void* buf, size_t count) {
+  return ::read(fd, buf, count);
+}
+ssize_t real_write(int fd, const void* buf, size_t count) {
+  return ::write(fd, buf, count);
+}
+pid_t real_waitpid(pid_t pid, int* status, int options) {
+  return ::waitpid(pid, status, options);
+}
+
+constexpr SyscallHooks kRealHooks = {
+    &real_pipe2, &real_fork, &real_dup2,
+    &real_read,  &real_write, &real_waitpid,
+};
+
+SyscallHooks g_hooks = kRealHooks;
+
+}  // namespace
+
+SyscallHooks& syscall_hooks() { return g_hooks; }
+
+void reset_syscall_hooks() { g_hooks = kRealHooks; }
+
+ScopedSyscallHooks::ScopedSyscallHooks(const SyscallHooks& hooks)
+    : previous_(g_hooks) {
+  g_hooks = hooks;
+}
+
+ScopedSyscallHooks::~ScopedSyscallHooks() { g_hooks = previous_; }
+
+int xpipe2(int fds[2], int flags) {
+  int r;
+  do {
+    r = g_hooks.pipe2(fds, flags);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+pid_t xfork() {
+  // fork() is not restartable (EINTR is not a documented failure), but the
+  // indirection lets tests fail it with EAGAIN/ENOMEM.
+  return g_hooks.fork();
+}
+
+int xdup2(int oldfd, int newfd) {
+  int r;
+  do {
+    r = g_hooks.dup2(oldfd, newfd);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+ssize_t xread(int fd, void* buf, size_t count) {
+  ssize_t n;
+  do {
+    n = g_hooks.read(fd, buf, count);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+ssize_t xwrite(int fd, const void* buf, size_t count) {
+  ssize_t n;
+  do {
+    n = g_hooks.write(fd, buf, count);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+pid_t xwaitpid(pid_t pid, int* status, int options) {
+  pid_t r;
+  do {
+    r = g_hooks.waitpid(pid, status, options);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+}  // namespace ethergrid::posix

@@ -1,0 +1,74 @@
+// Test-only syscall indirection for the POSIX executor.
+//
+// Child-process supervision is riddled with error paths that ordinary tests
+// can never reach: pipe(2) out of descriptors, fork(2) hitting RLIMIT_NPROC,
+// dup2(2) interrupted, short reads and EINTR storms on the stdin feed.  The
+// chaos harness reaches them by routing every such call through a small
+// table of function pointers that a test may repoint at a failing or
+// interrupting double.
+//
+// Design constraints:
+//  * Zero-cost default: each entry starts out pointing at the real libc
+//    call; production code never branches on "is a shim installed".
+//  * Fork-safe / async-signal-safe: the table holds plain function
+//    pointers (no std::function, no locks).  The child between fork() and
+//    exec() only *reads* pointers, which is safe.  Tests must install
+//    hooks while no command is in flight -- the shim is a test aid, not a
+//    concurrency feature.
+//  * The x*() wrappers layered on top add the EINTR discipline the raw
+//    calls lack: retry the call when it is interrupted before any side
+//    effect occurred.  They are what posix_executor.cpp actually calls.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace ethergrid::posix {
+
+// The hookable syscall table.  Signatures mirror libc exactly.
+struct SyscallHooks {
+  int (*pipe2)(int fds[2], int flags);
+  pid_t (*fork)();
+  int (*dup2)(int oldfd, int newfd);
+  ssize_t (*read)(int fd, void* buf, size_t count);
+  ssize_t (*write)(int fd, const void* buf, size_t count);
+  pid_t (*waitpid)(pid_t pid, int* status, int options);
+};
+
+// Returns the live table.  Mutating its entries swaps the implementation
+// used by every subsequent x*() call in this process.
+SyscallHooks& syscall_hooks();
+
+// Restores every entry to the real libc call.  Tests pair an install with
+// this in a scope guard so a failing assertion cannot poison later tests.
+void reset_syscall_hooks();
+
+// RAII: swap the whole table in, restore the previous table on destruction.
+class ScopedSyscallHooks {
+ public:
+  explicit ScopedSyscallHooks(const SyscallHooks& hooks);
+  ~ScopedSyscallHooks();
+  ScopedSyscallHooks(const ScopedSyscallHooks&) = delete;
+  ScopedSyscallHooks& operator=(const ScopedSyscallHooks&) = delete;
+
+ private:
+  SyscallHooks previous_;
+};
+
+// ---- EINTR-hardened wrappers over the hook table -------------------------
+//
+// Each retries while the underlying call fails with EINTR (where retrying
+// is correct: the call had no side effect yet).  Everything else passes
+// through, errno intact.
+
+int xpipe2(int fds[2], int flags);
+pid_t xfork();
+int xdup2(int oldfd, int newfd);
+ssize_t xread(int fd, void* buf, size_t count);
+ssize_t xwrite(int fd, const void* buf, size_t count);
+// waitpid with WNOHANG never blocks, but can still be interrupted when
+// blocking; retried either way.
+pid_t xwaitpid(pid_t pid, int* status, int options);
+
+}  // namespace ethergrid::posix

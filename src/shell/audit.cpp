@@ -16,6 +16,8 @@ std::string_view audit_kind_name(AuditEntry::Kind kind) {
       return "forall";
     case AuditEntry::Kind::kFunction:
       return "function";
+    case AuditEntry::Kind::kFault:
+      return "fault";
   }
   return "?";
 }
@@ -91,6 +93,13 @@ std::string AuditLog::report() const {
 void AuditLog::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+}
+
+std::function<void(const core::FaultEvent&)> fault_observer(AuditLog& log) {
+  return [&log](const core::FaultEvent& event) {
+    log.record(AuditEntry::Kind::kFault, 0, event.site + " " + event.kind,
+               Status::failure(event.detail), Duration(0));
+  };
 }
 
 }  // namespace ethergrid::shell

@@ -12,18 +12,20 @@
 // exactly the "frequency of each failure branch" view.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
 
 namespace ethergrid::shell {
 
 struct AuditEntry {
-  enum class Kind { kCommand, kTry, kForany, kForall, kFunction };
+  enum class Kind { kCommand, kTry, kForany, kForall, kFunction, kFault };
 
   Kind kind = Kind::kCommand;
   int line = 0;
@@ -74,5 +76,11 @@ class AuditLog {
   mutable std::mutex mu_;
   std::map<Key, AuditEntry> entries_;
 };
+
+// Adapts an AuditLog into a FaultInjector observer: every fired fault
+// becomes a kFault row labelled "<site> <kind>", so the post-mortem table
+// shows exactly which injected fault each site absorbed, with counts.
+// The log must outlive the injector the observer is installed on.
+std::function<void(const core::FaultEvent&)> fault_observer(AuditLog& log);
 
 }  // namespace ethergrid::shell

@@ -1,0 +1,228 @@
+#include "sim/fault_plan.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace ethergrid::sim {
+
+std::string_view fault_kind_name(FaultSpec::Kind kind) {
+  switch (kind) {
+    case FaultSpec::Kind::kError:
+      return "fail";
+    case FaultSpec::Kind::kStall:
+      return "stall";
+    case FaultSpec::Kind::kReset:
+      return "reset";
+    case FaultSpec::Kind::kCrash:
+      return "crash";
+    case FaultSpec::Kind::kPartition:
+      return "drop";
+  }
+  return "?";
+}
+
+std::string FaultSpec::describe() const {
+  switch (kind) {
+    case Kind::kError:
+      return strprintf("fail@%g", probability);
+    case Kind::kStall:
+      return strprintf("stall@%g,%g", probability, to_seconds(stall));
+    case Kind::kReset:
+      return strprintf("reset@%g,%g-%g", probability, fraction_min,
+                       fraction_max);
+    case Kind::kCrash:
+      return strprintf("crash@%g", to_seconds(at));
+    case Kind::kPartition:
+      return strprintf("drop@%g-%g", to_seconds(window_start),
+                       to_seconds(window_end));
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(std::string site_pattern, FaultSpec spec) {
+  rules_.push_back(FaultRule{std::move(site_pattern), spec});
+  return *this;
+}
+
+FaultSpec FaultPlan::error(double probability, StatusCode code) {
+  FaultSpec s;
+  s.kind = FaultSpec::Kind::kError;
+  s.probability = probability;
+  s.code = code;
+  return s;
+}
+
+FaultSpec FaultPlan::stall(double probability, Duration d) {
+  FaultSpec s;
+  s.kind = FaultSpec::Kind::kStall;
+  s.probability = probability;
+  s.stall = d;
+  return s;
+}
+
+FaultSpec FaultPlan::reset(double probability, double fraction_min,
+                           double fraction_max) {
+  FaultSpec s;
+  s.kind = FaultSpec::Kind::kReset;
+  s.probability = probability;
+  s.fraction_min = fraction_min;
+  s.fraction_max = fraction_max;
+  return s;
+}
+
+FaultSpec FaultPlan::crash_at(TimePoint t) {
+  FaultSpec s;
+  s.kind = FaultSpec::Kind::kCrash;
+  s.at = t;
+  return s;
+}
+
+FaultSpec FaultPlan::partition(TimePoint from, TimePoint to) {
+  FaultSpec s;
+  s.kind = FaultSpec::Kind::kPartition;
+  s.window_start = from;
+  s.window_end = to;
+  return s;
+}
+
+namespace {
+
+// Splits on a delimiter, keeping empty pieces out.
+std::vector<std::string> split_nonempty(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(delim, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_number(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(text);
+  *out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+// "A-B" => two numbers.
+bool parse_range(std::string_view text, double* a, double* b) {
+  const std::size_t dash = text.find('-');
+  if (dash == std::string_view::npos) return false;
+  return parse_number(text.substr(0, dash), a) &&
+         parse_number(text.substr(dash + 1), b) && *a <= *b;
+}
+
+Status bad_rule(std::string_view rule, const char* why) {
+  return Status::invalid_argument(strprintf("fault rule '%.*s': %s",
+                                            int(rule.size()), rule.data(),
+                                            why));
+}
+
+Status parse_rule(std::string_view rule, FaultPlan* plan) {
+  const std::size_t colon = rule.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return bad_rule(rule, "expected '<site>:<kind>@<args>'");
+  }
+  const std::string site(rule.substr(0, colon));
+  std::string_view fault = rule.substr(colon + 1);
+  const std::size_t at = fault.find('@');
+  if (at == std::string_view::npos) {
+    return bad_rule(rule, "expected '<kind>@<args>'");
+  }
+  const std::string_view kind = fault.substr(0, at);
+  const std::string_view args = fault.substr(at + 1);
+
+  if (kind == "fail") {
+    double p;
+    if (!parse_number(args, &p)) return bad_rule(rule, "fail needs '@P'");
+    plan->add(site, FaultPlan::error(p));
+  } else if (kind == "stall") {
+    const std::size_t comma = args.find(',');
+    double p, seconds;
+    if (comma == std::string_view::npos ||
+        !parse_number(args.substr(0, comma), &p) ||
+        !parse_number(args.substr(comma + 1), &seconds)) {
+      return bad_rule(rule, "stall needs '@P,SECONDS'");
+    }
+    plan->add(site, FaultPlan::stall(p, sec(seconds)));
+  } else if (kind == "reset") {
+    const std::size_t comma = args.find(',');
+    double p;
+    if (!parse_number(args.substr(0, comma), &p)) {
+      return bad_rule(rule, "reset needs '@P[,F1-F2]'");
+    }
+    double f1 = 0.05, f2 = 0.95;
+    if (comma != std::string_view::npos &&
+        !parse_range(args.substr(comma + 1), &f1, &f2)) {
+      return bad_rule(rule, "reset fraction range must be 'F1-F2'");
+    }
+    plan->add(site, FaultPlan::reset(p, f1, f2));
+  } else if (kind == "crash") {
+    double t;
+    if (!parse_number(args, &t)) return bad_rule(rule, "crash needs '@T'");
+    plan->add(site, FaultPlan::crash_at(kEpoch + sec(t)));
+  } else if (kind == "drop") {
+    double t1, t2;
+    if (!parse_range(args, &t1, &t2)) {
+      return bad_rule(rule, "drop needs '@T1-T2'");
+    }
+    plan->add(site, FaultPlan::partition(kEpoch + sec(t1), kEpoch + sec(t2)));
+  } else {
+    return bad_rule(rule, "unknown fault kind");
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Status FaultPlan::parse(std::string_view spec, FaultPlan* out) {
+  FaultPlan plan;
+  for (const std::string& rule : split_nonempty(spec, ';')) {
+    Status s = parse_rule(rule, &plan);
+    if (s.failed()) return s;
+  }
+  *out = std::move(plan);
+  return Status::success();
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const FaultRule& rule : rules_) {
+    out += rule.site_pattern;
+    out += ':';
+    out += rule.spec.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+bool site_matches(std::string_view pattern, std::string_view site) {
+  // Iterative glob over '*' only: after each star, greedily try every
+  // suffix position (classic two-pointer backtracking).
+  std::size_t p = 0, s = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (s < site.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == site[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace ethergrid::sim

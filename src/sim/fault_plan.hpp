@@ -1,0 +1,104 @@
+// FaultPlan: a declarative, seed-deterministic description of the faults to
+// inject into a run.
+//
+// The paper's disciplines exist *because the medium fails*; a single
+// hard-coded failure knob cannot exercise them systematically.  A plan is a
+// list of rules, each binding a fault kind to a named injection *site*
+// (e.g. "fileserver.xxx.fetch", "schedd.submit", "iochannel.write").  Site
+// patterns may contain '*' wildcards so one rule can cover a family of
+// sites.  The plan itself is pure data: core::FaultInjector interprets it
+// against per-site RNG streams, so the same seed + plan replays the
+// identical fault sequence.
+//
+// Plans can be built programmatically (the builders below) or parsed from
+// the compact command-line grammar used by `gridsim --faults=SPEC`:
+//
+//   spec  := rule (";" rule)*
+//   rule  := site ":" fault
+//   fault := "fail@" P            -- prompt error with probability P
+//          | "stall@" P "," D     -- latency spike of D seconds, probability P
+//          | "reset@" P ["," F1 "-" F2]
+//                                 -- mid-transfer reset after a fraction of
+//                                    the payload drawn uniformly from [F1,F2)
+//          | "crash@" T           -- one-shot crash at virtual time T seconds
+//          | "drop@" T1 "-" T2    -- partition (black hole) during [T1,T2)
+//
+// Example: "fileserver.*.fetch:reset@0.3;fileserver.yyy.*:drop@100-400"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::sim {
+
+// One fault kind plus its parameters.  Fields are meaningful per kind; the
+// builders on FaultPlan set only what the kind uses.
+struct FaultSpec {
+  enum class Kind {
+    kError,      // prompt retryable failure, probability `probability`
+    kStall,      // extra latency of `stall`, probability `probability`
+    kReset,      // fail after a fraction of the payload has moved
+    kCrash,      // one-shot: fires the first time a decision happens at or
+                 // after `at` (substrates map it to their crash path)
+    kPartition,  // black hole while now is inside [window_start, window_end)
+  };
+
+  Kind kind = Kind::kError;
+  double probability = 1.0;         // kError / kStall / kReset
+  Duration stall{};                 // kStall
+  double fraction_min = 0.05;       // kReset: payload fraction consumed
+  double fraction_max = 0.95;       //   before the connection dies
+  TimePoint at{};                   // kCrash
+  TimePoint window_start{};         // kPartition
+  TimePoint window_end{};
+  StatusCode code = StatusCode::kIoError;  // status carried by kError/kReset
+
+  std::string describe() const;
+};
+
+std::string_view fault_kind_name(FaultSpec::Kind kind);
+
+// Binds a spec to a site pattern ('*' matches any run of characters).
+struct FaultRule {
+  std::string site_pattern;
+  FaultSpec spec;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  FaultPlan& add(std::string site_pattern, FaultSpec spec);
+
+  // --- spec builders ---
+  static FaultSpec error(double probability,
+                         StatusCode code = StatusCode::kIoError);
+  static FaultSpec stall(double probability, Duration d);
+  static FaultSpec reset(double probability, double fraction_min = 0.05,
+                         double fraction_max = 0.95);
+  static FaultSpec crash_at(TimePoint t);
+  static FaultSpec partition(TimePoint from, TimePoint to);
+
+  // Parses the --faults grammar above.  On failure returns
+  // kInvalidArgument naming the offending rule; *out is untouched.
+  static Status parse(std::string_view spec, FaultPlan* out);
+
+  // Round-trippable human-readable rendering (one rule per line).
+  std::string describe() const;
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+// '*'-wildcard match; '*' matches any (possibly empty) run of characters.
+bool site_matches(std::string_view pattern, std::string_view site);
+
+}  // namespace ethergrid::sim

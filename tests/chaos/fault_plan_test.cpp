@@ -1,0 +1,192 @@
+// Units for the fault-plan grammar, the site glob, and the injector's
+// determinism contract -- the foundations the scenario chaos matrix rests
+// on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace ethergrid {
+namespace {
+
+using sim::FaultPlan;
+using sim::FaultSpec;
+using sim::site_matches;
+
+TEST(SiteMatchTest, Globs) {
+  EXPECT_TRUE(site_matches("schedd.submit", "schedd.submit"));
+  EXPECT_FALSE(site_matches("schedd.submit", "schedd.submits"));
+  EXPECT_TRUE(site_matches("fileserver.*.fetch", "fileserver.xxx.fetch"));
+  EXPECT_FALSE(site_matches("fileserver.*.fetch", "fileserver.xxx.flag"));
+  EXPECT_TRUE(site_matches("fileserver.yyy.*", "fileserver.yyy.flag"));
+  EXPECT_TRUE(site_matches("*", "anything.at.all"));
+  EXPECT_TRUE(site_matches("a*c*e", "abcde"));
+  EXPECT_FALSE(site_matches("a*c*e", "abcdf"));
+  EXPECT_TRUE(site_matches("iochannel.write", "iochannel.write"));
+  EXPECT_FALSE(site_matches("", "x"));
+  EXPECT_TRUE(site_matches("*", ""));
+}
+
+TEST(FaultPlanParseTest, FullGrammarRoundTrips) {
+  FaultPlan plan;
+  const std::string spec =
+      "fileserver.*.fetch:reset@0.3,0.1-0.9;"
+      "schedd.submit:stall@0.25,5;"
+      "iochannel.write:fail@0.1;"
+      "schedd.submit:crash@120;"
+      "fileserver.yyy.*:drop@100-400";
+  ASSERT_TRUE(FaultPlan::parse(spec, &plan).ok());
+  ASSERT_EQ(plan.rules().size(), 5u);
+
+  EXPECT_EQ(plan.rules()[0].spec.kind, FaultSpec::Kind::kReset);
+  EXPECT_DOUBLE_EQ(plan.rules()[0].spec.probability, 0.3);
+  EXPECT_DOUBLE_EQ(plan.rules()[0].spec.fraction_min, 0.1);
+  EXPECT_DOUBLE_EQ(plan.rules()[0].spec.fraction_max, 0.9);
+
+  EXPECT_EQ(plan.rules()[1].spec.kind, FaultSpec::Kind::kStall);
+  EXPECT_EQ(plan.rules()[1].spec.stall, sec(5));
+
+  EXPECT_EQ(plan.rules()[2].spec.kind, FaultSpec::Kind::kError);
+  EXPECT_EQ(plan.rules()[3].spec.kind, FaultSpec::Kind::kCrash);
+  EXPECT_EQ(plan.rules()[3].spec.at, kEpoch + sec(120));
+  EXPECT_EQ(plan.rules()[4].spec.kind, FaultSpec::Kind::kPartition);
+  EXPECT_EQ(plan.rules()[4].spec.window_start, kEpoch + sec(100));
+  EXPECT_EQ(plan.rules()[4].spec.window_end, kEpoch + sec(400));
+
+  // describe() renders a form parse() accepts again, rule for rule.
+  FaultPlan reparsed;
+  std::string rendered = plan.describe();
+  for (char& c : rendered) {
+    if (c == '\n') c = ';';
+  }
+  ASSERT_TRUE(FaultPlan::parse(rendered, &reparsed).ok());
+  EXPECT_EQ(reparsed.describe(), plan.describe());
+}
+
+TEST(FaultPlanParseTest, RejectsMalformedRules) {
+  FaultPlan untouched;
+  untouched.add("x", FaultPlan::error(1.0));
+  for (const char* bad : {
+           "norule",                      // no colon
+           ":fail@0.5",                   // empty site
+           "site:fail",                   // no args
+           "site:fail@",                  // empty probability
+           "site:fail@abc",               // non-numeric
+           "site:crash@12s",              // trailing junk on number
+           "site:stall@0.5",              // stall missing duration
+           "site:drop@40",                // drop needs a range
+           "site:drop@400-100",           // inverted range
+           "site:reset@0.5,0.9-0.1",      // inverted fraction range
+           "site:explode@1",              // unknown kind
+       }) {
+    FaultPlan plan = untouched;
+    Status s = FaultPlan::parse(bad, &plan);
+    EXPECT_TRUE(s.failed()) << bad;
+    // A failed parse leaves *out untouched.
+    EXPECT_EQ(plan.describe(), untouched.describe()) << bad;
+  }
+}
+
+TEST(FaultInjectorTest, EmptyInjectorNeverFires) {
+  core::FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  const auto d = injector.decide("anything", kEpoch);
+  EXPECT_EQ(d.action, core::FaultDecision::Action::kNone);
+  EXPECT_EQ(injector.fired_total(), 0);
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanReplaysIdentically) {
+  FaultPlan plan;
+  ASSERT_TRUE(FaultPlan::parse(
+                  "a.fetch:reset@0.4;b.write:fail@0.3;c.submit:stall@0.5,2",
+                  &plan)
+                  .ok());
+  auto run = [&plan](std::uint64_t seed) {
+    core::FaultInjector injector(plan, Rng(seed));
+    std::string log;
+    // Interleave sites to prove per-site streams are order-independent.
+    for (int i = 0; i < 200; ++i) {
+      const char* site = i % 3 == 0 ? "a.fetch" : i % 3 == 1 ? "b.write"
+                                                             : "c.submit";
+      auto d = injector.decide(site, kEpoch + sec(i));
+      log += char('0' + int(d.action));
+    }
+    return log + "|" + injector.audit_text();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultInjectorTest, SiteStreamsAreIndependent) {
+  // Consulting extra, unrelated sites must not perturb a site's own
+  // decision sequence -- the property that lets a plan grow new rules
+  // without reshuffling existing runs.
+  FaultPlan plan;
+  plan.add("a.*", FaultPlan::error(0.5));
+  plan.add("b.*", FaultPlan::error(0.5));
+
+  auto run_a = [&plan](bool also_consult_b) {
+    core::FaultInjector injector(plan, Rng(7));
+    std::string log;
+    for (int i = 0; i < 100; ++i) {
+      if (also_consult_b) (void)injector.decide("b.noise", kEpoch + sec(i));
+      auto d = injector.decide("a.data", kEpoch + sec(i));
+      log += d.action == core::FaultDecision::Action::kFail ? 'F' : '.';
+    }
+    return log;
+  };
+  EXPECT_EQ(run_a(false), run_a(true));
+}
+
+TEST(FaultInjectorTest, CrashFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.add("daemon", FaultPlan::crash_at(kEpoch + sec(10)));
+  core::FaultInjector injector(plan, Rng(1));
+  EXPECT_EQ(injector.decide("daemon", kEpoch + sec(5)).action,
+            core::FaultDecision::Action::kNone);
+  EXPECT_EQ(injector.decide("daemon", kEpoch + sec(11)).action,
+            core::FaultDecision::Action::kCrash);
+  EXPECT_EQ(injector.decide("daemon", kEpoch + sec(12)).action,
+            core::FaultDecision::Action::kNone);
+  EXPECT_EQ(injector.fired_at("daemon"), 1);
+}
+
+TEST(FaultInjectorTest, PartitionCoversItsWindowOnly) {
+  FaultPlan plan;
+  plan.add("server.*", FaultPlan::partition(kEpoch + sec(100),
+                                            kEpoch + sec(200)));
+  core::FaultInjector injector(plan, Rng(1));
+  EXPECT_EQ(injector.decide("server.x", kEpoch + sec(99)).action,
+            core::FaultDecision::Action::kNone);
+  EXPECT_EQ(injector.decide("server.x", kEpoch + sec(100)).action,
+            core::FaultDecision::Action::kPartition);
+  EXPECT_EQ(injector.decide("server.x", kEpoch + sec(199)).action,
+            core::FaultDecision::Action::kPartition);
+  EXPECT_EQ(injector.decide("server.x", kEpoch + sec(200)).action,
+            core::FaultDecision::Action::kNone);
+}
+
+TEST(FaultInjectorTest, ObserverSeesEveryFiredFault) {
+  FaultPlan plan;
+  plan.add("s", FaultPlan::error(1.0));
+  core::FaultInjector injector(plan, Rng(3));
+  std::vector<core::FaultEvent> seen;
+  injector.set_observer([&seen](const core::FaultEvent& e) {
+    seen.push_back(e);
+  });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(injector.decide("s", kEpoch + sec(i)).action,
+              core::FaultDecision::Action::kFail);
+  }
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.front().site, "s");
+  EXPECT_EQ(seen.front().kind, "fail");
+  EXPECT_EQ(injector.fired_total(), 5);
+}
+
+}  // namespace
+}  // namespace ethergrid

@@ -1,0 +1,104 @@
+// Sibling-abort under stalls: when one forall branch fails, a branch stuck
+// in a stalled external command (or a pure compute loop) must die promptly
+// -- the cancellation promise the paper's recovery model depends on.  Real
+// processes and wall-clock bounds: a regression here shows up as a 30 s
+// hang, caught by the assertions long before the test timeout.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "posix/posix_executor.hpp"
+#include "shell/executor.hpp"
+
+namespace ethergrid::posix {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double elapsed_seconds(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+shell::CommandInvocation command(std::vector<std::string> argv) {
+  shell::CommandInvocation inv;
+  inv.argv = std::move(argv);
+  return inv;
+}
+
+TEST(ForallAbortTest, StalledCommandBranchIsKilledWhenSiblingFails) {
+  PosixExecutor executor;
+  const auto start = WallClock::now();
+
+  std::vector<std::function<Status()>> branches;
+  // The stalled branch: an external process that would run for 30 s.
+  branches.push_back([&executor] {
+    return executor.run(command({"/bin/sh", "-c", "sleep 30"})).status;
+  });
+  // The failing sibling: quick, decisive.
+  branches.push_back([&executor] {
+    executor.run(command({"/bin/sh", "-c", "sleep 0.2"}));
+    return Status::failure("sibling failed");
+  });
+
+  std::vector<Status> statuses = executor.run_parallel(std::move(branches));
+
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].failed());  // killed, not completed
+  EXPECT_TRUE(statuses[1].failed());
+  // Promptness is the contract: the stalled process was signalled as soon
+  // as the sibling failed, not after its own 30 s ran out.
+  EXPECT_LT(elapsed_seconds(start), 10.0);
+}
+
+TEST(ForallAbortTest, ComputeBranchObservesAbortRequested) {
+  // A branch that never blocks in run() must still see the abort through
+  // Executor::abort_requested -- the hook the interpreter polls between
+  // statements.
+  PosixExecutor executor;
+  const auto start = WallClock::now();
+  bool observed_abort = false;
+
+  std::vector<std::function<Status()>> branches;
+  branches.push_back([&executor, &observed_abort, start] {
+    while (!executor.abort_requested()) {
+      if (elapsed_seconds(start) > 20.0) {
+        return Status::failure("abort never observed");
+      }
+      executor.sleep(msec(5));  // group-aware sleep: wakes on abort
+    }
+    observed_abort = true;
+    return Status::killed("saw sibling abort");
+  });
+  branches.push_back([&executor] {
+    executor.sleep(msec(100));
+    return Status::failure("sibling failed");
+  });
+
+  std::vector<Status> statuses = executor.run_parallel(std::move(branches));
+
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(observed_abort);
+  EXPECT_LT(elapsed_seconds(start), 10.0);
+}
+
+TEST(ForallAbortTest, NoFailureMeansNoAbort) {
+  PosixExecutor executor;
+  std::vector<std::function<Status()>> branches;
+  for (int i = 0; i < 3; ++i) {
+    branches.push_back([&executor] {
+      if (executor.abort_requested()) {
+        return Status::failure("spurious abort");
+      }
+      return executor.run(command({"/bin/sh", "-c", "true"})).status;
+    });
+  }
+  for (const Status& s : executor.run_parallel(std::move(branches))) {
+    EXPECT_TRUE(s.ok()) << s.message();
+  }
+}
+
+}  // namespace
+}  // namespace ethergrid::posix

@@ -2,6 +2,9 @@
 // budget combination, checked across a parameterized grid.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/backoff.hpp"
 #include "core/retry.hpp"
 #include "core/sim_clock.hpp"
 #include "sim/kernel.hpp"
@@ -126,6 +129,52 @@ TEST_P(RetryDeterminismTest, IdenticalRunsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RetryDeterminismTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------- backoff policy itself
+//
+// "The base delay is one second, doubled after every failure, up to a
+//  maximum of one hour.  Each delay interval is multiplied by a random
+//  factor between one and two."  Checked draw by draw.
+
+class BackoffPolicyPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackoffPolicyPropertyTest, PaperPolicyDoublesAndJittersInRange) {
+  Rng rng(GetParam());
+  const BackoffPolicy policy = BackoffPolicy::paper_default();
+  Backoff backoff(policy, rng);
+  for (int k = 0; k < 13; ++k) {
+    // Pre-jitter delay after the k-th failure: 1s * 2^k, capped at 1h.
+    const double expected =
+        std::min(std::pow(2.0, k), to_seconds(policy.cap));
+    const Duration base = backoff.peek_base();
+    EXPECT_NEAR(to_seconds(base), expected, 1e-9) << "failure #" << k;
+    // The realized delay carries a random factor in [1, 2).
+    const Duration delay = backoff.next();
+    EXPECT_GE(delay, base) << "failure #" << k;
+    EXPECT_LT(delay, base * 2) << "failure #" << k;
+  }
+}
+
+TEST_P(BackoffPolicyPropertyTest, LongStreakSaturatesAtOneHour) {
+  Rng rng(GetParam());
+  Backoff backoff(BackoffPolicy::paper_default(), rng);
+  // Burn far past the doubling range; exponent math must saturate, not
+  // overflow.
+  for (int k = 0; k < 200; ++k) (void)backoff.next();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(backoff.peek_base(), hours(1));
+    const Duration delay = backoff.next();
+    EXPECT_GE(delay, hours(1));
+    EXPECT_LT(delay, hours(2));  // jitter still spreads the capped delay
+  }
+  // A success resets the streak to the base delay.
+  backoff.reset();
+  EXPECT_EQ(backoff.peek_base(), sec(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackoffPolicyPropertyTest,
+                         ::testing::Values(1, 7, 42, 99, 1234));
 
 }  // namespace
 }  // namespace ethergrid::core
