@@ -8,10 +8,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main() {
+  bench::Report report("ablation_backoff_cap");
   exp::Table table(
       "Ablation: backoff cap sweep (450 aloha submitters, 30 min window)",
       {"cap_seconds", "jobs", "schedd_crashes"});
@@ -33,6 +35,7 @@ int main() {
                    exp::Table::cell(point.jobs_submitted),
                    exp::Table::cell(point.schedd_crashes)});
     rows.push_back(Row{cap_s, point.jobs_submitted});
+    report.add_events(point.kernel_events);
   }
   table.print();
 

@@ -8,10 +8,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main() {
+  bench::Report report("ablation_carrier_threshold");
   exp::Table table(
       "Ablation: carrier-sense FD threshold (450 ethernet submitters, 5 min)",
       {"threshold", "jobs", "schedd_crashes", "fd_low_watermark"});
@@ -27,6 +29,7 @@ int main() {
                    exp::Table::cell(point.jobs_submitted),
                    exp::Table::cell(point.schedd_crashes),
                    exp::Table::cell(point.fd_low_watermark)});
+    report.add_events(point.kernel_events);
   }
   table.print();
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "exp/table.hpp"
+#include "report.hpp"
 #include "shell/interpreter.hpp"
 #include "shell/sim_executor.hpp"
 #include "sim/kernel.hpp"
@@ -74,6 +75,7 @@ Outcome run_fanouts(shell::ParallelPolicy::OnTableFull mode, int scripts,
 }  // namespace
 
 int main() {
+  ethergrid::bench::Report report("ablation_forall_governor");
   exp::Table table(
       "Ablation: forall process-creation governor (20 scripts x 4-way "
       "fan-outs, 32-slot process table, 10 min)",
@@ -102,5 +104,6 @@ int main() {
       "raise peak capacity, it keeps contention from becoming denial of "
       "service.\n",
       governed.completed, naive.completed, naive.failed, governed.failed);
+  report.shape(governed.failed <= naive.failed);
   return 0;
 }

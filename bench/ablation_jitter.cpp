@@ -9,10 +9,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main() {
+  bench::Report report("ablation_jitter");
   exp::Table table(
       "Ablation: backoff jitter on/off (aloha submitters, 5 min window)",
       {"submitters", "jobs_jitter", "jobs_nojitter", "crashes_jitter",
@@ -37,6 +39,7 @@ int main() {
                    exp::Table::cell(without_point.schedd_crashes)});
     with_total += with_point.jobs_submitted;
     without_total += without_point.jobs_submitted;
+    report.add_events(with_point.kernel_events + without_point.kernel_events);
   }
   table.print();
 
@@ -45,5 +48,6 @@ int main() {
       "without).\n",
       with_total >= without_total ? "preserves" : "did NOT preserve",
       (long long)with_total, (long long)without_total);
+  report.shape(with_total >= without_total);
   return 0;
 }

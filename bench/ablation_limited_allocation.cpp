@@ -13,11 +13,13 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 #include "sim/kernel.hpp"
 
 using namespace ethergrid;
 
 int main() {
+  bench::Report report("ablation_limited_allocation");
   exp::Table table(
       "Ablation: limited allocation (hogs pinning FDs vs 300 ethernet "
       "submitters, 5 min)",
@@ -62,6 +64,7 @@ int main() {
     }
     kernel2.run_until(kEpoch + minutes(5));
     const std::int64_t aloha_jobs = schedd2.jobs_submitted();
+    report.add_events(kernel.events_processed() + kernel2.events_processed());
     kernel2.shutdown();
 
     table.add_row({exp::Table::cell(hogged), exp::Table::cell(ethernet_jobs),

@@ -11,6 +11,7 @@
 #include "exp/table.hpp"
 #include "grid/clients.hpp"
 #include "grid/schedd.hpp"
+#include "report.hpp"
 #include "shell/interpreter.hpp"
 #include "shell/sim_executor.hpp"
 #include "sim/kernel.hpp"
@@ -98,6 +99,7 @@ bool within(double a, double b, double tolerance) {
 }  // namespace
 
 int main() {
+  ethergrid::bench::Report report("fidelity_script_vs_api");
   exp::Table table(
       "Fidelity: ftsh-scripted clients vs C++ API clients (jobs submitted)",
       {"scenario", "scripted", "api", "delta_pct"});
@@ -138,5 +140,6 @@ int main() {
       "\nFidelity check (scripted and API clients express the same "
       "discipline): %s\n",
       all_ok ? "OK" : "MISMATCH");
+  report.shape(all_ok);
   return 0;
 }

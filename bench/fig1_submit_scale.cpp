@@ -15,10 +15,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main(int argc, char** argv) {
+  bench::Report report("fig1_submit_scale");
   std::vector<int> counts = {25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500};
   if (argc > 1) {
     counts.clear();
@@ -56,19 +58,24 @@ int main(int argc, char** argv) {
     tally(&fixed_totals, fixed.jobs_submitted);
     tally(&aloha_totals, aloha.jobs_submitted);
     tally(&ethernet_totals, ether.jobs_submitted);
+    report.add_events(fixed.kernel_events + aloha.kernel_events +
+                      ether.kernel_events);
   }
   table.print();
 
   std::printf(
       "\nShape check (paper: under load Ethernet > Aloha > Fixed; Fixed "
       "collapses at high N):\n");
+  const bool ordered = ethernet_totals.jobs_high > aloha_totals.jobs_high &&
+                       aloha_totals.jobs_high > fixed_totals.jobs_high;
   std::printf("  high-load totals: fixed=%lld aloha=%lld ethernet=%lld -> %s\n",
               (long long)fixed_totals.jobs_high,
               (long long)aloha_totals.jobs_high,
               (long long)ethernet_totals.jobs_high,
-              (ethernet_totals.jobs_high > aloha_totals.jobs_high &&
-               aloha_totals.jobs_high > fixed_totals.jobs_high)
-                  ? "OK"
-                  : "MISMATCH");
+              ordered ? "OK" : "MISMATCH");
+  report.shape(ordered);
+  report.metric("jobs_high_fixed", double(fixed_totals.jobs_high));
+  report.metric("jobs_high_aloha", double(aloha_totals.jobs_high));
+  report.metric("jobs_high_ethernet", double(ethernet_totals.jobs_high));
   return 0;
 }

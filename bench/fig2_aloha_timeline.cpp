@@ -12,6 +12,7 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
@@ -20,6 +21,7 @@ using namespace ethergrid;
 // was just above critical.  We run 420 clients (5% past critical) so the
 // crash regime the figure depicts is reproduced; see EXPERIMENTS.md.
 int main(int argc, char** argv) {
+  bench::Report report("fig2_aloha_timeline");
   const int clients = argc > 1 ? std::atoi(argv[1]) : 420;
   exp::SubmitScenarioConfig config;
   std::fprintf(stderr, "[fig2] %d aloha submitters, 1800 s...\n", clients);
@@ -54,5 +56,10 @@ int main(int argc, char** argv) {
               (upward_spikes >= 1 && timeline.schedd_crashes >= 1)
                   ? "OK"
                   : "MISMATCH");
+  report.add_events(timeline.kernel_events);
+  report.shape(min_fds < 500);
+  report.shape(upward_spikes >= 1 && timeline.schedd_crashes >= 1);
+  report.metric("jobs_total", double(timeline.jobs_total));
+  report.metric("schedd_crashes", double(timeline.schedd_crashes));
   return 0;
 }

@@ -9,12 +9,14 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 // Same offered load as Figure 2 (420 clients, just past the FD-table
 // critical point) so the two timelines are directly comparable.
 int main(int argc, char** argv) {
+  bench::Report report("fig3_ethernet_timeline");
   const int clients = argc > 1 ? std::atoi(argv[1]) : 420;
   exp::SubmitScenarioConfig config;
   std::fprintf(stderr, "[fig3] %d ethernet submitters, 1800 s...\n", clients);
@@ -52,5 +54,10 @@ int main(int argc, char** argv) {
   std::printf("Shape check: steady submission (%lld jobs > 1000): %s\n",
               (long long)timeline.jobs_total,
               timeline.jobs_total > 1000 ? "OK" : "MISMATCH");
+  report.add_events(timeline.kernel_events);
+  report.shape(min_fds_steady >= 300 && min_fds_steady <= 2500);
+  report.shape(timeline.schedd_crashes <= 1);
+  report.shape(timeline.jobs_total > 1000);
+  report.metric("jobs_total", double(timeline.jobs_total));
   return 0;
 }

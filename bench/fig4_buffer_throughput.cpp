@@ -13,10 +13,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main(int argc, char** argv) {
+  bench::Report report("fig4_buffer_throughput");
   std::vector<int> counts = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
   if (argc > 1) {
     counts.clear();
@@ -47,17 +49,19 @@ int main(int argc, char** argv) {
       sat_aloha += aloha.files_consumed;
       sat_ethernet += ether.files_consumed;
     }
+    report.add_events(fixed.kernel_events + aloha.kernel_events +
+                      ether.kernel_events);
   }
   table.print();
 
   std::printf(
       "\nShape check (paper: under saturation Ethernet > Aloha > Fixed):\n");
+  const bool ordered = sat_ethernet > sat_aloha && sat_aloha >= sat_fixed;
   std::printf("  saturation totals: fixed=%lld aloha=%lld ethernet=%lld -> "
               "%s\n",
               (long long)sat_fixed, (long long)sat_aloha,
-              (long long)sat_ethernet,
-              (sat_ethernet > sat_aloha && sat_aloha >= sat_fixed)
-                  ? "OK"
-                  : "MISMATCH");
+              (long long)sat_ethernet, ordered ? "OK" : "MISMATCH");
+  report.shape(ordered);
+  report.metric("sat_files_ethernet", double(sat_ethernet));
   return 0;
 }

@@ -11,10 +11,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main(int argc, char** argv) {
+  bench::Report report("fig5_buffer_collisions");
   std::vector<int> counts = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
   if (argc > 1) {
     counts.clear();
@@ -43,17 +45,19 @@ int main(int argc, char** argv) {
     total_fixed += fixed.collisions;
     total_aloha += aloha.collisions;
     total_ethernet += ether.collisions;
+    report.add_events(fixed.kernel_events + aloha.kernel_events +
+                      ether.kernel_events);
   }
   table.print();
 
   std::printf("\nShape check (paper: Fixed >> Aloha >> Ethernet ~ 0):\n");
-  std::printf(
-      "  totals: fixed=%lld aloha=%lld ethernet=%lld -> %s\n",
-      (long long)total_fixed, (long long)total_aloha,
-      (long long)total_ethernet,
-      (total_fixed > 3 * std::max<std::int64_t>(total_aloha, 1) &&
-       total_aloha > 2 * std::max<std::int64_t>(total_ethernet, 1))
-          ? "OK"
-          : "MISMATCH");
+  const bool separated =
+      total_fixed > 3 * std::max<std::int64_t>(total_aloha, 1) &&
+      total_aloha > 2 * std::max<std::int64_t>(total_ethernet, 1);
+  std::printf("  totals: fixed=%lld aloha=%lld ethernet=%lld -> %s\n",
+              (long long)total_fixed, (long long)total_aloha,
+              (long long)total_ethernet, separated ? "OK" : "MISMATCH");
+  report.shape(separated);
+  report.metric("collisions_ethernet", double(total_ethernet));
   return 0;
 }

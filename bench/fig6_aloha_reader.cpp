@@ -8,10 +8,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main() {
+  bench::Report report("fig6_aloha_reader");
   exp::ReaderScenarioConfig config;
   config.reader.kind = grid::DisciplineKind::kAloha;
   std::fprintf(stderr, "[fig6] 3 aloha readers vs black hole, 900 s...\n");
@@ -36,5 +38,9 @@ int main() {
   std::printf(
       "Shape check: black-hole stalls paid (collisions >= 5): %s\n",
       timeline.collisions_total >= 5 ? "OK" : "MISMATCH");
+  report.add_events(timeline.kernel_events);
+  report.shape(timeline.transfers_total > 20);
+  report.shape(timeline.collisions_total >= 5);
+  report.metric("transfers", double(timeline.transfers_total));
   return 0;
 }

@@ -8,10 +8,12 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "report.hpp"
 
 using namespace ethergrid;
 
 int main() {
+  bench::Report report("fig7_ethernet_reader");
   exp::ReaderScenarioConfig config;
   std::fprintf(stderr, "[fig7] 3 ethernet readers vs black hole, 900 s...\n");
   exp::ReaderTimeline ethernet = exp::run_reader_timeline(
@@ -47,5 +49,10 @@ int main() {
               (long long)aloha.transfers_total,
               ethernet.transfers_total > aloha.transfers_total ? "OK"
                                                                : "MISMATCH");
+  report.add_events(ethernet.kernel_events + aloha.kernel_events);
+  report.shape(ethernet.collisions_total == 0);
+  report.shape(ethernet.deferrals_total > 0);
+  report.shape(ethernet.transfers_total > aloha.transfers_total);
+  report.metric("transfers_ethernet", double(ethernet.transfers_total));
   return 0;
 }

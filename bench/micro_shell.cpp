@@ -5,6 +5,7 @@
 #include "core/retry.hpp"
 #include "core/sim_clock.hpp"
 #include "posix/posix_executor.hpp"
+#include "report.hpp"
 #include "shell/interpreter.hpp"
 #include "shell/lexer.hpp"
 #include "shell/parser.hpp"
@@ -172,4 +173,11 @@ BENCHMARK(BM_PosixKillToReap)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ethergrid::bench::Report report("micro_shell");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/kernel.hpp"
+
+namespace ethergrid::bench {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// %g prints NaN/inf, which JSON rejects; clamp to null at the call site.
+std::string json_number(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string Report::path() {
+  const char* env = std::getenv("ETHERGRID_BENCH_REPORT");
+  if (env && std::string(env) == "off") return "";
+  return env && *env ? env : "BENCH_results.json";
+}
+
+Report::Report(std::string name) : name_(std::move(name)), start_ns_(now_ns()) {}
+
+Report::~Report() { write(); }
+
+void Report::add_events(std::uint64_t events) { events_ += events; }
+
+void Report::shape(bool ok) {
+  ++shape_checks_;
+  shape_ok_ = shape_ok_ && ok;
+}
+
+void Report::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void Report::set_detail(std::string detail) { detail_ = std::move(detail); }
+
+void Report::write() {
+  if (written_) return;
+  written_ = true;
+  const std::string file = path();
+  if (file.empty()) return;
+
+  const double wall = double(now_ns() - start_ns_) * 1e-9;
+  std::ostringstream entry;
+  entry << "  {\"name\": \"" << json_escape(name_) << "\""
+        << ", \"wall_seconds\": " << json_number(wall)
+        << ", \"events\": " << events_ << ", \"events_per_sec\": "
+        << (wall > 0 && events_ > 0 ? json_number(double(events_) / wall)
+                                    : "null")
+        << ", \"shape_ok\": "
+        << (shape_checks_ == 0 ? "null" : (shape_ok_ ? "true" : "false"))
+        << ", \"backend\": \""
+        << sim::backend_name(sim::default_backend()) << "\"";
+  if (!metrics_.empty()) {
+    entry << ", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i) entry << ", ";
+      entry << "\"" << json_escape(metrics_[i].first)
+            << "\": " << json_number(metrics_[i].second);
+    }
+    entry << "}";
+  }
+  if (!detail_.empty()) {
+    entry << ", \"detail\": \"" << json_escape(detail_) << "\"";
+  }
+  entry << "}";
+
+  // Append by rewriting the array terminator: the file is valid JSON
+  // between every run, and a fresh/garbled file starts a new array.
+  std::string existing;
+  {
+    std::ifstream in(file);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  std::size_t end = existing.find_last_of(']');
+  std::ofstream out(file, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write report to %s\n", file.c_str());
+    return;
+  }
+  if (end == std::string::npos || existing.find('[') == std::string::npos) {
+    out << "[\n" << entry.str() << "\n]\n";
+  } else {
+    std::string head = existing.substr(0, end);
+    while (!head.empty() &&
+           (head.back() == '\n' || head.back() == ' ' || head.back() == '\t')) {
+      head.pop_back();
+    }
+    out << head << (head.back() == '[' ? "\n" : ",\n") << entry.str()
+        << "\n]\n";
+  }
+}
+
+}  // namespace ethergrid::bench

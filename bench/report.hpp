@@ -1,0 +1,66 @@
+// Bench report: one headline JSON entry per bench binary.
+//
+// Every binary under bench/ constructs a Report at the top of main and
+// feeds it the run's headline numbers; the destructor appends one object
+// to a machine-readable JSON array so a whole suite run leaves a single
+// BENCH_results.json behind for CI artifacts and regression diffing.
+//
+//   {"name": "fig1_submit_scale", "wall_seconds": 1.84,
+//    "events": 5183021, "events_per_sec": 2816859.2,
+//    "shape_ok": true, "backend": "fiber",
+//    "metrics": {"jobs_high_ethernet": 5321}, "detail": ""}
+//
+// Report path: $ETHERGRID_BENCH_REPORT, default ./BENCH_results.json;
+// set it to "off" to disable reporting entirely.  Appending re-writes the
+// array terminator, so the file is valid JSON after every binary exits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ethergrid::bench {
+
+class Report {
+ public:
+  // Starts the wall clock.  `name` should be the binary's basename.
+  explicit Report(std::string name);
+  // Writes the entry (unless write() already ran or reporting is off).
+  ~Report();
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  // Accumulates virtual-time events processed (sum across kernels/runs);
+  // events_per_sec in the entry is this total over the wall clock.
+  void add_events(std::uint64_t events);
+
+  // Records one shape-check outcome; the entry's shape_ok is the AND of
+  // all calls.  Never calling it emits shape_ok: null.
+  void shape(bool ok);
+
+  // Extra headline numbers worth tracking across commits.
+  void metric(const std::string& key, double value);
+
+  // Free-text annotation (configuration, sweep range, caveats).
+  void set_detail(std::string detail);
+
+  // Appends the entry now; subsequent calls and the destructor are no-ops.
+  void write();
+
+  // Resolved report path ("" when reporting is disabled).
+  static std::string path();
+
+ private:
+  std::string name_;
+  std::string detail_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::uint64_t events_ = 0;
+  int shape_checks_ = 0;
+  bool shape_ok_ = true;
+  bool written_ = false;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace ethergrid::bench

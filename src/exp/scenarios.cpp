@@ -24,7 +24,7 @@ std::unique_ptr<core::FaultInjector> make_injector(sim::Kernel& kernel,
 struct SubmitWorld {
   SubmitWorld(const SubmitScenarioConfig& config, grid::DisciplineKind kind,
               int submitters)
-      : kernel(config.seed),
+      : kernel(config.seed, config.kernel),
         schedd(kernel, config.schedd),
         faults(make_injector(kernel, config.faults)) {
     schedd.set_fault_injector(faults.get());
@@ -60,6 +60,7 @@ SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
     point.faults_injected = world.faults->fired_total();
     point.fault_audit = world.faults->audit_text();
   }
+  point.kernel_events = world.kernel.events_processed();
   world.kernel.shutdown();
   return point;
 }
@@ -84,6 +85,7 @@ SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
     timeline.faults_injected = world.faults->fired_total();
     timeline.fault_audit = world.faults->audit_text();
   }
+  timeline.kernel_events = world.kernel.events_processed();
   world.kernel.shutdown();
   return timeline;
 }
@@ -91,7 +93,7 @@ SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
 BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
                                   grid::DisciplineKind kind, int producers,
                                   Duration window) {
-  sim::Kernel kernel(config.seed);
+  sim::Kernel kernel(config.seed, config.kernel);
   grid::FsBuffer buffer(kernel, config.buffer_bytes);
   grid::IoChannel channel(kernel, config.channel);
   auto faults = make_injector(kernel, config.faults);
@@ -128,6 +130,7 @@ BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
     point.faults_injected = faults->fired_total();
     point.fault_audit = faults->audit_text();
   }
+  point.kernel_events = kernel.events_processed();
   kernel.shutdown();
   return point;
 }
@@ -146,7 +149,7 @@ std::vector<grid::FileServerConfig> ReaderScenarioConfig::paper_farm() {
 ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
                                    grid::DisciplineKind kind,
                                    Duration duration, Duration sample_every) {
-  sim::Kernel kernel(config.seed);
+  sim::Kernel kernel(config.seed, config.kernel);
   auto servers = config.servers;
   if (servers.empty()) servers = ReaderScenarioConfig::paper_farm();
   grid::ServerFarm farm(kernel, servers);
@@ -183,6 +186,7 @@ ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
     timeline.faults_injected = faults->fired_total();
     timeline.fault_audit = faults->audit_text();
   }
+  timeline.kernel_events = kernel.events_processed();
   kernel.shutdown();
   return timeline;
 }

@@ -14,6 +14,7 @@
 #include "grid/fileserver.hpp"
 #include "grid/schedd.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/kernel.hpp"
 #include "util/time.hpp"
 
 namespace ethergrid::exp {
@@ -32,6 +33,7 @@ struct SubmitScenarioConfig {
   grid::ScheddConfig schedd;        // paper defaults from ScheddConfig
   grid::SubmitterConfig submitter;  // .kind overridden by the runners
   std::uint64_t seed = 42;
+  sim::KernelOptions kernel;        // execution backend; results identical
   sim::FaultPlan faults;            // sites: schedd.submit
 };
 
@@ -44,6 +46,7 @@ struct SubmitScalePoint {
   std::int64_t fd_low_watermark = 0;
   std::int64_t faults_injected = 0;
   std::string fault_audit;
+  std::uint64_t kernel_events = 0;  // wakeups processed; for bench reports
 };
 
 SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
@@ -66,6 +69,7 @@ struct SubmitterTimeline {
   int schedd_crashes = 0;
   std::int64_t faults_injected = 0;
   std::string fault_audit;
+  std::uint64_t kernel_events = 0;  // wakeups processed; for bench reports
 };
 
 SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
@@ -82,6 +86,7 @@ struct BufferScenarioConfig {
   grid::ProducerConfig producer;          // .kind overridden
   grid::ConsumerConfig consumer;
   std::uint64_t seed = 42;
+  sim::KernelOptions kernel;  // execution backend; results identical
   sim::FaultPlan faults;  // sites: iochannel.write, fsbuffer.{create,append,rename}
 };
 
@@ -97,6 +102,7 @@ struct BufferSweepPoint {
   std::int64_t tries_failed = 0;  // wasted producer attempts
   std::int64_t faults_injected = 0;
   std::string fault_audit;
+  std::uint64_t kernel_events = 0;  // wakeups processed; for bench reports
 };
 
 BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
@@ -110,6 +116,7 @@ struct ReaderScenarioConfig {
   grid::ReaderConfig reader;                    // .kind overridden
   int readers = 3;
   std::uint64_t seed = 42;
+  sim::KernelOptions kernel;  // execution backend; results identical
   sim::FaultPlan faults;  // sites: fileserver.<name>.{fetch,flag}
 
   // "three web servers ... one of the three is a permanent black hole"
@@ -132,6 +139,7 @@ struct ReaderTimeline {
   std::int64_t deferrals_total = 0;
   std::int64_t faults_injected = 0;
   std::string fault_audit;
+  std::uint64_t kernel_events = 0;  // wakeups processed; for bench reports
 };
 
 ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,

@@ -13,18 +13,19 @@ Status ServiceQueue::acquire(sim::Context& ctx) {
     --available_;
     return Status::success();
   }
-  auto waiter = std::make_shared<Waiter>();
-  waiter->event = std::make_unique<sim::Event>(*kernel_);
-  queue_.push_back(waiter);
+  sim::Event event(*kernel_);
+  Waiter waiter;
+  waiter.event = &event;
+  queue_.push_back(&waiter);
   try {
-    ctx.wait(*waiter->event);
+    ctx.wait(event);
   } catch (...) {
-    if (waiter->granted) {
+    if (waiter.granted) {
       ++available_;
       grant_head();
-    } else if (!waiter->aborted) {
+    } else if (!waiter.aborted) {
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (*it == waiter) {
+        if (*it == &waiter) {
           queue_.erase(it);
           break;
         }
@@ -32,7 +33,7 @@ Status ServiceQueue::acquire(sim::Context& ctx) {
     }
     throw;
   }
-  if (waiter->aborted) {
+  if (waiter.aborted) {
     return Status::unavailable("connection reset: daemon died");
   }
   return Status::success();
@@ -45,7 +46,7 @@ void ServiceQueue::release() {
 
 void ServiceQueue::grant_head() {
   while (!queue_.empty() && available_ > 0) {
-    std::shared_ptr<Waiter> waiter = queue_.front();
+    Waiter* waiter = queue_.front();
     queue_.pop_front();
     --available_;
     waiter->granted = true;
@@ -54,7 +55,7 @@ void ServiceQueue::grant_head() {
 }
 
 void ServiceQueue::abort_waiters() {
-  for (auto& waiter : queue_) {
+  for (Waiter* waiter : queue_) {
     waiter->aborted = true;
     waiter->event->set();
   }

@@ -50,16 +50,19 @@ class ServiceQueue {
   std::size_t queue_length() const { return queue_.size(); }
 
  private:
+  // Stack-allocated in acquire() (the owner is parked in ctx.wait for the
+  // whole time it is queued, and every unwind path dequeues it), so a
+  // blocked submission costs no allocation per attempt.
   struct Waiter {
     bool granted = false;
     bool aborted = false;
-    std::unique_ptr<sim::Event> event;
+    sim::Event* event;
   };
   void grant_head();
 
   sim::Kernel* kernel_;
   int available_;
-  std::deque<std::shared_ptr<Waiter>> queue_;
+  std::deque<Waiter*> queue_;
 };
 
 struct ScheddConfig {

@@ -1,5 +1,6 @@
 #include "shell/sim_executor.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "core/sim_clock.hpp"
@@ -8,28 +9,28 @@
 
 namespace ethergrid::shell {
 
-thread_local sim::Context* SimExecutor::tls_context_ = nullptr;
-
 SimExecutor::ContextBinding::ContextBinding(SimExecutor& executor,
                                             sim::Context& ctx) {
+  assert(executor.kernel_->current_context() == &ctx &&
+         "ContextBinding installed outside the bound process's body");
   (void)executor;
-  previous_ = tls_context_;
-  tls_context_ = &ctx;
+  (void)ctx;
 }
 
-SimExecutor::ContextBinding::~ContextBinding() { tls_context_ = previous_; }
+SimExecutor::ContextBinding::~ContextBinding() = default;
 
 SimExecutor::SimExecutor(sim::Kernel& kernel) : kernel_(&kernel) {
   register_builtins();
 }
 
 sim::Context& SimExecutor::current() const {
-  if (!tls_context_) {
+  sim::Context* ctx = kernel_->current_context();
+  if (!ctx) {
     throw std::logic_error(
-        "SimExecutor used outside a simulated process; install a "
-        "SimExecutor::ContextBinding in the process body");
+        "SimExecutor used outside a simulated process; executor calls must "
+        "run inside a process body on this executor's kernel");
   }
-  return *tls_context_;
+  return *ctx;
 }
 
 void SimExecutor::register_command(const std::string& name, Handler handler) {

@@ -1,10 +1,11 @@
 // SimExecutor: runs ftsh scripts inside the simulation.
 //
 // External commands are registered handlers executing in virtual time via
-// the calling process's sim::Context.  The binding is ambient: each
-// simulated process runs on its own OS thread, so a thread_local holds the
-// current Context (installed with ContextBinding by whoever starts an
-// interpreter inside a process).  `forall` branches become child simulated
+// the calling process's sim::Context.  The binding is ambient: the kernel
+// knows which simulated process is executing at any instant (exactly one
+// is), so the executor asks it for the current Context.  A thread_local
+// cannot express this on the fiber backend, where every process shares the
+// scheduler's OS thread.  `forall` branches become child simulated
 // processes, giving real parallelism in virtual time with kill-on-failure.
 //
 // A small in-memory file namespace backs file redirections and `.exists.`.
@@ -46,16 +47,16 @@ class SimExecutor final : public Executor {
   std::optional<std::string> read_file(const std::string& path) const;
   void remove_file(const std::string& path);
 
-  // Installs ctx as the executor's current context on this thread.
+  // Declares ctx the executor's current context for this process body.
+  // Resolution actually flows through the kernel (see file comment); the
+  // binding survives as a scope marker that asserts, at construction, that
+  // ctx really is the process the kernel says is running.
   class ContextBinding {
    public:
     ContextBinding(SimExecutor& executor, sim::Context& ctx);
     ~ContextBinding();
     ContextBinding(const ContextBinding&) = delete;
     ContextBinding& operator=(const ContextBinding&) = delete;
-
-   private:
-    sim::Context* previous_;
   };
 
   // --- Executor interface ---
@@ -73,8 +74,6 @@ class SimExecutor final : public Executor {
  private:
   sim::Context& current() const;
   void register_builtins();
-
-  static thread_local sim::Context* tls_context_;
 
   sim::Kernel* kernel_;
   mutable std::mutex mu_;  // protects commands_ and files_

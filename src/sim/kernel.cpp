@@ -1,9 +1,117 @@
 #include "sim/kernel.hpp"
 
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+// Sanitizer feature detection.  ASan needs the fiber-switch annotations so
+// its shadow stack follows swapcontext; TSan cannot follow fibers at all,
+// so TSan builds force the thread backend (see default_backend()).
+#if defined(__SANITIZE_ADDRESS__)
+#define ETHERGRID_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ETHERGRID_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define ETHERGRID_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ETHERGRID_TSAN 1
+#endif
+#endif
+
+#ifdef ETHERGRID_ASAN
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace ethergrid::sim {
+
+namespace {
+
+// No-op shims when ASan is absent, so call sites stay unconditional.
+inline void asan_start_switch(void** fake_stack_save, const void* bottom,
+                              std::size_t size) {
+#ifdef ETHERGRID_ASAN
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
+                               std::size_t* size_old) {
+#ifdef ETHERGRID_ASAN
+  __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+  (void)fake_stack_save;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
+
+inline void asan_unpoison_stack(const internal::FiberStack& stack) {
+#ifdef ETHERGRID_ASAN
+  __asan_unpoison_memory_region(stack.usable_lo, stack.usable_size);
+#else
+  (void)stack;
+#endif
+}
+
+std::size_t page_size() {
+  static const std::size_t page = std::size_t(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+std::size_t resolve_stack_bytes(std::size_t requested) {
+  std::size_t bytes = requested;
+  if (bytes == 0) {
+    if (const char* env = std::getenv("ETHERGRID_SIM_STACK_KB")) {
+      bytes = std::size_t(std::strtoull(env, nullptr, 10)) * 1024;
+    }
+  }
+  if (bytes == 0) {
+#ifdef ETHERGRID_ASAN
+    bytes = std::size_t(1) << 20;  // ASan redzones inflate every frame
+#else
+    bytes = std::size_t(256) << 10;
+#endif
+  }
+  const std::size_t page = page_size();
+  return (bytes + page - 1) / page * page;
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  return backend == Backend::kFiber ? "fiber" : "thread";
+}
+
+Backend default_backend() {
+#ifdef ETHERGRID_TSAN
+  return Backend::kThread;
+#else
+  if (const char* env = std::getenv("ETHERGRID_SIM_BACKEND")) {
+    if (std::strcmp(env, "thread") == 0) return Backend::kThread;
+    if (std::strcmp(env, "fiber") == 0) return Backend::kFiber;
+  }
+#ifdef ETHERGRID_THREAD_BACKEND_DEFAULT
+  return Backend::kThread;
+#else
+  return Backend::kFiber;
+#endif
+#endif
+}
 
 // ---------------------------------------------------------------- Process
 
@@ -12,9 +120,13 @@ Process::Process(Kernel* kernel, std::uint64_t id, std::string name,
     : kernel_(kernel), id_(id), name_(std::move(name)), body_(std::move(body)) {}
 
 Process::~Process() {
-  // The kernel joins all threads in its destructor; a handle held past that
-  // point owns a finished, join()ed thread.
+  // Thread backend: the kernel joins all threads in its destructor; a
+  // handle held past that point owns a finished, join()ed thread.
   if (thread_.joinable()) thread_.join();
+  // Fiber backend: a finished process's stack was recycled into the
+  // kernel's free list; this munmap only fires if the kernel died with the
+  // process unfinished (which shutdown() asserts against).
+  if (stack_.map_base) ::munmap(stack_.map_base, stack_.map_size);
 }
 
 bool Process::finished() const {
@@ -27,17 +139,15 @@ Status Process::result() const {
   return result_;
 }
 
-void Process::thread_main() {
-  std::unique_lock<std::mutex> lock(kernel_->mu_);
-  cv_.wait(lock, [&] { return kernel_->current_ == this; });
+void Process::run_body_locked(std::unique_lock<std::mutex>& lock) {
   state_ = State::kRunning;
-
   Status result;
   std::exception_ptr error;
   if (killed_) {
     result = Status::killed(kill_reason_);
   } else {
     Context ctx(kernel_, this);
+    context_ = &ctx;
     lock.unlock();
     try {
       body_(ctx);
@@ -56,25 +166,73 @@ void Process::thread_main() {
       error = std::current_exception();
     }
     lock.lock();
+    context_ = nullptr;
   }
 
   result_ = std::move(result);
   if (error && !kernel_->shutting_down_) kernel_->pending_error_ = error;
   state_ = State::kFinished;
   --kernel_->live_processes_;
+  kernel_->invalidate_wakeups_locked(this);
   done_->set_locked();
   body_ = nullptr;  // drop captured state while the result lives on
+}
+
+void Process::thread_main() {
+  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  cv_.wait(lock, [&] { return kernel_->current_ == this; });
+  run_body_locked(lock);
   kernel_->current_ = nullptr;
   kernel_->kernel_cv_.notify_one();
+}
+
+void Process::fiber_trampoline(unsigned int hi, unsigned int lo) {
+  auto* p = reinterpret_cast<Process*>((std::uintptr_t(hi) << 32) |
+                                       std::uintptr_t(lo));
+  p->fiber_main();
+}
+
+void Process::fiber_main() {
+  // First words on the new stack: complete the ASan switch the scheduler
+  // began, learning the scheduler's stack bounds for the switch back.
+  asan_finish_switch(nullptr, &kernel_->sched_stack_bottom_,
+                     &kernel_->sched_stack_size_);
+  // Park: creation is not the first run.  The scheduler resumes us later
+  // by siglongjmp-ing into this sigsetjmp.
+  if (sigsetjmp(fiber_jb_, 0) == 0) {
+    asan_start_switch(&asan_fake_stack_, kernel_->sched_stack_bottom_,
+                      kernel_->sched_stack_size_);
+    siglongjmp(kernel_->sched_jb_, 1);
+  }
+  asan_finish_switch(asan_fake_stack_, &kernel_->sched_stack_bottom_,
+                     &kernel_->sched_stack_size_);
+  {
+    std::unique_lock<std::mutex> lock(kernel_->mu_);
+    run_body_locked(lock);
+    kernel_->current_ = nullptr;
+  }
+  // Final departure: a null save handle tells ASan to destroy this fiber's
+  // fake stack (the real stack goes back to the kernel's free list).
+  asan_start_switch(nullptr, kernel_->sched_stack_bottom_,
+                    kernel_->sched_stack_size_);
+  siglongjmp(kernel_->sched_jb_, 1);
 }
 
 // ------------------------------------------------------------------ Event
 
 Event::~Event() {
-  if (waiters_.empty()) return;  // common case: nothing to detach
+  if (!head_) return;  // common case: nothing to detach
   std::lock_guard<std::mutex> lock(kernel_->mu_);
-  for (Waiter* w : waiters_) w->event_destroyed = true;
-  waiters_.clear();
+  Waiter* w = head_;
+  while (w) {
+    Waiter* next = w->next;
+    // Unlinking marks the record safe: the waiter's cleanup (on kill or
+    // deadline) sees linked == false and never touches this dead Event.
+    w->linked = false;
+    w->prev = w->next = nullptr;
+    w = next;
+  }
+  head_ = tail_ = nullptr;
 }
 
 void Event::set() {
@@ -93,11 +251,45 @@ void Event::pulse() {
 }
 
 void Event::pulse_locked() {
-  for (Waiter* w : waiters_) {
+  // FIFO wake order (registration order) for deterministic seq assignment.
+  Waiter* w = head_;
+  head_ = tail_ = nullptr;
+  while (w) {
+    Waiter* next = w->next;
+    w->linked = false;
+    w->prev = w->next = nullptr;
     w->granted = true;
     kernel_->schedule_locked(kernel_->now_, w->process);
+    w = next;
   }
-  waiters_.clear();
+}
+
+void Event::link_locked(Waiter* w) {
+  w->linked = true;
+  w->next = nullptr;
+  w->prev = tail_;
+  if (tail_) {
+    tail_->next = w;
+  } else {
+    head_ = w;
+  }
+  tail_ = w;
+}
+
+void Event::unlink_locked(Waiter* w) {
+  if (!w->linked) return;
+  if (w->prev) {
+    w->prev->next = w->next;
+  } else {
+    head_ = w->next;
+  }
+  if (w->next) {
+    w->next->prev = w->prev;
+  } else {
+    tail_ = w->prev;
+  }
+  w->linked = false;
+  w->prev = w->next = nullptr;
 }
 
 void Event::reset() {
@@ -133,11 +325,6 @@ TimePoint earliest_deadline_of(const DeadlineStack& deadlines) {
   TimePoint best = kNoDeadline;
   for (const auto& entry : deadlines) best = std::min(best, entry.second);
   return best;
-}
-
-void remove_waiter_impl(std::vector<Event::Waiter*>& waiters,
-                        Event::Waiter* w) {
-  waiters.erase(std::remove(waiters.begin(), waiters.end(), w), waiters.end());
 }
 
 }  // namespace
@@ -176,19 +363,20 @@ void Context::wait(Event& e) {
     throw outermost_expired(p.deadlines_, k.now_);
   }
   if (e.set_) return;
-  Event::Waiter waiter{&p, false};
-  e.waiters_.push_back(&waiter);
+  Event::Waiter waiter;
+  waiter.process = &p;
+  e.link_locked(&waiter);
   const TimePoint deadline = earliest_deadline_of(p.deadlines_);
   if (deadline != kNoDeadline) k.schedule_locked(deadline, &p);
   while (true) {
     k.yield_from_process_locked(lock, &p);
     if (p.killed_) {
-      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      if (waiter.linked) e.unlink_locked(&waiter);
       throw Interrupted{p.kill_reason_};
     }
     if (waiter.granted) return;
     if (k.now_ >= deadline) {
-      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      if (waiter.linked) e.unlink_locked(&waiter);
       throw outermost_expired(p.deadlines_, k.now_);
     }
     // Defensive: spurious resume; re-arm the deadline guard.
@@ -209,22 +397,23 @@ bool Context::wait_for(Event& e, Duration timeout) {
   const TimePoint local = k.now_ + timeout;
   const TimePoint deadline = earliest_deadline_of(p.deadlines_);
   const TimePoint effective = std::min(local, deadline);
-  Event::Waiter waiter{&p, false};
-  e.waiters_.push_back(&waiter);
+  Event::Waiter waiter;
+  waiter.process = &p;
+  e.link_locked(&waiter);
   k.schedule_locked(effective, &p);
   while (true) {
     k.yield_from_process_locked(lock, &p);
     if (p.killed_) {
-      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      if (waiter.linked) e.unlink_locked(&waiter);
       throw Interrupted{p.kill_reason_};
     }
     if (waiter.granted) return true;
     if (k.now_ >= deadline) {
-      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      if (waiter.linked) e.unlink_locked(&waiter);
       throw outermost_expired(p.deadlines_, k.now_);
     }
     if (k.now_ >= local) {
-      if (!waiter.event_destroyed) remove_waiter_impl(e.waiters_, &waiter);
+      if (waiter.linked) e.unlink_locked(&waiter);
       return false;
     }
     k.schedule_locked(effective, &p);
@@ -283,9 +472,23 @@ DeadlineScope::~DeadlineScope() { ctx_.pop_deadline(); }
 
 // ----------------------------------------------------------------- Kernel
 
-Kernel::Kernel(std::uint64_t seed) : rng_(seed), logger_(LogLevel::kWarn) {}
+Kernel::Kernel(std::uint64_t seed, KernelOptions options)
+    :
+#ifdef ETHERGRID_TSAN
+      backend_(Backend::kThread),  // TSan cannot follow fibers
+#else
+      backend_(options.backend),
+#endif
+      fiber_stack_bytes_(resolve_stack_bytes(options.fiber_stack_bytes)),
+      rng_(seed),
+      logger_(LogLevel::kWarn) {
+}
 
-Kernel::~Kernel() { shutdown(); }
+Kernel::~Kernel() {
+  shutdown();
+  std::lock_guard<std::mutex> lock(mu_);
+  release_stacks_locked();
+}
 
 void Kernel::shutdown() {
   {
@@ -327,7 +530,9 @@ ProcessHandle Kernel::spawn(std::string name, ProcessBody body) {
   }
   processes_.push_back(p);
   ++live_processes_;
-  p->thread_ = std::thread(&Process::thread_main, p.get());
+  if (backend_ == Backend::kThread) {
+    p->thread_ = std::thread(&Process::thread_main, p.get());
+  }
   schedule_locked(now_, p.get());
   return p;
 }
@@ -342,38 +547,165 @@ void Kernel::kill_locked(Process& p, std::string reason) {
   p.killed_ = true;
   p.kill_reason_ = std::move(reason);
   if (&p != current_) {
+    invalidate_wakeups_locked(&p);
     ++p.wake_token_;  // invalidate any pending wakeup
     schedule_locked(now_, &p);
   }
 }
 
+void Kernel::invalidate_wakeups_locked(Process* p) {
+  stale_wakeups_ += p->live_wakeups_;
+  p->live_wakeups_ = 0;
+}
+
 void Kernel::schedule_locked(TimePoint t, Process* p) {
-  queue_.push(internal::QueueEntry{std::max(t, now_), next_seq_++, p,
-                                   p->wake_token_});
+  assert(p->state_ != Process::State::kFinished);
+  queue_.push_back(internal::QueueEntry{std::max(t, now_), next_seq_++, p,
+                                        p->wake_token_});
+  std::push_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
+  ++p->live_wakeups_;
+  // Compaction keeps the heap O(live entries): without it, a long-lived
+  // process cycling through wait_for timeouts strands one stale entry per
+  // cycle and the queue grows for the whole run.
+  if (queue_.size() >= 64 && stale_wakeups_ > queue_.size() / 2) {
+    compact_queue_locked();
+  }
+}
+
+void Kernel::compact_queue_locked() {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [](const internal::QueueEntry& e) {
+                                return e.process->state_ ==
+                                           Process::State::kFinished ||
+                                       e.token != e.process->wake_token_;
+                              }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
+  stale_wakeups_ = 0;
+}
+
+void Kernel::make_fiber_locked(Process* p) {
+  p->stack_ = obtain_stack_locked();
+  ::getcontext(&p->fiber_context_);
+  p->fiber_context_.uc_stack.ss_sp = p->stack_.usable_lo;
+  p->fiber_context_.uc_stack.ss_size = p->stack_.usable_size;
+  p->fiber_context_.uc_link = nullptr;  // fibers exit via explicit siglongjmp
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  ::makecontext(&p->fiber_context_,
+                reinterpret_cast<void (*)()>(&Process::fiber_trampoline), 2,
+                static_cast<unsigned int>(addr >> 32),
+                static_cast<unsigned int>(addr & 0xffffffffu));
+  // Bootstrap: enter the new context once so the fiber parks in its
+  // sigsetjmp; every switch from here on is a syscall-free siglongjmp
+  // (this swapcontext pair is the only sigprocmask the fiber ever costs).
+  if (sigsetjmp(sched_jb_, 0) == 0) {
+    asan_start_switch(&sched_asan_fake_stack_, p->stack_.usable_lo,
+                      p->stack_.usable_size);
+    ucontext_t scratch;  // the fiber returns via siglongjmp, never via this
+    ::swapcontext(&scratch, &p->fiber_context_);
+  }
+  asan_finish_switch(sched_asan_fake_stack_, nullptr, nullptr);
+}
+
+internal::FiberStack Kernel::obtain_stack_locked() {
+  if (!free_stacks_.empty()) {
+    internal::FiberStack stack = free_stacks_.back();
+    free_stacks_.pop_back();
+    return stack;
+  }
+  const std::size_t page = page_size();
+  internal::FiberStack stack;
+  stack.usable_size = fiber_stack_bytes_;
+  stack.map_size = stack.usable_size + page;  // + low guard page
+#ifndef MAP_STACK
+#define MAP_STACK 0
+#endif
+  void* base = ::mmap(nullptr, stack.map_size, PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) throw std::bad_alloc();
+  stack.map_base = base;
+  stack.usable_lo = static_cast<char*>(base) + page;
+  if (::mprotect(stack.usable_lo, stack.usable_size,
+                 PROT_READ | PROT_WRITE) != 0) {
+    ::munmap(base, stack.map_size);
+    throw std::bad_alloc();
+  }
+  return stack;
+}
+
+void Kernel::recycle_stack_locked(Process* p) {
+  if (!p->stack_.map_base) return;
+  // The shadow of the dead frames must not poison the next tenant.
+  asan_unpoison_stack(p->stack_);
+  free_stacks_.push_back(p->stack_);
+  p->stack_ = internal::FiberStack{};
+}
+
+void Kernel::release_stacks_locked() {
+  for (const internal::FiberStack& stack : free_stacks_) {
+    ::munmap(stack.map_base, stack.map_size);
+  }
+  free_stacks_.clear();
 }
 
 void Kernel::resume_locked(std::unique_lock<std::mutex>& lock, Process* p) {
+  if (backend_ == Backend::kThread) {
+    current_ = p;
+    p->cv_.notify_one();
+    kernel_cv_.wait(lock, [&] { return current_ == nullptr; });
+    return;
+  }
+  if (p->state_ == Process::State::kNew) make_fiber_locked(p);
   current_ = p;
-  p->cv_.notify_one();
-  kernel_cv_.wait(lock, [&] { return current_ == nullptr; });
+  lock.unlock();
+  if (sigsetjmp(sched_jb_, 0) == 0) {
+    asan_start_switch(&sched_asan_fake_stack_, p->stack_.usable_lo,
+                      p->stack_.usable_size);
+    siglongjmp(p->fiber_jb_, 1);
+  }
+  asan_finish_switch(sched_asan_fake_stack_, nullptr, nullptr);
+  lock.lock();
+  if (p->state_ == Process::State::kFinished) recycle_stack_locked(p);
 }
 
 void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
                                        Process* p) {
+  if (backend_ == Backend::kThread) {
+    current_ = nullptr;
+    kernel_cv_.notify_one();
+    p->cv_.wait(lock, [&] { return current_ == p; });
+    return;
+  }
   current_ = nullptr;
-  kernel_cv_.notify_one();
-  p->cv_.wait(lock, [&] { return current_ == p; });
+  lock.unlock();
+  if (sigsetjmp(p->fiber_jb_, 0) == 0) {
+    asan_start_switch(&p->asan_fake_stack_, sched_stack_bottom_,
+                      sched_stack_size_);
+    siglongjmp(sched_jb_, 1);
+  }
+  // Re-learn the scheduler's stack bounds on every entry: run() may be
+  // driven from a different thread (hence stack) across calls.
+  asan_finish_switch(p->asan_fake_stack_, &sched_stack_bottom_,
+                     &sched_stack_size_);
+  lock.lock();
 }
 
 Process* Kernel::pop_runnable_locked(TimePoint limit) {
   while (!queue_.empty()) {
-    internal::QueueEntry entry = queue_.top();
+    const internal::QueueEntry entry = queue_.front();
     if (entry.time > limit) return nullptr;
-    queue_.pop();
-    if (entry.process->state_ == Process::State::kFinished) continue;
-    if (entry.token != entry.process->wake_token_) continue;  // stale
+    std::pop_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
+    queue_.pop_back();
+    if (entry.process->state_ == Process::State::kFinished ||
+        entry.token != entry.process->wake_token_) {  // stale
+      --stale_wakeups_;
+      continue;
+    }
+    --entry.process->live_wakeups_;
     now_ = std::max(now_, entry.time);
+    invalidate_wakeups_locked(entry.process);
     ++entry.process->wake_token_;  // consume: later same-token entries stale
+    ++events_processed_;
     return entry.process;
   }
   return nullptr;
@@ -402,12 +734,14 @@ bool Kernel::run_until(TimePoint t) {
   now_ = std::max(now_, t);
   // Purge stale entries so the return value reflects real pending work.
   while (!queue_.empty()) {
-    const internal::QueueEntry& entry = queue_.top();
+    const internal::QueueEntry& entry = queue_.front();
     if (entry.process->state_ != Process::State::kFinished &&
         entry.token == entry.process->wake_token_) {
       break;
     }
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
+    queue_.pop_back();
+    --stale_wakeups_;
   }
   return !queue_.empty();
 }
@@ -415,6 +749,21 @@ bool Kernel::run_until(TimePoint t) {
 std::size_t Kernel::live_process_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return live_processes_;
+}
+
+std::size_t Kernel::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t Kernel::events_processed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_processed_;
+}
+
+Context* Kernel::current_context() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ ? current_->context_ : nullptr;
 }
 
 }  // namespace ethergrid::sim

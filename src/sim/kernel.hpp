@@ -1,11 +1,25 @@
-// Discrete-event simulation kernel with cooperative, thread-backed processes.
+// Discrete-event simulation kernel with cooperative processes.
 //
-// Why threads: the ftsh interpreter and the grid substrates are written as
-// ordinary blocking code.  Each sim::Process runs its body on a dedicated
-// std::thread, but the Kernel hands a single baton so that exactly one
+// Two execution backends share one scheduler, one event queue, and one
+// determinism contract:
+//
+//  * Backend::kFiber (default): each sim::Process runs on a stackful fiber
+//    with an mmap'd, guard-paged stack.  The fiber is created once with
+//    makecontext/swapcontext; every switch after that is a syscall-free
+//    sigsetjmp/siglongjmp pair (glibc swapcontext does a sigprocmask
+//    syscall per switch; QEMU's coroutines use the same trick).  Every
+//    virtual-time event is two such switches on the scheduler's own OS
+//    thread -- no futex, no kernel scheduler round trip -- which is what
+//    makes 5,000-50,000 simulated clients per run affordable.
+//  * Backend::kThread: each process runs its body on a dedicated std::thread
+//    and the kernel hands a baton through a mutex + condvar.  Slower by
+//    orders of magnitude, but ThreadSanitizer can follow it (TSan cannot
+//    follow fibers), so TSan builds force this backend.
+//
+// Both backends run user code written as ordinary blocking C++: exactly one
 // process (or the kernel itself) executes at any instant.  The result is a
 // fully deterministic simulation -- same seed, same event order, same
-// results -- with user code that reads like straight-line POSIX code.
+// results, byte-for-byte identical across backends.
 //
 // Time is virtual: it advances only when the kernel pops the next event.
 // All waiting flows through Context primitives (sleep / wait / join /
@@ -14,12 +28,14 @@
 // primitive, which unwinds the stack with DeadlineExceeded or Interrupted.
 #pragma once
 
+#include <setjmp.h>
+#include <ucontext.h>
+
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,11 +74,35 @@ struct DeadlineExceeded {
 // Infinite deadline sentinel.
 inline constexpr TimePoint kNoDeadline = TimePoint::max();
 
+// How simulated processes execute.  See the file comment; kThread exists
+// for TSan and as a differential-testing oracle for the fiber backend
+// (tests/sim/backend_equivalence_test.cpp).
+enum class Backend { kFiber, kThread };
+
+const char* backend_name(Backend backend);
+
+// The ambient default: kFiber, unless the build is under ThreadSanitizer
+// (forced kThread), the ETHERGRID_SIM_BACKEND environment variable says
+// otherwise ("fiber" / "thread"), or CMake was configured with
+// -DETHERGRID_THREAD_BACKEND_DEFAULT=ON.
+Backend default_backend();
+
+struct KernelOptions {
+  Backend backend = default_backend();
+  // Usable fiber stack bytes (excludes the guard page).  0 means the
+  // default: ETHERGRID_SIM_STACK_KB if set, else 256 KiB (1 MiB under
+  // AddressSanitizer, whose redzones inflate frames).  Rounded up to the
+  // page size.  Ignored by the thread backend.
+  std::size_t fiber_stack_bytes = 0;
+};
+
 namespace internal {
 
-// One pending wakeup.  Entries are never removed from the queue on
+// One pending wakeup.  Entries are not removed from the queue on
 // cancellation; instead each process carries a wake token and stale entries
-// (token mismatch) are skipped on pop.
+// (token mismatch) are skipped on pop.  The kernel counts how many entries
+// can no longer fire and compacts the heap when they outnumber live ones,
+// so long runs with heavy wait_for timeout churn stay O(live) in memory.
 struct QueueEntry {
   TimePoint time;
   std::uint64_t seq;  // FIFO tie-break at equal times => determinism
@@ -75,6 +115,15 @@ struct QueueEntryLater {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
   }
+};
+
+// A recyclable fiber stack: one mmap'd region, PROT_NONE guard page at the
+// low end (stacks grow down), usable pages above it.
+struct FiberStack {
+  void* map_base = nullptr;
+  std::size_t map_size = 0;
+  void* usable_lo = nullptr;   // first byte above the guard page
+  std::size_t usable_size = 0;
 };
 
 }  // namespace internal
@@ -107,24 +156,45 @@ class Process : public std::enable_shared_from_this<Process> {
 
   enum class State { kNew, kBlocked, kRunning, kFinished };
 
+  // Thread-backend body driver.
   void thread_main();
+  // Fiber-backend body driver; parks at creation, runs the body on first
+  // resume, never returns (final siglongjmp back to the scheduler).  The
+  // trampoline reassembles the Process* makecontext split into two ints.
+  static void fiber_trampoline(unsigned int hi, unsigned int lo);
+  void fiber_main();
+  // Shared core of the two drivers: runs the body (unless killed at birth)
+  // and records the result.  Expects `lock` held; returns with it held.
+  void run_body_locked(std::unique_lock<std::mutex>& lock);
 
   Kernel* kernel_;
   const std::uint64_t id_;
   const std::string name_;
   ProcessBody body_;
 
-  // All fields below are guarded by the kernel mutex.
+  // All fields below are guarded by the kernel mutex (the fiber fields are
+  // in practice single-threaded, but the thread backend shares the struct).
   State state_ = State::kNew;
   bool killed_ = false;
   std::string kill_reason_;
   std::uint64_t wake_token_ = 0;
+  std::uint64_t live_wakeups_ = 0;  // queue entries carrying wake_token_
   std::vector<std::pair<std::uint64_t, TimePoint>> deadlines_;  // token, when
   Status result_;
   std::unique_ptr<Event> done_;  // set when the body finishes
+  Context* context_ = nullptr;   // valid while the body runs
   Rng rng_;
+
+  // Thread backend only.
   std::condition_variable cv_;
   std::thread thread_;
+
+  // Fiber backend only.  fiber_context_ is used once, to bootstrap the
+  // fiber onto its stack; all steady-state switching goes through fiber_jb_.
+  ucontext_t fiber_context_;
+  sigjmp_buf fiber_jb_;
+  internal::FiberStack stack_;
+  void* asan_fake_stack_ = nullptr;  // this fiber's ASan fake-stack handle
 };
 
 // A broadcast condition: processes wait, someone sets.  Once set it stays
@@ -135,9 +205,9 @@ class Event {
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
 
-  // Destroying an Event with processes still blocked on it flags their wait
-  // records so their eventual cleanup (on kill or deadline) does not touch
-  // the dead Event.  This is a safety net -- prefer Kernel::shutdown()
+  // Destroying an Event with processes still blocked on it unlinks their
+  // wait records so their eventual cleanup (on kill or deadline) does not
+  // touch the dead Event.  This is a safety net -- prefer Kernel::shutdown()
   // before tearing down objects that processes wait on.
   ~Event();
 
@@ -151,11 +221,16 @@ class Event {
   bool is_set() const;
 
   // Internal wait registration record; public only so that Context's
-  // out-of-line helpers can name the type.
+  // out-of-line helpers can name the type.  Lives on the waiting process's
+  // stack and links into the Event's intrusive FIFO list -- registering a
+  // waiter never allocates, which keeps the kernel's resume path
+  // allocation-free.
   struct Waiter {
-    Process* process;
+    Process* process = nullptr;
     bool granted = false;
-    bool event_destroyed = false;  // see ~Event()
+    bool linked = false;  // still on the event's list (safe to unlink)
+    Waiter* prev = nullptr;
+    Waiter* next = nullptr;
   };
 
  private:
@@ -164,10 +239,13 @@ class Event {
 
   void set_locked();
   void pulse_locked();
+  void link_locked(Waiter* w);
+  void unlink_locked(Waiter* w);
 
   Kernel* kernel_;
-  bool set_ = false;                // guarded by kernel mutex
-  std::vector<Waiter*> waiters_;    // guarded by kernel mutex
+  bool set_ = false;            // guarded by kernel mutex
+  Waiter* head_ = nullptr;      // guarded by kernel mutex; FIFO order
+  Waiter* tail_ = nullptr;
 };
 
 // RAII deadline scope; see Context::push_deadline.
@@ -264,16 +342,18 @@ class Context {
 // objects declared after the Kernel are already gone.
 class Kernel {
  public:
-  explicit Kernel(std::uint64_t seed = 1);
+  explicit Kernel(std::uint64_t seed = 1, KernelOptions options = {});
   ~Kernel();
 
-  // Kills every live process, drains their unwinding, and joins all
-  // threads.  After shutdown the kernel accepts no further work (spawns
-  // create already-killed processes).  Idempotent.
+  // Kills every live process, drains their unwinding, and reclaims their
+  // threads or fiber stacks.  After shutdown the kernel accepts no further
+  // work (spawns create already-killed processes).  Idempotent.
   void shutdown();
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+
+  Backend backend() const { return backend_; }
 
   TimePoint now() const;
 
@@ -293,6 +373,14 @@ class Kernel {
   // Number of processes that have not finished.
   std::size_t live_process_count() const;
 
+  // Pending wakeup entries, stale ones included (observability: the stale
+  // compaction regression test and bench reporting read this).
+  std::size_t queue_depth() const;
+
+  // Wakeups actually delivered to processes since construction: the
+  // virtual-time event count benches report as events/sec.
+  std::uint64_t events_processed() const;
+
   // Root RNG for the experiment; derive per-entity streams from it.
   Rng& rng() { return rng_; }
 
@@ -303,6 +391,13 @@ class Kernel {
   // result() records it either way.
   void set_propagate_errors(bool on) { propagate_errors_ = on; }
 
+  // The Context of the process currently executing inside this kernel, or
+  // nullptr when the scheduler (or no simulation at all) is running.  This
+  // is how ambient-context consumers (shell::SimExecutor) find "the current
+  // simulated process": a thread_local cannot express it on the fiber
+  // backend, where every process shares the scheduler's OS thread.
+  Context* current_context() const;
+
  private:
   friend class Process;
   friend class Context;
@@ -312,11 +407,20 @@ class Kernel {
 
   void schedule_locked(TimePoint t, Process* p);
 
-  // Hands the baton to p and blocks until it yields back or finishes.
+  // Drops every queue entry that can no longer fire (finished process or
+  // stale token) and re-heapifies.  Called when stale entries outnumber
+  // live ones; pop order is unchanged (the heap is a total order on
+  // (time, seq) and stale entries were skipped anyway).
+  void compact_queue_locked();
+
+  // Note that every entry carrying p's current token just went stale.
+  void invalidate_wakeups_locked(Process* p);
+
+  // Hands control to p and blocks until it yields back or finishes.
   void resume_locked(std::unique_lock<std::mutex>& lock, Process* p);
 
-  // Called from a process thread: gives the baton back and blocks until
-  // resumed.  Returns with the lock held.
+  // Called from inside a process: gives control back to the scheduler and
+  // blocks until resumed.  Returns with the lock held.
   void yield_from_process_locked(std::unique_lock<std::mutex>& lock,
                                  Process* p);
 
@@ -328,21 +432,40 @@ class Kernel {
 
   void drain_locked(std::unique_lock<std::mutex>& lock, TimePoint limit);
 
+  // Fiber plumbing (kFiber backend only).
+  void make_fiber_locked(Process* p);
+  internal::FiberStack obtain_stack_locked();
+  void recycle_stack_locked(Process* p);
+  void release_stacks_locked();
+
+  const Backend backend_;
+  const std::size_t fiber_stack_bytes_;
+
   mutable std::mutex mu_;
-  std::condition_variable kernel_cv_;
+  std::condition_variable kernel_cv_;  // thread backend baton
   Process* current_ = nullptr;  // whose turn it is; nullptr => kernel's
 
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_process_id_ = 1;
-  std::priority_queue<internal::QueueEntry, std::vector<internal::QueueEntry>,
-                      internal::QueueEntryLater>
-      queue_;
+  std::uint64_t events_processed_ = 0;
+  std::vector<internal::QueueEntry> queue_;  // min-heap via QueueEntryLater
+  std::size_t stale_wakeups_ = 0;  // queue entries that can no longer fire
   std::vector<ProcessHandle> processes_;
   std::size_t live_processes_ = 0;
   bool shutting_down_ = false;
   bool propagate_errors_ = true;
   std::exception_ptr pending_error_;
+
+  // Fiber backend state.  The scheduler's frame is saved in sched_jb_
+  // across each switch into a fiber; finished fibers' stacks go to the
+  // free list for reuse (peak-live-bounded, and kind to vm.max_map_count
+  // at 50k spawns).
+  sigjmp_buf sched_jb_;
+  void* sched_asan_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;  // learned at fiber entry
+  std::size_t sched_stack_size_ = 0;
+  std::vector<internal::FiberStack> free_stacks_;
 
   Rng rng_;
   Logger logger_;

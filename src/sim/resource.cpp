@@ -19,23 +19,22 @@ void Resource::acquire(Context& ctx, std::int64_t n) {
       return;
     }
   }
-  auto waiter = std::make_shared<Waiter>();
-  waiter->count = n;
-  waiter->event = std::make_unique<Event>(*kernel_);
+  Event event(*kernel_);
+  Waiter waiter{n, false, &event};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(waiter);
+    queue_.push_back(&waiter);
   }
   try {
-    ctx.wait(*waiter->event);
+    ctx.wait(event);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (waiter->granted) {
+    if (waiter.granted) {
       // Units were granted while we were being cancelled; hand them on.
       available_ += n;
       grant_locked();
     } else {
-      queue_.erase(std::remove(queue_.begin(), queue_.end(), waiter),
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), &waiter),
                    queue_.end());
     }
     throw;
@@ -60,7 +59,7 @@ void Resource::release(std::int64_t n) {
 
 void Resource::grant_locked() {
   while (!queue_.empty() && queue_.front()->count <= available_) {
-    std::shared_ptr<Waiter> waiter = queue_.front();
+    Waiter* waiter = queue_.front();
     queue_.pop_front();
     available_ -= waiter->count;
     waiter->granted = true;

@@ -37,10 +37,14 @@ class Resource {
   std::size_t queue_length() const;
 
  private:
+  // Lives on the acquiring process's stack for the duration of acquire():
+  // the owner cannot leave that frame while queued (it is blocked in
+  // ctx.wait, and every unwind path dequeues it), so blocking acquisition
+  // allocates nothing.
   struct Waiter {
     std::int64_t count;
     bool granted = false;
-    std::unique_ptr<Event> event;
+    Event* event;
   };
 
   // Grants from the queue head while units suffice.
@@ -49,7 +53,7 @@ class Resource {
   Kernel* kernel_;
   const std::int64_t capacity_;
   std::int64_t available_;
-  std::deque<std::shared_ptr<Waiter>> queue_;
+  std::deque<Waiter*> queue_;
   mutable std::mutex mu_;  // protects available_ and queue_
 };
 

@@ -1,0 +1,86 @@
+// Regression tests for stale-wakeup accounting and heap compaction.
+//
+// The kernel cancels wakeups lazily: a consumed or killed wakeup leaves its
+// queue entry behind (token mismatch) to be skipped on pop.  Before
+// compaction existed, a long-lived process that kept racing an event
+// against a long timeout stranded one far-future entry per cycle and the
+// queue grew for the whole run.  These tests pin the O(live) bound.
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ethergrid::sim {
+namespace {
+
+// The classic leak: wait_for(event, long_timeout) where the event always
+// wins.  Each cycle schedules a timer entry hours in the future that can
+// only die by compaction.
+TEST(QueueCompaction, EventWinsLeavesNoUnboundedTimerResidue) {
+  Kernel kernel(1);
+  Event tick(kernel);
+  constexpr int kCycles = 20000;
+  kernel.spawn("poller", [&](Context& ctx) {
+    for (int i = 0; i < kCycles; ++i) {
+      const bool fired = ctx.wait_for(tick, hours(24));
+      ASSERT_TRUE(fired);
+    }
+  });
+  kernel.spawn("pulser", [&](Context& ctx) {
+    for (int i = 0; i < kCycles; ++i) {
+      ctx.sleep(msec(1));
+      tick.pulse();
+    }
+  });
+
+  std::size_t max_depth = 0;
+  while (kernel.run_for(sec(1))) {
+    max_depth = std::max(max_depth, kernel.queue_depth());
+  }
+  // 20k cycles stranded 20k far-future entries; compaction must keep the
+  // queue near the live population (2 processes), not the cycle count.
+  EXPECT_LE(max_depth, 128u);
+  EXPECT_EQ(kernel.live_process_count(), 0u);
+}
+
+// Pure timeout churn: every wakeup is consumed at its own time, so depth
+// must stay flat even without compaction.  Guards the accounting itself.
+TEST(QueueCompaction, RepeatedWaitForTimeoutsStayFlat) {
+  Kernel kernel(1);
+  Event never(kernel);
+  kernel.spawn("poller", [&](Context& ctx) {
+    for (int i = 0; i < 5000; ++i) {
+      const bool fired = ctx.wait_for(never, msec(10));
+      ASSERT_FALSE(fired);
+    }
+  });
+  std::size_t max_depth = 0;
+  while (kernel.run_for(sec(1))) {
+    max_depth = std::max(max_depth, kernel.queue_depth());
+  }
+  EXPECT_LE(max_depth, 8u);
+}
+
+// Kill-heavy churn: killing a blocked process invalidates its pending
+// wakeups; the stale count must come back down via pops or compaction and
+// never go negative (which would show up as a huge queue_depth bound).
+TEST(QueueCompaction, KilledSleepersAreCompactedAway) {
+  Kernel kernel(7);
+  for (int i = 0; i < 500; ++i) {
+    auto sleeper = kernel.spawn("sleeper", [](Context& ctx) {
+      ctx.sleep(hours(1000));
+    });
+    kernel.spawn("killer", [sleeper](Context& ctx) {
+      ctx.sleep(msec(1));
+      ctx.kill(*sleeper, "cull");
+    });
+    kernel.run_for(msec(2));
+  }
+  kernel.run();
+  EXPECT_EQ(kernel.live_process_count(), 0u);
+  EXPECT_LE(kernel.queue_depth(), 64u);
+}
+
+}  // namespace
+}  // namespace ethergrid::sim
