@@ -15,6 +15,7 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "obs/metrics.hpp"
 #include "report.hpp"
 
 using namespace ethergrid;
@@ -28,6 +29,13 @@ int main(int argc, char** argv) {
   }
 
   exp::SubmitScenarioConfig config;  // paper-calibrated defaults
+  // Aggregate back-channel metrics (crashes, fd-table exhaustion, ...)
+  // across the sweep; the registry rides the report entry as
+  // "observability".
+  obs::MetricsRegistry registry;
+  obs::ObserverSet observers;
+  observers.add(&registry);
+  config.observers = &observers;
 
   exp::Table table(
       "Figure 1: Scalability of Job Submission (jobs submitted in 5 minutes)",
@@ -77,5 +85,6 @@ int main(int argc, char** argv) {
   report.metric("jobs_high_fixed", double(fixed_totals.jobs_high));
   report.metric("jobs_high_aloha", double(aloha_totals.jobs_high));
   report.metric("jobs_high_ethernet", double(ethernet_totals.jobs_high));
+  report.set_observability(registry.to_json());
   return 0;
 }

@@ -1,9 +1,20 @@
 // Microbenchmarks: shell front end and the Ethernet core primitives.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+
 #include "core/backoff.hpp"
 #include "core/retry.hpp"
 #include "core/sim_clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "posix/posix_executor.hpp"
 #include "report.hpp"
 #include "shell/interpreter.hpp"
@@ -11,6 +22,25 @@
 #include "shell/parser.hpp"
 #include "shell/sim_executor.hpp"
 #include "sim/kernel.hpp"
+
+// Global allocation counter feeding the perf gate in main(): the number of
+// heap allocations in a fixed-seed simulated run is exactly reproducible,
+// unlike wall-clock throughput on a shared machine.
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -73,6 +103,54 @@ void BM_InterpretEchoLoop(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * 100);
 }
 BENCHMARK(BM_InterpretEchoLoop);
+
+// ---- observer overhead (the "compiles down to a null check" contract) ----
+//
+// 100 commands through the sim executor: the span-emission hot path.  The
+// Off case holds a null ObserverSet* everywhere; the On case records into
+// a TraceRecorder + MetricsRegistry.
+
+const char kObserverScript[] =
+    "i=0\nwhile ${i} .lt. 100\n  true\n  i = ${i} .add. 1\nend";
+
+Status run_observer_workload(obs::ObserverSet* observers) {
+  static const shell::ParseResult parsed = shell::parse_script(kObserverScript);
+  sim::Kernel kernel;
+  shell::SimExecutor executor(kernel);
+  executor.set_observers(observers);
+  shell::InterpreterOptions options;
+  options.observers = observers;
+  Status result;
+  kernel.spawn("bench", [&](sim::Context& ctx) {
+    shell::SimExecutor::ContextBinding binding(executor, ctx);
+    shell::Interpreter interpreter(executor, options);
+    shell::Environment env;
+    result = interpreter.run(*parsed.script, env);
+  });
+  kernel.run();
+  return result;
+}
+
+void BM_InterpretObserversOff(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_observer_workload(nullptr).ok());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 100);
+}
+BENCHMARK(BM_InterpretObserversOff);
+
+void BM_InterpretObserversOn(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::TraceRecorder trace("bench");
+    obs::MetricsRegistry metrics;
+    obs::ObserverSet set;
+    set.add(&trace);
+    set.add(&metrics);
+    benchmark::DoNotOptimize(run_observer_workload(&set).ok());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 100);
+}
+BENCHMARK(BM_InterpretObserversOn);
 
 void BM_BackoffNext(benchmark::State& state) {
   Rng rng(1);
@@ -171,6 +249,58 @@ void BM_PosixKillToReap(benchmark::State& state) {
 }
 BENCHMARK(BM_PosixKillToReap)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Timed outside google-benchmark so the number lands in the Report entry
+// (and the perf gate below) without parsing benchmark output.  Best of
+// three windows: scheduler noise only ever slows a run down, so the max
+// is the stable statistic to gate on.
+double measure_interpret_per_sec(ethergrid::obs::ObserverSet* observers) {
+  run_observer_workload(observers);  // warmup
+  double best = 0;
+  for (int window = 0; window < 3; ++window) {
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0;
+    std::int64_t commands = 0;
+    do {
+      if (!run_observer_workload(observers).ok()) return 0;
+      commands += 100;
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    } while (elapsed < 0.25);
+    best = std::max(best, double(commands) / elapsed);
+  }
+  return best;
+}
+
+// The gate statistic: heap allocations for one observers-off workload run.
+// Wall-clock throughput on a shared machine swings far more than any sane
+// regression threshold, but the allocation count of a fixed-seed simulated
+// run is exactly reproducible -- and observer work in the off path (span
+// construction, string formatting) cannot hide from it.  Counted via the
+// global operator new hooks below.
+std::int64_t measure_allocs_observers_off() {
+  run_observer_workload(nullptr);  // settle one-time statics
+  const std::int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  run_observer_workload(nullptr);
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+// Pulls metrics.<key> out of the `name` entry of a BENCH_results.json;
+// returns 0 when the file/entry/key is missing (gate skips).
+double read_baseline_metric(const std::string& path, const std::string& name,
+                            const std::string& key) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::size_t entry = text.find("\"name\": \"" + name + "\"");
+  if (entry == std::string::npos) return 0;
+  const std::size_t pos = text.find("\"" + key + "\": ", entry);
+  if (pos == std::string::npos) return 0;
+  return std::atof(text.c_str() + pos + key.size() + 4);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,5 +309,45 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  // Observer overhead headline numbers + the run's own metrics export.
+  const double off = measure_interpret_per_sec(nullptr);
+  ethergrid::obs::MetricsRegistry registry;
+  ethergrid::obs::ObserverSet set;
+  set.add(&registry);
+  const double on = measure_interpret_per_sec(&set);
+  const double allocs_off = double(measure_allocs_observers_off());
+  report.metric("interpret_per_sec_observers_off", off);
+  report.metric("interpret_per_sec_observers_on", on);
+  report.metric("allocs_per_interpret_off", allocs_off);
+  if (off > 0) {
+    report.metric("observer_overhead_pct", 100.0 * (off - on) / off);
+  }
+  report.set_observability(registry.to_json());
+
+  // Perf gate: with ETHERGRID_BENCH_BASELINE pointing at a baseline
+  // BENCH_results.json, the observers-off path must stay within 3% of the
+  // recorded per-run allocation count -- the "no observer == one null
+  // check" contract.  Allocations rather than wall-clock throughput
+  // because the count is exactly reproducible, so the gate cannot flake
+  // on a loaded machine, while observer work leaking into the off path
+  // (span construction, string formatting) still cannot hide from it.
+  const char* baseline_path = std::getenv("ETHERGRID_BENCH_BASELINE");
+  if (baseline_path && *baseline_path) {
+    const double baseline_allocs = read_baseline_metric(
+        baseline_path, "micro_shell", "allocs_per_interpret_off");
+    if (baseline_allocs > 0 && allocs_off > 0) {
+      const double regression = (allocs_off - baseline_allocs) / baseline_allocs;
+      report.metric("observers_off_regression_pct", 100.0 * regression);
+      report.shape(regression < 0.03);
+      if (regression >= 0.03) {
+        std::fprintf(stderr,
+                     "micro_shell: observers-off workload cost regressed "
+                     "%.1f%% (baseline %.0f allocations/run, now %.0f)\n",
+                     100.0 * regression, baseline_allocs, allocs_off);
+        return 1;
+      }
+    }
+  }
   return 0;
 }

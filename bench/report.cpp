@@ -74,6 +74,10 @@ void Report::metric(const std::string& key, double value) {
 
 void Report::set_detail(std::string detail) { detail_ = std::move(detail); }
 
+void Report::set_observability(std::string metrics_json) {
+  observability_ = std::move(metrics_json);
+}
+
 void Report::write() {
   if (written_) return;
   written_ = true;
@@ -99,6 +103,10 @@ void Report::write() {
             << "\": " << json_number(metrics_[i].second);
     }
     entry << "}";
+  }
+  if (!observability_.empty()) {
+    // Already valid JSON from obs::MetricsRegistry::to_json(); embed raw.
+    entry << ", \"observability\": " << observability_;
   }
   if (!detail_.empty()) {
     entry << ", \"detail\": \"" << json_escape(detail_) << "\"";

@@ -46,6 +46,11 @@ class Report {
   // Free-text annotation (configuration, sweep range, caveats).
   void set_detail(std::string detail);
 
+  // Embeds a pre-rendered JSON object (obs::MetricsRegistry::to_json())
+  // as the entry's "observability" field -- the flat counters/histograms
+  // the run's ObserverSet collected.
+  void set_observability(std::string metrics_json);
+
   // Appends the entry now; subsequent calls and the destructor are no-ops.
   void write();
 
@@ -55,6 +60,7 @@ class Report {
  private:
   std::string name_;
   std::string detail_;
+  std::string observability_;  // pre-rendered JSON object, may be empty
   std::vector<std::pair<std::string, double>> metrics_;
   std::uint64_t events_ = 0;
   int shape_checks_ = 0;

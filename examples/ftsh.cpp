@@ -9,6 +9,8 @@
 //                                  frequencies per site) to stderr at exit
 //   ftsh -l LEVEL ...              back-channel log level
 //                                  (debug|info|warn|error; default warn)
+//   ftsh --trace-out FILE ...      write a Perfetto/Chrome trace-event JSON
+//                                  of the run (load at ui.perfetto.dev)
 //
 // Script arguments are available as ${1}..${n}, with ${0} the script name
 // and ${#} the count.  Nested-shell protocol per the paper: on SIGTERM,
@@ -23,9 +25,8 @@
 #include <string>
 
 #include "posix/posix_executor.hpp"
-#include "shell/audit.hpp"
-#include "shell/interpreter.hpp"
 #include "shell/parser.hpp"
+#include "shell/session.hpp"
 
 using namespace ethergrid;
 
@@ -43,8 +44,10 @@ void on_sigterm(int) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ftsh [-n] [-l level] script.ftsh [args...]\n"
-               "       ftsh [-l level] -c 'commands' [args...]\n");
+               "usage: ftsh [-n] [-l level] [--trace-out FILE] "
+               "script.ftsh [args...]\n"
+               "       ftsh [-l level] [--trace-out FILE] -c 'commands' "
+               "[args...]\n");
   return 2;
 }
 
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   bool from_argument = false;
   bool print_audit = false;
   bool trace = false;
+  std::string trace_out;
   LogLevel level = LogLevel::kWarn;
 
   int arg = 1;
@@ -65,6 +69,8 @@ int main(int argc, char** argv) {
       print_audit = true;
     } else if (std::strcmp(argv[arg], "-x") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
+      trace_out = argv[++arg];
     } else if (std::strcmp(argv[arg], "-c") == 0) {
       from_argument = true;
       ++arg;
@@ -129,11 +135,12 @@ int main(int argc, char** argv) {
                  log_level_name(rec.level).data(), rec.message.c_str());
   });
 
-  shell::AuditLog audit;
-  shell::InterpreterOptions options;
+  shell::SessionOptions options;
   options.logger = &logger;
-  if (print_audit) options.audit = &audit;
-  options.trace = trace;
+  options.collect_audit = print_audit;
+  options.collect_trace = !trace_out.empty();
+  options.trace_process_name = "ftsh " + script_name;
+  options.xtrace = trace;
   options.stdout_sink = [](std::string_view text) {
     std::fwrite(text.data(), 1, text.size(), stdout);
     std::fflush(stdout);
@@ -142,7 +149,8 @@ int main(int argc, char** argv) {
     std::fwrite(text.data(), 1, text.size(), stderr);
   };
 
-  shell::Environment env;
+  shell::Session session(executor, options);
+  shell::Environment& env = session.environment();
   env.define("0", script_name);
   int positional = 0;
   for (; arg < argc; ++arg) {
@@ -150,10 +158,17 @@ int main(int argc, char** argv) {
   }
   env.define("#", std::to_string(positional));
 
-  shell::Interpreter interpreter(executor, options);
-  Status status = interpreter.run(*parsed.script, env);
+  Status status = session.run(*parsed.script);
   if (print_audit) {
-    std::fprintf(stderr, "--- ftsh audit ---\n%s", audit.report().c_str());
+    std::fprintf(stderr, "--- ftsh audit ---\n%s",
+                 session.audit()->report().c_str());
+  }
+  if (!trace_out.empty()) {
+    Status wrote = session.write_trace(trace_out);
+    if (wrote.failed()) {
+      std::fprintf(stderr, "ftsh: --trace-out: %s\n",
+                   wrote.to_string().c_str());
+    }
   }
   if (g_terminated) return 143;  // died of SIGTERM, children cleaned up
   if (status.failed()) {

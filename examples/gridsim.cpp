@@ -8,6 +8,10 @@
 //   gridsim readers [--discipline D] [--readers N] [--seconds S]
 //                   [--flaky P] [--seed S] [--faults SPEC]
 //
+// Every mode also accepts [--trace-out FILE]: write a Perfetto/Chrome
+// trace-event JSON of the run's back-channel events (collisions,
+// carrier-sense probes, table-full deferrals, crashes, injected faults).
+//
 // D is one of fixed | aloha | ethernet.  Every run is deterministic in the
 // seed; change --seed to see another realization.
 //
@@ -24,6 +28,7 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "obs/trace.hpp"
 
 using namespace ethergrid;
 
@@ -80,6 +85,33 @@ bool parse_fault_flag(const Flags& flags, sim::FaultPlan* plan) {
   return true;
 }
 
+// Optional --trace-out wiring: a TraceRecorder composed into an ObserverSet
+// the scenario hands down to the grid substrates (carrier-sense probes,
+// collisions, table-full deferrals, crashes, injected faults).
+struct Tracing {
+  obs::TraceRecorder recorder{"gridsim"};
+  obs::ObserverSet set;
+  std::string path;
+
+  explicit Tracing(const Flags& flags) : path(flags.get("trace-out", "")) {
+    set.add(&recorder);
+  }
+  obs::ObserverSet* observers() { return path.empty() ? nullptr : &set; }
+  // Returns a nonzero exit code if writing the trace failed.
+  int finish() const {
+    if (path.empty()) return 0;
+    Status status = recorder.write_file(path);
+    if (status.failed()) {
+      std::fprintf(stderr, "gridsim: --trace-out: %s\n",
+                   status.to_string().c_str());
+      return 2;
+    }
+    std::printf("trace: %zu event(s) written to %s\n",
+                recorder.event_count(), path.c_str());
+    return 0;
+  }
+};
+
 void print_fault_audit(std::int64_t fired, const std::string& audit) {
   if (fired == 0) return;
   std::printf("\nfault audit (%lld fired):\n%s", (long long)fired,
@@ -109,6 +141,8 @@ int run_submit(const Flags& flags) {
   config.seed = std::uint64_t(flags.get_int("seed", 42));
   config.submitter.fd_threshold = flags.get_int("threshold", 1000);
   if (!parse_fault_flag(flags, &config.faults)) return 2;
+  Tracing tracing(flags);
+  config.observers = tracing.observers();
 
   if (flags.has("timeline")) {
     auto timeline = exp::run_submitter_timeline(
@@ -124,7 +158,7 @@ int run_submit(const Flags& flags) {
     std::printf("\njobs=%lld crashes=%d\n", (long long)timeline.jobs_total,
                 timeline.schedd_crashes);
     print_fault_audit(timeline.faults_injected, timeline.fault_audit);
-    return 0;
+    return tracing.finish();
   }
 
   auto point = exp::run_submit_scale_point(config, kind, clients,
@@ -135,7 +169,7 @@ int run_submit(const Flags& flags) {
       minutes_total, (long long)point.jobs_submitted, point.schedd_crashes,
       (long long)point.fd_low_watermark);
   print_fault_audit(point.faults_injected, point.fault_audit);
-  return 0;
+  return tracing.finish();
 }
 
 int run_buffer(const Flags& flags) {
@@ -147,6 +181,8 @@ int run_buffer(const Flags& flags) {
   config.seed = std::uint64_t(flags.get_int("seed", 42));
   config.buffer_bytes = flags.get_int("capacity-mb", 120) << 20;
   if (!parse_fault_flag(flags, &config.faults)) return 2;
+  Tracing tracing(flags);
+  config.observers = tracing.observers();
 
   auto point = exp::run_buffer_point(config, kind, producers, sec(seconds));
   std::printf(
@@ -160,7 +196,7 @@ int run_buffer(const Flags& flags) {
       (long long)point.files_completed, (long long)point.collisions,
       (long long)point.deferrals);
   print_fault_audit(point.faults_injected, point.fault_audit);
-  return 0;
+  return tracing.finish();
 }
 
 int run_readers(const Flags& flags) {
@@ -176,6 +212,8 @@ int run_readers(const Flags& flags) {
     if (!server.black_hole) server.transient_failure_rate = flaky;
   }
   if (!parse_fault_flag(flags, &config.faults)) return 2;
+  Tracing tracing(flags);
+  config.observers = tracing.observers();
 
   auto timeline = exp::run_reader_timeline(config, kind, sec(seconds),
                                            sec(30));
@@ -187,7 +225,7 @@ int run_readers(const Flags& flags) {
       (long long)timeline.collisions_total,
       (long long)timeline.deferrals_total);
   print_fault_audit(timeline.faults_injected, timeline.fault_audit);
-  return 0;
+  return tracing.finish();
 }
 
 int usage() {
@@ -200,6 +238,8 @@ int usage() {
       "           --seed S --faults SPEC\n"
       "  readers: --readers N --discipline D --seconds S --flaky P --seed S\n"
       "           --faults SPEC\n"
+      "all modes accept --trace-out FILE (Perfetto/Chrome trace-event JSON\n"
+      "of collisions, carrier-sense probes, deferrals, crashes, faults)\n"
       "SPEC: 'site:kind@args;...', e.g.\n"
       "  'fileserver.*.fetch:reset@0.2;schedd.submit:crash@120'\n"
       "kinds: fail@P  stall@P,SECS  reset@P[,F1-F2]  crash@T  drop@T1-T2\n"

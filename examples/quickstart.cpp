@@ -15,7 +15,7 @@
 
 #include "core/retry.hpp"
 #include "core/sim_clock.hpp"
-#include "shell/interpreter.hpp"
+#include "shell/session.hpp"
 #include "shell/sim_executor.hpp"
 #include "sim/kernel.hpp"
 
@@ -61,14 +61,19 @@ end
 echo winner: ${host}
 )";
 
+  // A Session bundles executor + interpreter + observers; collect_metrics
+  // gives the back-channel counters for free.
+  shell::SessionOptions session_options;
+  session_options.collect_metrics = true;
+  shell::Session session(executor, session_options);
   kernel.spawn("script", [&](sim::Context& ctx) {
     shell::SimExecutor::ContextBinding binding(executor, ctx);
-    shell::Interpreter interpreter(executor);
-    shell::Environment env;
-    Status status = interpreter.run_source(script, env);
+    Status status = session.run_source(script);
     std::printf("script result: %s\n", status.to_string().c_str());
-    std::printf("%s", interpreter.output().c_str());
+    std::printf("%s", session.output().c_str());
     std::printf("virtual time elapsed: %.1f s\n", to_seconds(ctx.now()));
+    std::printf("try attempts observed: %.0f\n",
+                session.metrics()->counter("spans.attempt"));
   });
   kernel.run();
 

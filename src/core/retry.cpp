@@ -66,6 +66,7 @@ Status run_try(Clock& clock, Rng& rng, const TryOptions& options,
         delay = std::min(delay, deadline - clock.now());
       }
       if (delay > Duration(0)) {
+        if (options.on_backoff) options.on_backoff(delay);
         // Record what was actually slept, not what was asked for: a group
         // abort (or an unwinding deadline) can cut the sleep short, and the
         // back channel must not overstate time spent backing off.

@@ -54,6 +54,11 @@ struct TryOptions {
   Duration min_cycle = msec(1);
   // Optional back-channel accumulator; engine adds to it when non-null.
   TryMetrics* metrics = nullptr;
+  // Called with each backoff delay as it is chosen (after min-cycle and
+  // deadline clamping, before the sleep).  This is where the observability
+  // layer learns the *actual* per-attempt delays -- TryMetrics only carries
+  // the total.
+  std::function<void(Duration)> on_backoff;
 
   static TryOptions for_time(Duration d) {
     TryOptions o;

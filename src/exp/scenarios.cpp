@@ -20,6 +20,21 @@ std::unique_ptr<core::FaultInjector> make_injector(sim::Kernel& kernel,
                                                kernel.rng().stream("faults"));
 }
 
+// Bridges fired faults onto the observability channel as kFault events.
+// The "<site> <kind>" label matches shell::fault_observer, so an AuditLog
+// listening on the set shows the same rows as the legacy adapter.
+void bridge_faults(core::FaultInjector* faults, obs::ObserverSet* observers) {
+  if (!faults || !observers) return;
+  faults->set_observer([observers](const core::FaultEvent& fe) {
+    obs::ObsEvent event;
+    event.kind = obs::ObsEvent::Kind::kFault;
+    event.time = fe.time;
+    event.site = fe.site + " " + fe.kind;
+    event.detail = fe.detail;
+    observers->on_event(event);
+  });
+}
+
 // Spawns n submitters against a fresh schedd world; returns after `window`.
 struct SubmitWorld {
   SubmitWorld(const SubmitScenarioConfig& config, grid::DisciplineKind kind,
@@ -28,6 +43,8 @@ struct SubmitWorld {
         schedd(kernel, config.schedd),
         faults(make_injector(kernel, config.faults)) {
     schedd.set_fault_injector(faults.get());
+    schedd.set_observers(config.observers);
+    bridge_faults(faults.get(), config.observers);
     grid::SubmitterConfig sc = config.submitter;
     sc.kind = kind;
     stats.resize(std::size_t(submitters));
@@ -99,6 +116,8 @@ BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
   auto faults = make_injector(kernel, config.faults);
   channel.set_fault_injector(faults.get());
   buffer.set_fault_injector(faults.get());
+  buffer.set_observers(config.observers);
+  bridge_faults(faults.get(), config.observers);
   grid::ConsumerStats consumer_stats;
   kernel.spawn("consumer", grid::make_consumer(buffer, channel,
                                                config.consumer,
@@ -155,6 +174,8 @@ ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
   grid::ServerFarm farm(kernel, servers);
   auto faults = make_injector(kernel, config.faults);
   if (faults) farm.set_fault_injector(faults.get());
+  farm.set_observers(config.observers);
+  bridge_faults(faults.get(), config.observers);
   std::vector<std::unique_ptr<grid::ReaderStats>> stats;
   for (int i = 0; i < config.readers; ++i) {
     grid::ReaderConfig rc = config.reader;

@@ -13,6 +13,7 @@
 #include "grid/clients.hpp"
 #include "grid/fileserver.hpp"
 #include "grid/schedd.hpp"
+#include "obs/observer.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/kernel.hpp"
 #include "util/time.hpp"
@@ -35,6 +36,10 @@ struct SubmitScenarioConfig {
   std::uint64_t seed = 42;
   sim::KernelOptions kernel;        // execution backend; results identical
   sim::FaultPlan faults;            // sites: schedd.submit
+  // Observability: installed on the substrate (crashes, fd-table
+  // exhaustion) and bridged from the fault injector (kFault events).
+  // Not owned; nullptr off.
+  obs::ObserverSet* observers = nullptr;
 };
 
 // Figure 1: jobs submitted in `window` by `submitters` clients of `kind`.
@@ -88,6 +93,9 @@ struct BufferScenarioConfig {
   std::uint64_t seed = 42;
   sim::KernelOptions kernel;  // execution backend; results identical
   sim::FaultPlan faults;  // sites: iochannel.write, fsbuffer.{create,append,rename}
+  // Observability: ENOSPC collisions plus bridged kFault events.  Not
+  // owned; nullptr off.
+  obs::ObserverSet* observers = nullptr;
 };
 
 // Figures 4-5: one sweep point.
@@ -118,6 +126,9 @@ struct ReaderScenarioConfig {
   std::uint64_t seed = 42;
   sim::KernelOptions kernel;  // execution backend; results identical
   sim::FaultPlan faults;  // sites: fileserver.<name>.{fetch,flag}
+  // Observability: transfer collisions, carrier-sense probes, bridged
+  // kFault events.  Not owned; nullptr off.
+  obs::ObserverSet* observers = nullptr;
 
   // "three web servers ... one of the three is a permanent black hole"
   static std::vector<grid::FileServerConfig> paper_farm();

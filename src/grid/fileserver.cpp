@@ -73,9 +73,30 @@ Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
 
   const double seconds = double(bytes) / config_.bytes_per_second;
 
+  auto emit_collision = [&](const Status& status) {
+    if (!observers_) return;
+    obs::ObsEvent event;
+    event.kind = obs::ObsEvent::Kind::kCollision;
+    event.time = ctx.now();
+    event.site = "fileserver." + config_.name;
+    event.detail = std::string(status.message());
+    observers_->on_event(event);
+  };
+  auto emit_carrier_sense = [&](bool clear) {
+    if (!observers_ || !flag_only) return;
+    obs::ObsEvent event;
+    event.kind = obs::ObsEvent::Kind::kCarrierSense;
+    event.time = ctx.now();
+    event.site = "fileserver." + config_.name;
+    event.value = clear ? 1 : 0;
+    observers_->on_event(event);
+  };
+
   if (fault.action == core::FaultDecision::Action::kFail ||
       fault.action == core::FaultDecision::Action::kCrash) {
     ++aborted_;
+    emit_collision(fault.status);
+    emit_carrier_sense(false);
     return fault.status;
   }
   if (fault.action == core::FaultDecision::Action::kReset) {
@@ -85,12 +106,15 @@ Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
       ctx.sleep(sec(seconds * fault.fraction));
     }
     ++aborted_;
+    emit_collision(fault.status);
+    emit_carrier_sense(false);
     return fault.status;
   }
 
   ctx.sleep(sec(seconds));
   ++transfers_;
   bytes_served_ += bytes;
+  emit_carrier_sense(true);
   return Status::success();
 }
 
@@ -117,6 +141,12 @@ std::size_t ServerFarm::pick(Rng& rng) const {
 void ServerFarm::set_fault_injector(core::FaultInjector* injector) {
   for (auto& server : servers_) {
     server->set_fault_injector(injector);
+  }
+}
+
+void ServerFarm::set_observers(obs::ObserverSet* observers) {
+  for (auto& server : servers_) {
+    server->set_observers(observers);
   }
 }
 

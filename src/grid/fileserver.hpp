@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "obs/observer.hpp"
 #include "sim/kernel.hpp"
 #include "sim/resource.hpp"
 #include "util/stats.hpp"
@@ -69,6 +70,10 @@ class FileServer {
   std::int64_t connections_accepted() const { return connections_; }
   std::int64_t transfers_aborted() const { return aborted_; }
 
+  // Observability: aborted transfers become kCollision events, flag probes
+  // kCarrierSense (value 1 = clear, 0 = deferred).  Not owned; nullptr off.
+  void set_observers(obs::ObserverSet* observers) { observers_ = observers; }
+
  private:
   Status serve(sim::Context& ctx, std::int64_t bytes, bool flag_only);
 
@@ -82,6 +87,7 @@ class FileServer {
   std::int64_t bytes_served_ = 0;
   std::int64_t connections_ = 0;
   std::int64_t aborted_ = 0;
+  obs::ObserverSet* observers_ = nullptr;
 };
 
 // The replicated service: named servers, uniform random pick helper.
@@ -98,6 +104,9 @@ class ServerFarm {
 
   // Installs one shared injector on every server in the farm.
   void set_fault_injector(core::FaultInjector* injector);
+
+  // Installs one observer set on every server in the farm.
+  void set_observers(obs::ObserverSet* observers);
 
  private:
   std::vector<std::unique_ptr<FileServer>> servers_;

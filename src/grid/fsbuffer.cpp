@@ -10,6 +10,11 @@ void FsBuffer::set_fault_injector(core::FaultInjector* injector) {
   faults_ = injector;
 }
 
+void FsBuffer::set_observers(obs::ObserverSet* observers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observers_ = observers;
+}
+
 std::optional<Status> FsBuffer::injected(const char* site) {
   if (!faults_ || !faults_->enabled()) return std::nullopt;
   core::FaultDecision fault = faults_->decide(site, kernel_->now());
@@ -50,6 +55,15 @@ Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
   }
   if (used_ + bytes > capacity_) {
     ++enospc_;
+    if (observers_) {
+      obs::ObsEvent event;
+      event.kind = obs::ObsEvent::Kind::kCollision;
+      event.time = kernel_->now();
+      event.site = "fsbuffer.append";
+      event.detail = "ENOSPC writing " + name;
+      event.value = double(bytes);
+      observers_->on_event(event);
+    }
     return Status::resource_exhausted("ENOSPC writing " + name);
   }
   used_ += bytes;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "obs/observer.hpp"
 #include "sim/kernel.hpp"
 #include "util/status.hpp"
 
@@ -76,6 +77,10 @@ class FsBuffer {
   // disables.
   void set_fault_injector(core::FaultInjector* injector);
 
+  // Observability: each ENOSPC append becomes a kCollision event (value =
+  // bytes refused).  Not owned; nullptr off.
+  void set_observers(obs::ObserverSet* observers);
+
   // Telemetry.
   std::int64_t enospc_failures() const;
   std::int64_t injected_failures() const;
@@ -94,6 +99,7 @@ class FsBuffer {
   sim::Kernel* kernel_;
   const std::int64_t capacity_;
   core::FaultInjector* faults_ = nullptr;
+  obs::ObserverSet* observers_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, File> files_;
   std::int64_t used_ = 0;

@@ -103,6 +103,16 @@ void Schedd::crash(sim::Context& ctx) {
   ctx.log(LogLevel::kWarn,
           "schedd crashed (#" + std::to_string(crashes_) +
               "): cannot allocate descriptors; dropping all connections");
+  if (observers_) {
+    obs::ObsEvent event;
+    event.kind = obs::ObsEvent::Kind::kCrash;
+    event.time = ctx.now();
+    event.site = "schedd";
+    event.detail = "crash #" + std::to_string(crashes_) + ", dropping " +
+                   std::to_string(open_connections_) + " connection(s)";
+    event.value = double(open_connections_);
+    observers_->on_event(event);
+  }
   // The broadcast jam: every in-flight service AND every queued connection
   // fails at this instant, releasing their descriptors together (the upward
   // FD spike of Figure 2).
@@ -121,6 +131,17 @@ Status Schedd::submit(sim::Context& ctx, const SubmitDescription& job) {
 Status Schedd::submit_internal(sim::Context& ctx,
                                const SubmitDescription* job) {
   const TimePoint submit_start = ctx.now();
+  auto emit_table_full = [&](const char* what, std::int64_t want) {
+    if (!observers_) return;
+    obs::ObsEvent event;
+    event.kind = obs::ObsEvent::Kind::kTableFull;
+    event.time = ctx.now();
+    event.site = "schedd.fds";
+    event.detail = std::string(what) + ": " + std::to_string(want) +
+                   " descriptor(s) unavailable";
+    event.value = double(want);
+    observers_->on_event(event);
+  };
   // TCP connect + submitter startup chatter.
   ctx.sleep(config_.connect_time);
 
@@ -162,6 +183,7 @@ Status Schedd::submit_internal(sim::Context& ctx,
   }
   FdLease connection_fds(fds_, connection_count);
   if (!connection_fds.held()) {
+    emit_table_full("connect", connection_count);
     return Status::resource_exhausted("no file descriptors for connection");
   }
   ConnectionScope connection(&open_connections_, std::move(connection_fds));
@@ -185,6 +207,7 @@ Status Schedd::submit_internal(sim::Context& ctx,
   // here is fatal to the whole daemon.
   FdLease service_fds(fds_, config_.fds_per_service);
   if (!service_fds.held()) {
+    emit_table_full("service", config_.fds_per_service);
     crash(ctx);
     return Status::unavailable("schedd crashed");
   }
@@ -206,6 +229,7 @@ Status Schedd::submit_internal(sim::Context& ctx,
   if (config_.fds_per_transfer > 0) {
     transfer_fds = FdLease(fds_, config_.fds_per_transfer);
     if (!transfer_fds.held()) {
+      emit_table_full("transfer", config_.fds_per_transfer);
       crash(ctx);
       return Status::unavailable("schedd crashed");
     }

@@ -24,6 +24,7 @@
 
 #include "core/fault.hpp"
 #include "grid/fd_table.hpp"
+#include "obs/observer.hpp"
 #include "grid/submit_file.hpp"
 #include "sim/kernel.hpp"
 #include "util/stats.hpp"
@@ -120,6 +121,10 @@ class Schedd {
     faults_ = injector;
   }
 
+  // Observability: daemon crashes become kCrash events, descriptor-table
+  // exhaustion kTableFull.  Not owned; nullptr off.
+  void set_observers(obs::ObserverSet* observers) { observers_ = observers; }
+
   // Telemetry.
   std::int64_t jobs_submitted() const { return submissions_.total(); }
   const EventSeries& submissions() const { return submissions_; }
@@ -137,6 +142,7 @@ class Schedd {
   sim::Kernel* kernel_;
   ScheddConfig config_;
   core::FaultInjector* faults_ = nullptr;
+  obs::ObserverSet* observers_ = nullptr;
   FdTable fds_;
   ServiceQueue service_slots_;
   sim::Event crash_pulse_;

@@ -1,0 +1,176 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/trace.hpp"  // json_escape / json_number
+
+namespace ethergrid::obs {
+
+// Bucket i holds samples in (2^(i-32-1), 2^(i-32)]; bucket 0 catches
+// everything at or below 2^-32 (including zero), bucket 63 everything
+// above 2^30.  That spans sub-microsecond latencies to ~34 years of
+// virtual seconds, which is plenty.
+int Histogram::bucket_for(double value) {
+  if (!(value > 0)) return 0;
+  int exp = static_cast<int>(std::ceil(std::log2(value)));
+  int bucket = exp + 32;
+  return std::clamp(bucket, 0, kBuckets - 1);
+}
+
+void Histogram::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_for(value)];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && seen > 0) {
+      // Upper bound of bucket i, clamped into the observed range.
+      double upper = std::ldexp(1.0, i - 32);
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::to_json() const {
+  std::string out = "{\"count\":";
+  out += json_number(static_cast<double>(count_));
+  out += ",\"sum\":";
+  out += json_number(sum_);
+  out += ",\"min\":";
+  out += json_number(min());
+  out += ",\"max\":";
+  out += json_number(max());
+  out += ",\"mean\":";
+  out += json_number(mean());
+  out += ",\"p50\":";
+  out += json_number(quantile(0.50));
+  out += ",\"p95\":";
+  out += json_number(quantile(0.95));
+  out += ",\"p99\":";
+  out += json_number(quantile(0.99));
+  out += '}';
+  return out;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::record(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].record(value);
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::on_span_end(const Span& span) {
+  const double duration_s =
+      to_seconds(span.end.time_since_epoch() - span.start.time_since_epoch());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string base = "spans.";
+  base += span_kind_name(span.kind);
+  counters_[base] += 1;
+  if (span.status.failed()) counters_[base + ".failed"] += 1;
+  switch (span.kind) {
+    case SpanKind::kCommand:
+      counters_["commands.attempts"] += 1;
+      histograms_["command_duration_s"].record(duration_s);
+      break;
+    case SpanKind::kTry:
+      if (span.attempts > 0) {
+        histograms_["try_attempts"].record(span.attempts);
+      }
+      if (span.backoff > Duration(0)) {
+        histograms_["try_backoff_total_s"].record(to_seconds(span.backoff));
+      }
+      break;
+    case SpanKind::kForall:
+      if (span.attempts > 0) {
+        histograms_["forall_branches"].record(span.attempts);
+      }
+      break;
+    case SpanKind::kProcess:
+      histograms_["process_duration_s"].record(duration_s);
+      break;
+    default:
+      break;
+  }
+}
+
+void MetricsRegistry::on_event(const ObsEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = "events.";
+  name += obs_event_kind_name(event.kind);
+  counters_[name] += 1;
+  switch (event.kind) {
+    case ObsEvent::Kind::kBackoff:
+      histograms_["backoff_delay_s"].record(event.value);
+      break;
+    case ObsEvent::Kind::kOccupancy:
+      histograms_["forall_occupancy"].record(event.value);
+      break;
+    case ObsEvent::Kind::kKill:
+      histograms_["kill_latency_s"].record(event.value);
+      break;
+    case ObsEvent::Kind::kCarrierSense:
+      if (event.value == 0) counters_["events.carrier-sense.deferred"] += 1;
+      break;
+    default:
+      break;
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    out += json_number(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    out += hist.to_json();
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ethergrid::obs

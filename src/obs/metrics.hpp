@@ -1,0 +1,89 @@
+// MetricsRegistry: named counters and histograms fed by the Observer
+// callbacks, exported as flat JSON for bench/report and post-run summaries.
+//
+// Where the TraceRecorder answers "what did attempt 3 of this try actually
+// wait on", the registry answers the aggregate questions the paper's
+// evaluation section asks: how many attempts did the workload burn, what
+// did the backoff delay distribution look like, how occupied were the
+// forall lanes, how long did kills take to land.
+//
+// A registry is itself an Observer, pre-wired to derive the standard
+// metrics from span ends and point events:
+//   counters:   spans.<kind>, spans.<kind>.failed, events.<event-kind>,
+//               commands.attempts
+//   histograms: backoff_delay_s, command_duration_s, try_attempts,
+//               forall_occupancy, kill_latency_s
+// Callers may also bump arbitrary counters / record arbitrary samples by
+// name; unknown names simply materialize.
+//
+// Export is deterministic: names are sorted, numbers render through the
+// same fixed formatter as the trace exporter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace ethergrid::obs {
+
+// Fixed-bucket log-scale histogram.  Buckets are powers of two starting at
+// `base`; sample i lands in the first bucket whose upper bound covers it.
+// Cheap, deterministic, and good enough for the decade-spanning
+// distributions backoff produces (20 ms .. minutes).
+class Histogram {
+ public:
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / count_ : 0; }
+  // Upper-bound estimate of the q-quantile (0 <= q <= 1) from the bucket
+  // boundaries; exact for min/max degenerate cases.
+  double quantile(double q) const;
+
+  // {"count":N,"sum":S,"min":m,"max":M,"p50":...,"p95":...,"p99":...}
+  std::string to_json() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  static int bucket_for(double value);
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry final : public Observer {
+ public:
+  MetricsRegistry() = default;
+
+  // Manual instrumentation.
+  void add(const std::string& name, double delta = 1);
+  void record(const std::string& name, double value);
+
+  double counter(const std::string& name) const;
+  const Histogram* histogram(const std::string& name) const;
+
+  // --- Observer interface: derives the standard metrics ---
+  void on_span_end(const Span& span) override;
+  void on_event(const ObsEvent& event) override;
+
+  // One flat JSON object: {"counters":{...},"histograms":{...}} with
+  // sorted keys.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ethergrid::obs

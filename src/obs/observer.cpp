@@ -1,0 +1,136 @@
+#include "obs/observer.hpp"
+
+#include <algorithm>
+
+namespace ethergrid::obs {
+
+std::string_view span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kScript:
+      return "script";
+    case SpanKind::kStatement:
+      return "statement";
+    case SpanKind::kTry:
+      return "try";
+    case SpanKind::kTryAttempt:
+      return "attempt";
+    case SpanKind::kForany:
+      return "forany";
+    case SpanKind::kForall:
+      return "forall";
+    case SpanKind::kCommand:
+      return "command";
+    case SpanKind::kProcess:
+      return "process";
+    case SpanKind::kFunction:
+      return "function";
+  }
+  return "?";
+}
+
+std::string_view obs_event_kind_name(ObsEvent::Kind kind) {
+  switch (kind) {
+    case ObsEvent::Kind::kBackoff:
+      return "backoff";
+    case ObsEvent::Kind::kCarrierSense:
+      return "carrier-sense";
+    case ObsEvent::Kind::kCollision:
+      return "collision";
+    case ObsEvent::Kind::kTableFull:
+      return "table-full";
+    case ObsEvent::Kind::kFault:
+      return "fault";
+    case ObsEvent::Kind::kKill:
+      return "kill";
+    case ObsEvent::Kind::kCrash:
+      return "crash";
+    case ObsEvent::Kind::kOccupancy:
+      return "occupancy";
+  }
+  return "?";
+}
+
+void ObserverSet::add(Observer* observer) {
+  if (observer == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.push_back(observer);
+}
+
+void ObserverSet::remove(Observer* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.erase(std::remove(members_.begin(), members_.end(), observer),
+                 members_.end());
+}
+
+bool ObserverSet::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return members_.empty();
+}
+
+std::size_t ObserverSet::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return members_.size();
+}
+
+std::uint64_t ObserverSet::begin_span(Span& span) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    span.id = ++next_span_id_;
+  }
+  on_span_begin(span);
+  return span.id;
+}
+
+void ObserverSet::end_span(const Span& span) { on_span_end(span); }
+
+// Fan-out copies the member list under the lock, then dispatches unlocked:
+// observers may themselves take locks (TraceRecorder, MetricsRegistry) and
+// holding mu_ across the callbacks would order those locks behind ours for
+// no benefit.  Membership changes mid-run are rare (Session sets everything
+// up before run_source) and need not be seen by in-flight emissions.
+void ObserverSet::on_span_begin(const Span& span) {
+  std::vector<Observer*> members;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members = members_;
+  }
+  for (Observer* o : members) o->on_span_begin(span);
+}
+
+void ObserverSet::on_span_end(const Span& span) {
+  std::vector<Observer*> members;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members = members_;
+  }
+  for (Observer* o : members) o->on_span_end(span);
+}
+
+void ObserverSet::on_event(const ObsEvent& event) {
+  std::vector<Observer*> members;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members = members_;
+  }
+  for (Observer* o : members) o->on_event(event);
+}
+
+void ObserverSet::on_output(StreamKind stream, std::string_view text) {
+  std::vector<Observer*> members;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members = members_;
+  }
+  for (Observer* o : members) o->on_output(stream, text);
+}
+
+void ObserverSet::on_log(const ObsLogLine& line) {
+  std::vector<Observer*> members;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members = members_;
+  }
+  for (Observer* o : members) o->on_log(line);
+}
+
+}  // namespace ethergrid::obs

@@ -1,0 +1,167 @@
+// The unified observability layer: one Observer interface feeding every
+// back channel.
+//
+// The paper's central debugging claim (section 4) is that *untyped* failure
+// plus a rich back channel is what makes the Ethernet discipline usable.
+// Before this layer, that back channel was fragmented: a Logger here, an
+// AuditLog there, ad-hoc stdout/stderr sinks, an x-trace flag.  Now every
+// producer -- interpreter, executors, grid substrates, fault injector --
+// emits through one interface:
+//
+//  * spans: begin/end pairs with virtual (or wall) timestamps forming the
+//    script -> statement -> try-attempt -> command -> process hierarchy;
+//  * point events: backoff decisions, carrier-sense probes, collisions,
+//    process-table-full deferrals, fault-injection hits, kills;
+//  * streams: uncaptured command stdout/stderr;
+//  * logs: the free-text diagnostic channel.
+//
+// Consumers implement Observer: TraceRecorder (Perfetto/Chrome JSON export),
+// MetricsRegistry (counters + histograms), shell::AuditLog (per-site
+// aggregates), plus small adapters for streams, x-trace, and Logger
+// bridging.  An ObserverSet composes any number of them behind one pointer,
+// so the no-observer hot path is a single null check.
+//
+// Determinism contract: spans are timestamped by the emitting executor's
+// core::Clock and ids are assigned in emission order.  Because the sim
+// kernel schedules processes identically on both backends, a fixed seed
+// yields byte-identical trace exports under fibers and threads alike.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::obs {
+
+// Where in the script -> process hierarchy a span sits.
+enum class SpanKind {
+  kScript,      // one whole Interpreter::run
+  kStatement,   // a compound statement not covered by a specific kind below
+  kTry,         // one try/catch construct (all attempts + backoff)
+  kTryAttempt,  // one attempt inside a try's retry loop
+  kForany,      // sequential alternatives to first success
+  kForall,      // parallel alternatives, abort on first failure
+  kCommand,     // one external command execution
+  kProcess,     // an OS process (POSIX) or simulated forall branch
+  kFunction,    // an ftsh function call frame
+};
+
+std::string_view span_kind_name(SpanKind kind);
+
+// One span.  The emitter fills the descriptive fields, calls
+// ObserverSet::begin_span (which assigns `id`), mutates the end-side fields
+// as the work concludes, and calls ObserverSet::end_span.  The same struct
+// is passed to both callbacks so simple observers can ignore begins.
+struct Span {
+  std::uint64_t id = 0;      // assigned by ObserverSet::begin_span
+  std::uint64_t parent = 0;  // enclosing span id; 0 = root
+  SpanKind kind = SpanKind::kScript;
+  std::string name;          // command name / construct summary
+  std::string detail;        // expanded argv, budgets, pid, ...
+  int line = 0;              // script line, when known
+  std::uint64_t track = 0;   // render lane (forall branch / process id)
+  TimePoint start{};
+  // End-side fields; meaningful only in on_span_end.
+  TimePoint end{};
+  Status status;
+  int attempts = 0;          // try spans: attempts consumed
+  Duration backoff{};        // try spans: total time spent backing off
+};
+
+// A point-in-time occurrence on the back channel.
+struct ObsEvent {
+  enum class Kind {
+    kBackoff,       // a backoff delay was chosen; value = delay seconds
+    kCarrierSense,  // a carrier-sense probe; value = 1 clear, 0 deferred
+    kCollision,     // a collision (ENOSPC, reset, 60 s stall, jam)
+    kTableFull,     // process/fd table full at an allocation attempt
+    kFault,         // an injected fault fired (chaos harness)
+    kKill,          // forcible termination; value = kill latency seconds
+    kCrash,         // whole-component failure (the schedd's broadcast jam)
+    kOccupancy,     // forall branch occupancy; value = branches in flight
+  };
+
+  Kind kind = Kind::kCollision;
+  TimePoint time{};
+  std::uint64_t span = 0;  // enclosing span id, when known
+  std::string site;        // emitting site ("schedd.submit", "forall", ...)
+  std::string detail;      // human-readable parameters
+  double value = 0;
+};
+
+std::string_view obs_event_kind_name(ObsEvent::Kind kind);
+
+// Which output stream a chunk of command output belongs to.
+enum class StreamKind { kStdout, kStderr };
+
+// A log line on the diagnostic back channel (mirrors util Logger levels so
+// observers can bridge without depending on util/log.hpp level semantics).
+struct ObsLogLine {
+  int level = 0;  // LogLevel numeric value
+  TimePoint time{};
+  std::string component;
+  std::string message;
+};
+
+// The single-sink interface.  All callbacks default to no-ops so observers
+// implement only what they consume.  Callbacks are invoked synchronously on
+// the emitting thread; implementations must do their own locking (the sim
+// kernel serializes processes, but the POSIX executor emits from forall
+// branch threads concurrently).
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  virtual void on_span_begin(const Span& span) { (void)span; }
+  virtual void on_span_end(const Span& span) { (void)span; }
+  virtual void on_event(const ObsEvent& event) { (void)event; }
+  virtual void on_output(StreamKind stream, std::string_view text) {
+    (void)stream;
+    (void)text;
+  }
+  virtual void on_log(const ObsLogLine& line) { (void)line; }
+};
+
+// Fan-out composition: every registered observer sees every emission, in
+// registration order.  Also the span-id allocator, so ids are unique per
+// set and assigned in (deterministic) emission order.
+//
+// Emitters hold an `ObserverSet*` that is nullptr when observability is
+// off; the hot path is `if (observers_) observers_->...` -- one null check,
+// nothing else.
+class ObserverSet final : public Observer {
+ public:
+  ObserverSet() = default;
+
+  // Registers an observer (not owned; must outlive the set's emissions).
+  void add(Observer* observer);
+  void remove(Observer* observer);
+
+  bool empty() const;
+  std::size_t size() const;
+
+  // Assigns span.id (and stamps nothing else), then fans out
+  // on_span_begin.  Returns the id for convenience.
+  std::uint64_t begin_span(Span& span);
+  // Fans out on_span_end; the caller has filled the end-side fields.
+  void end_span(const Span& span);
+
+  // --- Observer interface (fan-out) ---
+  void on_span_begin(const Span& span) override;
+  void on_span_end(const Span& span) override;
+  void on_event(const ObsEvent& event) override;
+  void on_output(StreamKind stream, std::string_view text) override;
+  void on_log(const ObsLogLine& line) override;
+
+ private:
+  mutable std::mutex mu_;  // guards members_ mutation and id allocation
+  std::vector<Observer*> members_;
+  std::uint64_t next_span_id_ = 0;
+};
+
+}  // namespace ethergrid::obs

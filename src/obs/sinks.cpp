@@ -1,0 +1,49 @@
+#include "obs/sinks.hpp"
+
+#include "util/strings.hpp"
+
+namespace ethergrid::obs {
+
+void XTraceObserver::on_span_begin(const Span& span) {
+  if (span.kind != SpanKind::kCommand || !sink_) return;
+  // span.detail carries the expanded argv (see Interpreter::eval_command).
+  sink_("+ " + span.detail + "\n");
+}
+
+void LoggerObserver::on_span_end(const Span& span) {
+  if (!logger_ || span.status.ok()) return;
+  switch (span.kind) {
+    case SpanKind::kCommand:
+      logger_->log(LogLevel::kInfo, span.end, "ftsh",
+                   strprintf("command '%s' failed: %s", span.name.c_str(),
+                             span.status.to_string().c_str()));
+      break;
+    case SpanKind::kTry:
+      logger_->log(LogLevel::kDebug, span.end, "ftsh",
+                   strprintf("try at line %d: failure after %d attempt(s), "
+                             "%s backing off",
+                             span.line, span.attempts,
+                             format_duration(span.backoff).c_str()));
+      break;
+    default:
+      break;
+  }
+}
+
+void LoggerObserver::on_event(const ObsEvent& event) {
+  if (!logger_) return;
+  if (event.kind == ObsEvent::Kind::kFault ||
+      event.kind == ObsEvent::Kind::kCrash) {
+    logger_->log(LogLevel::kWarn, event.time, event.site,
+                 std::string(obs_event_kind_name(event.kind)) +
+                     (event.detail.empty() ? "" : ": " + event.detail));
+  }
+}
+
+void LoggerObserver::on_log(const ObsLogLine& line) {
+  if (!logger_) return;
+  logger_->log(static_cast<LogLevel>(line.level), line.time, line.component,
+               line.message);
+}
+
+}  // namespace ethergrid::obs

@@ -1,0 +1,214 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <utility>
+
+namespace ethergrid::obs {
+namespace {
+
+std::int64_t to_micros(TimePoint t) { return t.time_since_epoch().count(); }
+
+void append_kv(std::string* out, std::string_view key, std::string_view value) {
+  out->append(out->empty() ? "\"" : ",\"");
+  out->append(key);
+  out->append("\":\"");
+  out->append(json_escape(value));
+  out->push_back('"');
+}
+
+void append_kv_num(std::string* out, std::string_view key, double value) {
+  out->append(out->empty() ? "\"" : ",\"");
+  out->append(key);
+  out->append("\":");
+  out->append(json_number(value));
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  std::string out = buf;
+  while (!out.empty() && out.back() == '0') out.pop_back();
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+TraceRecorder::TraceRecorder(std::string process_name)
+    : process_name_(std::move(process_name)) {}
+
+// Begins are not serialized -- the complete ("X") entry carries start and
+// duration and is appended at end time, which is when status/attempts are
+// known.  Only the counter moves here.
+void TraceRecorder::on_span_begin(const Span& span) {
+  (void)span;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++spans_;
+}
+
+void TraceRecorder::on_span_end(const Span& span) {
+  Entry e;
+  e.id = span.id;
+  e.track = span.track;
+  e.ts = to_micros(span.start);
+  e.dur = to_micros(span.end) - to_micros(span.start);
+  if (e.dur < 0) e.dur = 0;
+  e.name = std::string(span_kind_name(span.kind));
+  if (!span.name.empty()) {
+    e.name += ": ";
+    e.name += span.name;
+  }
+  std::string args;
+  append_kv_num(&args, "span", static_cast<double>(span.id));
+  if (span.parent != 0) {
+    append_kv_num(&args, "parent", static_cast<double>(span.parent));
+  }
+  if (span.line != 0) append_kv_num(&args, "line", span.line);
+  append_kv(&args, "status",
+            span.status.ok() ? "OK" : status_code_name(span.status.code()));
+  if (span.status.failed() && !span.status.message().empty()) {
+    append_kv(&args, "error", span.status.message());
+  }
+  if (span.attempts != 0) append_kv_num(&args, "attempts", span.attempts);
+  if (span.backoff.count() != 0) {
+    append_kv_num(&args, "backoff_s", to_seconds(span.backoff));
+  }
+  if (!span.detail.empty()) append_kv(&args, "detail", span.detail);
+  e.args = std::move(args);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(e));
+}
+
+void TraceRecorder::on_event(const ObsEvent& event) {
+  Entry e;
+  e.instant = true;
+  e.id = event.span;
+  e.track = 0;
+  e.ts = to_micros(event.time);
+  e.name = std::string(obs_event_kind_name(event.kind));
+  if (!event.site.empty()) {
+    e.name += ": ";
+    e.name += event.site;
+  }
+  std::string args;
+  if (event.span != 0) {
+    append_kv_num(&args, "span", static_cast<double>(event.span));
+  }
+  if (event.value != 0) append_kv_num(&args, "value", event.value);
+  if (!event.detail.empty()) append_kv(&args, "detail", event.detail);
+  e.args = std::move(args);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(e));
+  ++events_;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"";
+  out += json_escape(process_name_);
+  out += "\"}}";
+  // Name each lane that appears, in sorted order for stable output.
+  std::set<std::uint64_t> tracks;
+  for (const Entry& e : entries_) tracks.insert(e.track);
+  for (std::uint64_t track : tracks) {
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += json_number(static_cast<double>(track));
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    out += track == 0 ? "main" : "lane " + json_number(static_cast<double>(track));
+    out += "\"}}";
+  }
+  for (const Entry& e : entries_) {
+    out += ",\n{\"ph\":\"";
+    out += e.instant ? 'i' : 'X';
+    out += "\",\"pid\":1,\"tid\":";
+    out += json_number(static_cast<double>(e.track));
+    out += ",\"ts\":";
+    out += json_number(static_cast<double>(e.ts));
+    if (!e.instant) {
+      out += ",\"dur\":";
+      out += json_number(static_cast<double>(e.dur));
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"name\":\"";
+    out += json_escape(e.name);
+    out += '"';
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      out += e.args;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::io_error("cannot open trace file: " + path);
+  out << to_json();
+  out.flush();
+  if (!out) return Status::io_error("short write to trace file: " + path);
+  return Status::success();
+}
+
+}  // namespace ethergrid::obs

@@ -1,0 +1,75 @@
+// TraceRecorder: span-based execution traces exported as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Spans become "X" (complete) events with microsecond ts/dur; point events
+// (backoff, collision, fault, ...) become "i" (instant) events.  The track
+// field of a span selects the tid lane, so concurrent forall branches
+// render as parallel rows instead of one self-overlapping bar.
+//
+// Export is deterministic: entries are written in emission order, all
+// numbers are integers (virtual microseconds) or shortest-form doubles, and
+// no wall-clock or host state leaks into the output.  A fixed-seed sim run
+// therefore produces byte-identical JSON on both kernel backends -- pinned
+// by tests/sim/backend_equivalence_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::obs {
+
+class TraceRecorder final : public Observer {
+ public:
+  // process_name labels the Perfetto process row ("ftsh", "gridsim").
+  explicit TraceRecorder(std::string process_name = "ethergrid");
+
+  void on_span_begin(const Span& span) override;
+  void on_span_end(const Span& span) override;
+  void on_event(const ObsEvent& event) override;
+
+  std::size_t span_count() const;
+  std::size_t event_count() const;
+
+  // The full trace as a JSON object {"traceEvents":[...]}.  Safe to call
+  // repeatedly; the trace keeps accumulating.
+  std::string to_json() const;
+
+  // Writes to_json() to `path` (overwrite).
+  Status write_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    bool instant = false;
+    std::uint64_t id = 0;
+    std::uint64_t track = 0;
+    std::int64_t ts = 0;   // microseconds
+    std::int64_t dur = 0;  // microseconds (complete events)
+    std::string name;
+    // Pre-rendered ,"args":{...} fragment (empty = none); building it at
+    // emission time keeps to_json() a pure serialization pass.
+    std::string args;
+  };
+
+  mutable std::mutex mu_;
+  std::string process_name_;
+  std::vector<Entry> entries_;
+  std::size_t spans_ = 0;
+  std::size_t events_ = 0;
+};
+
+// Escapes a string for embedding in a JSON string literal (no quotes
+// added).  Shared by the trace and metrics exporters.
+std::string json_escape(std::string_view text);
+
+// Shortest deterministic rendering of a double: integers print without a
+// decimal point, everything else with up to 6 significant fractional
+// digits, trailing zeros trimmed.
+std::string json_number(double value);
+
+}  // namespace ethergrid::obs

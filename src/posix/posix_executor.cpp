@@ -251,6 +251,16 @@ shell::CommandResult PosixExecutor::run(
   track_pid(pid);
   if (tls_branch_) tls_branch_->current_pid.store(pid);
 
+  obs::Span process_span;
+  if (observers_) {
+    process_span.kind = obs::SpanKind::kProcess;
+    process_span.parent = invocation.parent_span;
+    process_span.name = invocation.argv[0];
+    process_span.detail = strprintf("pid %ld", (long)pid);
+    process_span.start = clock_.now();
+    observers_->begin_span(process_span);
+  }
+
   // Parent keeps only its pipe ends, nonblocking.
   close_fd(&stdin_read);
   close_fd(&stdout_write);
@@ -408,6 +418,24 @@ shell::CommandResult PosixExecutor::run(
     status = Status::failure("unknown wait status");
   }
 
+  if (observers_) {
+    const TimePoint reaped = clock_.now();
+    if (phase != KillPhase::kNone) {
+      // Kill latency: forcible-termination request to actual reap.
+      obs::ObsEvent event;
+      event.kind = obs::ObsEvent::Kind::kKill;
+      event.time = reaped;
+      event.span = process_span.id;
+      event.site = killed_for_abort ? "posix.abort" : "posix.deadline";
+      event.detail = invocation.argv[0];
+      event.value = to_seconds(reaped - term_time);
+      observers_->on_event(event);
+    }
+    process_span.end = reaped;
+    process_span.status = status;
+    observers_->end_span(process_span);
+  }
+
   return shell::CommandResult{std::move(status), std::move(out),
                               std::move(err)};
 }
@@ -451,6 +479,18 @@ std::vector<Status> PosixExecutor::run_parallel(
       // Jittered carrier-sense backoff, but woken early by a group abort.
       Duration delay =
           std::min<Duration>(backoff.next(), options_.poll_interval * 10);
+      if (observers_) {
+        obs::ObsEvent event;
+        event.kind = obs::ObsEvent::Kind::kTableFull;
+        event.time = clock_.now();
+        event.site = "forall.table";
+        event.detail = strprintf("slots=%lld",
+                                 (long long)policy.process_table_slots);
+        observers_->on_event(event);
+        event.kind = obs::ObsEvent::Kind::kBackoff;
+        event.value = to_seconds(delay);
+        observers_->on_event(event);
+      }
       std::unique_lock<std::mutex> lock(group.m);
       group.cv.wait_for(lock, delay, [&] { return group.abort.load(); });
     }

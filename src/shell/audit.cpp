@@ -43,6 +43,34 @@ void AuditLog::record(AuditEntry::Kind kind, int line,
   }
 }
 
+void AuditLog::on_span_end(const obs::Span& span) {
+  AuditEntry::Kind kind;
+  switch (span.kind) {
+    case obs::SpanKind::kCommand:
+      kind = AuditEntry::Kind::kCommand;
+      break;
+    case obs::SpanKind::kTry:
+      kind = AuditEntry::Kind::kTry;
+      break;
+    case obs::SpanKind::kForany:
+      kind = AuditEntry::Kind::kForany;
+      break;
+    case obs::SpanKind::kForall:
+      kind = AuditEntry::Kind::kForall;
+      break;
+    default:
+      return;  // scripts, attempts, functions, processes: not table rows
+  }
+  record(kind, span.line, span.name, span.status, span.end - span.start,
+         span.backoff);
+}
+
+void AuditLog::on_event(const obs::ObsEvent& event) {
+  if (event.kind != obs::ObsEvent::Kind::kFault) return;
+  record(AuditEntry::Kind::kFault, 0, event.site,
+         Status::failure(event.detail), Duration(0));
+}
+
 std::vector<AuditEntry> AuditLog::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<AuditEntry> out;

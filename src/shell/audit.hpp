@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "obs/observer.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
 
@@ -43,12 +44,23 @@ struct AuditEntry {
 
 std::string_view audit_kind_name(AuditEntry::Kind kind);
 
-class AuditLog {
+// An AuditLog is an Observer: add it to the ObserverSet and every finished
+// command / try / forany / forall span folds into its aggregate table, and
+// every kFault event becomes a kFault row.  (The deprecated
+// InterpreterOptions::audit shim feeds the same record() entry point;
+// installing one log both ways double-counts.)
+class AuditLog : public obs::Observer {
  public:
   // Records one execution of the site; merges into the aggregate entry.
   void record(AuditEntry::Kind kind, int line, const std::string& label,
               const Status& status, Duration elapsed,
               Duration backoff = Duration(0));
+
+  // Observer: span-site aggregation.  Only the span kinds the audit table
+  // models (command/try/forany/forall) are recorded; attempts, functions
+  // and process spans pass through untouched, matching the legacy shim.
+  void on_span_end(const obs::Span& span) override;
+  void on_event(const obs::ObsEvent& event) override;
 
   // Aggregated entries ordered by (line, kind, label).
   std::vector<AuditEntry> entries() const;

@@ -12,6 +12,7 @@
 // their own POSIX sessions).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -19,6 +20,7 @@
 
 #include "core/backoff.hpp"
 #include "core/clock.hpp"
+#include "obs/observer.hpp"
 #include "util/status.hpp"
 
 namespace ethergrid::shell {
@@ -66,6 +68,9 @@ struct CommandInvocation {
   // command is dead by this time (virtual-time executors get preemption from
   // the kernel's ambient deadline stack and may ignore it).
   TimePoint deadline = TimePoint::max();
+  // Observability: the interpreter's command span, so executor-emitted
+  // process spans and kill events attach under it.  0 = no enclosing span.
+  std::uint64_t parent_span = 0;
 };
 
 struct CommandResult {
@@ -92,6 +97,16 @@ class Executor : public core::Clock {
   virtual bool abort_requested() { return false; }
 
   virtual bool file_exists(const std::string& path) = 0;
+
+  // Observability sink for executor-level emissions: process spans, kill
+  // latency, process-table carrier-sense/backoff events, forall occupancy.
+  // nullptr (the default) turns all of it off; the hot path is one null
+  // check.  Not owned; must outlive the executor's use of it.
+  void set_observers(obs::ObserverSet* observers) { observers_ = observers; }
+  obs::ObserverSet* observers() const { return observers_; }
+
+ protected:
+  obs::ObserverSet* observers_ = nullptr;
 };
 
 }  // namespace ethergrid::shell

@@ -29,16 +29,30 @@ struct Interpreter::EvalCtx {
   TimePoint deadline = TimePoint::max();  // earliest enclosing try deadline
   Rng rng;
   int function_depth = 0;
+  std::uint64_t span = 0;   // enclosing span id (0 = none / observability off)
+  std::uint64_t track = 0;  // trace render lane (forall branches diverge)
 };
 
 Interpreter::Interpreter(Executor& executor, InterpreterOptions options)
     : executor_(&executor),
       options_(std::move(options)),
-      logger_(options_.logger ? options_.logger : &Logger::global()) {}
+      observers_(options_.observers) {}
 
 Status Interpreter::run(const Script& script, Environment& env) {
   EvalCtx ctx{&env, TimePoint::max(), Rng(options_.seed), 0};
+  obs::Span span;
+  if (observers_) {
+    span.kind = obs::SpanKind::kScript;
+    span.start = executor_->now();
+    observers_->begin_span(span);
+    ctx.span = span.id;
+  }
   EvalResult result = eval_group(script.top, ctx);
+  if (observers_) {
+    span.end = executor_->now();
+    span.status = result.status;
+    observers_->end_span(span);
+  }
   return result.status;
 }
 
@@ -58,26 +72,33 @@ std::string Interpreter::diagnostics() const {
   return diagnostics_;
 }
 
+// Output routing discipline: a chunk reaches the observers (when any are
+// installed) and is accumulated only while the matching capture flag is on.
+// Session clears the flag for streams a StreamObserver consumes, so no
+// chunk is ever delivered down two paths (the duplication the old
+// stderr_sink arrangement invited).
 void Interpreter::emit_stdout(std::string_view text) {
-  if (options_.stdout_sink) {
-    options_.stdout_sink(text);
-    return;
-  }
+  if (observers_) observers_->on_output(obs::StreamKind::kStdout, text);
+  if (!options_.capture_stdout) return;
   std::lock_guard<std::mutex> lock(output_mu_);
   output_ += text;
 }
 
 void Interpreter::emit_stderr(std::string_view text) {
-  if (options_.stderr_sink) {
-    options_.stderr_sink(text);
-    return;
-  }
+  if (observers_) observers_->on_output(obs::StreamKind::kStderr, text);
+  if (!options_.capture_stderr) return;
   std::lock_guard<std::mutex> lock(output_mu_);
   diagnostics_ += text;
 }
 
 void Interpreter::log(LogLevel level, const std::string& message) {
-  logger_->log(level, executor_->now(), "ftsh", message);
+  if (!observers_) return;
+  obs::ObsLogLine line;
+  line.level = static_cast<int>(level);
+  line.time = executor_->now();
+  line.component = "ftsh";
+  line.message = message;
+  observers_->on_log(line);
 }
 
 // ----------------------------------------------------------------- groups
@@ -178,14 +199,25 @@ Interpreter::EvalResult Interpreter::eval_command(const Statement& stmt,
     invocation.stdin_data = std::move(*value);
   }
 
-  if (options_.trace) {
-    emit_stderr("+ " + join(invocation.argv, " ") + "\n");
-  }
-  if (logger_->enabled(LogLevel::kDebug)) {
-    log(LogLevel::kDebug, "exec: " + join(invocation.argv, " "));
-  }
   const TimePoint command_start = executor_->now();
+  obs::Span span;
+  if (observers_) {
+    span.kind = obs::SpanKind::kCommand;
+    span.parent = ctx.span;
+    span.name = invocation.argv[0];
+    span.detail = join(invocation.argv, " ");
+    span.line = stmt.line;
+    span.track = ctx.track;
+    span.start = command_start;
+    observers_->begin_span(span);
+    invocation.parent_span = span.id;
+  }
   CommandResult result = executor_->run(invocation);
+  if (observers_) {
+    span.end = executor_->now();
+    span.status = result.status;
+    observers_->end_span(span);
+  }
   if (options_.audit) {
     options_.audit->record(AuditEntry::Kind::kCommand, stmt.line,
                            invocation.argv[0], result.status,
@@ -229,8 +261,24 @@ Interpreter::EvalResult Interpreter::eval_function_call(
     frame.define(function.parameters[i], argv[i + 1]);
   }
   EvalCtx call_ctx{&frame, ctx.deadline, ctx.rng.stream(function.name),
-                   ctx.function_depth + 1};
+                   ctx.function_depth + 1, ctx.span, ctx.track};
+  obs::Span span;
+  if (observers_) {
+    span.kind = obs::SpanKind::kFunction;
+    span.parent = ctx.span;
+    span.name = function.name;
+    span.line = stmt.line;
+    span.track = ctx.track;
+    span.start = executor_->now();
+    observers_->begin_span(span);
+    call_ctx.span = span.id;
+  }
   EvalResult result = eval_group(*function.body, call_ctx);
+  if (observers_) {
+    span.end = executor_->now();
+    span.status = result.status;
+    observers_->end_span(span);
+  }
   if (result.flow == Flow::kReturn) {
     return EvalResult::ok();  // `return` stops at the function boundary
   }
@@ -284,19 +332,63 @@ Interpreter::EvalResult Interpreter::eval_try(const Statement& stmt,
       options.time_limit ? executor_->now() + *options.time_limit
                          : TimePoint::max();
   EvalCtx body_ctx{ctx.env, std::min(ctx.deadline, try_deadline), ctx.rng,
-                   ctx.function_depth};
+                   ctx.function_depth, ctx.span, ctx.track};
   bool returned = false;
+
+  obs::Span try_span;
+  if (observers_) {
+    try_span.kind = obs::SpanKind::kTry;
+    try_span.parent = ctx.span;
+    try_span.name = describe_try(t);
+    try_span.line = stmt.line;
+    try_span.track = ctx.track;
+    try_span.start = executor_->now();
+    observers_->begin_span(try_span);
+    options.on_backoff = [&](Duration delay) {
+      obs::ObsEvent event;
+      event.kind = obs::ObsEvent::Kind::kBackoff;
+      event.time = executor_->now();
+      event.span = try_span.id;
+      event.site = strprintf("try:%d", stmt.line);
+      event.value = to_seconds(delay);
+      observers_->on_event(event);
+    };
+  }
 
   core::TryMetrics metrics;
   options.metrics = &metrics;
+  int attempt_index = 0;
   Status status =
       core::run_try(*executor_, body_ctx.rng, options, [&](TimePoint) {
+        obs::Span attempt_span;
+        if (observers_) {
+          attempt_span.kind = obs::SpanKind::kTryAttempt;
+          attempt_span.parent = try_span.id;
+          attempt_span.name = strprintf("attempt %d", ++attempt_index);
+          attempt_span.line = stmt.line;
+          attempt_span.track = ctx.track;
+          attempt_span.start = executor_->now();
+          observers_->begin_span(attempt_span);
+          body_ctx.span = attempt_span.id;
+        }
         EvalResult r = eval_group(t.body, body_ctx);
         if (r.flow == Flow::kReturn) returned = true;
+        if (observers_) {
+          attempt_span.end = executor_->now();
+          attempt_span.status = r.status;
+          observers_->end_span(attempt_span);
+        }
         return r.status;
       });
   ctx.rng = body_ctx.rng;  // keep the jitter stream advancing
 
+  if (observers_) {
+    try_span.end = executor_->now();
+    try_span.status = status;
+    try_span.attempts = metrics.attempts;
+    try_span.backoff = metrics.backoff_total;
+    observers_->end_span(try_span);
+  }
   log(LogLevel::kDebug,
       strprintf("try at line %d: %s after %d attempt(s), %s backing off",
                 stmt.line, status.ok() ? "success" : "failure",
@@ -333,11 +425,34 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
 
   if (f.kind == ForStmt::Kind::kAny) {
     const TimePoint start = executor_->now();
+    obs::Span span;
+    const std::uint64_t saved_span = ctx.span;
+    if (observers_) {
+      span.kind = obs::SpanKind::kForany;
+      span.parent = ctx.span;
+      span.name = "forany " + f.variable;
+      span.line = stmt.line;
+      span.track = ctx.track;
+      span.start = start;
+      observers_->begin_span(span);
+      ctx.span = span.id;
+    }
+    auto finish = [&](const Status& s, int attempts) {
+      if (!observers_) return;
+      span.end = executor_->now();
+      span.status = s;
+      span.attempts = attempts;
+      observers_->end_span(span);
+      ctx.span = saved_span;
+    };
     Status last = Status::failure("forany: no alternatives");
+    int tried = 0;
     for (const std::string& item : items) {
       ctx.env->assign(f.variable, item);
+      ++tried;
       EvalResult result = eval_group(f.body, ctx);
       if (result.flow == Flow::kReturn || result.status.ok()) {
+        finish(result.status, tried);
         if (options_.audit) {
           options_.audit->record(AuditEntry::Kind::kForany, stmt.line,
                                  "forany " + f.variable, result.status,
@@ -350,6 +465,7 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
           strprintf("forany at line %d: alternative '%s' failed", stmt.line,
                     item.c_str()));
     }
+    finish(last, tried);
     if (options_.audit) {
       options_.audit->record(AuditEntry::Kind::kForany, stmt.line,
                              "forany " + f.variable, last,
@@ -361,6 +477,17 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
 
   // forall: all alternatives in parallel; abort the rest on first failure
   // (the executor implements the abort).
+  obs::Span span;
+  if (observers_) {
+    span.kind = obs::SpanKind::kForall;
+    span.parent = ctx.span;
+    span.name = "forall " + f.variable;
+    span.detail = strprintf("%d branches", int(items.size()));
+    span.line = stmt.line;
+    span.track = ctx.track;
+    span.start = forall_start;
+    observers_->begin_span(span);
+  }
   std::vector<std::unique_ptr<Environment>> branch_envs;
   std::vector<std::function<Status()>> branches;
   branch_envs.reserve(items.size());
@@ -371,9 +498,15 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
     Environment* env_ptr = env.get();
     branch_envs.push_back(std::move(env));
     Rng branch_rng = ctx.rng.stream(i);
-    branches.push_back([this, &f, env_ptr, branch_rng, &ctx]() -> Status {
+    // Each branch renders on its own lane; allocation follows branch
+    // creation order, which the sim kernel makes deterministic.
+    const std::uint64_t branch_track =
+        observers_ ? ++next_track_ : ctx.track;
+    branches.push_back([this, &f, env_ptr, branch_rng, &ctx, &span,
+                        branch_track]() -> Status {
       EvalCtx branch_ctx{env_ptr, ctx.deadline, branch_rng,
-                         ctx.function_depth};
+                         ctx.function_depth,
+                         observers_ ? span.id : ctx.span, branch_track};
       return eval_group(f.body, branch_ctx).status;
     });
   }
@@ -386,6 +519,12 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
                                  s.message().c_str()));
       break;
     }
+  }
+  if (observers_) {
+    span.end = executor_->now();
+    span.status = overall;
+    span.attempts = int(statuses.size());
+    observers_->end_span(span);
   }
   if (options_.audit) {
     options_.audit->record(AuditEntry::Kind::kForall, stmt.line,

@@ -13,6 +13,7 @@
 //    something failed, but logs the details to the back channel.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include "shell/audit.hpp"
 #include "shell/environment.hpp"
 #include "shell/executor.hpp"
+#include "shell/observer.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -34,18 +36,26 @@ struct InterpreterOptions {
   core::BackoffPolicy backoff = core::BackoffPolicy::paper_default();
   // RNG seed for backoff jitter (forked per forall branch).
   std::uint64_t seed = 1;
-  // Back-channel logger; nullptr => Logger::global().
-  Logger* logger = nullptr;
-  // Where uncaptured command stdout goes; default accumulates into output().
-  std::function<void(std::string_view)> stdout_sink;
-  // Where command stderr goes; default accumulates into diagnostics().
-  std::function<void(std::string_view)> stderr_sink;
-  // Structured back channel: when set, every command execution and
-  // try/forany/forall outcome is recorded for post-mortem analysis.
+  // THE back channel: every span (script / try / attempt / forany / forall
+  // / command / function), point event (backoff decisions), output chunk,
+  // and log line the interpreter produces goes to this one sink.  Replaces
+  // the old scattered fields (logger, stdout_sink, stderr_sink, trace,
+  // audit) -- compose obs::LoggerObserver, obs::StreamObserver,
+  // obs::XTraceObserver, obs::TraceRecorder, obs::MetricsRegistry, or an
+  // AuditLog into the set instead (shell::Session does this wiring).
+  // nullptr = observability off; the hot path is a single null check.
+  // Not owned; must outlive the interpreter's runs.
+  ObserverSet* observers = nullptr;
+  // When false, uncaptured command stdout (resp. stderr) is NOT accumulated
+  // into output() (resp. diagnostics()); it still reaches the observers.
+  // Session clears the flag for any stream a StreamObserver handles, so
+  // each output chunk flows through exactly one consumer path.
+  bool capture_stdout = true;
+  bool capture_stderr = true;
+  // DEPRECATED: pre-observer structured back channel, kept as a shim for
+  // one release.  Add the AuditLog to `observers` instead (AuditLog is an
+  // Observer).  Installing the same log both ways double-counts.
   AuditLog* audit = nullptr;
-  // Like sh -x: print each expanded command to the stderr sink before
-  // executing it ("+ cmd arg ...").
-  bool trace = false;
 };
 
 class Interpreter {
@@ -105,7 +115,11 @@ class Interpreter {
 
   Executor* executor_;
   InterpreterOptions options_;
-  Logger* logger_;
+  ObserverSet* observers_;  // = options_.observers; nullptr = off
+  // Render-lane allocator for forall branches: each branch gets a fresh
+  // lane so concurrent spans draw as parallel rows.  Allocation follows
+  // branch creation order, which the sim kernel makes deterministic.
+  std::atomic<std::uint64_t> next_track_{0};
   mutable std::mutex output_mu_;
   std::string output_;
   std::string diagnostics_;

@@ -1,0 +1,29 @@
+// shell::Observer: the single back-channel sink of the redesigned API.
+//
+// The interface itself lives in obs/ (src/obs/observer.hpp) so that layers
+// below the shell -- the grid substrates, the executors -- can emit into it
+// without depending on shell types.  The shell aliases it here: shell code
+// and embedders say shell::Observer / shell::ObserverSet, matching the
+// level of the API they program against.
+//
+// Migration (replaces the scattered InterpreterOptions fields):
+//   options.logger       -> obs::LoggerObserver in the set
+//   options.stdout_sink  )
+//   options.stderr_sink  ) -> obs::StreamObserver in the set
+//   options.trace        -> obs::XTraceObserver in the set
+//   options.audit        -> AuditLog is itself an Observer; add it to the
+//                           set (the field remains as a deprecated shim)
+// shell::Session wires all of these in one call.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+
+namespace ethergrid::shell {
+
+using Observer = obs::Observer;
+using ObserverSet = obs::ObserverSet;
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,79 @@
+#include "shell/session.hpp"
+
+#include <stdexcept>
+
+#include "shell/parser.hpp"
+
+namespace ethergrid::shell {
+
+Session::Session(Executor& executor, SessionOptions options)
+    : executor_(&executor), options_(std::move(options)) {
+  if (options_.collect_trace) {
+    trace_ = std::make_unique<obs::TraceRecorder>(options_.trace_process_name);
+    set_.add(trace_.get());
+  }
+  if (options_.collect_metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    set_.add(metrics_.get());
+  }
+  if (options_.collect_audit) {
+    audit_ = std::make_unique<AuditLog>();
+    set_.add(audit_.get());
+  }
+  if (options_.stdout_sink || options_.stderr_sink) {
+    streams_ = std::make_unique<obs::StreamObserver>(options_.stdout_sink,
+                                                     options_.stderr_sink);
+    set_.add(streams_.get());
+  }
+  if (options_.xtrace) {
+    obs::StreamObserver::Sink sink =
+        options_.xtrace_sink ? options_.xtrace_sink : options_.stderr_sink;
+    if (!sink) {
+      throw std::invalid_argument(
+          "Session: xtrace needs xtrace_sink or stderr_sink");
+    }
+    xtrace_ = std::make_unique<obs::XTraceObserver>(std::move(sink));
+    set_.add(xtrace_.get());
+  }
+  if (options_.logger) {
+    logger_bridge_ = std::make_unique<obs::LoggerObserver>(options_.logger);
+    set_.add(logger_bridge_.get());
+  }
+  for (obs::Observer* extra : options_.observers) {
+    if (extra) set_.add(extra);
+  }
+
+  obs::ObserverSet* observers = set_.empty() ? nullptr : &set_;
+  executor_->set_observers(observers);
+
+  InterpreterOptions interp;
+  interp.backoff = options_.backoff;
+  interp.seed = options_.seed;
+  interp.observers = observers;
+  // Single-path routing: a stream with a live sink is the sink's to print;
+  // the accumulator stays empty rather than duplicating it.
+  interp.capture_stdout = !options_.stdout_sink;
+  interp.capture_stderr = !options_.stderr_sink;
+  interpreter_ = std::make_unique<Interpreter>(*executor_, interp);
+}
+
+Session::~Session() {
+  if (executor_->observers() == &set_) executor_->set_observers(nullptr);
+}
+
+Status Session::run(const Script& script) {
+  return interpreter_->run(script, env_);
+}
+
+Status Session::run_source(std::string_view source) {
+  return interpreter_->run_source(source, env_);
+}
+
+Status Session::write_trace(const std::string& path) {
+  if (!trace_) {
+    return Status::failure("Session: collect_trace was not enabled");
+  }
+  return trace_->write_file(path);
+}
+
+}  // namespace ethergrid::shell

@@ -1,0 +1,116 @@
+// Session: one-call wiring for the executor + interpreter + observer stack.
+//
+// Every embedder used to repeat the same dance: build an Environment, pick
+// InterpreterOptions fields, thread sinks and loggers through, run, fish the
+// output back out.  A Session owns that plumbing:
+//
+//   posix::PosixExecutor executor;
+//   shell::Session session(executor, {.collect_trace = true});
+//   Status s = session.run_source("try 3 times\n  fetch a b\nend");
+//   session.write_trace("trace.json");      // Perfetto/Chrome JSON
+//
+// The Session composes the requested observers (TraceRecorder,
+// MetricsRegistry, AuditLog, stream/x-trace/logger adapters plus any
+// caller-supplied extras) into one ObserverSet, installs it on both the
+// executor and the interpreter, and tears the wiring down on destruction.
+//
+// With a SimExecutor, run()/run_source() must still be called from inside a
+// simulated process body (the executor's ambient-context contract); the
+// Session does not spawn kernel processes for you.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "shell/audit.hpp"
+#include "shell/environment.hpp"
+#include "shell/executor.hpp"
+#include "shell/interpreter.hpp"
+#include "shell/observer.hpp"
+#include "util/log.hpp"
+
+namespace ethergrid::shell {
+
+struct SessionOptions {
+  core::BackoffPolicy backoff = core::BackoffPolicy::paper_default();
+  std::uint64_t seed = 1;
+
+  // Own a TraceRecorder; export with trace()/write_trace().
+  bool collect_trace = false;
+  // Process name stamped into the trace metadata.
+  std::string trace_process_name = "ftsh";
+  // Own a MetricsRegistry; inspect with metrics().
+  bool collect_metrics = false;
+  // Own an AuditLog (as an Observer); inspect with audit().
+  bool collect_audit = false;
+
+  // Bridge the diagnostic channel onto a util Logger (not owned).
+  Logger* logger = nullptr;
+
+  // Live output sinks.  Installing a sink for a stream routes that stream
+  // through the sink INSTEAD of the output()/diagnostics() accumulators --
+  // one consumer path per chunk, never both.
+  obs::StreamObserver::Sink stdout_sink;
+  obs::StreamObserver::Sink stderr_sink;
+
+  // `set -x`-style "+ <expanded argv>" lines.  They go to xtrace_sink when
+  // set, else to stderr_sink; enabling x-trace with neither is an error at
+  // construction time (there would be nowhere to write).
+  bool xtrace = false;
+  obs::StreamObserver::Sink xtrace_sink;
+
+  // Additional caller-owned observers, appended after the built-ins.
+  std::vector<obs::Observer*> observers;
+};
+
+class Session {
+ public:
+  // The executor is not owned and must outlive the Session.  The Session
+  // installs its ObserverSet on the executor and removes it on destruction.
+  explicit Session(Executor& executor, SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Status run(const Script& script);
+  Status run_source(std::string_view source);
+
+  // The root variable scope (persists across run calls, so a script can be
+  // run after seeding variables, or repeatedly with accumulating state).
+  Environment& environment() { return env_; }
+
+  // Accumulated uncaptured stdout / stderr (empty when the matching sink
+  // was installed -- the sink consumed the stream instead).
+  std::string output() const { return interpreter_->output(); }
+  std::string diagnostics() const { return interpreter_->diagnostics(); }
+
+  // Owned observers; nullptr when the matching collect_* flag was off.
+  obs::TraceRecorder* trace() { return trace_.get(); }
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  AuditLog* audit() { return audit_.get(); }
+
+  // The composed set (for adding/removing observers between runs).
+  obs::ObserverSet& observers() { return set_; }
+
+  // Writes the Perfetto/Chrome trace JSON; fails when collect_trace is off
+  // or the file cannot be written.
+  Status write_trace(const std::string& path);
+
+ private:
+  Executor* executor_;
+  SessionOptions options_;
+  Environment env_;
+  obs::ObserverSet set_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<AuditLog> audit_;
+  std::unique_ptr<obs::StreamObserver> streams_;
+  std::unique_ptr<obs::XTraceObserver> xtrace_;
+  std::unique_ptr<obs::LoggerObserver> logger_bridge_;
+  std::unique_ptr<Interpreter> interpreter_;
+};
+
+}  // namespace ethergrid::shell

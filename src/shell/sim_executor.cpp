@@ -169,6 +169,14 @@ std::vector<Status> SimExecutor::run_parallel(
 
   auto spawn_one = [&](std::size_t i) {
     ++active;
+    if (observers_) {
+      obs::ObsEvent event;
+      event.kind = obs::ObsEvent::Kind::kOccupancy;
+      event.time = parent.now();
+      event.site = "forall";
+      event.value = double(active);
+      observers_->on_event(event);
+    }
     children[i] = parent.spawn(
         parent.process().name() + "/forall" + std::to_string(i),
         [this, &branches, &statuses, &progress, &finished, &active,
@@ -182,8 +190,21 @@ std::vector<Status> SimExecutor::run_parallel(
             }
           } slot{table};
           ContextBinding binding(*this, child_ctx);
+          obs::Span span;
+          if (observers_) {
+            span.kind = obs::SpanKind::kProcess;
+            span.name = child_ctx.process().name();
+            span.track = i + 1;  // lane 0 is the spawning script
+            span.start = child_ctx.now();
+            observers_->begin_span(span);
+          }
           Status status = branches[i]();  // Interrupted propagates past us
           statuses[i] = std::move(status);
+          if (observers_) {
+            span.end = child_ctx.now();
+            span.status = statuses[i];
+            observers_->end_span(span);
+          }
           ++finished;
           --active;
           if (statuses[i].failed()) any_failed = true;
@@ -202,6 +223,15 @@ std::vector<Status> SimExecutor::run_parallel(
            (policy.max_concurrent <= 0 ||
             active < std::size_t(policy.max_concurrent))) {
       if (table && !table->try_acquire()) {
+        if (observers_) {
+          obs::ObsEvent event;
+          event.kind = obs::ObsEvent::Kind::kTableFull;
+          event.time = parent.now();
+          event.site = "forall.table";
+          event.detail = strprintf("slots=%lld",
+                                   (long long)policy.process_table_slots);
+          observers_->on_event(event);
+        }
         if (policy.on_table_full == ParallelPolicy::OnTableFull::kFail) {
           // The naive baseline: fork() fails, the branch fails, the forall
           // fails.  (The Ethernet alternative backs off below.)
@@ -219,7 +249,16 @@ std::vector<Status> SimExecutor::run_parallel(
     if (table_busy && active == 0) {
       // Nothing of ours is running to free a slot: pure contention with
       // other scripts.  Back off like any Ethernet client.
-      (void)parent.wait_for(progress, backoff.next());
+      const Duration delay = backoff.next();
+      if (observers_) {
+        obs::ObsEvent event;
+        event.kind = obs::ObsEvent::Kind::kBackoff;
+        event.time = parent.now();
+        event.site = "forall.table";
+        event.value = to_seconds(delay);
+        observers_->on_event(event);
+      }
+      (void)parent.wait_for(progress, delay);
     } else {
       parent.wait(progress);
       backoff.reset();

@@ -6,7 +6,7 @@
 #include "grid/fileserver.hpp"
 #include "grid/schedd.hpp"
 #include "grid/submit_file.hpp"
-#include "shell/interpreter.hpp"
+#include "shell/session.hpp"
 #include "shell/sim_executor.hpp"
 #include "sim/kernel.hpp"
 
@@ -67,12 +67,11 @@ struct SubmitWorld {
   }
 
   Status run_script(const char* source) {
+    shell::Session session(executor);
     Status result;
     kernel.spawn("script", [&](sim::Context& ctx) {
       shell::SimExecutor::ContextBinding binding(executor, ctx);
-      shell::Interpreter interpreter(executor);
-      shell::Environment env;
-      result = interpreter.run_source(source, env);
+      result = session.run_source(source);
     });
     kernel.run();
     return result;
@@ -172,12 +171,11 @@ struct ReaderWorld {
   }
 
   Status run_script(const char* source, double* elapsed_seconds) {
+    shell::Session session(executor);
     Status result;
     kernel.spawn("reader", [&](sim::Context& ctx) {
       shell::SimExecutor::ContextBinding binding(executor, ctx);
-      shell::Interpreter interpreter(executor);
-      shell::Environment env;
-      result = interpreter.run_source(source, env);
+      result = session.run_source(source);
     });
     kernel.run();
     *elapsed_seconds = to_seconds(kernel.now());
@@ -302,6 +300,35 @@ TEST(ScriptReaderTest, EthernetBeatsAlohaWhenTheHoleComesFirst) {
   const double ethernet_time = run_rounds(kEthernetHoleFirst, 3);
   EXPECT_GT(aloha_time, 3 * 60.0);          // a full stall every round
   EXPECT_LT(ethernet_time, aloha_time / 3);  // probes instead of stalls
+}
+
+// -------------------------------------------------- full-stack observability
+
+TEST(ScriptObservabilityTest, GridEventsLandInTheSessionTrace) {
+  // One Session observes the whole stack: interpreter spans from the script
+  // run plus carrier-sense probes emitted by the file servers themselves.
+  ReaderWorld world;
+  shell::SessionOptions options;
+  options.collect_trace = true;
+  options.collect_metrics = true;
+  shell::Session session(world.executor, options);
+  world.farm.set_observers(&session.observers());
+  Status result;
+  world.kernel.spawn("reader", [&](sim::Context& ctx) {
+    shell::SimExecutor::ContextBinding binding(world.executor, ctx);
+    result = session.run_source(
+        "try for 5 seconds\n"
+        "  wget http://xxx/flag\n"
+        "end\n"
+        "wget http://xxx/data");
+  });
+  world.kernel.run();
+  ASSERT_TRUE(result.ok()) << result.to_string();
+  const std::string json = session.trace()->to_json();
+  EXPECT_NE(json.find("carrier-sense: fileserver.xxx"), std::string::npos);
+  EXPECT_NE(json.find("command: wget"), std::string::npos);
+  EXPECT_GE(session.metrics()->counter("events.carrier-sense"), 1);
+  EXPECT_EQ(session.metrics()->counter("spans.script"), 1);
 }
 
 // ------------------------------------------------------- forall fan-out

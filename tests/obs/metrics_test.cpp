@@ -1,0 +1,161 @@
+// Unit coverage for the metrics registry: histogram bucketing, the span
+// and event derivations, and the deterministic flat-JSON export that
+// bench/report embeds.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/observer.hpp"
+
+namespace ethergrid::obs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(HistogramTest, TracksAggregates) {
+  Histogram h;
+  h.record(1);
+  h.record(2);
+  h.record(4);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 7);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 4);
+  EXPECT_NEAR(h.mean(), 7.0 / 3.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantilesStayWithinObservedRange) {
+  Histogram h;
+  h.record(0.02);
+  h.record(0.5);
+  h.record(30);
+  h.record(120);  // decade-spanning, like backoff delays
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), h.min()) << q;
+    EXPECT_LE(h.quantile(q), h.max()) << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), 120);
+}
+
+TEST(HistogramTest, JsonCarriesSummaryFields) {
+  Histogram h;
+  h.record(2);
+  h.record(2);
+  const std::string json = h.to_json();
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ManualCountersAndSamplesMaterialize) {
+  MetricsRegistry registry;
+  registry.add("jobs.submitted");
+  registry.add("jobs.submitted", 2);
+  registry.record("queue_depth", 5);
+  EXPECT_EQ(registry.counter("jobs.submitted"), 3);
+  EXPECT_EQ(registry.counter("never.bumped"), 0);
+  ASSERT_NE(registry.histogram("queue_depth"), nullptr);
+  EXPECT_EQ(registry.histogram("queue_depth")->count(), 1u);
+  EXPECT_EQ(registry.histogram("never.recorded"), nullptr);
+}
+
+Span command_span(Status status) {
+  Span span;
+  span.kind = SpanKind::kCommand;
+  span.start = TimePoint{} + sec(1);
+  span.end = TimePoint{} + sec(3);
+  span.status = status;
+  return span;
+}
+
+TEST(MetricsRegistryTest, DerivesCommandMetricsFromSpans) {
+  MetricsRegistry registry;
+  registry.on_span_end(command_span(Status::success()));
+  registry.on_span_end(command_span(Status::failure("nope")));
+  EXPECT_EQ(registry.counter("spans.command"), 2);
+  EXPECT_EQ(registry.counter("spans.command.failed"), 1);
+  EXPECT_EQ(registry.counter("commands.attempts"), 2);
+  ASSERT_NE(registry.histogram("command_duration_s"), nullptr);
+  EXPECT_EQ(registry.histogram("command_duration_s")->count(), 2u);
+  EXPECT_EQ(registry.histogram("command_duration_s")->max(), 2);
+}
+
+TEST(MetricsRegistryTest, DerivesTryAndForallHistograms) {
+  MetricsRegistry registry;
+  Span try_span;
+  try_span.kind = SpanKind::kTry;
+  try_span.attempts = 3;
+  try_span.backoff = sec(7);
+  try_span.status = Status::success();
+  registry.on_span_end(try_span);
+  Span forall_span;
+  forall_span.kind = SpanKind::kForall;
+  forall_span.attempts = 4;  // branch count rides the attempts field
+  registry.on_span_end(forall_span);
+
+  ASSERT_NE(registry.histogram("try_attempts"), nullptr);
+  EXPECT_EQ(registry.histogram("try_attempts")->max(), 3);
+  ASSERT_NE(registry.histogram("try_backoff_total_s"), nullptr);
+  EXPECT_EQ(registry.histogram("try_backoff_total_s")->max(), 7);
+  ASSERT_NE(registry.histogram("forall_branches"), nullptr);
+  EXPECT_EQ(registry.histogram("forall_branches")->max(), 4);
+}
+
+TEST(MetricsRegistryTest, DerivesEventMetrics) {
+  MetricsRegistry registry;
+  ObsEvent event;
+  event.kind = ObsEvent::Kind::kBackoff;
+  event.value = 0.5;
+  registry.on_event(event);
+  event.kind = ObsEvent::Kind::kOccupancy;
+  event.value = 3;
+  registry.on_event(event);
+  event.kind = ObsEvent::Kind::kKill;
+  event.value = 0.2;
+  registry.on_event(event);
+  event.kind = ObsEvent::Kind::kCarrierSense;
+  event.value = 0;  // deferred
+  registry.on_event(event);
+  event.value = 1;  // clear
+  registry.on_event(event);
+
+  EXPECT_EQ(registry.counter("events.backoff"), 1);
+  EXPECT_EQ(registry.counter("events.carrier-sense"), 2);
+  EXPECT_EQ(registry.counter("events.carrier-sense.deferred"), 1);
+  ASSERT_NE(registry.histogram("backoff_delay_s"), nullptr);
+  EXPECT_EQ(registry.histogram("backoff_delay_s")->max(), 0.5);
+  ASSERT_NE(registry.histogram("forall_occupancy"), nullptr);
+  EXPECT_EQ(registry.histogram("forall_occupancy")->max(), 3);
+  ASSERT_NE(registry.histogram("kill_latency_s"), nullptr);
+  EXPECT_EQ(registry.histogram("kill_latency_s")->max(), 0.2);
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndDeterministic) {
+  MetricsRegistry a, b;
+  for (MetricsRegistry* r : {&a, &b}) {
+    // Insert in non-sorted order; the export sorts by name.
+    r->add("zeta");
+    r->add("alpha", 2);
+    r->record("late_hist", 1);
+    r->record("early_hist", 9);
+  }
+  const std::string json = a.to_json();
+  EXPECT_EQ(json, b.to_json());
+  EXPECT_LT(json.find("\"counters\""), json.find("\"histograms\""));
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_LT(json.find("\"early_hist\""), json.find("\"late_hist\""));
+  EXPECT_NE(json.find("\"alpha\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ethergrid::obs

@@ -10,6 +10,7 @@
 #include "shell/audit.hpp"
 #include "shell/environment.hpp"
 #include "shell/interpreter.hpp"
+#include "shell/session.hpp"
 
 namespace ethergrid::posix {
 namespace {
@@ -100,17 +101,33 @@ TEST(PosixExtraTest, AuditThroughRealProcesses) {
 
 TEST(PosixExtraTest, TraceEmitsExpandedCommands) {
   PosixExecutor ex(fast_options());
-  shell::InterpreterOptions options;
-  options.trace = true;
   std::string traced;
-  options.stderr_sink = [&](std::string_view text) {
-    traced.append(text);
-  };
-  shell::Interpreter interp(ex, options);
-  shell::Environment env;
-  env.assign("what", "world");
-  ASSERT_TRUE(interp.run_source("echo hello ${what}", env).ok());
+  shell::SessionOptions options;
+  options.xtrace = true;
+  options.xtrace_sink = [&](std::string_view text) { traced.append(text); };
+  shell::Session session(ex, options);
+  session.environment().assign("what", "world");
+  ASSERT_TRUE(session.run_source("echo hello ${what}").ok());
   EXPECT_NE(traced.find("+ echo hello world"), std::string::npos);
+}
+
+TEST(PosixExtraTest, SessionCollectsProcessSpans) {
+  // Real processes produce kProcess spans parented under the interpreter's
+  // command spans, and the trace JSON round-trips through write_file.
+  PosixExecutor ex(fast_options());
+  shell::SessionOptions options;
+  options.collect_trace = true;
+  options.collect_metrics = true;
+  shell::Session session(ex, options);
+  ASSERT_TRUE(session.run_source("echo hello\ntrue").ok());
+  ASSERT_NE(session.trace(), nullptr);
+  EXPECT_GE(session.trace()->span_count(), 3u);  // script + 2 commands + procs
+  const std::string json = session.trace()->to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process: echo"), std::string::npos);
+  ASSERT_NE(session.metrics(), nullptr);
+  EXPECT_EQ(session.metrics()->counter("spans.command"), 2);
+  EXPECT_GE(session.metrics()->counter("spans.process"), 2);
 }
 
 TEST(PosixExtraTest, EnvironmentVariablePassthroughViaSh) {

@@ -63,14 +63,18 @@ TEST(AuditLogTest, ReportMentionsSitesAndReasons) {
 
 // ---- interpreter integration ----
 
+// The modern wiring: the AuditLog rides the ObserverSet and aggregates
+// finished spans; no InterpreterOptions::audit shim involved.
 struct AuditWorld {
   sim::Kernel kernel;
   SimExecutor executor{kernel};
   AuditLog audit;
+  ObserverSet observers;
 
   Status run(const std::string& source) {
+    observers.add(&audit);
     InterpreterOptions options;
-    options.audit = &audit;
+    options.observers = &observers;
     Status result;
     kernel.spawn("script", [&](sim::Context& ctx) {
       SimExecutor::ContextBinding binding(executor, ctx);
@@ -145,6 +149,43 @@ TEST(AuditIntegrationTest, TrySiteLabelCarriesBudget) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(AuditIntegrationTest, DeprecatedOptionsAuditShimStillRecords) {
+  // InterpreterOptions::audit is deprecated but must keep working for one
+  // release; it feeds the same aggregate table as the observer route.
+  sim::Kernel kernel;
+  SimExecutor executor(kernel);
+  AuditLog audit;
+  Status result;
+  kernel.spawn("script", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(executor, ctx);
+    InterpreterOptions options;
+    options.audit = &audit;
+    Interpreter interpreter(executor, options);
+    Environment env;
+    result = interpreter.run_source("echo ok\nfalse", env);
+  });
+  kernel.run();
+  EXPECT_TRUE(result.failed());
+  EXPECT_EQ(audit.total_executions(), 2);
+  EXPECT_EQ(audit.total_failures(), 1);
+}
+
+TEST(AuditIntegrationTest, FaultEventsBecomeFaultRows) {
+  // A kFault event on the observability channel lands in the audit table
+  // with the "<site> <kind>" label the legacy fault_observer produced.
+  AuditLog audit;
+  obs::ObsEvent event;
+  event.kind = obs::ObsEvent::Kind::kFault;
+  event.site = "schedd.submit reset";
+  event.detail = "fraction=0.42";
+  audit.on_event(event);
+  auto entries = audit.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].kind, AuditEntry::Kind::kFault);
+  EXPECT_EQ(entries[0].label, "schedd.submit reset");
+  EXPECT_EQ(entries[0].failures, 1);
 }
 
 TEST(AuditIntegrationTest, NoAuditMeansNoRecording) {

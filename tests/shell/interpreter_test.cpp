@@ -520,12 +520,53 @@ TEST(InterpreterTest, StderrGoesToDiagnostics) {
   EXPECT_EQ(diag, "err\n");
 }
 
+TEST(InterpreterTest, CustomStderrSinkSeesEachChunkExactlyOnce) {
+  // Regression: with a custom stderr consumer installed the chunk used to
+  // reach BOTH the sink and the diagnostics accumulator.  Routing is
+  // single-path now: observers always see it, accumulation only while the
+  // capture flag is on.
+  sim::Kernel kernel;
+  SimExecutor executor(kernel);
+  executor.register_command("warny",
+                            [](sim::Context&, const CommandInvocation&) {
+                              return CommandResult{Status::success(), "",
+                                                   "err\n"};
+                            });
+  int chunks_seen = 0;
+  std::string sunk;
+  obs::StreamObserver streams(nullptr, [&](std::string_view text) {
+    ++chunks_seen;
+    sunk.append(text);
+  });
+  ObserverSet observers;
+  observers.add(&streams);
+  InterpreterOptions options;
+  options.observers = &observers;
+  options.capture_stderr = false;  // the sink owns the stream
+  std::string diag;
+  kernel.spawn("script", [&](sim::Context& ctx) {
+    SimExecutor::ContextBinding binding(executor, ctx);
+    Interpreter interpreter(executor, options);
+    Environment env;
+    ASSERT_TRUE(interpreter.run_source("warny", env).ok());
+    diag = interpreter.diagnostics();
+  });
+  kernel.run();
+  EXPECT_EQ(chunks_seen, 1);
+  EXPECT_EQ(sunk, "err\n");
+  EXPECT_EQ(diag, "");  // not ALSO accumulated
+}
+
 TEST(InterpreterTest, BackChannelLogsFailures) {
   CapturingSink sink;
   Logger logger(LogLevel::kDebug);
   logger.set_sink(sink.as_sink());
+  // The Logger rides the observability channel via LoggerObserver now.
+  obs::LoggerObserver bridge(&logger);
+  ObserverSet observers;
+  observers.add(&bridge);
   InterpreterOptions options;
-  options.logger = &logger;
+  options.observers = &observers;
   RunResult r = run_script("try 2 times\n  false\nend", {}, nullptr, options);
   EXPECT_TRUE(r.status.failed());
   bool saw_command_failure = false;

@@ -11,6 +11,9 @@
 #include <tuple>
 
 #include "exp/scenarios.hpp"
+#include "obs/trace.hpp"
+#include "shell/session.hpp"
+#include "shell/sim_executor.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/kernel.hpp"
 
@@ -105,6 +108,75 @@ TEST(BackendEquivalence, SubmitScaleMatches) {
   EXPECT_EQ(fiber.faults_injected, thread.faults_injected);
   EXPECT_EQ(fiber.fault_audit, thread.fault_audit);
   EXPECT_EQ(fiber.kernel_events, thread.kernel_events);
+}
+
+// ---- trace determinism ----
+//
+// The observability layer extends the oracle: a fixed-seed run must export
+// a byte-identical Perfetto JSON on both backends.  Span ids are assigned
+// in emission order and every timestamp is virtual, so any divergence in
+// scheduling or RNG consumption shows up as a byte diff here.
+
+// A script exercising the span hierarchy: parallel forall branches on
+// separate tracks, a try whose retries emit jittered backoff events.
+const char kTraceScript[] =
+    "forall x in 1 2 3\n"
+    "  sleep ${x} seconds\n"
+    "end\n"
+    "try 3 times\n"
+    "  false\n"
+    "end\n";
+
+std::string run_script_trace(sim::Backend backend) {
+  sim::Kernel kernel(7, {backend});
+  shell::SimExecutor executor(kernel);
+  shell::SessionOptions options;
+  options.collect_trace = true;
+  options.trace_process_name = "equiv";
+  options.seed = 99;
+  shell::Session session(executor, options);
+  kernel.spawn("script", [&](sim::Context& ctx) {
+    shell::SimExecutor::ContextBinding binding(executor, ctx);
+    (void)session.run_source(kTraceScript);
+  });
+  kernel.run();
+  return session.trace()->to_json();
+}
+
+TEST(BackendEquivalence, ScriptTraceBytesMatch) {
+  if (!fiber_backend_available()) {
+    GTEST_SKIP() << "fiber backend unavailable (TSan build)";
+  }
+  const std::string fiber = run_script_trace(sim::Backend::kFiber);
+  const std::string thread = run_script_trace(sim::Backend::kThread);
+  EXPECT_NE(fiber.find("forall"), std::string::npos);
+  EXPECT_NE(fiber.find("backoff"), std::string::npos);
+  EXPECT_EQ(fiber, thread);
+}
+
+std::string run_reader_trace(sim::Backend backend) {
+  obs::TraceRecorder recorder("gridsim");
+  obs::ObserverSet set;
+  set.add(&recorder);
+  exp::ReaderScenarioConfig config;
+  config.seed = 42;
+  config.kernel.backend = backend;
+  config.faults = parse_plan(kPlanResets);
+  config.observers = &set;
+  (void)exp::run_reader_timeline(config, grid::DisciplineKind::kEthernet,
+                                 sec(900), sec(30));
+  return recorder.to_json();
+}
+
+TEST(BackendEquivalence, ChaosReaderTraceBytesMatch) {
+  if (!fiber_backend_available()) {
+    GTEST_SKIP() << "fiber backend unavailable (TSan build)";
+  }
+  const std::string fiber = run_reader_trace(sim::Backend::kFiber);
+  const std::string thread = run_reader_trace(sim::Backend::kThread);
+  EXPECT_NE(fiber.find("collision"), std::string::npos);
+  EXPECT_NE(fiber.find("fault"), std::string::npos);
+  EXPECT_EQ(fiber, thread);
 }
 
 }  // namespace
