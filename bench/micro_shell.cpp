@@ -152,6 +152,40 @@ void BM_InterpretObserversOn(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpretObserversOn);
 
+// Emission cost in isolation: one begin/end pair through the set, no
+// interpreter or kernel around it.  Splits the observer budget into "what
+// the sinks cost" vs "what the interpreter adds".
+void BM_SpanEmitMetrics(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  obs::ObserverSet set;
+  set.add(&metrics);
+  obs::Span span;
+  span.kind = obs::SpanKind::kCommand;
+  span.name = "true";
+  for (auto _ : state) {
+    set.begin_span(span);
+    set.end_span(span);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_SpanEmitMetrics);
+
+void BM_SpanEmitTrace(benchmark::State& state) {
+  obs::TraceRecorder trace("bench");
+  obs::ObserverSet set;
+  set.add(&trace);
+  obs::Span span;
+  span.kind = obs::SpanKind::kCommand;
+  span.name = "true";
+  span.detail = "true";
+  for (auto _ : state) {
+    set.begin_span(span);
+    set.end_span(span);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_SpanEmitTrace);
+
 void BM_BackoffNext(benchmark::State& state) {
   Rng rng(1);
   core::Backoff backoff(core::BackoffPolicy::paper_default(), rng);
@@ -317,11 +351,12 @@ int main(int argc, char** argv) {
   set.add(&registry);
   const double on = measure_interpret_per_sec(&set);
   const double allocs_off = double(measure_allocs_observers_off());
+  const double overhead_pct = off > 0 ? 100.0 * (off - on) / off : 0.0;
   report.metric("interpret_per_sec_observers_off", off);
   report.metric("interpret_per_sec_observers_on", on);
   report.metric("allocs_per_interpret_off", allocs_off);
   if (off > 0) {
-    report.metric("observer_overhead_pct", 100.0 * (off - on) / off);
+    report.metric("observer_overhead_pct", overhead_pct);
   }
   report.set_observability(registry.to_json());
 
@@ -347,6 +382,18 @@ int main(int argc, char** argv) {
                      100.0 * regression, baseline_allocs, allocs_off);
         return 1;
       }
+    }
+    // Second gate: live metrics recording must cost under 10% of
+    // observers-off throughput.  Absolute threshold rather than a baseline
+    // delta: the contract is "observability is effectively free", not "no
+    // worse than last week".
+    report.shape(overhead_pct < 10.0);
+    if (overhead_pct >= 10.0) {
+      std::fprintf(stderr,
+                   "micro_shell: observer overhead %.1f%% breaches the 10%% "
+                   "budget (off %.0f/s, on %.0f/s)\n",
+                   overhead_pct, off, on);
+      return 1;
     }
   }
   return 0;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "sim/kernel.hpp"
 
@@ -113,8 +114,12 @@ void Report::write() {
   }
   entry << "}";
 
-  // Append by rewriting the array terminator: the file is valid JSON
-  // between every run, and a fresh/garbled file starts a new array.
+  // Rewrite the whole array: keep every existing entry line except a stale
+  // one for this same (name, backend) pair, then append this run.  Each
+  // entry is written on its own line, so the filter is a plain line scan --
+  // re-running a benchmark updates its row instead of accumulating
+  // duplicates, and the file stays valid JSON between every run.  A fresh
+  // or garbled file just starts a new array.
   std::string existing;
   {
     std::ifstream in(file);
@@ -124,23 +129,38 @@ void Report::write() {
       existing = buf.str();
     }
   }
-  std::size_t end = existing.find_last_of(']');
+  const std::string name_tag = "\"name\": \"" + json_escape(name_) + "\"";
+  const std::string backend_tag = std::string("\"backend\": \"") +
+                                  sim::backend_name(sim::default_backend()) +
+                                  "\"";
+  std::vector<std::string> entries;
+  std::istringstream lines(existing);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '{') continue;
+    while (!line.empty() && (line.back() == ',' || line.back() == ' ' ||
+                             line.back() == '\t' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.find(name_tag) != std::string::npos &&
+        line.find(backend_tag) != std::string::npos) {
+      continue;  // superseded by this run
+    }
+    entries.push_back(line);
+  }
+  entries.push_back(entry.str());
+
   std::ofstream out(file, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "[bench] cannot write report to %s\n", file.c_str());
     return;
   }
-  if (end == std::string::npos || existing.find('[') == std::string::npos) {
-    out << "[\n" << entry.str() << "\n]\n";
-  } else {
-    std::string head = existing.substr(0, end);
-    while (!head.empty() &&
-           (head.back() == '\n' || head.back() == ' ' || head.back() == '\t')) {
-      head.pop_back();
-    }
-    out << head << (head.back() == '[' ? "\n" : ",\n") << entry.str()
-        << "\n]\n";
+  out << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << entries[i] << (i + 1 < entries.size() ? ",\n" : "\n");
   }
+  out << "]\n";
 }
 
 }  // namespace ethergrid::bench

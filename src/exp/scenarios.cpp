@@ -29,7 +29,8 @@ void bridge_faults(core::FaultInjector* faults, obs::ObserverSet* observers) {
     obs::ObsEvent event;
     event.kind = obs::ObsEvent::Kind::kFault;
     event.time = fe.time;
-    event.site = fe.site + " " + fe.kind;
+    // Fault firings are rare; interning per emission is fine here.
+    event.site = obs::intern_site(fe.site + " " + fe.kind);
     event.detail = fe.detail;
     observers->on_event(event);
   });

@@ -20,6 +20,7 @@ sim::FaultPlan builtin_plan(const FileServerConfig& config) {
 FileServer::FileServer(sim::Kernel& kernel, const FileServerConfig& config)
     : kernel_(&kernel),
       config_(config),
+      site_(obs::intern_site("fileserver." + config.name)),
       slots_(kernel, config.concurrency),
       never_(kernel),
       builtin_faults_(builtin_plan(config),
@@ -78,8 +79,8 @@ Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
     obs::ObsEvent event;
     event.kind = obs::ObsEvent::Kind::kCollision;
     event.time = ctx.now();
-    event.site = "fileserver." + config_.name;
-    event.detail = std::string(status.message());
+    event.site = site_;
+    event.detail = status.message();
     observers_->on_event(event);
   };
   auto emit_carrier_sense = [&](bool clear) {
@@ -87,7 +88,7 @@ Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
     obs::ObsEvent event;
     event.kind = obs::ObsEvent::Kind::kCarrierSense;
     event.time = ctx.now();
-    event.site = "fileserver." + config_.name;
+    event.site = site_;
     event.value = clear ? 1 : 0;
     observers_->on_event(event);
   };

@@ -79,6 +79,7 @@ class FileServer {
 
   sim::Kernel* kernel_;
   FileServerConfig config_;
+  obs::SiteId site_;  // "fileserver.<name>", interned at construction
   sim::Resource slots_;
   sim::Event never_;  // black-hole clients wait on this forever
   core::FaultInjector builtin_faults_;  // transient_failure_rate, as a plan

@@ -55,16 +55,19 @@ Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
   }
   if (used_ + bytes > capacity_) {
     ++enospc_;
+    std::string message = "ENOSPC writing " + name;
     if (observers_) {
+      static const obs::SiteId kAppendSite =
+          obs::intern_site("fsbuffer.append");
       obs::ObsEvent event;
       event.kind = obs::ObsEvent::Kind::kCollision;
       event.time = kernel_->now();
-      event.site = "fsbuffer.append";
-      event.detail = "ENOSPC writing " + name;
+      event.site = kAppendSite;
+      event.detail = message;
       event.value = double(bytes);
       observers_->on_event(event);
     }
-    return Status::resource_exhausted("ENOSPC writing " + name);
+    return Status::resource_exhausted(std::move(message));
   }
   used_ += bytes;
   it->second.size += bytes;

@@ -104,12 +104,15 @@ void Schedd::crash(sim::Context& ctx) {
           "schedd crashed (#" + std::to_string(crashes_) +
               "): cannot allocate descriptors; dropping all connections");
   if (observers_) {
+    static const obs::SiteId kScheddSite = obs::intern_site("schedd");
+    const std::string detail =
+        "crash #" + std::to_string(crashes_) + ", dropping " +
+        std::to_string(open_connections_) + " connection(s)";
     obs::ObsEvent event;
     event.kind = obs::ObsEvent::Kind::kCrash;
     event.time = ctx.now();
-    event.site = "schedd";
-    event.detail = "crash #" + std::to_string(crashes_) + ", dropping " +
-                   std::to_string(open_connections_) + " connection(s)";
+    event.site = kScheddSite;
+    event.detail = detail;
     event.value = double(open_connections_);
     observers_->on_event(event);
   }
@@ -133,12 +136,15 @@ Status Schedd::submit_internal(sim::Context& ctx,
   const TimePoint submit_start = ctx.now();
   auto emit_table_full = [&](const char* what, std::int64_t want) {
     if (!observers_) return;
+    static const obs::SiteId kFdsSite = obs::intern_site("schedd.fds");
+    const std::string detail = std::string(what) + ": " +
+                               std::to_string(want) +
+                               " descriptor(s) unavailable";
     obs::ObsEvent event;
     event.kind = obs::ObsEvent::Kind::kTableFull;
     event.time = ctx.now();
-    event.site = "schedd.fds";
-    event.detail = std::string(what) + ": " + std::to_string(want) +
-                   " descriptor(s) unavailable";
+    event.site = kFdsSite;
+    event.detail = detail;
     event.value = double(want);
     observers_->on_event(event);
   };

@@ -19,39 +19,43 @@ int Histogram::bucket_for(double value) {
 }
 
 void Histogram::record(double value) {
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // Improve-only CAS: once the extremes settle, each is one relaxed load.
+  double cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
-  ++count_;
-  sum_ += value;
-  ++buckets_[bucket_for(value)];
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  buckets_[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
 double Histogram::quantile(double q) const {
-  if (count_ == 0) return 0;
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   const std::uint64_t rank =
-      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
+    seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen >= rank && seen > 0) {
       // Upper bound of bucket i, clamped into the observed range.
       double upper = std::ldexp(1.0, i - 32);
-      return std::clamp(upper, min_, max_);
+      return std::clamp(upper, min(), max());
     }
   }
-  return max_;
+  return max();
 }
 
 std::string Histogram::to_json() const {
   std::string out = "{\"count\":";
-  out += json_number(static_cast<double>(count_));
+  out += json_number(static_cast<double>(count()));
   out += ",\"sum\":";
-  out += json_number(sum_);
+  out += json_number(sum());
   out += ",\"min\":";
   out += json_number(min());
   out += ",\"max\":";
@@ -68,56 +72,128 @@ std::string Histogram::to_json() const {
   return out;
 }
 
-void MetricsRegistry::add(const std::string& name, double delta) {
+std::atomic<double>* MetricsRegistry::cell_for(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  auto it = cell_index_.find(name);
+  if (it != cell_index_.end()) return &it->second->value;
+  Cell& cell = cells_.emplace_back();
+  cell.name = name;
+  cell_index_.emplace(cell.name, &cell);
+  return &cell.value;
 }
 
-void MetricsRegistry::record(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  histograms_[name].record(value);
+MetricsRegistry::Counter MetricsRegistry::counter_handle(
+    std::string_view name) {
+  return Counter(cell_for(name));
 }
 
-double MetricsRegistry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+void MetricsRegistry::add(std::string_view name, double delta) {
+  cell_for(name)->fetch_add(delta, std::memory_order_relaxed);
 }
 
-const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+void MetricsRegistry::record(std::string_view name, double value) {
+  if (const Histogram* fixed = fixed_histogram(name)) {
+    // Manual samples under a derived name feed the derived histogram, so
+    // reads and the JSON export see one merged distribution.  Lock-free:
+    // the fixed histograms record atomically.
+    const_cast<Histogram*>(fixed)->record(value);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  it->second.record(value);
+}
+
+double MetricsRegistry::derived_counter(std::string_view name) const {
+  if (name == "commands.attempts") {
+    // Every command span is one attempt; alias the span slot.
+    return static_cast<double>(
+        span_counts_[static_cast<int>(SpanKind::kCommand)].load(
+            std::memory_order_relaxed));
+  }
+  if (name == "events.carrier-sense.deferred") {
+    return static_cast<double>(
+        carrier_deferred_.load(std::memory_order_relaxed));
+  }
+  if (name.substr(0, 6) == "spans.") {
+    std::string_view rest = name.substr(6);
+    const bool failed = rest.size() > 7 &&
+                        rest.substr(rest.size() - 7) == ".failed";
+    if (failed) rest = rest.substr(0, rest.size() - 7);
+    for (int k = 0; k < kSpanKindCount; ++k) {
+      if (rest != span_kind_name(static_cast<SpanKind>(k))) continue;
+      const auto& slot = failed ? span_failed_[k] : span_counts_[k];
+      return static_cast<double>(slot.load(std::memory_order_relaxed));
+    }
+  }
+  if (name.substr(0, 7) == "events.") {
+    const std::string_view rest = name.substr(7);
+    for (int k = 0; k < kObsEventKindCount; ++k) {
+      if (rest != obs_event_kind_name(static_cast<ObsEvent::Kind>(k))) continue;
+      return static_cast<double>(
+          event_counts_[k].load(std::memory_order_relaxed));
+    }
+  }
+  return 0;
+}
+
+double MetricsRegistry::counter(std::string_view name) const {
+  double value = derived_counter(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cell_index_.find(name);
+  if (it != cell_index_.end()) {
+    value += it->second->value.load(std::memory_order_relaxed);
+  }
+  return value;
+}
+
+const Histogram* MetricsRegistry::fixed_histogram(std::string_view name) const {
+  if (name == "command_duration_us") return &command_duration_us_;
+  if (name == "process_duration_us") return &process_duration_us_;
+  if (name == "try_attempts") return &try_attempts_;
+  if (name == "try_backoff_total_s") return &try_backoff_total_s_;
+  if (name == "forall_branches") return &forall_branches_;
+  if (name == "backoff_delay_s") return &backoff_delay_s_;
+  if (name == "forall_occupancy") return &forall_occupancy_;
+  if (name == "kill_latency_s") return &kill_latency_s_;
+  return nullptr;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const Histogram* fixed = fixed_histogram(name)) {
+    return fixed->count() > 0 ? fixed : nullptr;  // match map materialization
+  }
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::on_span_end(const Span& span) {
-  const double duration_s =
-      to_seconds(span.end.time_since_epoch() - span.start.time_since_epoch());
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string base = "spans.";
-  base += span_kind_name(span.kind);
-  counters_[base] += 1;
-  if (span.status.failed()) counters_[base + ".failed"] += 1;
+  const int k = static_cast<int>(span.kind);
+  span_counts_[k].fetch_add(1, std::memory_order_relaxed);
+  if (span.status.failed()) {
+    span_failed_[k].fetch_add(1, std::memory_order_relaxed);
+  }
   switch (span.kind) {
     case SpanKind::kCommand:
-      counters_["commands.attempts"] += 1;
-      histograms_["command_duration_s"].record(duration_s);
+      command_duration_us_.record(
+          static_cast<double>((span.end - span.start).count()));
       break;
     case SpanKind::kTry:
-      if (span.attempts > 0) {
-        histograms_["try_attempts"].record(span.attempts);
-      }
+      if (span.attempts > 0) try_attempts_.record(span.attempts);
       if (span.backoff > Duration(0)) {
-        histograms_["try_backoff_total_s"].record(to_seconds(span.backoff));
+        try_backoff_total_s_.record(to_seconds(span.backoff));
       }
       break;
     case SpanKind::kForall:
-      if (span.attempts > 0) {
-        histograms_["forall_branches"].record(span.attempts);
-      }
+      if (span.attempts > 0) forall_branches_.record(span.attempts);
       break;
     case SpanKind::kProcess:
-      histograms_["process_duration_s"].record(duration_s);
+      process_duration_us_.record(
+          static_cast<double>((span.end - span.start).count()));
       break;
     default:
       break;
@@ -125,22 +201,22 @@ void MetricsRegistry::on_span_end(const Span& span) {
 }
 
 void MetricsRegistry::on_event(const ObsEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string name = "events.";
-  name += obs_event_kind_name(event.kind);
-  counters_[name] += 1;
+  event_counts_[static_cast<int>(event.kind)].fetch_add(
+      1, std::memory_order_relaxed);
   switch (event.kind) {
     case ObsEvent::Kind::kBackoff:
-      histograms_["backoff_delay_s"].record(event.value);
+      backoff_delay_s_.record(event.value);
       break;
     case ObsEvent::Kind::kOccupancy:
-      histograms_["forall_occupancy"].record(event.value);
+      forall_occupancy_.record(event.value);
       break;
     case ObsEvent::Kind::kKill:
-      histograms_["kill_latency_s"].record(event.value);
+      kill_latency_s_.record(event.value);
       break;
     case ObsEvent::Kind::kCarrierSense:
-      if (event.value == 0) counters_["events.carrier-sense.deferred"] += 1;
+      if (event.value == 0) {
+        carrier_deferred_.fetch_add(1, std::memory_order_relaxed);
+      }
       break;
     default:
       break;
@@ -148,10 +224,40 @@ void MetricsRegistry::on_event(const ObsEvent& event) {
 }
 
 std::string MetricsRegistry::to_json() const {
+  // Merge derived slots (only the ones that ever fired, mirroring the old
+  // materialize-on-first-bump behavior) with the manual cells, sorted.
+  std::map<std::string, double, std::less<>> counters;
+  for (int k = 0; k < kSpanKindCount; ++k) {
+    const auto n = span_counts_[k].load(std::memory_order_relaxed);
+    const auto f = span_failed_[k].load(std::memory_order_relaxed);
+    std::string base = "spans.";
+    base += span_kind_name(static_cast<SpanKind>(k));
+    if (n != 0) counters[base] += static_cast<double>(n);
+    if (f != 0) counters[base + ".failed"] += static_cast<double>(f);
+  }
+  for (int k = 0; k < kObsEventKindCount; ++k) {
+    const auto n = event_counts_[k].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    std::string name = "events.";
+    name += obs_event_kind_name(static_cast<ObsEvent::Kind>(k));
+    counters[name] += static_cast<double>(n);
+  }
+  if (const auto n = span_counts_[static_cast<int>(SpanKind::kCommand)].load(
+          std::memory_order_relaxed)) {
+    counters["commands.attempts"] += static_cast<double>(n);
+  }
+  if (const auto n = carrier_deferred_.load(std::memory_order_relaxed)) {
+    counters["events.carrier-sense.deferred"] += static_cast<double>(n);
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
+  for (const Cell& cell : cells_) {
+    counters[cell.name] += cell.value.load(std::memory_order_relaxed);
+  }
+
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : counters) {
     if (!first) out += ',';
     first = false;
     out += '"';
@@ -160,14 +266,24 @@ std::string MetricsRegistry::to_json() const {
     out += json_number(value);
   }
   out += "},\"histograms\":{";
+
+  std::map<std::string_view, const Histogram*> histograms;
+  for (std::string_view name :
+       {"command_duration_us", "process_duration_us", "try_attempts",
+        "try_backoff_total_s", "forall_branches", "backoff_delay_s",
+        "forall_occupancy", "kill_latency_s"}) {
+    const Histogram* h = fixed_histogram(name);
+    if (h->count() > 0) histograms[name] = h;
+  }
+  for (const auto& [name, hist] : histograms_) histograms[name] = &hist;
   first = true;
-  for (const auto& [name, hist] : histograms_) {
+  for (const auto& [name, hist] : histograms) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += json_escape(name);
     out += "\":";
-    out += hist.to_json();
+    out += hist->to_json();
   }
   out += "}}";
   return out;

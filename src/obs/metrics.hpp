@@ -11,20 +11,32 @@
 // metrics from span ends and point events:
 //   counters:   spans.<kind>, spans.<kind>.failed, events.<event-kind>,
 //               commands.attempts
-//   histograms: backoff_delay_s, command_duration_s, try_attempts,
+//   histograms: backoff_delay_s, command_duration_us, try_attempts,
 //               forall_occupancy, kill_latency_s
+// The derived counters live in enum-indexed atomic slots and the derived
+// histograms record lock-free, so the span/event fast path is a handful of
+// relaxed atomic adds -- no map lookup, no string build, no lock.  The
+// registry mutex only guards the manual-metric maps.  Durations are
+// recorded in the clock's native microseconds (command_duration_us,
+// process_duration_us): sub-second commands used to round to 0 through
+// a premature seconds conversion.
+//
 // Callers may also bump arbitrary counters / record arbitrary samples by
-// name; unknown names simply materialize.
+// name; unknown names simply materialize.  For hot manual counters,
+// resolve a Counter handle once and bump it with a single atomic add.
 //
 // Export is deterministic: names are sorted, numbers render through the
 // same fixed formatter as the trace exporter.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
-#include <vector>
+#include <string_view>
 
 #include "obs/observer.hpp"
 
@@ -34,15 +46,34 @@ namespace ethergrid::obs {
 // `base`; sample i lands in the first bucket whose upper bound covers it.
 // Cheap, deterministic, and good enough for the decade-spanning
 // distributions backoff produces (20 ms .. minutes).
+//
+// record() is lock-free: relaxed atomic adds plus an improve-only CAS for
+// min/max (a single relaxed load once the extremes settle).  That keeps
+// the registry's span fast path mutex-free.  Readers take relaxed
+// snapshots, so a reader racing a writer may see the fields mid-update --
+// exports happen after the run, where the counts are quiescent.
 class Histogram {
  public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
   void record(double value);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ ? min_ : 0; }
-  double max() const { return count_ ? max_ : 0; }
-  double mean() const { return count_ ? sum_ / count_ : 0; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  double max() const {
+    return count() ? max_.load(std::memory_order_relaxed) : 0;
+  }
+  double mean() const {
+    const auto n = count();
+    return n ? sum() / double(n) : 0;
+  }
   // Upper-bound estimate of the q-quantile (0 <= q <= 1) from the bucket
   // boundaries; exact for min/max degenerate cases.
   double quantile(double q) const;
@@ -54,23 +85,46 @@ class Histogram {
   static constexpr int kBuckets = 64;
   static int bucket_for(double value);
 
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  std::uint64_t buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  // +/-inf sentinels make the improve-only CAS correct from the first
+  // sample; the accessors report 0 while count_ == 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
 class MetricsRegistry final : public Observer {
  public:
   MetricsRegistry() = default;
 
-  // Manual instrumentation.
-  void add(const std::string& name, double delta = 1);
-  void record(const std::string& name, double value);
+  // A pre-resolved manual counter: one relaxed atomic add per bump, no
+  // name lookup.  Cells live as long as the registry; a default-constructed
+  // handle is a safe no-op.
+  class Counter {
+   public:
+    Counter() = default;
+    void add(double delta = 1) {
+      if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+    }
 
-  double counter(const std::string& name) const;
-  const Histogram* histogram(const std::string& name) const;
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(std::atomic<double>* cell) : cell_(cell) {}
+    std::atomic<double>* cell_ = nullptr;
+  };
+
+  // Resolves (creating if needed) the cell for `name`.  Do this once at
+  // setup time, then bump the handle from the hot path.
+  Counter counter_handle(std::string_view name);
+
+  // Manual instrumentation (cold path: one map lookup per call).
+  void add(std::string_view name, double delta = 1);
+  void record(std::string_view name, double value);
+
+  // Reads merge the derived slots with any same-named manual cell.
+  double counter(std::string_view name) const;
+  const Histogram* histogram(std::string_view name) const;
 
   // --- Observer interface: derives the standard metrics ---
   void on_span_end(const Span& span) override;
@@ -81,9 +135,37 @@ class MetricsRegistry final : public Observer {
   std::string to_json() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, double> counters_;
-  std::map<std::string, Histogram> histograms_;
+  struct Cell {
+    std::string name;
+    std::atomic<double> value{0};
+  };
+
+  std::atomic<double>* cell_for(std::string_view name);
+  // Derived-slot value for `name`, or 0 if `name` is not a derived counter.
+  double derived_counter(std::string_view name) const;
+  const Histogram* fixed_histogram(std::string_view name) const;
+
+  // Derived counters: enum-indexed relaxed atomics (the emission fast path).
+  // commands.attempts is an alias read of spans.command, not its own slot.
+  std::atomic<std::uint64_t> span_counts_[kSpanKindCount] = {};
+  std::atomic<std::uint64_t> span_failed_[kSpanKindCount] = {};
+  std::atomic<std::uint64_t> event_counts_[kObsEventKindCount] = {};
+  std::atomic<std::uint64_t> carrier_deferred_{0};
+
+  mutable std::mutex mu_;  // guards the manual-cell and histogram maps only
+  // Derived histograms (fixed members: no map lookup on the sample path).
+  Histogram command_duration_us_;
+  Histogram process_duration_us_;
+  Histogram try_attempts_;
+  Histogram try_backoff_total_s_;
+  Histogram forall_branches_;
+  Histogram backoff_delay_s_;
+  Histogram forall_occupancy_;
+  Histogram kill_latency_s_;
+  // Manual metrics.  Cells sit in a deque so handles stay valid forever.
+  std::deque<Cell> cells_;
+  std::map<std::string, Cell*, std::less<>> cell_index_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace ethergrid::obs

@@ -1,6 +1,6 @@
 #include "obs/observer.hpp"
 
-#include <algorithm>
+#include <stdexcept>
 
 namespace ethergrid::obs {
 
@@ -50,87 +50,84 @@ std::string_view obs_event_kind_name(ObsEvent::Kind kind) {
   return "?";
 }
 
+// add() publishes the pointer with a release store before bumping count_
+// (also release), so an emitter that observes the new count via acquire is
+// guaranteed to see the pointer.  remove() compacts the array under mu_;
+// concurrent emitters may transiently see a member twice or miss the
+// removed one, which is why removal mid-emission is documented as a
+// caller-side ordering obligation (Session removes only post-run).
 void ObserverSet::add(Observer* observer) {
   if (observer == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  members_.push_back(observer);
+  const std::size_t n = count_.load(std::memory_order_relaxed);
+  if (n >= kMaxObservers) {
+    throw std::length_error("ObserverSet: too many observers");
+  }
+  members_[n].store(observer, std::memory_order_release);
+  count_.store(n + 1, std::memory_order_release);
 }
 
 void ObserverSet::remove(Observer* observer) {
   std::lock_guard<std::mutex> lock(mu_);
-  members_.erase(std::remove(members_.begin(), members_.end(), observer),
-                 members_.end());
+  const std::size_t n = count_.load(std::memory_order_relaxed);
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    Observer* o = members_[r].load(std::memory_order_relaxed);
+    if (o == observer) continue;
+    members_[w++].store(o, std::memory_order_release);
+  }
+  count_.store(w, std::memory_order_release);
 }
 
 bool ObserverSet::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return members_.empty();
+  return count_.load(std::memory_order_acquire) == 0;
 }
 
 std::size_t ObserverSet::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return members_.size();
+  return count_.load(std::memory_order_acquire);
 }
 
 std::uint64_t ObserverSet::begin_span(Span& span) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    span.id = ++next_span_id_;
-  }
+  span.id = next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   on_span_begin(span);
   return span.id;
 }
 
 void ObserverSet::end_span(const Span& span) { on_span_end(span); }
 
-// Fan-out copies the member list under the lock, then dispatches unlocked:
-// observers may themselves take locks (TraceRecorder, MetricsRegistry) and
-// holding mu_ across the callbacks would order those locks behind ours for
-// no benefit.  Membership changes mid-run are rare (Session sets everything
-// up before run_source) and need not be seen by in-flight emissions.
 void ObserverSet::on_span_begin(const Span& span) {
-  std::vector<Observer*> members;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    members = members_;
+  const std::size_t n = count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[i].load(std::memory_order_relaxed)->on_span_begin(span);
   }
-  for (Observer* o : members) o->on_span_begin(span);
 }
 
 void ObserverSet::on_span_end(const Span& span) {
-  std::vector<Observer*> members;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    members = members_;
+  const std::size_t n = count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[i].load(std::memory_order_relaxed)->on_span_end(span);
   }
-  for (Observer* o : members) o->on_span_end(span);
 }
 
 void ObserverSet::on_event(const ObsEvent& event) {
-  std::vector<Observer*> members;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    members = members_;
+  const std::size_t n = count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[i].load(std::memory_order_relaxed)->on_event(event);
   }
-  for (Observer* o : members) o->on_event(event);
 }
 
 void ObserverSet::on_output(StreamKind stream, std::string_view text) {
-  std::vector<Observer*> members;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    members = members_;
+  const std::size_t n = count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[i].load(std::memory_order_relaxed)->on_output(stream, text);
   }
-  for (Observer* o : members) o->on_output(stream, text);
 }
 
 void ObserverSet::on_log(const ObsLogLine& line) {
-  std::vector<Observer*> members;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    members = members_;
+  const std::size_t n = count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[i].load(std::memory_order_relaxed)->on_log(line);
   }
-  for (Observer* o : members) o->on_log(line);
 }
 
 }  // namespace ethergrid::obs

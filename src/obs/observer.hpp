@@ -21,18 +21,25 @@
 // bridging.  An ObserverSet composes any number of them behind one pointer,
 // so the no-observer hot path is a single null check.
 //
+// Emission is allocation-free by design: span names/details are
+// string_views into storage the emitter keeps alive from begin_span through
+// end_span, and event sites are interned SiteIds (obs/site.hpp).  Observers
+// that need the payload beyond the synchronous callback must copy it.
+//
 // Determinism contract: spans are timestamped by the emitting executor's
 // core::Clock and ids are assigned in emission order.  Because the sim
 // kernel schedules processes identically on both backends, a fixed seed
 // yields byte-identical trace exports under fibers and threads alike.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "obs/site.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
 
@@ -51,18 +58,23 @@ enum class SpanKind {
   kFunction,    // an ftsh function call frame
 };
 
+inline constexpr int kSpanKindCount = 9;
+
 std::string_view span_kind_name(SpanKind kind);
 
 // One span.  The emitter fills the descriptive fields, calls
 // ObserverSet::begin_span (which assigns `id`), mutates the end-side fields
 // as the work concludes, and calls ObserverSet::end_span.  The same struct
 // is passed to both callbacks so simple observers can ignore begins.
+//
+// `name` and `detail` are views: the emitter must keep the referenced
+// storage alive and unchanged from begin_span until end_span returns.
 struct Span {
   std::uint64_t id = 0;      // assigned by ObserverSet::begin_span
   std::uint64_t parent = 0;  // enclosing span id; 0 = root
   SpanKind kind = SpanKind::kScript;
-  std::string name;          // command name / construct summary
-  std::string detail;        // expanded argv, budgets, pid, ...
+  std::string_view name;     // command name / construct summary
+  std::string_view detail;   // expanded argv, budgets, pid, ...
   int line = 0;              // script line, when known
   std::uint64_t track = 0;   // render lane (forall branch / process id)
   TimePoint start{};
@@ -73,7 +85,9 @@ struct Span {
   Duration backoff{};        // try spans: total time spent backing off
 };
 
-// A point-in-time occurrence on the back channel.
+// A point-in-time occurrence on the back channel.  `site` is an interned
+// id (resolve with site_name()); `detail` is a view valid only during the
+// synchronous callback.
 struct ObsEvent {
   enum class Kind {
     kBackoff,       // a backoff delay was chosen; value = delay seconds
@@ -88,11 +102,13 @@ struct ObsEvent {
 
   Kind kind = Kind::kCollision;
   TimePoint time{};
-  std::uint64_t span = 0;  // enclosing span id, when known
-  std::string site;        // emitting site ("schedd.submit", "forall", ...)
-  std::string detail;      // human-readable parameters
+  std::uint64_t span = 0;    // enclosing span id, when known
+  SiteId site = kSiteNone;   // emitting site ("schedd.submit", "forall", ...)
+  std::string_view detail;   // human-readable parameters
   double value = 0;
 };
+
+inline constexpr int kObsEventKindCount = 8;
 
 std::string_view obs_event_kind_name(ObsEvent::Kind kind);
 
@@ -101,6 +117,7 @@ enum class StreamKind { kStdout, kStderr };
 
 // A log line on the diagnostic back channel (mirrors util Logger levels so
 // observers can bridge without depending on util/log.hpp level semantics).
+// Log lines are off the hot path, so they keep owning strings.
 struct ObsLogLine {
   int level = 0;  // LogLevel numeric value
   TimePoint time{};
@@ -134,11 +151,20 @@ class Observer {
 // Emitters hold an `ObserverSet*` that is nullptr when observability is
 // off; the hot path is `if (observers_) observers_->...` -- one null check,
 // nothing else.
+//
+// Emission never allocates or takes mu_: members live in a fixed slot
+// array published with release stores and walked with an acquire load, and
+// span ids come from a relaxed fetch_add.  add()/remove() still serialize
+// on mu_; observers added mid-run become visible to subsequent emissions,
+// but remove() only unpublishes the pointer -- it must not race in-flight
+// emissions that could still be walking the array (Session tears down
+// observers only after the run completes).
 class ObserverSet final : public Observer {
  public:
   ObserverSet() = default;
 
   // Registers an observer (not owned; must outlive the set's emissions).
+  // Throws std::length_error beyond kMaxObservers members.
   void add(Observer* observer);
   void remove(Observer* observer);
 
@@ -158,10 +184,13 @@ class ObserverSet final : public Observer {
   void on_output(StreamKind stream, std::string_view text) override;
   void on_log(const ObsLogLine& line) override;
 
+  static constexpr std::size_t kMaxObservers = 16;
+
  private:
-  mutable std::mutex mu_;  // guards members_ mutation and id allocation
-  std::vector<Observer*> members_;
-  std::uint64_t next_span_id_ = 0;
+  mutable std::mutex mu_;  // serializes add/remove only
+  std::array<std::atomic<Observer*>, kMaxObservers> members_{};
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> next_span_id_{0};
 };
 
 }  // namespace ethergrid::obs

@@ -7,7 +7,12 @@ namespace ethergrid::obs {
 void XTraceObserver::on_span_begin(const Span& span) {
   if (span.kind != SpanKind::kCommand || !sink_) return;
   // span.detail carries the expanded argv (see Interpreter::eval_command).
-  sink_("+ " + span.detail + "\n");
+  std::string line;
+  line.reserve(span.detail.size() + 3);
+  line += "+ ";
+  line += span.detail;
+  line += '\n';
+  sink_(line);
 }
 
 void LoggerObserver::on_span_end(const Span& span) {
@@ -15,7 +20,8 @@ void LoggerObserver::on_span_end(const Span& span) {
   switch (span.kind) {
     case SpanKind::kCommand:
       logger_->log(LogLevel::kInfo, span.end, "ftsh",
-                   strprintf("command '%s' failed: %s", span.name.c_str(),
+                   strprintf("command '%s' failed: %s",
+                             std::string(span.name).c_str(),
                              span.status.to_string().c_str()));
       break;
     case SpanKind::kTry:
@@ -34,9 +40,13 @@ void LoggerObserver::on_event(const ObsEvent& event) {
   if (!logger_) return;
   if (event.kind == ObsEvent::Kind::kFault ||
       event.kind == ObsEvent::Kind::kCrash) {
-    logger_->log(LogLevel::kWarn, event.time, event.site,
-                 std::string(obs_event_kind_name(event.kind)) +
-                     (event.detail.empty() ? "" : ": " + event.detail));
+    std::string message(obs_event_kind_name(event.kind));
+    if (!event.detail.empty()) {
+      message += ": ";
+      message += event.detail;
+    }
+    logger_->log(LogLevel::kWarn, event.time,
+                 std::string(site_name(event.site)), message);
   }
 }
 

@@ -1,0 +1,47 @@
+#include "obs/site.hpp"
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ethergrid::obs {
+namespace {
+
+// Names are stored in a deque so views handed out by site_name() stay valid
+// as the registry grows.  The map's std::less<> comparator gives
+// heterogeneous lookup, so probing with a string_view never allocates.
+struct Registry {
+  std::mutex mu;
+  std::deque<std::string> names;
+  std::map<std::string, SiteId, std::less<>> ids;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: ids live forever by design
+  return *r;
+}
+
+}  // namespace
+
+SiteId intern_site(std::string_view name) {
+  if (name.empty()) return kSiteNone;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.ids.find(name);
+  if (it != r.ids.end()) return it->second;
+  r.names.emplace_back(name);
+  const SiteId id = static_cast<SiteId>(r.names.size());  // ids start at 1
+  r.ids.emplace(r.names.back(), id);
+  return id;
+}
+
+std::string_view site_name(SiteId id) {
+  if (id == kSiteNone) return {};
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (id > r.names.size()) return {};
+  return r.names[id - 1];
+}
+
+}  // namespace ethergrid::obs

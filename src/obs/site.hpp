@@ -1,0 +1,34 @@
+// SiteRegistry: process-wide interning of emission-site names.
+//
+// Every ObsEvent used to carry its site ("schedd.submit", "forall.table")
+// as a std::string, which meant one heap allocation per emission even for
+// sites whose names never change.  The registry assigns each distinct name
+// a small stable id once; emitters hold the id (usually resolved a single
+// time, at construction or in a function-local static) and the export-side
+// consumers resolve it back to the name only when rendering.
+//
+// Ids are process-global and assigned in interning order, so they are NOT
+// part of any determinism contract -- exporters must always resolve ids to
+// names before serializing.  Interned names live for the process lifetime;
+// the expected population is a few dozen static sites plus a bounded set of
+// dynamic ones (one per file server, one per `try` line).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ethergrid::obs {
+
+// 0 is reserved for "no site".
+using SiteId = std::uint32_t;
+inline constexpr SiteId kSiteNone = 0;
+
+// Returns the id for `name`, interning it on first use.  Thread-safe.
+// Calling with an empty name returns kSiteNone.
+SiteId intern_site(std::string_view name);
+
+// Resolves an id back to its name.  kSiteNone and unknown ids resolve to
+// the empty string.  The returned view is valid for the process lifetime.
+std::string_view site_name(SiteId id);
+
+}  // namespace ethergrid::obs

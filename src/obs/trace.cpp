@@ -82,81 +82,157 @@ std::string json_number(double value) {
 TraceRecorder::TraceRecorder(std::string process_name)
     : process_name_(std::move(process_name)) {}
 
+TraceRecorder::Rec& TraceRecorder::append_locked() {
+  const std::size_t slot = size_ % kBlockRecs;
+  if (slot == 0) {
+    blocks_.push_back(std::make_unique<Rec[]>(kBlockRecs));
+  }
+  ++size_;
+  Rec& rec = blocks_.back()[slot];
+  rec = Rec{};
+  return rec;
+}
+
+std::uint32_t TraceRecorder::arena_add_locked(std::string_view text,
+                                              std::uint32_t* len) {
+  const std::uint32_t off = static_cast<std::uint32_t>(arena_.size());
+  arena_.append(text);
+  *len = static_cast<std::uint32_t>(text.size());
+  return off;
+}
+
+std::uint32_t TraceRecorder::intern_name_locked(std::string_view name) {
+  if (name.empty()) return 0;
+  auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  names_.emplace_back(name);
+  const std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
 // Begins are not serialized -- the complete ("X") entry carries start and
 // duration and is appended at end time, which is when status/attempts are
 // known.  Only the counter moves here.
 void TraceRecorder::on_span_begin(const Span& span) {
   (void)span;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++spans_;
+  spans_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TraceRecorder::on_span_end(const Span& span) {
-  Entry e;
-  e.id = span.id;
-  e.track = span.track;
-  e.ts = to_micros(span.start);
-  e.dur = to_micros(span.end) - to_micros(span.start);
-  if (e.dur < 0) e.dur = 0;
-  e.name = std::string(span_kind_name(span.kind));
-  if (!span.name.empty()) {
-    e.name += ": ";
-    e.name += span.name;
-  }
-  std::string args;
-  append_kv_num(&args, "span", static_cast<double>(span.id));
-  if (span.parent != 0) {
-    append_kv_num(&args, "parent", static_cast<double>(span.parent));
-  }
-  if (span.line != 0) append_kv_num(&args, "line", span.line);
-  append_kv(&args, "status",
-            span.status.ok() ? "OK" : status_code_name(span.status.code()));
-  if (span.status.failed() && !span.status.message().empty()) {
-    append_kv(&args, "error", span.status.message());
-  }
-  if (span.attempts != 0) append_kv_num(&args, "attempts", span.attempts);
-  if (span.backoff.count() != 0) {
-    append_kv_num(&args, "backoff_s", to_seconds(span.backoff));
-  }
-  if (!span.detail.empty()) append_kv(&args, "detail", span.detail);
-  e.args = std::move(args);
-
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.push_back(std::move(e));
+  Rec& rec = append_locked();
+  rec.id = span.id;
+  rec.parent = span.parent;
+  rec.track = span.track;
+  rec.ts = to_micros(span.start);
+  rec.dur = to_micros(span.end) - rec.ts;
+  if (rec.dur < 0) rec.dur = 0;
+  rec.backoff_us = span.backoff.count();
+  rec.name = intern_name_locked(span.name);
+  rec.line = span.line;
+  rec.attempts = span.attempts;
+  rec.kind = static_cast<std::uint8_t>(span.kind);
+  rec.status = static_cast<std::uint8_t>(span.status.code());
+  if (span.status.failed() && !span.status.message().empty()) {
+    rec.error_off = arena_add_locked(span.status.message(), &rec.error_len);
+  }
+  if (!span.detail.empty()) {
+    rec.detail_off = arena_add_locked(span.detail, &rec.detail_len);
+  }
 }
 
 void TraceRecorder::on_event(const ObsEvent& event) {
-  Entry e;
-  e.instant = true;
-  e.id = event.span;
-  e.track = 0;
-  e.ts = to_micros(event.time);
-  e.name = std::string(obs_event_kind_name(event.kind));
-  if (!event.site.empty()) {
-    e.name += ": ";
-    e.name += event.site;
-  }
-  std::string args;
-  if (event.span != 0) {
-    append_kv_num(&args, "span", static_cast<double>(event.span));
-  }
-  if (event.value != 0) append_kv_num(&args, "value", event.value);
-  if (!event.detail.empty()) append_kv(&args, "detail", event.detail);
-  e.args = std::move(args);
-
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.push_back(std::move(e));
-  ++events_;
+  Rec& rec = append_locked();
+  rec.instant = true;
+  rec.id = event.span;
+  rec.ts = to_micros(event.time);
+  rec.name = event.site;
+  rec.kind = static_cast<std::uint8_t>(event.kind);
+  rec.value = event.value;
+  if (!event.detail.empty()) {
+    rec.detail_off = arena_add_locked(event.detail, &rec.detail_len);
+  }
+  events_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t TraceRecorder::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+  return spans_.load(std::memory_order_relaxed);
 }
 
 std::size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return events_.load(std::memory_order_relaxed);
+}
+
+// Renders one record exactly as the eager pre-rendered path used to: the
+// byte-identical-across-backends contract covers the serialized form, so
+// the deferred path must not reorder or reformat anything.
+void TraceRecorder::render(const Rec& rec, std::string* out) const {
+  std::string name;
+  std::string_view extra;
+  if (rec.instant) {
+    name = obs_event_kind_name(static_cast<ObsEvent::Kind>(rec.kind));
+    extra = site_name(rec.name);
+  } else {
+    name = span_kind_name(static_cast<SpanKind>(rec.kind));
+    if (rec.name != 0) extra = names_[rec.name - 1];
+  }
+  if (!extra.empty()) {
+    name += ": ";
+    name += extra;
+  }
+  const std::string_view detail(arena_.data() + rec.detail_off,
+                                rec.detail_len);
+
+  std::string args;
+  if (rec.instant) {
+    if (rec.id != 0) {
+      append_kv_num(&args, "span", static_cast<double>(rec.id));
+    }
+    if (rec.value != 0) append_kv_num(&args, "value", rec.value);
+    if (!detail.empty()) append_kv(&args, "detail", detail);
+  } else {
+    append_kv_num(&args, "span", static_cast<double>(rec.id));
+    if (rec.parent != 0) {
+      append_kv_num(&args, "parent", static_cast<double>(rec.parent));
+    }
+    if (rec.line != 0) append_kv_num(&args, "line", rec.line);
+    const StatusCode code = static_cast<StatusCode>(rec.status);
+    append_kv(&args, "status",
+              code == StatusCode::kOk ? "OK" : status_code_name(code));
+    if (rec.error_len != 0) {
+      append_kv(&args, "error",
+                std::string_view(arena_.data() + rec.error_off, rec.error_len));
+    }
+    if (rec.attempts != 0) append_kv_num(&args, "attempts", rec.attempts);
+    if (rec.backoff_us != 0) {
+      append_kv_num(&args, "backoff_s", to_seconds(Duration(rec.backoff_us)));
+    }
+    if (!detail.empty()) append_kv(&args, "detail", detail);
+  }
+
+  out->append(",\n{\"ph\":\"");
+  out->push_back(rec.instant ? 'i' : 'X');
+  out->append("\",\"pid\":1,\"tid\":");
+  out->append(json_number(static_cast<double>(rec.track)));
+  out->append(",\"ts\":");
+  out->append(json_number(static_cast<double>(rec.ts)));
+  if (!rec.instant) {
+    out->append(",\"dur\":");
+    out->append(json_number(static_cast<double>(rec.dur)));
+  } else {
+    out->append(",\"s\":\"t\"");
+  }
+  out->append(",\"name\":\"");
+  out->append(json_escape(name));
+  out->push_back('"');
+  if (!args.empty()) {
+    out->append(",\"args\":{");
+    out->append(args);
+    out->push_back('}');
+  }
+  out->push_back('}');
 }
 
 std::string TraceRecorder::to_json() const {
@@ -167,7 +243,9 @@ std::string TraceRecorder::to_json() const {
   out += "\"}}";
   // Name each lane that appears, in sorted order for stable output.
   std::set<std::uint64_t> tracks;
-  for (const Entry& e : entries_) tracks.insert(e.track);
+  for (std::size_t i = 0; i < size_; ++i) {
+    tracks.insert(blocks_[i / kBlockRecs][i % kBlockRecs].track);
+  }
   for (std::uint64_t track : tracks) {
     out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
     out += json_number(static_cast<double>(track));
@@ -175,28 +253,8 @@ std::string TraceRecorder::to_json() const {
     out += track == 0 ? "main" : "lane " + json_number(static_cast<double>(track));
     out += "\"}}";
   }
-  for (const Entry& e : entries_) {
-    out += ",\n{\"ph\":\"";
-    out += e.instant ? 'i' : 'X';
-    out += "\",\"pid\":1,\"tid\":";
-    out += json_number(static_cast<double>(e.track));
-    out += ",\"ts\":";
-    out += json_number(static_cast<double>(e.ts));
-    if (!e.instant) {
-      out += ",\"dur\":";
-      out += json_number(static_cast<double>(e.dur));
-    } else {
-      out += ",\"s\":\"t\"";
-    }
-    out += ",\"name\":\"";
-    out += json_escape(e.name);
-    out += '"';
-    if (!e.args.empty()) {
-      out += ",\"args\":{";
-      out += e.args;
-      out += '}';
-    }
-    out += '}';
+  for (std::size_t i = 0; i < size_; ++i) {
+    render(blocks_[i / kBlockRecs][i % kBlockRecs], &out);
   }
   out += "\n]}\n";
   return out;

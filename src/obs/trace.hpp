@@ -7,6 +7,16 @@
 // field of a span selects the tid lane, so concurrent forall branches
 // render as parallel rows instead of one self-overlapping bar.
 //
+// Recording is allocation-light by design: each emission appends one
+// fixed-size binary record to a growable list of 1024-record blocks (one
+// allocation per block, never a copy of existing records).  Span names are
+// interned into a recorder-local table on first sight, event sites arrive
+// pre-interned as SiteIds, and variable payloads (details, error messages)
+// are copied into a byte arena.  ALL JSON work -- escaping, number
+// formatting, metadata rows -- is deferred to to_json(), so the emission
+// path touches the allocator only when a block, the arena, or the name
+// table actually grows.
+//
 // Export is deterministic: entries are written in emission order, all
 // numbers are integers (virtual microseconds) or shortest-form doubles, and
 // no wall-clock or host state leaks into the output.  A fixed-seed sim run
@@ -14,7 +24,11 @@
 // by tests/sim/backend_equivalence_test.cpp.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -44,23 +58,48 @@ class TraceRecorder final : public Observer {
   Status write_file(const std::string& path) const;
 
  private:
-  struct Entry {
-    bool instant = false;
+  // One emission, binary.  `name` is a 1-based index into names_ for spans
+  // (0 = no extra name) and a global SiteId for instants.  Payload strings
+  // live in arena_ as (offset, length); offsets are 32-bit, capping one
+  // recorder's payload bytes at 4 GiB -- far beyond any trace we render.
+  struct Rec {
     std::uint64_t id = 0;
+    std::uint64_t parent = 0;
     std::uint64_t track = 0;
-    std::int64_t ts = 0;   // microseconds
-    std::int64_t dur = 0;  // microseconds (complete events)
-    std::string name;
-    // Pre-rendered ,"args":{...} fragment (empty = none); building it at
-    // emission time keeps to_json() a pure serialization pass.
-    std::string args;
+    std::int64_t ts = 0;          // microseconds
+    std::int64_t dur = 0;         // microseconds (complete events)
+    std::int64_t backoff_us = 0;  // try spans
+    double value = 0;             // instants
+    std::uint32_t name = 0;
+    std::uint32_t detail_off = 0;
+    std::uint32_t detail_len = 0;
+    std::uint32_t error_off = 0;
+    std::uint32_t error_len = 0;
+    std::int32_t line = 0;
+    std::int32_t attempts = 0;
+    std::uint8_t kind = 0;     // SpanKind or ObsEvent::Kind value
+    std::uint8_t status = 0;   // StatusCode value (spans)
+    bool instant = false;
   };
+
+  static constexpr std::size_t kBlockRecs = 1024;
+
+  Rec& append_locked();  // returns the next free record slot
+  std::uint32_t arena_add_locked(std::string_view text, std::uint32_t* len);
+  std::uint32_t intern_name_locked(std::string_view name);
+  void render(const Rec& rec, std::string* out) const;  // one entry, locked
 
   mutable std::mutex mu_;
   std::string process_name_;
-  std::vector<Entry> entries_;
-  std::size_t spans_ = 0;
-  std::size_t events_ = 0;
+  std::vector<std::unique_ptr<Rec[]>> blocks_;
+  std::size_t size_ = 0;  // total records across blocks_
+  std::string arena_;     // detail / error payload bytes
+  std::deque<std::string> names_;  // interned span names, 1-based via map
+  std::map<std::string, std::uint32_t, std::less<>> name_ids_;
+  // Counters are atomic so on_span_begin (which records nothing -- the
+  // complete event is appended at end time) never touches the mutex.
+  std::atomic<std::size_t> spans_{0};
+  std::atomic<std::size_t> events_{0};
 };
 
 // Escapes a string for embedding in a JSON string literal (no quotes

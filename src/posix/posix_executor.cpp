@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -252,11 +253,13 @@ shell::CommandResult PosixExecutor::run(
   if (tls_branch_) tls_branch_->current_pid.store(pid);
 
   obs::Span process_span;
+  char pid_detail[32];  // backs the span's detail view through end_span
   if (observers_) {
+    std::snprintf(pid_detail, sizeof(pid_detail), "pid %ld", (long)pid);
     process_span.kind = obs::SpanKind::kProcess;
     process_span.parent = invocation.parent_span;
     process_span.name = invocation.argv[0];
-    process_span.detail = strprintf("pid %ld", (long)pid);
+    process_span.detail = pid_detail;
     process_span.start = clock_.now();
     observers_->begin_span(process_span);
   }
@@ -426,7 +429,10 @@ shell::CommandResult PosixExecutor::run(
       event.kind = obs::ObsEvent::Kind::kKill;
       event.time = reaped;
       event.span = process_span.id;
-      event.site = killed_for_abort ? "posix.abort" : "posix.deadline";
+      static const obs::SiteId kAbortSite = obs::intern_site("posix.abort");
+      static const obs::SiteId kDeadlineSite =
+          obs::intern_site("posix.deadline");
+      event.site = killed_for_abort ? kAbortSite : kDeadlineSite;
       event.detail = invocation.argv[0];
       event.value = to_seconds(reaped - term_time);
       observers_->on_event(event);
@@ -480,12 +486,16 @@ std::vector<Status> PosixExecutor::run_parallel(
       Duration delay =
           std::min<Duration>(backoff.next(), options_.poll_interval * 10);
       if (observers_) {
+        static const obs::SiteId kTableSite =
+            obs::intern_site("forall.table");
+        char detail[32];
+        std::snprintf(detail, sizeof(detail), "slots=%lld",
+                      (long long)policy.process_table_slots);
         obs::ObsEvent event;
         event.kind = obs::ObsEvent::Kind::kTableFull;
         event.time = clock_.now();
-        event.site = "forall.table";
-        event.detail = strprintf("slots=%lld",
-                                 (long long)policy.process_table_slots);
+        event.site = kTableSite;
+        event.detail = detail;
         observers_->on_event(event);
         event.kind = obs::ObsEvent::Kind::kBackoff;
         event.value = to_seconds(delay);

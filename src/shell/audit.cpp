@@ -61,14 +61,14 @@ void AuditLog::on_span_end(const obs::Span& span) {
     default:
       return;  // scripts, attempts, functions, processes: not table rows
   }
-  record(kind, span.line, span.name, span.status, span.end - span.start,
-         span.backoff);
+  record(kind, span.line, std::string(span.name), span.status,
+         span.end - span.start, span.backoff);
 }
 
 void AuditLog::on_event(const obs::ObsEvent& event) {
   if (event.kind != obs::ObsEvent::Kind::kFault) return;
-  record(AuditEntry::Kind::kFault, 0, event.site,
-         Status::failure(event.detail), Duration(0));
+  record(AuditEntry::Kind::kFault, 0, std::string(obs::site_name(event.site)),
+         Status::failure(std::string(event.detail)), Duration(0));
 }
 
 std::vector<AuditEntry> AuditLog::entries() const {

@@ -6,10 +6,10 @@
 //  program, the frequency of each failure branch, and so forth."
 //
 // The interpreter records every command execution and every try/forany/
-// forall outcome here (when an AuditLog is installed via
-// InterpreterOptions::audit).  Entries aggregate by construct site, so a
-// command retried 40 times is one row with execution and failure counts --
-// exactly the "frequency of each failure branch" view.
+// forall outcome here (via the ObserverSet: AuditLog is an obs::Observer).
+// Entries aggregate by construct site, so a command retried 40 times is one
+// row with execution and failure counts -- exactly the "frequency of each
+// failure branch" view.
 #pragma once
 
 #include <functional>
@@ -46,9 +46,7 @@ std::string_view audit_kind_name(AuditEntry::Kind kind);
 
 // An AuditLog is an Observer: add it to the ObserverSet and every finished
 // command / try / forany / forall span folds into its aggregate table, and
-// every kFault event becomes a kFault row.  (The deprecated
-// InterpreterOptions::audit shim feeds the same record() entry point;
-// installing one log both ways double-counts.)
+// every kFault event becomes a kFault row.
 class AuditLog : public obs::Observer {
  public:
   // Records one execution of the site; merges into the aggregate entry.

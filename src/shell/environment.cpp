@@ -2,36 +2,66 @@
 
 namespace ethergrid::shell {
 
-Environment::Environment()
-    : parent_(nullptr), root_(this), mu_(std::make_shared<std::mutex>()) {}
+Environment::Environment() : parent_(nullptr), root_(this) {}
 
 Environment::Environment(Environment* parent)
-    : parent_(parent), root_(parent->root_), mu_(parent->mu_) {}
+    : parent_(parent), root_(parent->root_) {}
+
+std::uint32_t Environment::find_name_locked(std::string_view name) const {
+  const auto& ids = root_->name_ids_;
+  auto it = ids.find(name);
+  return it == ids.end() ? 0 : it->second;
+}
+
+std::uint32_t Environment::intern_name_locked(std::string_view name) {
+  auto it = root_->name_ids_.find(name);
+  if (it != root_->name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(root_->name_ids_.size() + 1);
+  root_->name_ids_.emplace(name, id);
+  return id;
+}
+
+Environment::Var* Environment::find_var_locked(std::uint32_t id) {
+  for (Var& var : vars_) {
+    if (var.name == id) return &var;
+  }
+  return nullptr;
+}
 
 std::optional<std::string> Environment::get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> lock(root_->mu_);
+  const std::uint32_t id = find_name_locked(name);
+  if (id == 0) return std::nullopt;  // never interned => defined nowhere
   for (const Environment* env = this; env; env = env->parent_) {
-    auto it = env->vars_.find(name);
-    if (it != env->vars_.end()) return it->second;
+    for (const Var& var : env->vars_) {
+      if (var.name == id) return var.value;
+    }
   }
   return std::nullopt;
 }
 
 void Environment::assign(const std::string& name, std::string value) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> lock(root_->mu_);
+  const std::uint32_t id = intern_name_locked(name);
   for (Environment* env = this; env; env = env->parent_) {
-    auto it = env->vars_.find(name);
-    if (it != env->vars_.end()) {
-      it->second = std::move(value);
+    if (Var* var = env->find_var_locked(id)) {
+      // assign() re-targets loop counters every iteration; moving into the
+      // existing slot keeps its heap capacity when `value` fits in SSO.
+      var->value = std::move(value);
       return;
     }
   }
-  vars_[name] = std::move(value);
+  vars_.push_back(Var{id, std::move(value)});
 }
 
 void Environment::define(const std::string& name, std::string value) {
-  std::lock_guard<std::mutex> lock(*mu_);
-  vars_[name] = std::move(value);
+  std::lock_guard<std::mutex> lock(root_->mu_);
+  const std::uint32_t id = intern_name_locked(name);
+  if (Var* var = find_var_locked(id)) {
+    var->value = std::move(value);
+    return;
+  }
+  vars_.push_back(Var{id, std::move(value)});
 }
 
 bool Environment::defined(const std::string& name) const {
@@ -39,13 +69,13 @@ bool Environment::defined(const std::string& name) const {
 }
 
 void Environment::define_function(const FunctionDef& def) {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> lock(root_->mu_);
   root_->functions_[def.name] = std::make_shared<FunctionDef>(def);
 }
 
 std::shared_ptr<const FunctionDef> Environment::find_function(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  std::lock_guard<std::mutex> lock(root_->mu_);
   auto it = root_->functions_.find(name);
   return it == root_->functions_.end() ? nullptr : it->second;
 }

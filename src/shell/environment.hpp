@@ -5,16 +5,27 @@
 // scope); `define` always creates/overwrites locally (loop variables,
 // function parameters).  Functions are global (stored at the root).
 //
-// All operations are serialized through a root-owned mutex so that `forall`
-// branches running on real threads (the POSIX executor) may touch shared
-// scopes safely.  Branch-local scopes make most accesses uncontended.
+// Names are interned once into a root-owned table, and each scope is a flat
+// vector of (name-id, value) slots.  Scripts use a handful of variables per
+// scope, so a linear scan over ids beats a std::map node walk -- and the
+// re-assignment path (loop counters) never touches the allocator: the id
+// compare is an integer test and the value write reuses the slot's string
+// capacity.
+//
+// All operations are serialized through the root-owned mutex so that
+// `forall` branches running on real threads (the POSIX executor) may touch
+// shared scopes safely.  Branch-local scopes make most accesses
+// uncontended.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "shell/ast.hpp"
 
@@ -49,11 +60,24 @@ class Environment {
       const std::string& name) const;
 
  private:
+  struct Var {
+    std::uint32_t name;
+    std::string value;
+  };
+
+  // Id for `name` if it was ever interned, 0 otherwise.  Caller holds mu_.
+  std::uint32_t find_name_locked(std::string_view name) const;
+  // Id for `name`, interning it on first use.  Caller holds mu_.
+  std::uint32_t intern_name_locked(std::string_view name);
+  Var* find_var_locked(std::uint32_t id);
+
   Environment* parent_;
   Environment* root_;
-  std::shared_ptr<std::mutex> mu_;  // shared by the whole chain
-  std::map<std::string, std::string> vars_;
-  std::map<std::string, std::shared_ptr<FunctionDef>> functions_;  // root only
+  std::vector<Var> vars_;
+  // Root-only state (accessed through root_):
+  mutable std::mutex mu_;  // serializes the whole chain
+  std::map<std::string, std::uint32_t, std::less<>> name_ids_;  // id = order
+  std::map<std::string, std::shared_ptr<FunctionDef>> functions_;
 };
 
 }  // namespace ethergrid::shell

@@ -1,6 +1,7 @@
 #include "shell/interpreter.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/retry.hpp"
 #include "shell/parser.hpp"
@@ -21,6 +22,19 @@ struct EvalError {
 
 }  // namespace
 
+// Per-branch reusable buffers for the command hot path.  One Scratch lives
+// on each branch's stack (the run() frame, each forall branch body); nested
+// evaluation on the same branch shares it.  That sharing is safe because an
+// invocation is fully consumed -- executor run, span end, output routing --
+// before the next command on the same branch expands into the buffers, and
+// the one consumer that holds the expanded argv across nested evaluation
+// (the function-call path) reads it only up to parameter binding, before
+// the body starts clobbering the scratch.
+struct Interpreter::Scratch {
+  CommandInvocation inv;
+  std::string detail;  // joined argv backing the command span's detail view
+};
+
 // Per-branch evaluation state.  forall branches get their own copy with a
 // child environment and a forked RNG stream; everything else threads one
 // instance through by reference.
@@ -31,6 +45,7 @@ struct Interpreter::EvalCtx {
   int function_depth = 0;
   std::uint64_t span = 0;   // enclosing span id (0 = none / observability off)
   std::uint64_t track = 0;  // trace render lane (forall branches diverge)
+  Scratch* scratch = nullptr;
 };
 
 Interpreter::Interpreter(Executor& executor, InterpreterOptions options)
@@ -39,7 +54,9 @@ Interpreter::Interpreter(Executor& executor, InterpreterOptions options)
       observers_(options_.observers) {}
 
 Status Interpreter::run(const Script& script, Environment& env) {
+  Scratch scratch;
   EvalCtx ctx{&env, TimePoint::max(), Rng(options_.seed), 0};
+  ctx.scratch = &scratch;
   obs::Span span;
   if (observers_) {
     span.kind = obs::SpanKind::kScript;
@@ -91,6 +108,8 @@ void Interpreter::emit_stderr(std::string_view text) {
   diagnostics_ += text;
 }
 
+// Call sites guard with `if (observers_)` so the strprintf argument never
+// renders when observability is off.
 void Interpreter::log(LogLevel level, const std::string& message) {
   if (!observers_) return;
   obs::ObsLogLine line;
@@ -146,8 +165,10 @@ Interpreter::EvalResult Interpreter::eval_statement(const Statement& stmt,
     }
     return EvalResult::from(Status::failure("unknown statement kind"));
   } catch (const EvalError& e) {
-    log(LogLevel::kInfo, strprintf("line %d: %s", stmt.line,
-                                   e.status.to_string().c_str()));
+    if (observers_) {
+      log(LogLevel::kInfo, strprintf("line %d: %s", stmt.line,
+                                     e.status.to_string().c_str()));
+    }
     return EvalResult::from(e.status);
   }
 }
@@ -157,27 +178,32 @@ Interpreter::EvalResult Interpreter::eval_statement(const Statement& stmt,
 Interpreter::EvalResult Interpreter::eval_command(const Statement& stmt,
                                                   EvalCtx& ctx) {
   const CommandStmt& cmd = stmt.command;
-  std::vector<std::string> argv = expand_words(cmd.argv, ctx);
-  if (argv.empty()) {
+  CommandInvocation& invocation = ctx.scratch->inv;
+  expand_words_into(cmd.argv, ctx, invocation.argv);
+  if (invocation.argv.empty()) {
     return EvalResult::from(
         Status::invalid_argument("command expanded to nothing"));
   }
 
   // Function call?
-  if (auto function = ctx.env->find_function(argv[0])) {
+  if (auto function = ctx.env->find_function(invocation.argv[0])) {
     if (cmd.redirects.stdin_file || cmd.redirects.stdout_file ||
         cmd.redirects.stdin_var || cmd.redirects.stdout_var) {
       return EvalResult::from(Status::invalid_argument(
           "redirections are not supported on function calls"));
     }
-    return eval_function_call(stmt, *function, argv, ctx);
+    return eval_function_call(stmt, *function, invocation.argv, ctx);
   }
 
-  CommandInvocation invocation;
-  invocation.argv = std::move(argv);
-  invocation.deadline = ctx.deadline;
+  // Reset the reused invocation's non-argv state.
+  invocation.stdin_data.reset();
+  invocation.stdin_file.reset();
+  invocation.stdout_file.reset();
   invocation.stdout_append = cmd.redirects.stdout_append;
+  invocation.capture_stdout = false;
   invocation.merge_stderr = cmd.redirects.merge_stderr;
+  invocation.deadline = ctx.deadline;
+  invocation.parent_span = 0;
   if (cmd.redirects.stdin_file) {
     invocation.stdin_file = expand_word(*cmd.redirects.stdin_file, ctx);
   }
@@ -199,16 +225,21 @@ Interpreter::EvalResult Interpreter::eval_command(const Statement& stmt,
     invocation.stdin_data = std::move(*value);
   }
 
-  const TimePoint command_start = executor_->now();
   obs::Span span;
   if (observers_) {
+    std::string& detail = ctx.scratch->detail;
+    detail.clear();
+    for (std::size_t i = 0; i < invocation.argv.size(); ++i) {
+      if (i != 0) detail += ' ';
+      detail += invocation.argv[i];
+    }
     span.kind = obs::SpanKind::kCommand;
     span.parent = ctx.span;
     span.name = invocation.argv[0];
-    span.detail = join(invocation.argv, " ");
+    span.detail = detail;
     span.line = stmt.line;
     span.track = ctx.track;
-    span.start = command_start;
+    span.start = executor_->now();
     observers_->begin_span(span);
     invocation.parent_span = span.id;
   }
@@ -217,16 +248,11 @@ Interpreter::EvalResult Interpreter::eval_command(const Statement& stmt,
     span.end = executor_->now();
     span.status = result.status;
     observers_->end_span(span);
-  }
-  if (options_.audit) {
-    options_.audit->record(AuditEntry::Kind::kCommand, stmt.line,
-                           invocation.argv[0], result.status,
-                           executor_->now() - command_start);
-  }
-  if (result.status.failed()) {
-    log(LogLevel::kInfo,
-        strprintf("command '%s' failed: %s", invocation.argv[0].c_str(),
-                  result.status.to_string().c_str()));
+    if (result.status.failed()) {
+      log(LogLevel::kInfo,
+          strprintf("command '%s' failed: %s", invocation.argv[0].c_str(),
+                    result.status.to_string().c_str()));
+    }
   }
   if (invocation.capture_stdout) {
     if (result.status.ok()) {
@@ -257,11 +283,14 @@ Interpreter::EvalResult Interpreter::eval_function_call(
         function.name.c_str(), function.parameters.size(), argv.size() - 1)));
   }
   Environment frame(ctx.env);
+  // `argv` aliases the shared scratch; it must not be read past this
+  // binding loop -- the body below reuses the same buffers.
   for (std::size_t i = 0; i < function.parameters.size(); ++i) {
     frame.define(function.parameters[i], argv[i + 1]);
   }
-  EvalCtx call_ctx{&frame, ctx.deadline, ctx.rng.stream(function.name),
-                   ctx.function_depth + 1, ctx.span, ctx.track};
+  EvalCtx call_ctx{&frame,       ctx.deadline,           ctx.rng.stream(function.name),
+                   ctx.function_depth + 1, ctx.span, ctx.track,
+                   ctx.scratch};
   obs::Span span;
   if (observers_) {
     span.kind = obs::SpanKind::kFunction;
@@ -331,25 +360,32 @@ Interpreter::EvalResult Interpreter::eval_try(const Statement& stmt,
   const TimePoint try_deadline =
       options.time_limit ? executor_->now() + *options.time_limit
                          : TimePoint::max();
-  EvalCtx body_ctx{ctx.env, std::min(ctx.deadline, try_deadline), ctx.rng,
-                   ctx.function_depth, ctx.span, ctx.track};
+  EvalCtx body_ctx{ctx.env,   std::min(ctx.deadline, try_deadline),
+                   ctx.rng,   ctx.function_depth,
+                   ctx.span,  ctx.track,
+                   ctx.scratch};
   bool returned = false;
 
+  // Backs the try span's name view from begin through end.
+  std::string try_name;
   obs::Span try_span;
   if (observers_) {
+    try_name = describe_try(t);
     try_span.kind = obs::SpanKind::kTry;
     try_span.parent = ctx.span;
-    try_span.name = describe_try(t);
+    try_span.name = try_name;
     try_span.line = stmt.line;
     try_span.track = ctx.track;
     try_span.start = executor_->now();
     observers_->begin_span(try_span);
     options.on_backoff = [&](Duration delay) {
+      char site[32];
+      std::snprintf(site, sizeof(site), "try:%d", stmt.line);
       obs::ObsEvent event;
       event.kind = obs::ObsEvent::Kind::kBackoff;
       event.time = executor_->now();
       event.span = try_span.id;
-      event.site = strprintf("try:%d", stmt.line);
+      event.site = obs::intern_site(site);
       event.value = to_seconds(delay);
       observers_->on_event(event);
     };
@@ -360,11 +396,15 @@ Interpreter::EvalResult Interpreter::eval_try(const Statement& stmt,
   int attempt_index = 0;
   Status status =
       core::run_try(*executor_, body_ctx.rng, options, [&](TimePoint) {
+        // The name buffer outlives the span's end_span below.
+        char attempt_name[32];
         obs::Span attempt_span;
         if (observers_) {
+          std::snprintf(attempt_name, sizeof(attempt_name), "attempt %d",
+                        ++attempt_index);
           attempt_span.kind = obs::SpanKind::kTryAttempt;
           attempt_span.parent = try_span.id;
-          attempt_span.name = strprintf("attempt %d", ++attempt_index);
+          attempt_span.name = attempt_name;
           attempt_span.line = stmt.line;
           attempt_span.track = ctx.track;
           attempt_span.start = executor_->now();
@@ -388,24 +428,21 @@ Interpreter::EvalResult Interpreter::eval_try(const Statement& stmt,
     try_span.attempts = metrics.attempts;
     try_span.backoff = metrics.backoff_total;
     observers_->end_span(try_span);
-  }
-  log(LogLevel::kDebug,
-      strprintf("try at line %d: %s after %d attempt(s), %s backing off",
-                stmt.line, status.ok() ? "success" : "failure",
-                metrics.attempts,
-                format_duration(metrics.backoff_total).c_str()));
-  if (options_.audit) {
-    options_.audit->record(AuditEntry::Kind::kTry, stmt.line,
-                           describe_try(t), status, metrics.elapsed,
-                           metrics.backoff_total);
+    log(LogLevel::kDebug,
+        strprintf("try at line %d: %s after %d attempt(s), %s backing off",
+                  stmt.line, status.ok() ? "success" : "failure",
+                  metrics.attempts,
+                  format_duration(metrics.backoff_total).c_str()));
   }
 
   if (returned && status.ok()) {
     return EvalResult{Status::success(), Flow::kReturn};
   }
   if (status.failed() && t.catch_body) {
-    log(LogLevel::kDebug, strprintf("try at line %d: entering catch block",
-                                    stmt.line));
+    if (observers_) {
+      log(LogLevel::kDebug, strprintf("try at line %d: entering catch block",
+                                      stmt.line));
+    }
     return eval_group(*t.catch_body, ctx);
   }
   return EvalResult::from(std::move(status));
@@ -424,16 +461,17 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
   }
 
   if (f.kind == ForStmt::Kind::kAny) {
-    const TimePoint start = executor_->now();
     obs::Span span;
+    std::string forany_name;  // backs the span's name view begin -> end
     const std::uint64_t saved_span = ctx.span;
     if (observers_) {
+      forany_name = "forany " + f.variable;
       span.kind = obs::SpanKind::kForany;
       span.parent = ctx.span;
-      span.name = "forany " + f.variable;
+      span.name = forany_name;
       span.line = stmt.line;
       span.track = ctx.track;
-      span.start = start;
+      span.start = executor_->now();
       observers_->begin_span(span);
       ctx.span = span.id;
     }
@@ -453,39 +491,35 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
       EvalResult result = eval_group(f.body, ctx);
       if (result.flow == Flow::kReturn || result.status.ok()) {
         finish(result.status, tried);
-        if (options_.audit) {
-          options_.audit->record(AuditEntry::Kind::kForany, stmt.line,
-                                 "forany " + f.variable, result.status,
-                                 executor_->now() - start);
-        }
         return result;  // winning value stays in the variable
       }
       last = std::move(result.status);
-      log(LogLevel::kDebug,
-          strprintf("forany at line %d: alternative '%s' failed", stmt.line,
-                    item.c_str()));
+      if (observers_) {
+        log(LogLevel::kDebug,
+            strprintf("forany at line %d: alternative '%s' failed", stmt.line,
+                      item.c_str()));
+      }
     }
     finish(last, tried);
-    if (options_.audit) {
-      options_.audit->record(AuditEntry::Kind::kForany, stmt.line,
-                             "forany " + f.variable, last,
-                             executor_->now() - start);
-    }
     return EvalResult::from(std::move(last));
   }
-  const TimePoint forall_start = executor_->now();
 
   // forall: all alternatives in parallel; abort the rest on first failure
   // (the executor implements the abort).
   obs::Span span;
+  std::string forall_name;   // back the span's views begin -> end
+  char forall_detail[32];
   if (observers_) {
+    forall_name = "forall " + f.variable;
+    std::snprintf(forall_detail, sizeof(forall_detail), "%d branches",
+                  int(items.size()));
     span.kind = obs::SpanKind::kForall;
     span.parent = ctx.span;
-    span.name = "forall " + f.variable;
-    span.detail = strprintf("%d branches", int(items.size()));
+    span.name = forall_name;
+    span.detail = forall_detail;
     span.line = stmt.line;
     span.track = ctx.track;
-    span.start = forall_start;
+    span.start = executor_->now();
     observers_->begin_span(span);
   }
   std::vector<std::unique_ptr<Environment>> branch_envs;
@@ -504,9 +538,11 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
         observers_ ? ++next_track_ : ctx.track;
     branches.push_back([this, &f, env_ptr, branch_rng, &ctx, &span,
                         branch_track]() -> Status {
+      Scratch branch_scratch;  // branches run concurrently: own buffers
       EvalCtx branch_ctx{env_ptr, ctx.deadline, branch_rng,
                          ctx.function_depth,
-                         observers_ ? span.id : ctx.span, branch_track};
+                         observers_ ? span.id : ctx.span, branch_track,
+                         &branch_scratch};
       return eval_group(f.body, branch_ctx).status;
     });
   }
@@ -525,11 +561,6 @@ Interpreter::EvalResult Interpreter::eval_for(const Statement& stmt,
     span.status = overall;
     span.attempts = int(statuses.size());
     observers_->end_span(span);
-  }
-  if (options_.audit) {
-    options_.audit->record(AuditEntry::Kind::kForall, stmt.line,
-                           "forall " + f.variable, overall,
-                           executor_->now() - forall_start);
   }
   return EvalResult::from(std::move(overall));
 }
@@ -590,8 +621,8 @@ std::string resolve_variable(const WordSegment& seg, Environment& env,
 
 }  // namespace
 
-std::string Interpreter::expand_word(const Word& word, EvalCtx& ctx) {
-  std::string out;
+void Interpreter::expand_word_into(const Word& word, EvalCtx& ctx,
+                                   std::string& out) {
   for (const WordSegment& seg : word.segments) {
     if (seg.kind == WordSegment::Kind::kLiteral) {
       out += seg.text;
@@ -599,12 +630,25 @@ std::string Interpreter::expand_word(const Word& word, EvalCtx& ctx) {
     }
     out += resolve_variable(seg, *ctx.env, word.line);
   }
+}
+
+std::string Interpreter::expand_word(const Word& word, EvalCtx& ctx) {
+  std::string out;
+  expand_word_into(word, ctx, out);
   return out;
 }
 
 std::vector<std::string> Interpreter::expand_words(
     const std::vector<Word>& words, EvalCtx& ctx) {
   std::vector<std::string> out;
+  expand_words_into(words, ctx, out);
+  return out;
+}
+
+void Interpreter::expand_words_into(const std::vector<Word>& words,
+                                    EvalCtx& ctx,
+                                    std::vector<std::string>& out) {
+  out.clear();  // keeps the vector's capacity: the hot path re-expands free
   for (const Word& word : words) {
     // Fast path: no splittable variable segments -> single argument.
     bool any_split = false;
@@ -615,7 +659,8 @@ std::vector<std::string> Interpreter::expand_words(
       }
     }
     if (!any_split) {
-      out.push_back(expand_word(word, ctx));
+      out.emplace_back();
+      expand_word_into(word, ctx, out.back());
       continue;
     }
     // Expand then field-split the splittable variable values.  We expand
@@ -664,7 +709,6 @@ std::vector<std::string> Interpreter::expand_words(
       }
     }
   }
-  return out;
 }
 
 // ------------------------------------------------------------ expressions

@@ -18,10 +18,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/backoff.hpp"
 #include "shell/ast.hpp"
-#include "shell/audit.hpp"
 #include "shell/environment.hpp"
 #include "shell/executor.hpp"
 #include "shell/observer.hpp"
@@ -52,10 +52,6 @@ struct InterpreterOptions {
   // each output chunk flows through exactly one consumer path.
   bool capture_stdout = true;
   bool capture_stderr = true;
-  // DEPRECATED: pre-observer structured back channel, kept as a shim for
-  // one release.  Add the AuditLog to `observers` instead (AuditLog is an
-  // Observer).  Installing the same log both ways double-counts.
-  AuditLog* audit = nullptr;
 };
 
 class Interpreter {
@@ -75,7 +71,8 @@ class Interpreter {
   std::string diagnostics() const;
 
  private:
-  struct EvalCtx;  // per-branch evaluation state (env, deadline, rng)
+  struct EvalCtx;   // per-branch evaluation state (env, deadline, rng)
+  struct Scratch;   // per-branch reusable command-path buffers
 
   enum class Flow { kNormal, kReturn };
   struct EvalResult {
@@ -100,9 +97,14 @@ class Interpreter {
 
   // Word expansion.  Throws EvalError (internal) on undefined variables.
   std::string expand_word(const Word& word, EvalCtx& ctx);
+  void expand_word_into(const Word& word, EvalCtx& ctx, std::string& out);
   // Expands a word list with whitespace splitting of unquoted variables.
+  // The _into form clears and refills `out`, reusing its capacity -- the
+  // command hot path expands straight into the scratch invocation's argv.
   std::vector<std::string> expand_words(const std::vector<Word>& words,
                                         EvalCtx& ctx);
+  void expand_words_into(const std::vector<Word>& words, EvalCtx& ctx,
+                         std::vector<std::string>& out);
 
   // Expression evaluation; results are strings ("true"/"false" for boolean
   // operators).  Throws EvalError on type errors.

@@ -12,7 +12,7 @@
 //   options.stderr_sink  ) -> obs::StreamObserver in the set
 //   options.trace        -> obs::XTraceObserver in the set
 //   options.audit        -> AuditLog is itself an Observer; add it to the
-//                           set (the field remains as a deprecated shim)
+//                           set (the shim field has been removed)
 // shell::Session wires all of these in one call.
 #pragma once
 

@@ -1,6 +1,7 @@
 #include "shell/sim_executor.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/sim_clock.hpp"
@@ -101,28 +102,35 @@ CommandResult SimExecutor::run(const CommandInvocation& invocation) {
         Status::not_found("unknown command: " + invocation.argv[0]), "", ""};
   }
 
-  // Resolve file stdin into data so handlers see one input form.
-  CommandInvocation resolved = invocation;
-  if (resolved.stdin_file && !resolved.stdin_data) {
-    auto contents = read_file(*resolved.stdin_file);
+  // Resolve file stdin into data so handlers see one input form.  The copy
+  // is confined to that cold path: the common invocation goes to the
+  // handler as-is, so the interpreter's reused scratch invocation crosses
+  // this call without touching the allocator.
+  const CommandInvocation* inv = &invocation;
+  CommandInvocation resolved;
+  if (invocation.stdin_file && !invocation.stdin_data) {
+    auto contents = read_file(*invocation.stdin_file);
     if (!contents) {
       return CommandResult{
-          Status::not_found("no such file: " + *resolved.stdin_file), "", ""};
+          Status::not_found("no such file: " + *invocation.stdin_file), "",
+          ""};
     }
+    resolved = invocation;
     resolved.stdin_data = std::move(*contents);
+    inv = &resolved;
   }
 
-  CommandResult result = (*handler)(ctx, resolved);
+  CommandResult result = (*handler)(ctx, *inv);
 
   std::string out = std::move(result.out);
-  if (resolved.merge_stderr) {
+  if (inv->merge_stderr) {
     out += result.err;
     result.err.clear();
   }
-  if (resolved.stdout_file) {
+  if (inv->stdout_file) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::string& file = files_[*resolved.stdout_file];
-    if (resolved.stdout_append) {
+    std::string& file = files_[*inv->stdout_file];
+    if (inv->stdout_append) {
       file += out;
     } else {
       file = std::move(out);
@@ -136,6 +144,9 @@ CommandResult SimExecutor::run(const CommandInvocation& invocation) {
 
 std::vector<Status> SimExecutor::run_parallel(
     std::vector<std::function<Status()>> branches) {
+  // Interned once per process; emission then carries a plain integer.
+  static const obs::SiteId kForallSite = obs::intern_site("forall");
+  static const obs::SiteId kTableSite = obs::intern_site("forall.table");
   sim::Context& parent = current();
   ParallelPolicy policy;
   sim::Resource* table;
@@ -173,7 +184,7 @@ std::vector<Status> SimExecutor::run_parallel(
       obs::ObsEvent event;
       event.kind = obs::ObsEvent::Kind::kOccupancy;
       event.time = parent.now();
-      event.site = "forall";
+      event.site = kForallSite;
       event.value = double(active);
       observers_->on_event(event);
     }
@@ -224,12 +235,14 @@ std::vector<Status> SimExecutor::run_parallel(
             active < std::size_t(policy.max_concurrent))) {
       if (table && !table->try_acquire()) {
         if (observers_) {
+          char detail[32];
+          std::snprintf(detail, sizeof(detail), "slots=%lld",
+                        (long long)policy.process_table_slots);
           obs::ObsEvent event;
           event.kind = obs::ObsEvent::Kind::kTableFull;
           event.time = parent.now();
-          event.site = "forall.table";
-          event.detail = strprintf("slots=%lld",
-                                   (long long)policy.process_table_slots);
+          event.site = kTableSite;
+          event.detail = detail;
           observers_->on_event(event);
         }
         if (policy.on_table_full == ParallelPolicy::OnTableFull::kFail) {
@@ -254,7 +267,7 @@ std::vector<Status> SimExecutor::run_parallel(
         obs::ObsEvent event;
         event.kind = obs::ObsEvent::Kind::kBackoff;
         event.time = parent.now();
-        event.site = "forall.table";
+        event.site = kTableSite;
         event.value = to_seconds(delay);
         observers_->on_event(event);
       }

@@ -37,6 +37,15 @@ namespace ethergrid::sim {
 
 namespace {
 
+// The Context of the process currently executing on *this* thread, or
+// nullptr while the scheduler (or no kernel at all) owns the thread.  Set
+// on every handoff into a process body and cleared on every handoff out,
+// so Kernel::current_context() can skip the kernel mutex when the caller
+// is the running process itself -- by far the hottest query.  Only the
+// owning thread ever touches its slot, so plain loads/stores are race-free
+// under both backends.
+thread_local Context* tls_running_context = nullptr;
+
 // No-op shims when ASan is absent, so call sites stay unconditional.
 inline void asan_start_switch(void** fake_stack_save, const void* bottom,
                               std::size_t size) {
@@ -148,6 +157,7 @@ void Process::run_body_locked(std::unique_lock<std::mutex>& lock) {
   } else {
     Context ctx(kernel_, this);
     context_ = &ctx;
+    tls_running_context = &ctx;
     lock.unlock();
     try {
       body_(ctx);
@@ -167,6 +177,7 @@ void Process::run_body_locked(std::unique_lock<std::mutex>& lock) {
     }
     lock.lock();
     context_ = nullptr;
+    tls_running_context = nullptr;
   }
 
   result_ = std::move(result);
@@ -330,8 +341,10 @@ TimePoint earliest_deadline_of(const DeadlineStack& deadlines) {
 }  // namespace
 
 TimePoint Context::now() const {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
-  return kernel_->now_;
+  // Lock-free: the mirror is released under mu_ on every time advance, and
+  // the handoff that resumed this process happens-after that advance.
+  return TimePoint(
+      Duration(kernel_->now_fast_.load(std::memory_order_acquire)));
 }
 
 void Context::sleep(Duration d) {
@@ -513,8 +526,7 @@ void Kernel::shutdown() {
 }
 
 TimePoint Kernel::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return now_;
+  return TimePoint(Duration(now_fast_.load(std::memory_order_acquire)));
 }
 
 ProcessHandle Kernel::spawn(std::string name, ProcessBody body) {
@@ -670,10 +682,15 @@ void Kernel::resume_locked(std::unique_lock<std::mutex>& lock, Process* p) {
 
 void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
                                        Process* p) {
+  // While control is away the thread belongs to the scheduler (fiber
+  // backend: same thread, possibly resuming a *different* process before
+  // us); drop the thread-local and restore it on the way back in.
+  tls_running_context = nullptr;
   if (backend_ == Backend::kThread) {
     current_ = nullptr;
     kernel_cv_.notify_one();
     p->cv_.wait(lock, [&] { return current_ == p; });
+    tls_running_context = p->context_;
     return;
   }
   current_ = nullptr;
@@ -687,6 +704,7 @@ void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
   // driven from a different thread (hence stack) across calls.
   asan_finish_switch(p->asan_fake_stack_, &sched_stack_bottom_,
                      &sched_stack_size_);
+  tls_running_context = p->context_;
   lock.lock();
 }
 
@@ -703,6 +721,8 @@ Process* Kernel::pop_runnable_locked(TimePoint limit) {
     }
     --entry.process->live_wakeups_;
     now_ = std::max(now_, entry.time);
+    now_fast_.store(now_.time_since_epoch().count(),
+                    std::memory_order_release);
     invalidate_wakeups_locked(entry.process);
     ++entry.process->wake_token_;  // consume: later same-token entries stale
     ++events_processed_;
@@ -732,6 +752,8 @@ bool Kernel::run_until(TimePoint t) {
   std::unique_lock<std::mutex> lock(mu_);
   drain_locked(lock, t);
   now_ = std::max(now_, t);
+  now_fast_.store(now_.time_since_epoch().count(),
+                  std::memory_order_release);
   // Purge stale entries so the return value reflects real pending work.
   while (!queue_.empty()) {
     const internal::QueueEntry& entry = queue_.front();
@@ -762,6 +784,12 @@ std::uint64_t Kernel::events_processed() const {
 }
 
 Context* Kernel::current_context() const {
+  // Fast path: a thread-local hit means the caller *is* the process this
+  // kernel is currently running -- no lock needed.  The kernel check keeps
+  // nested/multiple kernels honest; a miss (foreign kernel, scheduler
+  // thread, plain caller thread) falls back to the locked read.
+  Context* ctx = tls_running_context;
+  if (ctx != nullptr && ctx->kernel_ == this) return ctx;
   std::lock_guard<std::mutex> lock(mu_);
   return current_ ? current_->context_ : nullptr;
 }

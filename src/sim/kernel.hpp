@@ -31,6 +31,7 @@
 #include <setjmp.h>
 #include <ucontext.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -446,6 +447,12 @@ class Kernel {
   Process* current_ = nullptr;  // whose turn it is; nullptr => kernel's
 
   TimePoint now_{};
+  // Lock-free mirror of now_ for Context::now() / Kernel::now(), the
+  // hottest reads in the observers-on interpreter path.  Written (release)
+  // under mu_ wherever virtual time advances; the scheduler handoff that
+  // resumes a process happens-after the advance, so an acquire load in the
+  // process always sees its own wake time or later.
+  std::atomic<Duration::rep> now_fast_{0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_process_id_ = 1;
   std::uint64_t events_processed_ = 0;

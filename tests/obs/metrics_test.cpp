@@ -85,9 +85,13 @@ TEST(MetricsRegistryTest, DerivesCommandMetricsFromSpans) {
   EXPECT_EQ(registry.counter("spans.command"), 2);
   EXPECT_EQ(registry.counter("spans.command.failed"), 1);
   EXPECT_EQ(registry.counter("commands.attempts"), 2);
-  ASSERT_NE(registry.histogram("command_duration_s"), nullptr);
-  EXPECT_EQ(registry.histogram("command_duration_s")->count(), 2u);
-  EXPECT_EQ(registry.histogram("command_duration_s")->max(), 2);
+  // Durations are recorded in native microseconds: a virtual-time command
+  // lasting whole seconds must yield a nonzero sum (the old seconds-based
+  // histogram rounded sim-scale durations to an all-zeros distribution).
+  ASSERT_NE(registry.histogram("command_duration_us"), nullptr);
+  EXPECT_EQ(registry.histogram("command_duration_us")->count(), 2u);
+  EXPECT_EQ(registry.histogram("command_duration_us")->max(), 2e6);
+  EXPECT_EQ(registry.histogram("command_duration_us")->sum(), 4e6);
 }
 
 TEST(MetricsRegistryTest, DerivesTryAndForallHistograms) {

@@ -56,14 +56,14 @@ struct RecordingObserver final : Observer {
   std::vector<std::string>* shared = nullptr;
 
   void on_span_begin(const Span& span) override {
-    calls.push_back("begin:" + span.name);
+    calls.push_back("begin:" + std::string(span.name));
     if (shared) shared->push_back(tag + ".begin");
   }
   void on_span_end(const Span& span) override {
-    calls.push_back("end:" + span.name);
+    calls.push_back("end:" + std::string(span.name));
   }
   void on_event(const ObsEvent& event) override {
-    calls.push_back("event:" + event.site);
+    calls.push_back("event:" + std::string(site_name(event.site)));
   }
   void on_output(StreamKind stream, std::string_view text) override {
     calls.push_back((stream == StreamKind::kStdout ? "out:" : "err:") +
@@ -100,7 +100,7 @@ TEST(ObserverSetTest, FansOutEveryCallbackInRegistrationOrder) {
   set.begin_span(span);
   set.end_span(span);
   ObsEvent event;
-  event.site = "site";
+  event.site = intern_site("site");
   set.on_event(event);
   set.on_output(StreamKind::kStdout, "x");
   ObsLogLine line;
@@ -176,7 +176,7 @@ TEST(TraceRecorderTest, InstantEventAndProcessMetadata) {
   event.kind = ObsEvent::Kind::kCollision;
   event.time = TimePoint{} + sec(3);
   event.span = 9;
-  event.site = "schedd.submit";
+  event.site = intern_site("schedd.submit");
   event.value = 2.5;
   recorder.on_event(event);
   EXPECT_EQ(recorder.event_count(), 1u);

@@ -81,8 +81,11 @@ TEST(PosixExtraTest, SpecificExitCodesReported) {
 TEST(PosixExtraTest, AuditThroughRealProcesses) {
   PosixExecutor ex(fast_options());
   shell::AuditLog audit;
+  shell::ObserverSet observers;
+  observers.add(&audit);
+  ex.set_observers(&observers);
   shell::InterpreterOptions options;
-  options.audit = &audit;
+  options.observers = &observers;
   options.backoff = core::BackoffPolicy::fixed(msec(5));
   shell::Interpreter interp(ex, options);
   shell::Environment env;

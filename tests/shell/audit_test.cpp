@@ -151,17 +151,20 @@ TEST(AuditIntegrationTest, TrySiteLabelCarriesBudget) {
   EXPECT_TRUE(found);
 }
 
-TEST(AuditIntegrationTest, DeprecatedOptionsAuditShimStillRecords) {
-  // InterpreterOptions::audit is deprecated but must keep working for one
-  // release; it feeds the same aggregate table as the observer route.
+TEST(AuditIntegrationTest, AuditLogOnObserverSetRecords) {
+  // The one supported route since the InterpreterOptions::audit shim was
+  // removed: the log rides the ObserverSet like any other observer.
   sim::Kernel kernel;
   SimExecutor executor(kernel);
   AuditLog audit;
+  ObserverSet observers;
+  observers.add(&audit);
+  executor.set_observers(&observers);
   Status result;
   kernel.spawn("script", [&](sim::Context& ctx) {
     SimExecutor::ContextBinding binding(executor, ctx);
     InterpreterOptions options;
-    options.audit = &audit;
+    options.observers = &observers;
     Interpreter interpreter(executor, options);
     Environment env;
     result = interpreter.run_source("echo ok\nfalse", env);
@@ -178,7 +181,7 @@ TEST(AuditIntegrationTest, FaultEventsBecomeFaultRows) {
   AuditLog audit;
   obs::ObsEvent event;
   event.kind = obs::ObsEvent::Kind::kFault;
-  event.site = "schedd.submit reset";
+  event.site = obs::intern_site("schedd.submit reset");
   event.detail = "fraction=0.42";
   audit.on_event(event);
   auto entries = audit.entries();
