@@ -319,22 +319,6 @@ std::int64_t measure_allocs_observers_off() {
   return g_alloc_count.load(std::memory_order_relaxed) - before;
 }
 
-// Pulls metrics.<key> out of the `name` entry of a BENCH_results.json;
-// returns 0 when the file/entry/key is missing (gate skips).
-double read_baseline_metric(const std::string& path, const std::string& name,
-                            const std::string& key) {
-  std::ifstream in(path);
-  if (!in) return 0;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  const std::size_t entry = text.find("\"name\": \"" + name + "\"");
-  if (entry == std::string::npos) return 0;
-  const std::size_t pos = text.find("\"" + key + "\": ", entry);
-  if (pos == std::string::npos) return 0;
-  return std::atof(text.c_str() + pos + key.size() + 4);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -369,7 +353,7 @@ int main(int argc, char** argv) {
   // (span construction, string formatting) still cannot hide from it.
   const char* baseline_path = std::getenv("ETHERGRID_BENCH_BASELINE");
   if (baseline_path && *baseline_path) {
-    const double baseline_allocs = read_baseline_metric(
+    const double baseline_allocs = ethergrid::bench::Report::read_baseline_metric(
         baseline_path, "micro_shell", "allocs_per_interpret_off");
     if (baseline_allocs > 0 && allocs_off > 0) {
       const double regression = (allocs_off - baseline_allocs) / baseline_allocs;

@@ -240,5 +240,38 @@ int main(int argc, char** argv) {
     std::printf("fiber/thread switch throughput ratio: %.1fx -> %s\n", ratio,
                 ratio >= 5.0 ? "OK" : "MISMATCH");
   }
-  return 0;
+
+  // Perf gate: with ETHERGRID_BENCH_BASELINE pointing at a baseline
+  // BENCH_results.json, the event-queue hot-path benchmarks must hold at
+  // least half their recorded items/sec.  These ARE wall-clock numbers, so
+  // the threshold is deliberately loose: shared CI runners (and this
+  // repo's single-vCPU dev VM) swing 20-75% run to run, and the gate
+  // exists to catch the order-of-magnitude regressions an event-queue
+  // change can cause (accidental O(n) scheduling, a busted fast path),
+  // not single-digit drift.  A skipped benchmark (filtered run) skips its
+  // gate.
+  const char* baseline_path = std::getenv("ETHERGRID_BENCH_BASELINE");
+  int failures = 0;
+  if (baseline_path && *baseline_path) {
+    for (const char* gated : {"BM_SleepEvents/1000", "BM_SleepEvents/10000",
+                              "BM_EventPingPong/1000"}) {
+      const auto it = reporter.items_per_sec.find(gated);
+      if (it == reporter.items_per_sec.end()) continue;
+      const double baseline = ethergrid::bench::Report::read_baseline_metric(
+          baseline_path, "micro_sim", gated);
+      if (baseline <= 0) continue;
+      const double fraction = it->second / baseline;
+      report.shape(fraction >= 0.5);
+      if (fraction < 0.5) {
+        ++failures;
+        std::fprintf(stderr,
+                     "micro_sim: %s at %.3gx of baseline items/sec "
+                     "(baseline %.3g/s, now %.3g/s) breaches the 0.5x gate\n",
+                     gated, fraction, baseline, it->second);
+      } else {
+        std::printf("%s: %.2fx of baseline -> OK\n", gated, fraction);
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }

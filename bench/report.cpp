@@ -58,6 +58,21 @@ std::string Report::path() {
   return env && *env ? env : "BENCH_results.json";
 }
 
+double Report::read_baseline_metric(const std::string& path,
+                                    const std::string& name,
+                                    const std::string& key) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::size_t entry = text.find("\"name\": \"" + name + "\"");
+  if (entry == std::string::npos) return 0;
+  const std::size_t pos = text.find("\"" + key + "\": ", entry);
+  if (pos == std::string::npos) return 0;
+  return std::atof(text.c_str() + pos + key.size() + 4);
+}
+
 Report::Report(std::string name) : name_(std::move(name)), start_ns_(now_ns()) {}
 
 Report::~Report() { write(); }
@@ -95,7 +110,9 @@ void Report::write() {
         << ", \"shape_ok\": "
         << (shape_checks_ == 0 ? "null" : (shape_ok_ ? "true" : "false"))
         << ", \"backend\": \""
-        << sim::backend_name(sim::default_backend()) << "\"";
+        << sim::backend_name(sim::default_backend()) << "\""
+        << ", \"queue\": \""
+        << sim::queue_impl_name(sim::default_queue_impl()) << "\"";
   if (!metrics_.empty()) {
     entry << ", \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
@@ -133,6 +150,9 @@ void Report::write() {
   const std::string backend_tag = std::string("\"backend\": \"") +
                                   sim::backend_name(sim::default_backend()) +
                                   "\"";
+  const std::string queue_tag =
+      std::string("\"queue\": \"") +
+      sim::queue_impl_name(sim::default_queue_impl()) + "\"";
   std::vector<std::string> entries;
   std::istringstream lines(existing);
   std::string line;
@@ -143,8 +163,12 @@ void Report::write() {
                              line.back() == '\t' || line.back() == '\r')) {
       line.pop_back();
     }
+    // Entries written before the queue field existed (no "queue" key) are
+    // superseded by any run of the same (name, backend) pair.
     if (line.find(name_tag) != std::string::npos &&
-        line.find(backend_tag) != std::string::npos) {
+        line.find(backend_tag) != std::string::npos &&
+        (line.find(queue_tag) != std::string::npos ||
+         line.find("\"queue\": \"") == std::string::npos)) {
       continue;  // superseded by this run
     }
     entries.push_back(line);

@@ -7,7 +7,7 @@
 //
 //   {"name": "fig1_submit_scale", "wall_seconds": 1.84,
 //    "events": 5183021, "events_per_sec": 2816859.2,
-//    "shape_ok": true, "backend": "fiber",
+//    "shape_ok": true, "backend": "fiber", "queue": "wheel",
 //    "metrics": {"jobs_high_ethernet": 5321}, "detail": ""}
 //
 // Report path: $ETHERGRID_BENCH_REPORT, default ./BENCH_results.json;
@@ -56,6 +56,13 @@ class Report {
 
   // Resolved report path ("" when reporting is disabled).
   static std::string path();
+
+  // Pulls metrics.<key> out of the `name` entry of a BENCH_results.json
+  // (e.g. the committed bench/BASELINE.json); returns 0 when the file,
+  // entry, or key is missing so callers can skip their gate.
+  static double read_baseline_metric(const std::string& path,
+                                     const std::string& name,
+                                     const std::string& key);
 
  private:
   std::string name_;

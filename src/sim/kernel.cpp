@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <unordered_map>
 
 // Sanitizer feature detection.  ASan needs the fiber-switch annotations so
 // its shadow stack follows swapcontext; TSan cannot follow fibers at all,
@@ -46,6 +48,23 @@ namespace {
 // under both backends.
 thread_local Context* tls_running_context = nullptr;
 
+// RAII marker for the drain entry points (run / run_until / shutdown).
+// Saved/restored on nesting so a simulation driven from inside another
+// kernel's process keeps both honest.  The holder variable itself lives in
+// internal:: (kernel.hpp) so lock_self can inline the read.
+class MuHoldScope {
+ public:
+  MuHoldScope(Kernel* kernel, bool active) : prev_(internal::tls_mu_holder) {
+    if (active) internal::tls_mu_holder = kernel;
+  }
+  ~MuHoldScope() { internal::tls_mu_holder = prev_; }
+  MuHoldScope(const MuHoldScope&) = delete;
+  MuHoldScope& operator=(const MuHoldScope&) = delete;
+
+ private:
+  const Kernel* prev_;
+};
+
 // No-op shims when ASan is absent, so call sites stay unconditional.
 inline void asan_start_switch(void** fake_stack_save, const void* bottom,
                               std::size_t size) {
@@ -82,6 +101,52 @@ std::size_t page_size() {
   return page;
 }
 
+// Process-wide cache of fiber stacks, shared across Kernel instances.
+// Within one kernel stacks already recycle through free_stacks_, but
+// short-lived kernels (one per benchmark iteration, one per test case)
+// used to pay mmap + guard mprotect + first-touch page faults + munmap
+// with TLB shootdown for every stack -- ~5us apiece, dwarfing the
+// simulation itself.  Stacks parked here keep their pages mapped and
+// warm.  Bounded, so a burst of wide kernels cannot pin memory forever.
+class StackCache {
+ public:
+  bool take(std::size_t usable_size, internal::FiberStack* out) {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (std::size_t i = stacks_.size(); i-- > 0;) {
+      if (stacks_[i].usable_size == usable_size) {
+        *out = stacks_[i];
+        stacks_[i] = stacks_.back();
+        stacks_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void put(const internal::FiberStack& stack) {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (stacks_.size() < kMaxStacks) {
+        stacks_.push_back(stack);
+        return;
+      }
+    }
+    ::munmap(stack.map_base, stack.map_size);
+  }
+
+ private:
+  static constexpr std::size_t kMaxStacks = 64;
+  std::mutex mu_;
+  std::vector<internal::FiberStack> stacks_;
+};
+
+StackCache& stack_cache() {
+  // Intentionally leaked: kernels destroyed during static teardown may
+  // still return stacks, and the OS reclaims the mappings at exit anyway.
+  static StackCache* cache = new StackCache;
+  return *cache;
+}
+
 std::size_t resolve_stack_bytes(std::size_t requested) {
   std::size_t bytes = requested;
   if (bytes == 0) {
@@ -101,6 +166,10 @@ std::size_t resolve_stack_bytes(std::size_t requested) {
 }
 
 }  // namespace
+
+namespace internal {
+__thread const Kernel* tls_mu_holder = nullptr;
+}  // namespace internal
 
 const char* backend_name(Backend backend) {
   return backend == Backend::kFiber ? "fiber" : "thread";
@@ -133,18 +202,21 @@ Process::~Process() {
   // handle held past that point owns a finished, join()ed thread.
   if (thread_.joinable()) thread_.join();
   // Fiber backend: a finished process's stack was recycled into the
-  // kernel's free list; this munmap only fires if the kernel died with the
+  // kernel's free list; this path only fires if the kernel died with the
   // process unfinished (which shutdown() asserts against).
-  if (stack_.map_base) ::munmap(stack_.map_base, stack_.map_size);
+  if (stack_.map_base) {
+    asan_unpoison_stack(stack_);
+    stack_cache().put(stack_);
+  }
 }
 
 bool Process::finished() const {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   return state_ == State::kFinished;
 }
 
 Status Process::result() const {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   return result_;
 }
 
@@ -158,7 +230,12 @@ void Process::run_body_locked(std::unique_lock<std::mutex>& lock) {
     Context ctx(kernel_, this);
     context_ = &ctx;
     tls_running_context = &ctx;
-    lock.unlock();
+    // Thread backend: the body runs with the mutex dropped (the scheduler
+    // is parked in its condvar wait).  Fiber full-hold: `lock` is a
+    // non-owning dummy and the body runs under the drain's continuous
+    // hold -- primitives it calls skip locking via lock_self().
+    const bool relock = lock.owns_lock();
+    if (relock) lock.unlock();
     try {
       body_(ctx);
       result = Status::success();
@@ -175,7 +252,7 @@ void Process::run_body_locked(std::unique_lock<std::mutex>& lock) {
       result = Status::failure("non-std exception escaped process body");
       error = std::current_exception();
     }
-    lock.lock();
+    if (relock) lock.lock();
     context_ = nullptr;
     tls_running_context = nullptr;
   }
@@ -184,9 +261,18 @@ void Process::run_body_locked(std::unique_lock<std::mutex>& lock) {
   if (error && !kernel_->shutting_down_) kernel_->pending_error_ = error;
   state_ = State::kFinished;
   --kernel_->live_processes_;
+  // Retire every pending wakeup BEFORE anything can observe the finished
+  // process.  The token bump makes "stale" a pure token comparison: a
+  // finished process's entries mismatch just like a killed process's do,
+  // so queue implementations never need to read process state.  Skipping
+  // this accounting would leave live-counted entries behind that the pop
+  // path later subtracts from stale_wakeups_, wrapping the counter and
+  // locking the queue into permanent O(n) compaction.
   kernel_->invalidate_wakeups_locked(this);
+  ++wake_token_;
   done_->set_locked();
   body_ = nullptr;  // drop captured state while the result lives on
+  kernel_->audit_accounting_locked();
 }
 
 void Process::thread_main() {
@@ -218,9 +304,13 @@ void Process::fiber_main() {
   asan_finish_switch(asan_fake_stack_, &kernel_->sched_stack_bottom_,
                      &kernel_->sched_stack_size_);
   {
-    std::unique_lock<std::mutex> lock(kernel_->mu_);
+    // Full-hold locking: the drain that resumed us holds the mutex across
+    // the switch and keeps holding it until run()/run_until() return, so
+    // this side never locks -- run_body_locked sees a non-owning guard.
+    std::unique_lock<std::mutex> lock(kernel_->mu_, std::defer_lock);
     run_body_locked(lock);
     kernel_->current_ = nullptr;
+    kernel_->last_finished_ = this;  // scheduler recycles the stack
   }
   // Final departure: a null save handle tells ASan to destroy this fiber's
   // fake stack (the real stack goes back to the kernel's free list).
@@ -233,7 +323,7 @@ void Process::fiber_main() {
 
 Event::~Event() {
   if (!head_) return;  // common case: nothing to detach
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   Waiter* w = head_;
   while (w) {
     Waiter* next = w->next;
@@ -244,35 +334,6 @@ Event::~Event() {
     w = next;
   }
   head_ = tail_ = nullptr;
-}
-
-void Event::set() {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
-  set_locked();
-}
-
-void Event::set_locked() {
-  set_ = true;
-  pulse_locked();
-}
-
-void Event::pulse() {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
-  pulse_locked();
-}
-
-void Event::pulse_locked() {
-  // FIFO wake order (registration order) for deterministic seq assignment.
-  Waiter* w = head_;
-  head_ = tail_ = nullptr;
-  while (w) {
-    Waiter* next = w->next;
-    w->linked = false;
-    w->prev = w->next = nullptr;
-    w->granted = true;
-    kernel_->schedule_locked(kernel_->now_, w->process);
-    w = next;
-  }
 }
 
 void Event::link_locked(Waiter* w) {
@@ -301,16 +362,6 @@ void Event::unlink_locked(Waiter* w) {
   }
   w->linked = false;
   w->prev = w->next = nullptr;
-}
-
-void Event::reset() {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
-  set_ = false;
-}
-
-bool Event::is_set() const {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
-  return set_;
 }
 
 // ---------------------------------------------------------------- Context
@@ -348,16 +399,16 @@ TimePoint Context::now() const {
 }
 
 void Context::sleep(Duration d) {
-  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  auto lock = kernel_->lock_self();
   Kernel& k = *kernel_;
   Process& p = *process_;
   if (p.killed_) throw Interrupted{p.kill_reason_};
-  if (earliest_deadline_of(p.deadlines_) <= k.now_) {
+  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
+  if (deadline <= k.now_) {
     throw outermost_expired(p.deadlines_, k.now_);
   }
   if (d < Duration(0)) d = Duration(0);
   const TimePoint target = k.now_ + d;
-  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
   const TimePoint effective = std::min(target, deadline);
   k.schedule_locked(effective, &p);
   k.yield_from_process_locked(lock, &p);
@@ -368,18 +419,18 @@ void Context::sleep(Duration d) {
 }
 
 void Context::wait(Event& e) {
-  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  auto lock = kernel_->lock_self();
   Kernel& k = *kernel_;
   Process& p = *process_;
   if (p.killed_) throw Interrupted{p.kill_reason_};
-  if (earliest_deadline_of(p.deadlines_) <= k.now_) {
+  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
+  if (deadline <= k.now_) {
     throw outermost_expired(p.deadlines_, k.now_);
   }
   if (e.set_) return;
   Event::Waiter waiter;
   waiter.process = &p;
   e.link_locked(&waiter);
-  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
   if (deadline != kNoDeadline) k.schedule_locked(deadline, &p);
   while (true) {
     k.yield_from_process_locked(lock, &p);
@@ -398,17 +449,17 @@ void Context::wait(Event& e) {
 }
 
 bool Context::wait_for(Event& e, Duration timeout) {
-  std::unique_lock<std::mutex> lock(kernel_->mu_);
+  auto lock = kernel_->lock_self();
   Kernel& k = *kernel_;
   Process& p = *process_;
   if (p.killed_) throw Interrupted{p.kill_reason_};
-  if (earliest_deadline_of(p.deadlines_) <= k.now_) {
+  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
+  if (deadline <= k.now_) {
     throw outermost_expired(p.deadlines_, k.now_);
   }
   if (e.set_) return true;
   if (timeout < Duration(0)) timeout = Duration(0);
   const TimePoint local = k.now_ + timeout;
-  const TimePoint deadline = earliest_deadline_of(p.deadlines_);
   const TimePoint effective = std::min(local, deadline);
   Event::Waiter waiter;
   waiter.process = &p;
@@ -434,25 +485,25 @@ bool Context::wait_for(Event& e, Duration timeout) {
 }
 
 std::uint64_t Context::push_deadline(TimePoint deadline) {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   const std::uint64_t token = ++kernel_->next_seq_;
   process_->deadlines_.emplace_back(token, deadline);
   return token;
 }
 
 void Context::pop_deadline() {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   assert(!process_->deadlines_.empty());
   process_->deadlines_.pop_back();
 }
 
 TimePoint Context::earliest_deadline() const {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   return earliest_deadline_of(process_->deadlines_);
 }
 
 void Context::check() {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   Process& p = *process_;
   if (p.killed_) throw Interrupted{p.kill_reason_};
   if (earliest_deadline_of(p.deadlines_) <= kernel_->now_) {
@@ -467,7 +518,7 @@ ProcessHandle Context::spawn(std::string name, ProcessBody body) {
 void Context::join(Process& p) { wait(*p.done_); }
 
 void Context::kill(Process& p, std::string reason) {
-  std::lock_guard<std::mutex> lock(kernel_->mu_);
+  const auto lock = kernel_->lock_self();
   kernel_->kill_locked(p, std::move(reason));
 }
 
@@ -492,6 +543,7 @@ Kernel::Kernel(std::uint64_t seed, KernelOptions options)
 #else
       backend_(options.backend),
 #endif
+      queue_impl_(options.queue),
       fiber_stack_bytes_(resolve_stack_bytes(options.fiber_stack_bytes)),
       rng_(seed),
       logger_(LogLevel::kWarn) {
@@ -506,6 +558,7 @@ Kernel::~Kernel() {
 void Kernel::shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    MuHoldScope hold(this, backend_ == Backend::kFiber);
     shutting_down_ = true;
     propagate_errors_ = false;
     // Repeatedly kill everything alive and drain; unwinding bodies might
@@ -530,7 +583,7 @@ TimePoint Kernel::now() const {
 }
 
 ProcessHandle Kernel::spawn(std::string name, ProcessBody body) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_self();
   ProcessHandle p(new Process(this, next_process_id_, std::move(name),
                               std::move(body)));
   ++next_process_id_;
@@ -550,7 +603,7 @@ ProcessHandle Kernel::spawn(std::string name, ProcessBody body) {
 }
 
 void Kernel::kill(Process& p, std::string reason) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_self();
   kill_locked(p, std::move(reason));
 }
 
@@ -558,11 +611,19 @@ void Kernel::kill_locked(Process& p, std::string reason) {
   if (p.state_ == Process::State::kFinished || p.killed_) return;
   p.killed_ = true;
   p.kill_reason_ = std::move(reason);
+  // Invalidate pending wakeups whether or not p is the running process.
+  // The running process cannot have live entries today (its resume consumed
+  // and invalidated them), but the bump keeps the invariant local --
+  // "killed implies every prior entry is stale" -- instead of depending on
+  // that global property, and the audit asserts the live count really was
+  // zero.  A killed running process is NOT rescheduled: it unwinds at its
+  // next wait primitive.
+  invalidate_wakeups_locked(&p);
+  ++p.wake_token_;
   if (&p != current_) {
-    invalidate_wakeups_locked(&p);
-    ++p.wake_token_;  // invalidate any pending wakeup
     schedule_locked(now_, &p);
   }
+  audit_accounting_locked();
 }
 
 void Kernel::invalidate_wakeups_locked(Process* p) {
@@ -570,30 +631,79 @@ void Kernel::invalidate_wakeups_locked(Process* p) {
   p->live_wakeups_ = 0;
 }
 
-void Kernel::schedule_locked(TimePoint t, Process* p) {
-  assert(p->state_ != Process::State::kFinished);
-  queue_.push_back(internal::QueueEntry{std::max(t, now_), next_seq_++, p,
-                                        p->wake_token_});
-  std::push_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
-  ++p->live_wakeups_;
-  // Compaction keeps the heap O(live entries): without it, a long-lived
-  // process cycling through wait_for timeouts strands one stale entry per
-  // cycle and the queue grows for the whole run.
-  if (queue_.size() >= 64 && stale_wakeups_ > queue_.size() / 2) {
-    compact_queue_locked();
+// Exact recount of the lazy-cancellation bookkeeping: the stale counter
+// must equal the number of queue entries that can no longer fire, and each
+// process's live_wakeups_ must equal its token-matching entries.  O(queue)
+// per call, so the inline wrapper (kernel.hpp) only calls this when
+// assertions are on or ETHERGRID_QUEUE_AUDIT forces it.
+void Kernel::audit_accounting_slow_locked() const {
+#ifdef ETHERGRID_QUEUE_AUDIT_ON
+  // Counter drift is persistent -- once stale_wakeups_ or a live_wakeups_
+  // is wrong it stays wrong -- so on large queues sampling every 64th call
+  // still catches it, just a bounded number of events later.  Small queues
+  // (every unit test) stay exact on every call; without the throttle the
+  // big scenario suites go O(events x queue) under sanitizers.
+  if (queue_size_locked() > 128 && (++audit_tick_ & 63) != 0) return;
+  std::size_t stale = 0;
+  std::size_t depth = 0;
+  std::unordered_map<const Process*, std::size_t> live_by_process;
+  auto count = [&](const internal::QueueEntry& e) {
+    ++depth;
+    if (entry_stale(e)) {
+      ++stale;
+      return;
+    }
+    ++live_by_process[e.process];
+    // Token-uniform staleness invariant: finishing bumps the wake token, so
+    // no entry may reach a finished process through a matching token.
+    if (e.process->state_ == Process::State::kFinished) {
+      std::fprintf(stderr,
+                   "queue audit: finished process %llu has a live entry\n",
+                   static_cast<unsigned long long>(e.process->id_));
+      std::abort();
+    }
+  };
+  if (queue_impl_ == QueueImpl::kWheel) {
+    wheel_queue_.for_each(count);
+  } else {
+    heap_queue_.for_each(count);
   }
+  if (stale != stale_wakeups_) {
+    std::fprintf(stderr,
+                 "queue audit: stale_wakeups_=%zu actual=%zu depth=%zu\n",
+                 stale_wakeups_, stale, depth);
+    std::abort();
+  }
+  for (const ProcessHandle& p : processes_) {
+    const auto it = live_by_process.find(p.get());
+    const std::size_t live =
+        it == live_by_process.end() ? 0 : it->second;
+    if (live != p->live_wakeups_) {
+      std::fprintf(stderr,
+                   "queue audit: process %llu live_wakeups_=%llu actual=%zu\n",
+                   static_cast<unsigned long long>(p->id_),
+                   static_cast<unsigned long long>(p->live_wakeups_), live);
+      std::abort();
+    }
+  }
+#endif
 }
 
 void Kernel::compact_queue_locked() {
-  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [](const internal::QueueEntry& e) {
-                                return e.process->state_ ==
-                                           Process::State::kFinished ||
-                                       e.token != e.process->wake_token_;
-                              }),
-               queue_.end());
-  std::make_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
-  stale_wakeups_ = 0;
+  if (queue_impl_ == QueueImpl::kWheel) {
+    // Incremental: sweep a few occupied slots per trigger.  Near-future
+    // stale entries are already dropped when their slot drains; this
+    // reclaims the far-future ones (abandoned long timeouts, killed
+    // sleepers) without a stop-the-world rebuild.  Inline lambda, not a
+    // function pointer, so the predicate inlines into the template.
+    const auto stale = [](const internal::QueueEntry& e) {
+      return entry_stale(e);
+    };
+    stale_wakeups_ -= wheel_queue_.compact_step(stale);
+  } else {
+    stale_wakeups_ -= heap_queue_.compact(
+        [](const internal::QueueEntry& e) { return entry_stale(e); });
+  }
 }
 
 void Kernel::make_fiber_locked(Process* p) {
@@ -625,6 +735,8 @@ internal::FiberStack Kernel::obtain_stack_locked() {
     free_stacks_.pop_back();
     return stack;
   }
+  internal::FiberStack cached;
+  if (stack_cache().take(fiber_stack_bytes_, &cached)) return cached;
   const std::size_t page = page_size();
   internal::FiberStack stack;
   stack.usable_size = fiber_stack_bytes_;
@@ -655,7 +767,7 @@ void Kernel::recycle_stack_locked(Process* p) {
 
 void Kernel::release_stacks_locked() {
   for (const internal::FiberStack& stack : free_stacks_) {
-    ::munmap(stack.map_base, stack.map_size);
+    stack_cache().put(stack);
   }
   free_stacks_.clear();
 }
@@ -669,15 +781,23 @@ void Kernel::resume_locked(std::unique_lock<std::mutex>& lock, Process* p) {
   }
   if (p->state_ == Process::State::kNew) make_fiber_locked(p);
   current_ = p;
-  lock.unlock();
+  // Full-hold locking: fiber switches never leave this OS thread, so the
+  // drain's mutex hold simply persists across the jump -- `lock` stays
+  // owning, the far side never locks, and a simulated event costs zero
+  // mutex operations.
   if (sigsetjmp(sched_jb_, 0) == 0) {
     asan_start_switch(&sched_asan_fake_stack_, p->stack_.usable_lo,
                       p->stack_.usable_size);
     siglongjmp(p->fiber_jb_, 1);
   }
   asan_finish_switch(sched_asan_fake_stack_, nullptr, nullptr);
-  lock.lock();
-  if (p->state_ == Process::State::kFinished) recycle_stack_locked(p);
+  // With direct switching the fiber that finished is not necessarily the
+  // one this frame resumed (control may have chained through several
+  // processes before coming back); fiber_main leaves a note instead.
+  if (last_finished_ != nullptr) {
+    recycle_stack_locked(last_finished_);
+    last_finished_ = nullptr;
+  }
 }
 
 void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
@@ -694,7 +814,42 @@ void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
     return;
   }
   current_ = nullptr;
-  lock.unlock();
+  // Direct-switch fast path: pop the next runnable right here, on the
+  // yielding process's stack, and transfer control without bouncing
+  // through the scheduler frame.  The pop is the very call the scheduler
+  // loop would have made (same queue, same limit), so delivery order --
+  // and therefore the determinism contract -- is untouched; only the
+  // route control takes differs.
+  Process* next = pop_runnable_locked(run_limit_);
+  if (next == p) {
+    // Self-wakeup (a lone sleeper, the ubiquitous benchmark and timer
+    // pattern): nothing to switch to; just carry on.
+    current_ = p;
+    tls_running_context = p->context_;
+    return;
+  }
+#ifndef ETHERGRID_ASAN
+  // ASan builds skip fiber-to-fiber jumps: the switch annotations thread
+  // the *scheduler's* stack bounds through every hop, and a direct jump
+  // would corrupt them.  (The shims below are no-ops here.)
+  if (next != nullptr && next->state_ != Process::State::kNew) {
+    current_ = next;
+    if (sigsetjmp(p->fiber_jb_, 0) == 0) {
+      asan_start_switch(&p->asan_fake_stack_, next->stack_.usable_lo,
+                        next->stack_.usable_size);
+      siglongjmp(next->fiber_jb_, 1);
+    }
+    asan_finish_switch(p->asan_fake_stack_, &sched_stack_bottom_,
+                       &sched_stack_size_);
+    tls_running_context = p->context_;
+    return;
+  }
+#endif
+  // Scheduler-only cases: nothing runnable (end of drain), or a process
+  // whose fiber must first be created.  The popped entry was consumed, so
+  // park it for the scheduler loop to resume.
+  pending_next_ = next;
+  // Full-hold: the mutex is owned by the drain, not by `lock`; just jump.
   if (sigsetjmp(p->fiber_jb_, 0) == 0) {
     asan_start_switch(&p->asan_fake_stack_, sched_stack_bottom_,
                       sched_stack_size_);
@@ -705,18 +860,30 @@ void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
   asan_finish_switch(p->asan_fake_stack_, &sched_stack_bottom_,
                      &sched_stack_size_);
   tls_running_context = p->context_;
-  lock.lock();
 }
 
-Process* Kernel::pop_runnable_locked(TimePoint limit) {
-  while (!queue_.empty()) {
-    const internal::QueueEntry entry = queue_.front();
-    if (entry.time > limit) return nullptr;
-    std::pop_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
-    queue_.pop_back();
-    if (entry.process->state_ == Process::State::kFinished ||
-        entry.token != entry.process->wake_token_) {  // stale
+inline Process* Kernel::pop_runnable_locked(TimePoint limit) {
+  internal::QueueEntry entry;
+  while (true) {
+    if (queue_impl_ == QueueImpl::kWheel) {
+      // The wheel drops stale entries it meets while draining slots; count
+      // them off.  The entry it hands back may still be stale (it went
+      // stale after reaching the ready heap), so recheck below.
+      std::size_t dropped = 0;
+      const bool got = wheel_queue_.pop_due(
+          limit, &entry,
+          [](const internal::QueueEntry& e) { return entry_stale(e); },
+          &dropped);
+      assert(stale_wakeups_ >= dropped && "stale-wakeup underflow");
+      stale_wakeups_ -= dropped;
+      if (!got) return nullptr;
+    } else {
+      if (!heap_queue_.pop_due(limit, &entry)) return nullptr;
+    }
+    if (entry_stale(entry)) {
+      assert(stale_wakeups_ > 0 && "stale-wakeup underflow");
       --stale_wakeups_;
+      audit_accounting_locked();
       continue;
     }
     --entry.process->live_wakeups_;
@@ -726,14 +893,25 @@ Process* Kernel::pop_runnable_locked(TimePoint limit) {
     invalidate_wakeups_locked(entry.process);
     ++entry.process->wake_token_;  // consume: later same-token entries stale
     ++events_processed_;
+    audit_accounting_locked();
     return entry.process;
   }
-  return nullptr;
 }
 
 void Kernel::drain_locked(std::unique_lock<std::mutex>& lock,
                           TimePoint limit) {
-  while (Process* p = pop_runnable_locked(limit)) {
+  run_limit_ = limit;  // the yield-side fast path pops against this
+  while (true) {
+    // A direct-switch bounce may have parked an already-popped process
+    // here (first run: its fiber does not exist yet); it goes first --
+    // its queue entry was already consumed.
+    Process* p = pending_next_;
+    if (p != nullptr) {
+      pending_next_ = nullptr;
+    } else {
+      p = pop_runnable_locked(limit);
+      if (p == nullptr) break;
+    }
     resume_locked(lock, p);
     if (pending_error_ && propagate_errors_) {
       std::exception_ptr error = pending_error_;
@@ -745,41 +923,49 @@ void Kernel::drain_locked(std::unique_lock<std::mutex>& lock,
 
 void Kernel::run() {
   std::unique_lock<std::mutex> lock(mu_);
+  MuHoldScope hold(this, backend_ == Backend::kFiber);
   drain_locked(lock, TimePoint::max());
 }
 
 bool Kernel::run_until(TimePoint t) {
   std::unique_lock<std::mutex> lock(mu_);
+  MuHoldScope hold(this, backend_ == Backend::kFiber);
   drain_locked(lock, t);
   now_ = std::max(now_, t);
   now_fast_.store(now_.time_since_epoch().count(),
                   std::memory_order_release);
-  // Purge stale entries so the return value reflects real pending work.
-  while (!queue_.empty()) {
-    const internal::QueueEntry& entry = queue_.front();
-    if (entry.process->state_ != Process::State::kFinished &&
-        entry.token == entry.process->wake_token_) {
-      break;
+  if (queue_impl_ == QueueImpl::kHeap) {
+    // Purge stale entries off the front so the oracle's observable
+    // queue_depth matches its historical behavior.
+    internal::QueueEntry entry;
+    while (!heap_queue_.empty() && entry_stale(heap_queue_.front())) {
+      heap_queue_.pop_due(TimePoint::max(), &entry);
+      assert(stale_wakeups_ > 0 && "stale-wakeup underflow");
+      --stale_wakeups_;
+      audit_accounting_locked();
     }
-    std::pop_heap(queue_.begin(), queue_.end(), internal::QueueEntryLater{});
-    queue_.pop_back();
-    --stale_wakeups_;
+    return !heap_queue_.empty();
   }
-  return !queue_.empty();
+  // Exact lazy-cancellation accounting makes "any real pending work?" pure
+  // arithmetic -- no purge loop.  (Everything stale at or before t was
+  // already dropped while draining; what remains stale is far-future and
+  // incremental compaction's job.)
+  assert(wheel_queue_.size() >= stale_wakeups_ && "stale-wakeup underflow");
+  return wheel_queue_.size() > stale_wakeups_;
 }
 
 std::size_t Kernel::live_process_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_self();
   return live_processes_;
 }
 
 std::size_t Kernel::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  const auto lock = lock_self();
+  return queue_size_locked();
 }
 
 std::uint64_t Kernel::events_processed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_self();
   return events_processed_;
 }
 
@@ -790,7 +976,7 @@ Context* Kernel::current_context() const {
   // thread, plain caller thread) falls back to the locked read.
   Context* ctx = tls_running_context;
   if (ctx != nullptr && ctx->kernel_ == this) return ctx;
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_self();
   return current_ ? current_->context_ : nullptr;
 }
 

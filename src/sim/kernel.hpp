@@ -31,7 +31,9 @@
 #include <setjmp.h>
 #include <ucontext.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -41,10 +43,19 @@
 #include <thread>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
+
+// Queue-accounting audits run whenever assertions are on, and can be forced
+// into release builds (the stress probes do) by defining
+// ETHERGRID_QUEUE_AUDIT.  Evaluated here so the inline hot paths below can
+// compile the audit hook away entirely.
+#if !defined(NDEBUG) || defined(ETHERGRID_QUEUE_AUDIT)
+#define ETHERGRID_QUEUE_AUDIT_ON 1
+#endif
 
 namespace ethergrid::sim {
 
@@ -90,6 +101,10 @@ Backend default_backend();
 
 struct KernelOptions {
   Backend backend = default_backend();
+  // Event-queue implementation (see event_queue.hpp): kWheel unless the
+  // ETHERGRID_SIM_QUEUE environment variable says otherwise.  kHeap is the
+  // differential-testing oracle (tests/sim/queue_oracle_test.cpp).
+  QueueImpl queue = default_queue_impl();
   // Usable fiber stack bytes (excludes the guard page).  0 means the
   // default: ETHERGRID_SIM_STACK_KB if set, else 256 KiB (1 MiB under
   // AddressSanitizer, whose redzones inflate frames).  Rounded up to the
@@ -99,24 +114,12 @@ struct KernelOptions {
 
 namespace internal {
 
-// One pending wakeup.  Entries are not removed from the queue on
+// QueueEntry / QueueEntryLater and the queue implementations themselves
+// live in event_queue.hpp.  Entries are not removed from the queue on
 // cancellation; instead each process carries a wake token and stale entries
 // (token mismatch) are skipped on pop.  The kernel counts how many entries
-// can no longer fire and compacts the heap when they outnumber live ones,
-// so long runs with heavy wait_for timeout churn stay O(live) in memory.
-struct QueueEntry {
-  TimePoint time;
-  std::uint64_t seq;  // FIFO tie-break at equal times => determinism
-  Process* process;
-  std::uint64_t token;
-};
-
-struct QueueEntryLater {
-  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
+// can no longer fire and compacts when they outnumber live ones, so long
+// runs with heavy wait_for timeout churn stay O(live) in memory.
 
 // A recyclable fiber stack: one mmap'd region, PROT_NONE guard page at the
 // low end (stacks grow down), usable pages above it.
@@ -126,6 +129,13 @@ struct FiberStack {
   void* usable_lo = nullptr;   // first byte above the guard page
   std::size_t usable_size = 0;
 };
+
+// The kernel whose mutex this thread holds for the duration of an active
+// fiber-backend drain (full-hold locking, see Kernel::lock_self), or
+// nullptr.  GNU __thread rather than C++ thread_local: the constant
+// initializer guarantees no dynamic-init wrapper, so the hot-path read in
+// lock_self compiles to a single %fs-relative load.
+extern __thread const Kernel* tls_mu_holder;
 
 }  // namespace internal
 
@@ -355,6 +365,7 @@ class Kernel {
   Kernel& operator=(const Kernel&) = delete;
 
   Backend backend() const { return backend_; }
+  QueueImpl queue_impl() const { return queue_impl_; }
 
   TimePoint now() const;
 
@@ -404,18 +415,61 @@ class Kernel {
   friend class Context;
   friend class Event;
 
+  // Acquires mu_ -- unless this thread already holds it because a
+  // fiber-backend drain is active (full-hold locking), in which case the
+  // returned guard is non-owning.  On the fiber backend the scheduler and
+  // every process share one OS thread, so run()/run_until() hold mu_ for
+  // the whole drain and the per-primitive lock/unlock churn (three atomic
+  // RMWs per simulated event) disappears; callers on other threads still
+  // serialize normally.  The thread backend never engages full-hold: its
+  // baton protocol needs the real unlock inside condition_variable::wait.
+  // Defined here so every simulation primitive inlines it down to one TLS
+  // compare on the fiber fast path.
+  std::unique_lock<std::mutex> lock_self() const {
+    if (internal::tls_mu_holder == this) {
+      return std::unique_lock<std::mutex>(mu_, std::defer_lock);
+    }
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
   // --- All methods below require mu_ held. ---
 
+  // Defined inline below the class: it sits on the wake path of every
+  // primitive (sleep targets, event pulses, deadline arms).
   void schedule_locked(TimePoint t, Process* p);
 
-  // Drops every queue entry that can no longer fire (finished process or
-  // stale token) and re-heapifies.  Called when stale entries outnumber
-  // live ones; pop order is unchanged (the heap is a total order on
-  // (time, seq) and stale entries were skipped anyway).
+  // Reclaims queue entries that can no longer fire (stale token).  Called
+  // when stale entries outnumber live ones.  Heap: drops every stale entry
+  // and re-heapifies (stop-the-world).  Wheel: sweeps a bounded number of
+  // occupied slots (incremental, bitmap-guided round-robin).  Pop order is
+  // unchanged either way -- stale entries were skipped anyway.
   void compact_queue_locked();
+
+  // True iff e can no longer fire.  Token-uniform: finish and kill both
+  // bump the wake token, so this is a single comparison and queue
+  // implementations never read process state.
+  static bool entry_stale(const internal::QueueEntry& e);
+
+  // Total pending entries (stale included) in the active implementation.
+  std::size_t queue_size_locked() const {
+    return queue_impl_ == QueueImpl::kWheel ? wheel_queue_.size()
+                                            : heap_queue_.size();
+  }
 
   // Note that every entry carrying p's current token just went stale.
   void invalidate_wakeups_locked(Process* p);
+
+  // Debug/audit builds: recount stale entries and per-process live counts
+  // and abort on any drift from stale_wakeups_ / live_wakeups_.  No-op in
+  // release builds -- the inline wrapper compiles to nothing, so inlined
+  // hot paths carry no residual call.  Call only at consistency points
+  // (never between an invalidate and its paired token bump).
+  void audit_accounting_locked() const {
+#ifdef ETHERGRID_QUEUE_AUDIT_ON
+    audit_accounting_slow_locked();
+#endif
+  }
+  void audit_accounting_slow_locked() const;
 
   // Hands control to p and blocks until it yields back or finishes.
   void resume_locked(std::unique_lock<std::mutex>& lock, Process* p);
@@ -429,7 +483,14 @@ class Kernel {
   void kill_locked(Process& p, std::string reason);
 
   // Pops entries until a valid one at time <= limit; nullptr when none.
-  Process* pop_runnable_locked(TimePoint limit);
+  // Forced inline into its two callers (the drain loop and the yield-side
+  // direct-switch fast path, both in kernel.cpp): it runs once per
+  // simulated event and the call frame is measurable there.
+#if defined(__GNUC__)
+  __attribute__((always_inline))
+#endif
+  inline Process*
+  pop_runnable_locked(TimePoint limit);
 
   void drain_locked(std::unique_lock<std::mutex>& lock, TimePoint limit);
 
@@ -440,6 +501,7 @@ class Kernel {
   void release_stacks_locked();
 
   const Backend backend_;
+  const QueueImpl queue_impl_;
   const std::size_t fiber_stack_bytes_;
 
   mutable std::mutex mu_;
@@ -456,13 +518,29 @@ class Kernel {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_process_id_ = 1;
   std::uint64_t events_processed_ = 0;
-  std::vector<internal::QueueEntry> queue_;  // min-heap via QueueEntryLater
+  // Exactly one of these is active, per queue_impl_ (the idle one is a few
+  // empty vectors).  See event_queue.hpp.
+  internal::TimerWheel wheel_queue_;
+  internal::HeapQueue heap_queue_;
   std::size_t stale_wakeups_ = 0;  // queue entries that can no longer fire
+#ifdef ETHERGRID_QUEUE_AUDIT_ON
+  mutable std::uint64_t audit_tick_ = 0;  // sampling counter, audits only
+#endif
   std::vector<ProcessHandle> processes_;
   std::size_t live_processes_ = 0;
   bool shutting_down_ = false;
   bool propagate_errors_ = true;
   std::exception_ptr pending_error_;
+
+  // Direct-switch scheduling (fiber backend).  A yielding process pops the
+  // next runnable itself and siglongjmps straight into its fiber -- or
+  // simply returns, when the next wakeup is its own -- cutting the
+  // scheduler-frame bounce (a full switch pair) out of every steady-state
+  // event.  The scheduler frame is entered only for cases it alone can
+  // handle, via pending_next_: first runs (fiber creation) and end-of-drain.
+  TimePoint run_limit_ = TimePoint::max();  // active drain's limit
+  Process* pending_next_ = nullptr;  // popped, awaiting a scheduler resume
+  Process* last_finished_ = nullptr;  // stack awaiting recycling
 
   // Fiber backend state.  The scheduler's frame is saved in sched_jb_
   // across each switch into a fiber; finished fibers' stacks go to the
@@ -477,5 +555,76 @@ class Kernel {
   Rng rng_;
   Logger logger_;
 };
+
+// Hot methods defined here, below Kernel, so callers in any translation
+// unit inline them: on the fiber fast path Event::set() is a TLS compare
+// plus the waiter walk and a queue push, reset() a TLS compare and a store.
+
+inline bool Kernel::entry_stale(const internal::QueueEntry& e) {
+  return e.token != e.process->wake_token_;
+}
+
+inline void Kernel::schedule_locked(TimePoint t, Process* p) {
+  assert(p->state_ != Process::State::kFinished);
+  const internal::QueueEntry entry{std::max(t, now_), next_seq_++, p,
+                                   p->wake_token_};
+  if (queue_impl_ == QueueImpl::kWheel) {
+    wheel_queue_.push(entry);
+  } else {
+    heap_queue_.push(entry);
+  }
+  ++p->live_wakeups_;
+  // Compaction keeps the queue O(live entries): without it, a long-lived
+  // process cycling through wait_for timeouts strands one stale entry per
+  // cycle and the queue grows for the whole run.
+  if (stale_wakeups_ != 0) {
+    const std::size_t size = queue_size_locked();
+    if (size >= 64 && stale_wakeups_ > size / 2) {
+      compact_queue_locked();
+    }
+  }
+  audit_accounting_locked();
+}
+
+inline void Event::set() {
+  const auto lock = kernel_->lock_self();
+  set_locked();
+}
+
+inline void Event::set_locked() {
+  set_ = true;
+  pulse_locked();
+}
+
+inline void Event::pulse() {
+  const auto lock = kernel_->lock_self();
+  pulse_locked();
+}
+
+inline void Event::pulse_locked() {
+  // FIFO wake order (registration order) for deterministic seq assignment.
+  Waiter* w = head_;
+  head_ = tail_ = nullptr;
+  while (w) {
+    Waiter* next = w->next;
+    // linked=false is the whole detach: every consumer (unlink_locked, the
+    // ~Event safety net, waiter cleanup in Context) checks it before
+    // touching prev/next, so the stale pointers are never followed.
+    w->linked = false;
+    w->granted = true;
+    kernel_->schedule_locked(kernel_->now_, w->process);
+    w = next;
+  }
+}
+
+inline void Event::reset() {
+  const auto lock = kernel_->lock_self();
+  set_ = false;
+}
+
+inline bool Event::is_set() const {
+  const auto lock = kernel_->lock_self();
+  return set_;
+}
 
 }  // namespace ethergrid::sim

@@ -1,14 +1,18 @@
 // Backend equivalence: the fiber and thread backends are two executors of
-// ONE simulation.  Same seed, same scenario, same fault plan => identical
-// final statistics and a byte-identical fault audit, regardless of which
-// backend ran the processes.  This is the differential oracle that keeps
-// the fiber fast path honest: any scheduling divergence (wrong wake order,
-// dropped wakeup, RNG stream skew) shows up here as a stats or audit diff.
+// ONE simulation, and the timer wheel and binary heap are two containers
+// for ONE event queue.  Same seed, same scenario, same fault plan =>
+// identical final statistics and a byte-identical fault audit across every
+// (backend x queue) combination.  This is the differential oracle that
+// keeps the fiber fast path and the wheel's cascade logic honest: any
+// scheduling divergence (wrong wake order, dropped wakeup, RNG stream
+// skew) shows up here as a stats or audit diff.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <tuple>
+#include <utility>
 
 #include "exp/scenarios.hpp"
 #include "obs/trace.hpp"
@@ -32,12 +36,29 @@ sim::FaultPlan parse_plan(const std::string& spec) {
   return plan;
 }
 
-exp::ReaderTimeline run_readers(sim::Backend backend, std::uint64_t seed,
+// Every executor/queue pairing the kernel supports; index 0 is the
+// reference configuration the others must match.
+constexpr std::pair<sim::Backend, sim::QueueImpl> kCombos[] = {
+    {sim::Backend::kFiber, sim::QueueImpl::kWheel},
+    {sim::Backend::kThread, sim::QueueImpl::kWheel},
+    {sim::Backend::kFiber, sim::QueueImpl::kHeap},
+    {sim::Backend::kThread, sim::QueueImpl::kHeap},
+};
+
+const char* combo_name(std::size_t i) {
+  static const char* names[] = {"fiber/wheel", "thread/wheel", "fiber/heap",
+                                "thread/heap"};
+  return names[i];
+}
+
+exp::ReaderTimeline run_readers(sim::Backend backend, sim::QueueImpl queue,
+                                std::uint64_t seed,
                                 const std::string& plan_spec,
                                 grid::DisciplineKind kind) {
   exp::ReaderScenarioConfig config;
   config.seed = seed;
   config.kernel.backend = backend;
+  config.kernel.queue = queue;
   config.faults = parse_plan(plan_spec);
   return exp::run_reader_timeline(config, kind, sec(900), sec(30));
 }
@@ -60,20 +81,25 @@ TEST_P(BackendEquivalenceTest, ChaosReaderStatsAndAuditMatch) {
   const auto [seed, plan] = GetParam();
   for (grid::DisciplineKind kind :
        {grid::DisciplineKind::kFixed, grid::DisciplineKind::kEthernet}) {
-    const auto fiber = run_readers(sim::Backend::kFiber, seed, plan, kind);
-    const auto thread = run_readers(sim::Backend::kThread, seed, plan, kind);
-    EXPECT_EQ(fiber.transfers_total, thread.transfers_total);
-    EXPECT_EQ(fiber.collisions_total, thread.collisions_total);
-    EXPECT_EQ(fiber.deferrals_total, thread.deferrals_total);
-    EXPECT_EQ(fiber.faults_injected, thread.faults_injected);
-    // Byte-identical audit text: every injected fault fired at the same
-    // virtual instant at the same site in the same order.
-    EXPECT_EQ(fiber.fault_audit, thread.fault_audit);
-    ASSERT_EQ(fiber.points.size(), thread.points.size());
-    for (std::size_t i = 0; i < fiber.points.size(); ++i) {
-      EXPECT_EQ(fiber.points[i].transfers, thread.points[i].transfers) << i;
-      EXPECT_EQ(fiber.points[i].collisions, thread.points[i].collisions) << i;
-      EXPECT_EQ(fiber.points[i].deferrals, thread.points[i].deferrals) << i;
+    const auto ref = run_readers(kCombos[0].first, kCombos[0].second, seed,
+                                 plan, kind);
+    for (std::size_t c = 1; c < std::size(kCombos); ++c) {
+      const auto got = run_readers(kCombos[c].first, kCombos[c].second, seed,
+                                   plan, kind);
+      SCOPED_TRACE(combo_name(c));
+      EXPECT_EQ(ref.transfers_total, got.transfers_total);
+      EXPECT_EQ(ref.collisions_total, got.collisions_total);
+      EXPECT_EQ(ref.deferrals_total, got.deferrals_total);
+      EXPECT_EQ(ref.faults_injected, got.faults_injected);
+      // Byte-identical audit text: every injected fault fired at the same
+      // virtual instant at the same site in the same order.
+      EXPECT_EQ(ref.fault_audit, got.fault_audit);
+      ASSERT_EQ(ref.points.size(), got.points.size());
+      for (std::size_t i = 0; i < ref.points.size(); ++i) {
+        EXPECT_EQ(ref.points[i].transfers, got.points[i].transfers) << i;
+        EXPECT_EQ(ref.points[i].collisions, got.points[i].collisions) << i;
+        EXPECT_EQ(ref.points[i].deferrals, got.points[i].deferrals) << i;
+      }
     }
   }
 }
@@ -95,19 +121,23 @@ TEST(BackendEquivalence, SubmitScaleMatches) {
   config.seed = 42;
   config.faults = parse_plan("schedd.submit:reset@0.05");
 
-  config.kernel.backend = sim::Backend::kFiber;
-  const auto fiber =
+  config.kernel.backend = kCombos[0].first;
+  config.kernel.queue = kCombos[0].second;
+  const auto ref =
       exp::run_submit_scale_point(config, grid::DisciplineKind::kEthernet, 80);
-  config.kernel.backend = sim::Backend::kThread;
-  const auto thread =
-      exp::run_submit_scale_point(config, grid::DisciplineKind::kEthernet, 80);
-
-  EXPECT_EQ(fiber.jobs_submitted, thread.jobs_submitted);
-  EXPECT_EQ(fiber.schedd_crashes, thread.schedd_crashes);
-  EXPECT_EQ(fiber.fd_low_watermark, thread.fd_low_watermark);
-  EXPECT_EQ(fiber.faults_injected, thread.faults_injected);
-  EXPECT_EQ(fiber.fault_audit, thread.fault_audit);
-  EXPECT_EQ(fiber.kernel_events, thread.kernel_events);
+  for (std::size_t c = 1; c < std::size(kCombos); ++c) {
+    config.kernel.backend = kCombos[c].first;
+    config.kernel.queue = kCombos[c].second;
+    const auto got = exp::run_submit_scale_point(
+        config, grid::DisciplineKind::kEthernet, 80);
+    SCOPED_TRACE(combo_name(c));
+    EXPECT_EQ(ref.jobs_submitted, got.jobs_submitted);
+    EXPECT_EQ(ref.schedd_crashes, got.schedd_crashes);
+    EXPECT_EQ(ref.fd_low_watermark, got.fd_low_watermark);
+    EXPECT_EQ(ref.faults_injected, got.faults_injected);
+    EXPECT_EQ(ref.fault_audit, got.fault_audit);
+    EXPECT_EQ(ref.kernel_events, got.kernel_events);
+  }
 }
 
 // ---- trace determinism ----
@@ -127,8 +157,8 @@ const char kTraceScript[] =
     "  false\n"
     "end\n";
 
-std::string run_script_trace(sim::Backend backend) {
-  sim::Kernel kernel(7, {backend});
+std::string run_script_trace(sim::Backend backend, sim::QueueImpl queue) {
+  sim::Kernel kernel(7, {backend, queue});
   shell::SimExecutor executor(kernel);
   shell::SessionOptions options;
   options.collect_trace = true;
@@ -147,20 +177,23 @@ TEST(BackendEquivalence, ScriptTraceBytesMatch) {
   if (!fiber_backend_available()) {
     GTEST_SKIP() << "fiber backend unavailable (TSan build)";
   }
-  const std::string fiber = run_script_trace(sim::Backend::kFiber);
-  const std::string thread = run_script_trace(sim::Backend::kThread);
-  EXPECT_NE(fiber.find("forall"), std::string::npos);
-  EXPECT_NE(fiber.find("backoff"), std::string::npos);
-  EXPECT_EQ(fiber, thread);
+  const std::string ref = run_script_trace(kCombos[0].first, kCombos[0].second);
+  EXPECT_NE(ref.find("forall"), std::string::npos);
+  EXPECT_NE(ref.find("backoff"), std::string::npos);
+  for (std::size_t c = 1; c < std::size(kCombos); ++c) {
+    SCOPED_TRACE(combo_name(c));
+    EXPECT_EQ(ref, run_script_trace(kCombos[c].first, kCombos[c].second));
+  }
 }
 
-std::string run_reader_trace(sim::Backend backend) {
+std::string run_reader_trace(sim::Backend backend, sim::QueueImpl queue) {
   obs::TraceRecorder recorder("gridsim");
   obs::ObserverSet set;
   set.add(&recorder);
   exp::ReaderScenarioConfig config;
   config.seed = 42;
   config.kernel.backend = backend;
+  config.kernel.queue = queue;
   config.faults = parse_plan(kPlanResets);
   config.observers = &set;
   (void)exp::run_reader_timeline(config, grid::DisciplineKind::kEthernet,
@@ -172,11 +205,13 @@ TEST(BackendEquivalence, ChaosReaderTraceBytesMatch) {
   if (!fiber_backend_available()) {
     GTEST_SKIP() << "fiber backend unavailable (TSan build)";
   }
-  const std::string fiber = run_reader_trace(sim::Backend::kFiber);
-  const std::string thread = run_reader_trace(sim::Backend::kThread);
-  EXPECT_NE(fiber.find("collision"), std::string::npos);
-  EXPECT_NE(fiber.find("fault"), std::string::npos);
-  EXPECT_EQ(fiber, thread);
+  const std::string ref = run_reader_trace(kCombos[0].first, kCombos[0].second);
+  EXPECT_NE(ref.find("collision"), std::string::npos);
+  EXPECT_NE(ref.find("fault"), std::string::npos);
+  for (std::size_t c = 1; c < std::size(kCombos); ++c) {
+    SCOPED_TRACE(combo_name(c));
+    EXPECT_EQ(ref, run_reader_trace(kCombos[c].first, kCombos[c].second));
+  }
 }
 
 }  // namespace
