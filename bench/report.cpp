@@ -101,10 +101,22 @@ void Report::write() {
   if (file.empty()) return;
 
   const double wall = double(now_ns() - start_ns_) * 1e-9;
+  // Benchmark-library binaries (micro_sim, micro_shell) report per-bench
+  // rates through metric() and never see the kernel's event counter; for
+  // them the Report's own wall clock spans only the report construction,
+  // so the wall/events aggregates would be nonsense (microsecond walls,
+  // zero events).  Null them out instead of publishing bogus numbers.
+  const bool metric_only = events_ == 0 && !metrics_.empty();
   std::ostringstream entry;
   entry << "  {\"name\": \"" << json_escape(name_) << "\""
-        << ", \"wall_seconds\": " << json_number(wall)
-        << ", \"events\": " << events_ << ", \"events_per_sec\": "
+        << ", \"wall_seconds\": " << (metric_only ? "null" : json_number(wall))
+        << ", \"events\": ";
+  if (metric_only) {
+    entry << "null";
+  } else {
+    entry << events_;
+  }
+  entry << ", \"events_per_sec\": "
         << (wall > 0 && events_ > 0 ? json_number(double(events_) / wall)
                                     : "null")
         << ", \"shape_ok\": "

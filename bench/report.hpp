@@ -33,7 +33,10 @@ class Report {
   Report& operator=(const Report&) = delete;
 
   // Accumulates virtual-time events processed (sum across kernels/runs);
-  // events_per_sec in the entry is this total over the wall clock.
+  // events_per_sec in the entry is this total over the wall clock.  A
+  // metric-only report (metric() called, never add_events()) emits null
+  // for wall_seconds/events/events_per_sec: its wall clock spans only the
+  // report object's lifetime, not the measured work.
   void add_events(std::uint64_t events);
 
   // Records one shape-check outcome; the entry's shape_ok is the AND of

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mc/strategy.hpp"
 #include "sim/fault_plan.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -69,6 +70,20 @@ class FaultInjector {
   // Called synchronously for every fired fault (after it is recorded).
   void set_observer(std::function<void(const FaultEvent&)> observer);
 
+  // Model checking: with a strategy installed, probabilistic rules stop
+  // drawing from the per-site RNG stream and become an enumerable choice.
+  // For each consultation, the eligible alternatives are the matching
+  // kError/kStall/kReset rules with 0 < probability < 1, in plan order, up
+  // to (but not including) the first rule that would fire deterministically
+  // -- a crash past its time, a partition inside its window, or any rule
+  // with probability >= 1 -- which becomes the fallback.  choose() index 0
+  // means "no probabilistic fault" (the fallback fires if there is one);
+  // index k>0 fires the k-th alternative.  kReset fires with the midpoint
+  // of its fraction range so the decision stays RNG-free.  Sites with no
+  // alternatives never consult the strategy, and the RNG streams are not
+  // advanced while one is installed.
+  void set_strategy(mc::Strategy* strategy);
+
   // --- audit trail ---
   std::int64_t fired_total() const;
   std::int64_t fired_at(std::string_view site) const;
@@ -81,6 +96,10 @@ class FaultInjector {
   Rng& site_rng(std::string_view site);
   void record(TimePoint now, std::string_view site, const sim::FaultSpec& spec,
               std::string detail);
+  FaultDecision decide_with_strategy_locked(std::string_view site,
+                                            TimePoint now);
+  FaultDecision fire_rule_locked(std::size_t index, std::string_view site,
+                                 TimePoint now);
 
   sim::FaultPlan plan_;
   Rng root_;
@@ -90,6 +109,7 @@ class FaultInjector {
   std::vector<FaultEvent> events_;
   std::map<std::string, std::int64_t, std::less<>> fired_;
   std::function<void(const FaultEvent&)> observer_;
+  mc::Strategy* strategy_ = nullptr;
 };
 
 }  // namespace ethergrid::core

@@ -1,0 +1,383 @@
+#include "mc/scenarios.hpp"
+
+#include <utility>
+
+#include "core/fault.hpp"
+#include "grid/fd_table.hpp"
+#include "grid/schedd.hpp"
+#include "shell/session.hpp"
+#include "shell/sim_executor.hpp"
+#include "sim/resource.hpp"
+#include "sim/store.hpp"
+
+namespace ethergrid::mc {
+
+namespace {
+
+// ------------------------------------------------------------ forall-abort
+
+// One branch of three fails after a same-instant sleep; the interpreter's
+// sibling-abort (kill-on-failure) storm must leave no process behind and
+// keep the wakeup accounting exact through the kills.  The sleeps are
+// deliberately identical so every branch wakes at the same instant --
+// maximum scheduling ambiguity for the explorer to enumerate.
+constexpr const char* kForallAbortScript = R"(
+forall b in 1 2 3
+  branch ${b}
+end
+)";
+
+class ForallAbortWorld final : public ScenarioWorld {
+ public:
+  explicit ForallAbortWorld(sim::Kernel& kernel)
+      : executor(kernel), session(executor) {}
+
+  shell::SimExecutor executor;
+  shell::Session session;
+  Status result = Status::success();
+  bool script_done = false;
+};
+
+class ForallAbortScenario final : public Scenario {
+ public:
+  std::string name() const override { return "forall-abort"; }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel, Strategy*,
+                                       InvariantSet& invariants) override {
+    auto world = std::make_unique<ForallAbortWorld>(kernel);
+    ForallAbortWorld* w = world.get();
+    w->executor.register_command(
+        "branch",
+        [](sim::Context& ctx,
+           const shell::CommandInvocation& inv) -> shell::CommandResult {
+          ctx.sleep(msec(1));
+          if (inv.argv.size() > 1 && inv.argv[1] == "2") {
+            return {Status::failure("branch 2 fails"), "", ""};
+          }
+          return {Status::success(), "", ""};
+        });
+    kernel.spawn("script", [w](sim::Context& ctx) {
+      shell::SimExecutor::ContextBinding binding(w->executor, ctx);
+      w->result = w->session.run_source(kForallAbortScript);
+      w->script_done = true;
+    });
+    invariants.add("forall-reports-failure",
+                   [w](const CheckContext& ctx) -> Status {
+                     if (!ctx.at_end) return Status::success();
+                     if (!w->script_done) {
+                       return Status::failure("script never completed");
+                     }
+                     if (w->result.ok()) {
+                       return Status::failure(
+                           "forall with a failing branch reported success");
+                     }
+                     return Status::success();
+                   });
+    return world;
+  }
+};
+
+// ---------------------------------------------------- try-timeout-resource
+
+// Two clients race a try/timeout around a capacity-1 Resource, fd-table
+// entries, and a bounded Store slot, with a probabilistic stall fault that
+// pushes some paths past the deadline.  Whatever the interleaving and
+// whichever side of the deadline each wait lands on, every unwind path must
+// give back everything it held.
+constexpr const char* kTryTimeoutScript = R"(
+try for 60 milliseconds
+  grab
+end
+)";
+
+class TryTimeoutWorld final : public ScenarioWorld {
+ public:
+  explicit TryTimeoutWorld(sim::Kernel& kernel, Rng fault_rng)
+      : resource(kernel, 1),
+        fds(8),
+        store(kernel, 2),
+        faults(sim::FaultPlan().add("mc.grab",
+                                    sim::FaultPlan::stall(0.5, msec(40))),
+               fault_rng),
+        executor(kernel) {}
+
+  sim::Resource resource;
+  grid::FdTable fds;
+  sim::Store<int> store;
+  core::FaultInjector faults;
+  shell::SimExecutor executor;
+  std::vector<std::unique_ptr<shell::Session>> sessions;
+};
+
+class TryTimeoutScenario final : public Scenario {
+ public:
+  std::string name() const override { return "try-timeout-resource"; }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel,
+                                       Strategy* strategy,
+                                       InvariantSet& invariants) override {
+    auto world = std::make_unique<TryTimeoutWorld>(kernel, kernel.rng());
+    TryTimeoutWorld* w = world.get();
+    w->faults.set_strategy(strategy);
+    w->executor.register_command(
+        "grab",
+        [w](sim::Context& ctx,
+            const shell::CommandInvocation&) -> shell::CommandResult {
+          // Everything acquired here must ride RAII (or the guard below):
+          // the enclosing try's deadline may unwind this frame at any wait.
+          sim::ResourceLease lease(ctx, w->resource);
+          grid::FdLease fd(w->fds, 2);
+          const core::FaultDecision fault =
+              w->faults.decide("mc.grab", ctx.now());
+          if (fault.action == core::FaultDecision::Action::kStall) {
+            ctx.sleep(fault.stall);
+          }
+          w->store.put(ctx, 1);
+          // Pop our slot back out even if the sleep below unwinds.
+          struct StoreSlotGuard {
+            sim::Store<int>* store;
+            ~StoreSlotGuard() {
+              int value = 0;
+              store->try_get(&value);
+            }
+          } guard{&w->store};
+          ctx.sleep(msec(30));
+          return {Status::success(), "", ""};
+        });
+    shell::SessionOptions session_options;
+    session_options.backoff.kind = core::BackoffPolicy::Kind::kFixed;
+    session_options.backoff.base = msec(10);
+    session_options.backoff.jitter_min = 1.0;
+    session_options.backoff.jitter_max = 1.0;
+    for (int i = 0; i < 2; ++i) {
+      w->sessions.push_back(
+          std::make_unique<shell::Session>(w->executor, session_options));
+      shell::Session* session = w->sessions.back().get();
+      kernel.spawn("client" + std::to_string(i), [w, session](
+                                                    sim::Context& ctx) {
+        shell::SimExecutor::ContextBinding binding(w->executor, ctx);
+        (void)session->run_source(kTryTimeoutScript);
+      });
+    }
+    invariants.add(
+        "try-timeout-releases-resources",
+        [w](const CheckContext& ctx) -> Status {
+          if (!ctx.at_end) return Status::success();
+          if (w->resource.available() != w->resource.capacity()) {
+            return Status::failure(
+                "resource units leaked: available " +
+                std::to_string(w->resource.available()) + " of " +
+                std::to_string(w->resource.capacity()));
+          }
+          if (w->fds.in_use() != 0) {
+            return Status::failure("fd-table entries leaked: in_use " +
+                                   std::to_string(w->fds.in_use()));
+          }
+          if (w->store.size() != 0) {
+            return Status::failure("store slots leaked: size " +
+                                   std::to_string(w->store.size()));
+          }
+          return Status::success();
+        });
+    return world;
+  }
+};
+
+// ---------------------------------------------------- carrier-sense-crash
+
+// The paper's Ethernet submitter (carrier-sense on the fd table, then
+// submit) against a Schedd that crashes partway through and probabilistically
+// rejects submissions.  The discipline's whole claim is that it rides out
+// the crash: no interleaving or fault branch may deadlock the retry loop or
+// leak a process once the try budget expires.
+constexpr const char* kCarrierSenseScript = R"(
+try for 3 seconds
+  read-file-nr -> n
+  if ${n} .lt. 20
+    failure
+  else
+    condor_submit
+  end
+end
+)";
+
+class CarrierSenseWorld final : public ScenarioWorld {
+ public:
+  CarrierSenseWorld(sim::Kernel& kernel, const grid::ScheddConfig& config,
+                    Rng fault_rng)
+      : schedd(kernel, config),
+        faults(sim::FaultPlan()
+                   .add("schedd.submit", sim::FaultPlan::error(0.25))
+                   .add("schedd.submit",
+                        sim::FaultPlan::crash_at(kEpoch + msec(50))),
+               fault_rng),
+        executor(kernel) {}
+
+  grid::Schedd schedd;
+  core::FaultInjector faults;
+  shell::SimExecutor executor;
+  std::vector<std::unique_ptr<shell::Session>> sessions;
+};
+
+class CarrierSenseScenario final : public Scenario {
+ public:
+  std::string name() const override { return "carrier-sense-crash"; }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel,
+                                       Strategy* strategy,
+                                       InvariantSet& invariants) override {
+    grid::ScheddConfig config;
+    config.fd_capacity = 60;
+    config.fds_per_connection = 20;
+    config.fds_per_connection_jitter = 0;
+    config.fds_per_service = 4;
+    config.fds_per_transfer = 0;
+    config.service_concurrency = 1;
+    config.service_min = msec(20);
+    config.service_max = msec(20);
+    config.slowdown_per_connection = 0;
+    config.connect_time = msec(10);
+    config.restart_delay = msec(300);
+    auto world =
+        std::make_unique<CarrierSenseWorld>(kernel, config, kernel.rng());
+    CarrierSenseWorld* w = world.get();
+    w->faults.set_strategy(strategy);
+    w->schedd.set_fault_injector(&w->faults);
+    w->executor.register_command(
+        "read-file-nr",
+        [w](sim::Context& ctx,
+            const shell::CommandInvocation&) -> shell::CommandResult {
+          ctx.sleep(msec(1));
+          return {Status::success(),
+                  std::to_string(w->schedd.fd_table().available()), ""};
+        });
+    w->executor.register_command(
+        "condor_submit",
+        [w](sim::Context& ctx,
+            const shell::CommandInvocation&) -> shell::CommandResult {
+          return {w->schedd.submit(ctx), "", ""};
+        });
+    shell::SessionOptions session_options;
+    session_options.backoff.kind = core::BackoffPolicy::Kind::kFixed;
+    session_options.backoff.base = msec(100);
+    session_options.backoff.jitter_min = 1.0;
+    session_options.backoff.jitter_max = 1.0;
+    for (int i = 0; i < 2; ++i) {
+      w->sessions.push_back(
+          std::make_unique<shell::Session>(w->executor, session_options));
+      shell::Session* session = w->sessions.back().get();
+      kernel.spawn("submitter" + std::to_string(i), [w, session](
+                                                        sim::Context& ctx) {
+        shell::SimExecutor::ContextBinding binding(w->executor, ctx);
+        (void)session->run_source(kCarrierSenseScript);
+      });
+    }
+    (void)invariants;  // defaults (no leaks / accounting) are the contract
+    return world;
+  }
+};
+
+// ---------------------------------------------------- wake-token-selftest
+
+// Re-arms the pre-PR-6 accounting bug (kill without invalidate) through the
+// KernelOptions debug knob.  The drift is only observable in the window
+// between the kill and the delivery of the victim's kill-wakeup -- exactly
+// the kind of ordering-dependent bug seed-sampled chaos can miss and the
+// explorer cannot: some interleaving delivers another process's wakeup
+// inside the window, and the per-transition queue-accounting invariant
+// fires with a replayable trace.
+class WakeTokenWorld final : public ScenarioWorld {
+ public:
+  sim::ProcessHandle sleeper;
+};
+
+class WakeTokenScenario final : public Scenario {
+ public:
+  std::string name() const override { return "wake-token-selftest"; }
+
+  sim::KernelOptions kernel_options(sim::KernelOptions base) const override {
+    base.debug_kill_skips_invalidate = true;
+    return base;
+  }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel, Strategy*,
+                                       InvariantSet&) override {
+    auto world = std::make_unique<WakeTokenWorld>();
+    WakeTokenWorld* w = world.get();
+    w->sleeper = kernel.spawn("sleeper", [](sim::Context& ctx) {
+      ctx.sleep(sec(1));  // the pending far-future wakeup the kill strands
+    });
+    kernel.spawn("ticker", [](sim::Context& ctx) {
+      for (int i = 0; i < 3; ++i) ctx.yield();
+    });
+    kernel.spawn("killer", [w](sim::Context& ctx) {
+      ctx.yield();
+      ctx.kill(w->sleeper, "selftest kill");
+    });
+    return world;
+  }
+};
+
+// ------------------------------------------------------------- script
+
+class ScriptWorld final : public ScenarioWorld {
+ public:
+  explicit ScriptWorld(sim::Kernel& kernel)
+      : executor(kernel), session(executor) {}
+
+  shell::SimExecutor executor;
+  shell::Session session;
+  Status result = Status::success();
+};
+
+class ScriptScenario final : public Scenario {
+ public:
+  ScriptScenario(std::string name, std::string source)
+      : name_(std::move(name)), source_(std::move(source)) {}
+
+  std::string name() const override { return name_; }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel, Strategy*,
+                                       InvariantSet&) override {
+    auto world = std::make_unique<ScriptWorld>(kernel);
+    ScriptWorld* w = world.get();
+    const std::string& source = source_;
+    kernel.spawn("script", [w, source](sim::Context& ctx) {
+      shell::SimExecutor::ContextBinding binding(w->executor, ctx);
+      w->result = w->session.run_source(source);
+    });
+    return world;
+  }
+
+ private:
+  std::string name_;
+  std::string source_;
+};
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"forall-abort", "try-timeout-resource", "carrier-sense-crash",
+          "wake-token-selftest"};
+}
+
+std::unique_ptr<Scenario> make_scenario(const std::string& name) {
+  if (name == "forall-abort") return std::make_unique<ForallAbortScenario>();
+  if (name == "try-timeout-resource") {
+    return std::make_unique<TryTimeoutScenario>();
+  }
+  if (name == "carrier-sense-crash") {
+    return std::make_unique<CarrierSenseScenario>();
+  }
+  if (name == "wake-token-selftest") {
+    return std::make_unique<WakeTokenScenario>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Scenario> make_script_scenario(std::string name,
+                                               std::string source) {
+  return std::make_unique<ScriptScenario>(std::move(name), std::move(source));
+}
+
+}  // namespace ethergrid::mc

@@ -545,6 +545,7 @@ Kernel::Kernel(std::uint64_t seed, KernelOptions options)
 #endif
       queue_impl_(options.queue),
       fiber_stack_bytes_(resolve_stack_bytes(options.fiber_stack_bytes)),
+      debug_kill_skips_invalidate_(options.debug_kill_skips_invalidate),
       rng_(seed),
       logger_(LogLevel::kWarn) {
 }
@@ -561,6 +562,10 @@ void Kernel::shutdown() {
     MuHoldScope hold(this, backend_ == Backend::kFiber);
     shutting_down_ = true;
     propagate_errors_ = false;
+    // Shutdown must drain unconditionally; a strategy (or its pending halt)
+    // would stop the drain and strand unwinding processes.
+    strategy_ = nullptr;
+    strategy_halt_ = false;
     // Repeatedly kill everything alive and drain; unwinding bodies might
     // spawn (spawns during shutdown start pre-killed, see spawn()).
     for (int rounds = 0; live_processes_ > 0 && rounds < 64; ++rounds) {
@@ -618,7 +623,9 @@ void Kernel::kill_locked(Process& p, std::string reason) {
   // that global property, and the audit asserts the live count really was
   // zero.  A killed running process is NOT rescheduled: it unwinds at its
   // next wait primitive.
-  invalidate_wakeups_locked(&p);
+  if (!debug_kill_skips_invalidate_) {
+    invalidate_wakeups_locked(&p);
+  }
   ++p.wake_token_;
   if (&p != current_) {
     schedule_locked(now_, &p);
@@ -636,17 +643,17 @@ void Kernel::invalidate_wakeups_locked(Process* p) {
 // process's live_wakeups_ must equal its token-matching entries.  O(queue)
 // per call, so the inline wrapper (kernel.hpp) only calls this when
 // assertions are on or ETHERGRID_QUEUE_AUDIT forces it.
-void Kernel::audit_accounting_slow_locked() const {
-#ifdef ETHERGRID_QUEUE_AUDIT_ON
-  // Counter drift is persistent -- once stale_wakeups_ or a live_wakeups_
-  // is wrong it stays wrong -- so on large queues sampling every 64th call
-  // still catches it, just a bounded number of events later.  Small queues
-  // (every unit test) stay exact on every call; without the throttle the
-  // big scenario suites go O(events x queue) under sanitizers.
-  if (queue_size_locked() > 128 && (++audit_tick_ & 63) != 0) return;
+// The exact recount behind both the debug audit (abort on drift) and the
+// public verify_queue_accounting() (Status on drift): the stale counter must
+// equal the number of queue entries that can no longer fire, and each
+// process's live_wakeups_ its token-matching entries.  One implementation so
+// the model checker, the chaos tests, and the debug audit can never disagree
+// about what "accounting is consistent" means.
+Status Kernel::check_queue_accounting_locked() const {
   std::size_t stale = 0;
   std::size_t depth = 0;
   std::unordered_map<const Process*, std::size_t> live_by_process;
+  const Process* finished_with_live = nullptr;
   auto count = [&](const internal::QueueEntry& e) {
     ++depth;
     if (entry_stale(e)) {
@@ -657,10 +664,7 @@ void Kernel::audit_accounting_slow_locked() const {
     // Token-uniform staleness invariant: finishing bumps the wake token, so
     // no entry may reach a finished process through a matching token.
     if (e.process->state_ == Process::State::kFinished) {
-      std::fprintf(stderr,
-                   "queue audit: finished process %llu has a live entry\n",
-                   static_cast<unsigned long long>(e.process->id_));
-      std::abort();
+      finished_with_live = e.process;
     }
   };
   if (queue_impl_ == QueueImpl::kWheel) {
@@ -668,23 +672,51 @@ void Kernel::audit_accounting_slow_locked() const {
   } else {
     heap_queue_.for_each(count);
   }
+  if (finished_with_live != nullptr) {
+    return Status::failure(
+        "queue accounting: finished process " +
+        std::to_string(finished_with_live->id_) + " has a live entry");
+  }
   if (stale != stale_wakeups_) {
-    std::fprintf(stderr,
-                 "queue audit: stale_wakeups_=%zu actual=%zu depth=%zu\n",
-                 stale_wakeups_, stale, depth);
-    std::abort();
+    return Status::failure(
+        "queue accounting: stale_wakeups_=" + std::to_string(stale_wakeups_) +
+        " actual=" + std::to_string(stale) +
+        " depth=" + std::to_string(depth));
   }
   for (const ProcessHandle& p : processes_) {
     const auto it = live_by_process.find(p.get());
     const std::size_t live =
         it == live_by_process.end() ? 0 : it->second;
     if (live != p->live_wakeups_) {
-      std::fprintf(stderr,
-                   "queue audit: process %llu live_wakeups_=%llu actual=%zu\n",
-                   static_cast<unsigned long long>(p->id_),
-                   static_cast<unsigned long long>(p->live_wakeups_), live);
-      std::abort();
+      return Status::failure(
+          "queue accounting: process " + std::to_string(p->id_) + " (" +
+          p->name_ + ") live_wakeups_=" + std::to_string(p->live_wakeups_) +
+          " actual=" + std::to_string(live));
     }
+  }
+  return Status::success();
+}
+
+Status Kernel::verify_queue_accounting() const {
+  const auto lock = lock_self();
+  return check_queue_accounting_locked();
+}
+
+void Kernel::audit_accounting_slow_locked() const {
+#ifdef ETHERGRID_QUEUE_AUDIT_ON
+  // The self-test knob makes the counters drift on purpose; aborting here
+  // would kill the run before the accounting invariant gets to observe it.
+  if (debug_kill_skips_invalidate_) return;
+  // Counter drift is persistent -- once stale_wakeups_ or a live_wakeups_
+  // is wrong it stays wrong -- so on large queues sampling every 64th call
+  // still catches it, just a bounded number of events later.  Small queues
+  // (every unit test) stay exact on every call; without the throttle the
+  // big scenario suites go O(events x queue) under sanitizers.
+  if (queue_size_locked() > 128 && (++audit_tick_ & 63) != 0) return;
+  const Status status = check_queue_accounting_locked();
+  if (!status.ok()) {
+    std::fprintf(stderr, "queue audit: %s\n", status.message().c_str());
+    std::abort();
   }
 #endif
 }
@@ -699,10 +731,13 @@ void Kernel::compact_queue_locked() {
     const auto stale = [](const internal::QueueEntry& e) {
       return entry_stale(e);
     };
-    stale_wakeups_ -= wheel_queue_.compact_step(stale);
+    stale_wakeups_ -= std::min(wheel_queue_.compact_step(stale),
+                               stale_wakeups_);
   } else {
-    stale_wakeups_ -= heap_queue_.compact(
-        [](const internal::QueueEntry& e) { return entry_stale(e); });
+    stale_wakeups_ -= std::min(
+        heap_queue_.compact(
+            [](const internal::QueueEntry& e) { return entry_stale(e); }),
+        stale_wakeups_);
   }
 }
 
@@ -863,26 +898,14 @@ void Kernel::yield_from_process_locked(std::unique_lock<std::mutex>& lock,
 }
 
 inline Process* Kernel::pop_runnable_locked(TimePoint limit) {
+  if (strategy_ != nullptr) return pop_runnable_strategy_locked(limit);
   internal::QueueEntry entry;
   while (true) {
-    if (queue_impl_ == QueueImpl::kWheel) {
-      // The wheel drops stale entries it meets while draining slots; count
-      // them off.  The entry it hands back may still be stale (it went
-      // stale after reaching the ready heap), so recheck below.
-      std::size_t dropped = 0;
-      const bool got = wheel_queue_.pop_due(
-          limit, &entry,
-          [](const internal::QueueEntry& e) { return entry_stale(e); },
-          &dropped);
-      assert(stale_wakeups_ >= dropped && "stale-wakeup underflow");
-      stale_wakeups_ -= dropped;
-      if (!got) return nullptr;
-    } else {
-      if (!heap_queue_.pop_due(limit, &entry)) return nullptr;
-    }
+    if (!raw_pop_due_locked(limit, &entry)) return nullptr;
     if (entry_stale(entry)) {
-      assert(stale_wakeups_ > 0 && "stale-wakeup underflow");
-      --stale_wakeups_;
+      assert((stale_wakeups_ > 0 || debug_kill_skips_invalidate_) &&
+             "stale-wakeup underflow");
+      if (stale_wakeups_ > 0) --stale_wakeups_;
       audit_accounting_locked();
       continue;
     }
@@ -896,6 +919,157 @@ inline Process* Kernel::pop_runnable_locked(TimePoint limit) {
     audit_accounting_locked();
     return entry.process;
   }
+}
+
+bool Kernel::raw_pop_due_locked(TimePoint limit, internal::QueueEntry* out) {
+  if (queue_impl_ == QueueImpl::kWheel) {
+    // The wheel drops stale entries it meets while draining slots; count
+    // them off.  The entry it hands back may still be stale (it went
+    // stale after reaching the ready heap), so callers recheck.
+    std::size_t dropped = 0;
+    const bool got = wheel_queue_.pop_due(
+        limit, out,
+        [](const internal::QueueEntry& e) { return entry_stale(e); },
+        &dropped);
+    assert((stale_wakeups_ >= dropped || debug_kill_skips_invalidate_) &&
+           "stale-wakeup underflow");
+    stale_wakeups_ -= std::min(dropped, stale_wakeups_);
+    return got;
+  }
+  return heap_queue_.pop_due(limit, out);
+}
+
+void Kernel::repush_entry_locked(const internal::QueueEntry& entry) {
+  // Raw re-insert: same (time, seq, token), no live_wakeups_ adjustment
+  // (the strategy pop never decremented it) and no compaction trigger.  The
+  // wheel routes t <= cursor straight to its ready heap, which restores the
+  // (time, seq) total order, so a pop-inspect-repush round trip is
+  // order-neutral.
+  if (queue_impl_ == QueueImpl::kWheel) {
+    wheel_queue_.push(entry);
+  } else {
+    heap_queue_.push(entry);
+  }
+}
+
+Process* Kernel::pop_runnable_strategy_locked(TimePoint limit) {
+  if (strategy_halt_) return nullptr;
+  // Phase 1: pull every entry due at the earliest due instant, dropping
+  // stale ones with the usual accounting.  The survivors, in seq order, are
+  // the schedulable candidates.
+  strategy_entries_.clear();
+  internal::QueueEntry entry;
+  while (true) {
+    const TimePoint bound =
+        strategy_entries_.empty() ? limit : strategy_entries_.front().time;
+    if (!raw_pop_due_locked(bound, &entry)) break;
+    if (entry_stale(entry)) {
+      assert((stale_wakeups_ > 0 || debug_kill_skips_invalidate_) &&
+             "stale-wakeup underflow");
+      if (stale_wakeups_ > 0) --stale_wakeups_;
+      continue;
+    }
+    strategy_entries_.push_back(entry);
+  }
+  if (strategy_entries_.empty()) return nullptr;
+  // Put everything back before consulting the strategy: choose() and
+  // on_transition() may run invariants that inspect the queue (accounting
+  // checks, digests), which must see a consistent structure.
+  for (const internal::QueueEntry& e : strategy_entries_) {
+    repush_entry_locked(e);
+  }
+  audit_accounting_locked();
+  // The candidate set is the distinct processes, each represented by its
+  // first (lowest-seq) entry; index 0 is the default deterministic choice.
+  // A process can hold several due entries (sleep target plus an event
+  // pulse); delivery of the first invalidates the rest, exactly as in
+  // normal operation.
+  std::size_t chosen = 0;
+  if (strategy_entries_.size() > 1) {
+    strategy_labels_.clear();
+    for (std::size_t i = 0; i < strategy_entries_.size(); ++i) {
+      Process* p = strategy_entries_[i].process;
+      bool seen = false;
+      for (std::size_t j = 0; j < i && !seen; ++j) {
+        seen = strategy_entries_[j].process == p;
+      }
+      if (seen) continue;
+      strategy_labels_.push_back(p->name_ + "#" + std::to_string(p->id_));
+    }
+    if (strategy_labels_.size() > 1) {
+      const mc::ChoicePoint cp{mc::ChoicePoint::Kind::kSchedule, "sched",
+                               strategy_labels_};
+      // Full-hold marker for the callback: invariant code re-entering the
+      // kernel through const queries (live_process_count, queue_depth,
+      // verify_queue_accounting) must get a non-owning lock on both
+      // backends -- the thread backend's drain holds mu_ without setting
+      // the marker, so set it for the callback's duration.
+      MuHoldScope hold(this, true);
+      chosen = strategy_->choose(cp);
+      if (chosen >= strategy_labels_.size()) chosen = 0;
+    }
+  }
+  // Map the chosen candidate index back to its first entry's seq.
+  std::uint64_t want_seq = 0;
+  {
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < strategy_entries_.size(); ++i) {
+      Process* p = strategy_entries_[i].process;
+      bool seen = false;
+      for (std::size_t j = 0; j < i && !seen; ++j) {
+        seen = strategy_entries_[j].process == p;
+      }
+      if (seen) continue;
+      if (distinct == chosen) {
+        want_seq = strategy_entries_[i].seq;
+        break;
+      }
+      ++distinct;
+    }
+  }
+  const TimePoint due = strategy_entries_.front().time;
+  // Phase 2: pop until the chosen entry surfaces, holding skipped live
+  // entries aside (re-pushing them immediately would hand them right back
+  // to the next pop) and restoring them afterwards.
+  strategy_entries_.clear();
+  bool found = false;
+  while (raw_pop_due_locked(due, &entry)) {
+    if (entry_stale(entry)) {
+      if (stale_wakeups_ > 0) --stale_wakeups_;
+      continue;
+    }
+    if (entry.seq == want_seq) {
+      found = true;
+      break;
+    }
+    strategy_entries_.push_back(entry);
+  }
+  for (const internal::QueueEntry& e : strategy_entries_) {
+    repush_entry_locked(e);
+  }
+  assert(found && "strategy candidate vanished between phases");
+  if (!found) return nullptr;
+  // Standard delivery bookkeeping, identical to the non-strategy path.
+  --entry.process->live_wakeups_;
+  now_ = std::max(now_, entry.time);
+  now_fast_.store(now_.time_since_epoch().count(),
+                  std::memory_order_release);
+  invalidate_wakeups_locked(entry.process);
+  ++entry.process->wake_token_;
+  ++events_processed_;
+  audit_accounting_locked();
+  bool keep_going = true;
+  {
+    MuHoldScope hold(this, true);
+    keep_going = strategy_->on_transition();
+  }
+  if (!keep_going) {
+    // Sticky halt: the drain (and the yield-side fast path) stop delivering
+    // until the strategy is replaced or removed.  The popped entry still
+    // runs -- its process must unwind -- but nothing is scheduled after it.
+    strategy_halt_ = true;
+  }
+  return entry.process;
 }
 
 void Kernel::drain_locked(std::unique_lock<std::mutex>& lock,
@@ -940,8 +1114,9 @@ bool Kernel::run_until(TimePoint t) {
     internal::QueueEntry entry;
     while (!heap_queue_.empty() && entry_stale(heap_queue_.front())) {
       heap_queue_.pop_due(TimePoint::max(), &entry);
-      assert(stale_wakeups_ > 0 && "stale-wakeup underflow");
-      --stale_wakeups_;
+      assert((stale_wakeups_ > 0 || debug_kill_skips_invalidate_) &&
+             "stale-wakeup underflow");
+      if (stale_wakeups_ > 0) --stale_wakeups_;
       audit_accounting_locked();
     }
     return !heap_queue_.empty();
@@ -950,13 +1125,76 @@ bool Kernel::run_until(TimePoint t) {
   // arithmetic -- no purge loop.  (Everything stale at or before t was
   // already dropped while draining; what remains stale is far-future and
   // incremental compaction's job.)
-  assert(wheel_queue_.size() >= stale_wakeups_ && "stale-wakeup underflow");
+  assert((wheel_queue_.size() >= stale_wakeups_ ||
+          debug_kill_skips_invalidate_) &&
+         "stale-wakeup underflow");
   return wheel_queue_.size() > stale_wakeups_;
 }
 
 std::size_t Kernel::live_process_count() const {
   const auto lock = lock_self();
   return live_processes_;
+}
+
+std::vector<std::string> Kernel::live_process_names() const {
+  const auto lock = lock_self();
+  std::vector<std::string> names;
+  for (const ProcessHandle& p : processes_) {
+    if (p->state_ != Process::State::kFinished) {
+      names.push_back(p->name_ + "#" + std::to_string(p->id_));
+    }
+  }
+  return names;
+}
+
+void Kernel::set_strategy(mc::Strategy* strategy) {
+  const auto lock = lock_self();
+  strategy_ = strategy;
+  strategy_halt_ = false;
+}
+
+mc::Strategy* Kernel::strategy() const {
+  const auto lock = lock_self();
+  return strategy_;
+}
+
+std::uint64_t Kernel::state_digest() const {
+  const auto lock = lock_self();
+  // FNV-1a for the ordered part (clock), plus an order-insensitive sum of
+  // per-item hashes for the sets (queue iteration order differs between the
+  // wheel and the heap, and across compaction points, for identical states).
+  const auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull;
+    h *= 0x100000001b3ull;
+    return h;
+  };
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  digest = mix(digest, static_cast<std::uint64_t>(
+                           now_.time_since_epoch().count()));
+  std::uint64_t processes_sum = 0;
+  for (const ProcessHandle& p : processes_) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, p->id_);
+    h = mix(h, static_cast<std::uint64_t>(p->state_));
+    h = mix(h, p->killed_ ? 1 : 0);
+    processes_sum += h;
+  }
+  digest = mix(digest, processes_sum);
+  std::uint64_t queue_sum = 0;
+  auto add_entry = [&](const internal::QueueEntry& e) {
+    if (entry_stale(e)) return;  // stale entries are not state
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, static_cast<std::uint64_t>(e.time.time_since_epoch().count()));
+    h = mix(h, e.process->id_);
+    queue_sum += h;
+  };
+  if (queue_impl_ == QueueImpl::kWheel) {
+    wheel_queue_.for_each(add_entry);
+  } else {
+    heap_queue_.for_each(add_entry);
+  }
+  digest = mix(digest, queue_sum);
+  return digest;
 }
 
 std::size_t Kernel::queue_depth() const {

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "mc/strategy.hpp"
 #include "sim/event_queue.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -110,6 +111,13 @@ struct KernelOptions {
   // AddressSanitizer, whose redzones inflate frames).  Rounded up to the
   // page size.  Ignored by the thread backend.
   std::size_t fiber_stack_bytes = 0;
+  // Model-checker self-test ONLY: reintroduces the pre-PR-6 stale-accounting
+  // underflow by making kill skip the invalidate step (the token still
+  // bumps, so entries go stale without being counted).  The queue-accounting
+  // invariant must then observe the drift -- tests/mc uses this to prove the
+  // checker catches a real, historical bug.  Also suppresses the debug
+  // audit's abort (the drift is the point) and the underflow asserts.
+  bool debug_kill_skips_invalidate = false;
 };
 
 namespace internal {
@@ -385,6 +393,36 @@ class Kernel {
   // Number of processes that have not finished.
   std::size_t live_process_count() const;
 
+  // Names of processes that have not finished, as "name#id" (the same labels
+  // the mc::Strategy seam surfaces).  Diagnostic: deadlock reports.
+  std::vector<std::string> live_process_names() const;
+
+  // Installs (or, with nullptr, removes) the model-checking decision source.
+  // While installed, same-instant scheduling goes through strategy->choose()
+  // and every delivered wakeup calls strategy->on_transition().  The
+  // strategy must outlive the kernel or be removed first; removal also
+  // clears a pending on_transition()==false halt so shutdown can drain.
+  void set_strategy(mc::Strategy* strategy);
+  mc::Strategy* strategy() const;
+
+  // Exact, unsampled recount of the lazy-cancellation bookkeeping:
+  // stale_wakeups_ must equal the number of queue entries that can no longer
+  // fire and each process's live_wakeups_ its token-matching entries.
+  // Returns failure (with a diagnostic message) instead of aborting, so the
+  // model checker and the chaos tests can assert the same check the debug
+  // audit enforces.  O(queue depth + processes); safe from any thread and
+  // from invariant callbacks during a drain.
+  Status verify_queue_accounting() const;
+
+  // Order-insensitive FNV-style hash of the kernel-visible state: virtual
+  // time, per-process (id, state, killed) and pending live wakeups
+  // (time, process).  Sequence numbers are deliberately excluded -- two
+  // interleavings that converge to the same logical state hash equal even
+  // though their seq counters differ.  Used by the model checker to prune
+  // revisited states; collisions only cost soundness of the *pruning*, so
+  // exhaustive runs disable it.
+  std::uint64_t state_digest() const;
+
   // Pending wakeup entries, stale ones included (observability: the stale
   // compaction regression test and bench reporting read this).
   std::size_t queue_depth() const;
@@ -471,6 +509,10 @@ class Kernel {
   }
   void audit_accounting_slow_locked() const;
 
+  // Shared core of the debug audit and verify_queue_accounting(): the exact
+  // recount, reported as a Status instead of an abort.
+  Status check_queue_accounting_locked() const;
+
   // Hands control to p and blocks until it yields back or finishes.
   void resume_locked(std::unique_lock<std::mutex>& lock, Process* p);
 
@@ -492,6 +534,21 @@ class Kernel {
   inline Process*
   pop_runnable_locked(TimePoint limit);
 
+  // Strategy-mode pop (out of line; this path trades speed for control):
+  // surfaces every distinct process runnable at the earliest due instant as
+  // a ChoicePoint, delivers the one the strategy picks, then runs the
+  // on_transition() hook.  Dispatched from pop_runnable_locked when a
+  // strategy is installed.
+  Process* pop_runnable_strategy_locked(TimePoint limit);
+
+  // Raw pop of the next due entry (stale or live) from the active queue at
+  // time <= limit, with the wheel's dropped-stale accounting applied.
+  bool raw_pop_due_locked(TimePoint limit, internal::QueueEntry* out);
+
+  // Re-inserts an entry popped by the strategy path, preserving its
+  // original (time, seq, token) so delivery order is untouched.
+  void repush_entry_locked(const internal::QueueEntry& entry);
+
   void drain_locked(std::unique_lock<std::mutex>& lock, TimePoint limit);
 
   // Fiber plumbing (kFiber backend only).
@@ -503,6 +560,7 @@ class Kernel {
   const Backend backend_;
   const QueueImpl queue_impl_;
   const std::size_t fiber_stack_bytes_;
+  const bool debug_kill_skips_invalidate_;
 
   mutable std::mutex mu_;
   std::condition_variable kernel_cv_;  // thread backend baton
@@ -528,6 +586,14 @@ class Kernel {
 #endif
   std::vector<ProcessHandle> processes_;
   std::size_t live_processes_ = 0;
+  // Model-checking seam (null in normal operation; the strategy branch in
+  // pop_runnable_locked is a single predicted-not-taken test).
+  mc::Strategy* strategy_ = nullptr;
+  bool strategy_halt_ = false;  // on_transition() returned false; stop popping
+  // Scratch for the strategy pop (member, not stack, so repeated choice
+  // points reuse capacity instead of reallocating every event).
+  std::vector<internal::QueueEntry> strategy_entries_;
+  std::vector<std::string> strategy_labels_;
   bool shutting_down_ = false;
   bool propagate_errors_ = true;
   std::exception_ptr pending_error_;

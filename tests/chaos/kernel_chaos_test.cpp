@@ -14,7 +14,9 @@
 //
 // Debug builds audit the exact stale/live counts after every queue
 // operation, so any accounting drift these sequences provoke aborts the
-// test rather than silently wrapping a counter.
+// test rather than silently wrapping a counter.  Release builds get the
+// same check through Kernel::verify_queue_accounting() -- the one code
+// path shared with the model checker's queue-accounting invariant.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -96,9 +98,16 @@ std::vector<std::string> run_kill_storm(QueueImpl queue, std::uint64_t seed) {
   // A storm where every worker can die leaves survivors blocked forever on
   // the churn event; bound the run and then tear everything down.
   kernel.run_until(TimePoint(sec(30)));
+  // The same accounting check the model checker runs after every
+  // transition; here it audits the storm's end state even in release
+  // builds, where the per-operation debug audit is compiled out.
+  EXPECT_TRUE(kernel.verify_queue_accounting().ok())
+      << kernel.verify_queue_accounting().message();
   kernel.shutdown();
   EXPECT_EQ(kernel.live_process_count(), 0u);
   EXPECT_EQ(kernel.queue_depth(), 0u);
+  EXPECT_TRUE(kernel.verify_queue_accounting().ok())
+      << kernel.verify_queue_accounting().message();
   return trace;
 }
 
@@ -150,6 +159,8 @@ TEST_P(KernelChaosTest, SpawnDuringShutdownIsBornKilledAndLeakFree) {
   }
   kernel.run_until(TimePoint(sec(1)));
   EXPECT_EQ(kernel.live_process_count(), 16u);
+  EXPECT_TRUE(kernel.verify_queue_accounting().ok())
+      << kernel.verify_queue_accounting().message();
   kernel.shutdown();
   EXPECT_EQ(respawned, 16);
   EXPECT_EQ(respawn_bodies_ran, 0);

@@ -1,0 +1,231 @@
+// The DFS explorer against tiny hand-built scenarios where the full
+// interleaving tree is known: exhaustive enumeration, violation discovery
+// with replayable counterexamples, sleep-set reduction, state pruning, depth
+// budgets, and fault-branch enumeration.
+#include "mc/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/kernel.hpp"
+#include "util/strings.hpp"
+
+namespace ethergrid::mc {
+namespace {
+
+class OrderWorld final : public ScenarioWorld {
+ public:
+  std::vector<std::string> order;
+};
+
+// Three processes, all runnable at t=0, each appends its name and exits.
+// The interleaving tree is exactly the 3! = 6 permutations (choice points of
+// arity 3 then 2; the final singleton is never consulted).
+class OrderScenario : public Scenario {
+ public:
+  explicit OrderScenario(std::vector<std::string> names = {"a", "b", "c"})
+      : names_(std::move(names)) {}
+
+  std::string name() const override { return "toy-order"; }
+
+  bool independent(const std::string& a, const std::string& b) const override {
+    return all_independent_ && a != b;
+  }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel, Strategy*,
+                                       InvariantSet& invariants) override {
+    auto world = std::make_unique<OrderWorld>();
+    OrderWorld* w = world.get();
+    for (const std::string& name : names_) {
+      kernel.spawn(name, [w, name](sim::Context&) {
+        w->order.push_back(name);
+      });
+    }
+    invariants.add("order-check", [this, w](const CheckContext& ctx) {
+      if (!ctx.at_end) return Status::success();
+      const std::string order = join(w->order, ",");
+      orders_seen.insert(order);
+      if (order == forbidden_order_) {
+        return Status::failure("reached forbidden order " + order);
+      }
+      return Status::success();
+    });
+    return world;
+  }
+
+  void forbid(std::string order) { forbidden_order_ = std::move(order); }
+  void set_all_independent() { all_independent_ = true; }
+
+  // Final orders reached by completed executions, across the whole
+  // exploration (the Scenario outlives each per-execution world).
+  std::set<std::string> orders_seen;
+
+ private:
+  std::vector<std::string> names_;
+  std::string forbidden_order_;
+  bool all_independent_ = false;
+};
+
+TEST(ExplorerTest, EnumeratesEveryInterleaving) {
+  OrderScenario scenario;
+  Explorer explorer(scenario);
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.stats.executions, 6u);
+  EXPECT_EQ(scenario.orders_seen.size(), 6u);
+  EXPECT_EQ(result.stats.sleep_set_skips, 0u);
+}
+
+TEST(ExplorerTest, FindsViolationWithReplayableTrace) {
+  OrderScenario scenario;
+  scenario.forbid("b,c,a");
+  Explorer explorer(scenario);
+  const ExploreResult result = explorer.explore();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.violations.size(), 1u);  // stops on first by default
+  const Violation& v = result.violations.front();
+  EXPECT_EQ(v.invariant, "order-check");
+  ASSERT_FALSE(v.trace.empty());
+
+  // The recorded choice vector deterministically reproduces the violation
+  // on a fresh scenario instance.
+  OrderScenario replay_scenario;
+  replay_scenario.forbid("b,c,a");
+  Explorer replayer(replay_scenario);
+  const ExploreResult replayed = replayer.replay(v.trace);
+  ASSERT_EQ(replayed.violations.size(), 1u);
+  EXPECT_EQ(replayed.violations.front().invariant, "order-check");
+  EXPECT_EQ(replay_scenario.orders_seen.count("b,c,a"), 1u);
+}
+
+TEST(ExplorerTest, ReplayDivergenceIsReported) {
+  OrderScenario scenario;
+  scenario.forbid("b,c,a");
+  Explorer explorer(scenario);
+  ExploreResult result = explorer.explore();
+  ASSERT_FALSE(result.ok());
+  std::vector<Decision> doctored = result.violations.front().trace;
+  ASSERT_FALSE(doctored.empty());
+  doctored.front().label = "zzz#99";
+
+  OrderScenario replay_scenario;
+  Explorer replayer(replay_scenario);
+  const ExploreResult replayed = replayer.replay(doctored);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.violations.front().invariant, "mc.divergence");
+}
+
+TEST(ExplorerTest, SleepSetsPruneIndependentOrders) {
+  OrderScenario scenario;
+  scenario.set_all_independent();
+  Explorer explorer(scenario);
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.complete);
+  EXPECT_LT(result.stats.executions, 6u);
+  EXPECT_GT(result.stats.sleep_set_skips, 0u);
+}
+
+TEST(ExplorerTest, StatePruningCollapsesConvergentPrefixes) {
+  // Four processes: after delivering {a,b} in either order, the explorer
+  // stands at an identical state with {c,d} pending -- an arity-2 choice
+  // point whose digest has been seen, so the second prefix is cut short.
+  // (With three processes the convergent states land on arity-1 points,
+  // which never consult the strategy, so pruning would have nothing to do.)
+  OrderScenario scenario({"a", "b", "c", "d"});
+  ExplorerOptions options;
+  options.state_pruning = true;
+  Explorer explorer(scenario, options);
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.complete);
+  EXPECT_LT(result.stats.executions, 24u);
+  EXPECT_GT(result.stats.state_prunes, 0u);
+}
+
+// Two processes ping-pong same-instant yields: a deep chain of arity-2
+// choice points that must hit the depth budget, not hang.
+class PingPongScenario final : public Scenario {
+ public:
+  std::string name() const override { return "toy-pingpong"; }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel, Strategy*,
+                                       InvariantSet&) override {
+    for (const char* name : {"ping", "pong"}) {
+      kernel.spawn(name, [](sim::Context& ctx) {
+        for (int i = 0; i < 8; ++i) ctx.yield();
+      });
+    }
+    return std::make_unique<ScenarioWorld>();
+  }
+};
+
+TEST(ExplorerTest, DepthBudgetTruncatesInsteadOfHanging) {
+  PingPongScenario scenario;
+  ExplorerOptions options;
+  options.max_depth = 3;
+  options.max_executions = 64;
+  Explorer explorer(scenario, options);
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok());  // truncated runs skip end invariants
+  EXPECT_FALSE(result.complete);
+  EXPECT_GT(result.stats.depth_truncations, 0u);
+  EXPECT_LE(result.stats.max_depth_seen, 3u);
+}
+
+// A single process consulting a probabilistic fault rule once: the fault
+// site becomes a 2-way choice point (none / error fires) and the explorer
+// must drive the scenario down both.
+class FaultBranchWorld final : public ScenarioWorld {
+ public:
+  explicit FaultBranchWorld(Rng rng)
+      : faults(sim::FaultPlan().add("toy.op", sim::FaultPlan::error(0.5)),
+               rng) {}
+  core::FaultInjector faults;
+};
+
+class FaultBranchScenario final : public Scenario {
+ public:
+  std::string name() const override { return "toy-fault"; }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel,
+                                       Strategy* strategy,
+                                       InvariantSet&) override {
+    auto world = std::make_unique<FaultBranchWorld>(kernel.rng());
+    FaultBranchWorld* w = world.get();
+    w->faults.set_strategy(strategy);
+    kernel.spawn("worker", [this, w](sim::Context& ctx) {
+      const core::FaultDecision d = w->faults.decide("toy.op", ctx.now());
+      if (d.action == core::FaultDecision::Action::kFail) {
+        ++fail_branches;
+      } else {
+        ++none_branches;
+      }
+    });
+    return world;
+  }
+
+  int fail_branches = 0;
+  int none_branches = 0;
+};
+
+TEST(ExplorerTest, FaultRulesBecomeEnumerableBranches) {
+  FaultBranchScenario scenario;
+  Explorer explorer(scenario);
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.stats.executions, 2u);
+  EXPECT_EQ(scenario.none_branches, 1);
+  EXPECT_EQ(scenario.fail_branches, 1);
+}
+
+}  // namespace
+}  // namespace ethergrid::mc

@@ -1,0 +1,131 @@
+// The built-in scenarios (the three ROADMAP discipline invariants plus the
+// wake-token self-test) across both event-queue implementations.
+#include "mc/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "mc/explorer.hpp"
+#include "mc/trace.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ethergrid::mc {
+namespace {
+
+class McScenariosTest : public ::testing::TestWithParam<sim::QueueImpl> {
+ protected:
+  ExplorerOptions options_for(std::uint64_t max_executions = 100000) {
+    ExplorerOptions options;
+    options.kernel.queue = GetParam();
+    options.max_executions = max_executions;
+    return options;
+  }
+};
+
+TEST_P(McScenariosTest, ListsAllScenarios) {
+  const std::vector<std::string> names = scenario_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    EXPECT_NE(make_scenario(name), nullptr) << name;
+  }
+  EXPECT_EQ(make_scenario("no-such-scenario"), nullptr);
+}
+
+// Acceptance: exhaustive exploration of the 3-process forall sibling-abort
+// script terminates and leaks nothing on any interleaving.
+TEST_P(McScenariosTest, ForallAbortExploresExhaustively) {
+  std::unique_ptr<Scenario> scenario = make_scenario("forall-abort");
+  ASSERT_NE(scenario, nullptr);
+  Explorer explorer(*scenario, options_for());
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().message);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.stats.executions, 1u);
+}
+
+TEST_P(McScenariosTest, TryTimeoutReleasesEverything) {
+  std::unique_ptr<Scenario> scenario = make_scenario("try-timeout-resource");
+  ASSERT_NE(scenario, nullptr);
+  Explorer explorer(*scenario, options_for());
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().message);
+  EXPECT_TRUE(result.complete);
+}
+
+// Too large to close; must stay clean within a CI-sized budget.
+TEST_P(McScenariosTest, CarrierSenseStaysCleanWithinBudget) {
+  std::unique_ptr<Scenario> scenario = make_scenario("carrier-sense-crash");
+  ASSERT_NE(scenario, nullptr);
+  ExplorerOptions options = options_for(/*max_executions=*/40);
+  options.max_depth = 40;
+  options.max_transitions = 100000;
+  Explorer explorer(*scenario, options);
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().message);
+  EXPECT_GT(result.stats.executions, 1u);
+}
+
+// Acceptance: the deliberately re-introduced pre-PR-6 wake-token bug is
+// caught, and the counterexample survives a serialize/parse/replay round
+// trip.
+TEST_P(McScenariosTest, WakeTokenSelfTestProducesReplayableCounterexample) {
+  std::unique_ptr<Scenario> scenario = make_scenario("wake-token-selftest");
+  ASSERT_NE(scenario, nullptr);
+  Explorer explorer(*scenario, options_for());
+  const ExploreResult result = explorer.explore();
+  ASSERT_FALSE(result.ok());
+  const Violation& v = result.violations.front();
+  EXPECT_EQ(v.invariant, "queue-accounting");
+  ASSERT_FALSE(v.trace.empty());
+
+  TraceFile trace;
+  trace.scenario = scenario->name();
+  trace.queue = GetParam();
+  trace.seed = 1;
+  trace.violation = v.invariant;
+  trace.decisions = v.trace;
+  TraceFile reloaded;
+  ASSERT_TRUE(parse_trace(format_trace(trace), &reloaded).ok());
+  ASSERT_EQ(reloaded.decisions.size(), v.trace.size());
+
+  std::unique_ptr<Scenario> replay_scenario = make_scenario(reloaded.scenario);
+  ASSERT_NE(replay_scenario, nullptr);
+  ExplorerOptions options;
+  options.kernel.queue = reloaded.queue;
+  options.seed = reloaded.seed;
+  Explorer replayer(*replay_scenario, options);
+  const ExploreResult replayed = replayer.replay(reloaded.decisions);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.violations.front().invariant, "queue-accounting");
+}
+
+TEST_P(McScenariosTest, ScriptScenarioRunsArbitrarySource) {
+  std::unique_ptr<Scenario> scenario = make_script_scenario(
+      "script:inline",
+      "forall x in 1 2\n  sleep 1 millisecond\nend\n");
+  ASSERT_NE(scenario, nullptr);
+  Explorer explorer(*scenario, options_for());
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().message);
+  EXPECT_TRUE(result.complete);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queues, McScenariosTest,
+    ::testing::Values(sim::QueueImpl::kWheel, sim::QueueImpl::kHeap),
+    [](const ::testing::TestParamInfo<sim::QueueImpl>& info) {
+      return std::string(sim::queue_impl_name(info.param));
+    });
+
+}  // namespace
+}  // namespace ethergrid::mc
