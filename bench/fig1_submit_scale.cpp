@@ -8,9 +8,23 @@
 // client maintains about 50 percent of peak performance under load."
 //
 // Usage: fig1_submit_scale [submitter counts...]   (default: paper sweep)
+//
+// After the paper sweep, a second pass measures the sharded kernel on a
+// fig1-style multi-site grid: the same Ethernet workload partitioned
+// across shards ∈ {1, 2, 4, 8}, threads = shards.  Knobs:
+//   ETHERGRID_FIG1_SHARDED_SITES    sites/schedds      (default 8)
+//   ETHERGRID_FIG1_SHARDED_CLIENTS  total submitters   (default 1600;
+//                                   set 100000+ for the mega run)
+//   ETHERGRID_FIG1_SHARDED_WINDOW_S virtual seconds    (default 300)
+// With ETHERGRID_BENCH_BASELINE set, the run gates sharded_speedup_best
+// against the committed baseline (skipped on < 4 hardware threads or
+// when the baseline lacks the metric).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/scenarios.hpp"
@@ -19,6 +33,115 @@
 #include "report.hpp"
 
 using namespace ethergrid;
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+// Sharded scaling pass: wall-clock the same workload at increasing shard
+// counts and gate the best speedup against the committed baseline.
+// Returns the process exit code (0 ok, 1 gate breach).
+int run_sharded_scale() {
+  bench::Report report("fig1_sharded_scale");
+  const std::size_t sites =
+      std::size_t(env_long("ETHERGRID_FIG1_SHARDED_SITES", 8));
+  const long clients = env_long("ETHERGRID_FIG1_SHARDED_CLIENTS", 1600);
+  const auto window = sec(env_long("ETHERGRID_FIG1_SHARDED_WINDOW_S", 300));
+
+  exp::ShardedSubmitConfig config;
+  config.sites = sites;
+  config.submitters_per_site = int(std::max(1l, clients / long(sites)));
+  config.remote_per_site = 2;  // keep the cross-shard mailbox path hot
+  // Slab-allocated fiber stacks: the mega run (10^5+ clients) would
+  // otherwise exhaust vm.max_map_count with one guard mapping per fiber.
+  config.sharded.kernel.fiber_stack_slab = 64;
+
+  std::vector<std::size_t> shard_counts;
+  for (std::size_t n : {std::size_t(1), std::size_t(2), std::size_t(4),
+                        std::size_t(8)}) {
+    if (n <= sites) shard_counts.push_back(n);
+  }
+  report.set_execution(shard_counts.back(), shard_counts.back());
+
+  exp::Table table("Sharded kernel scaling (Ethernet discipline)",
+                   {"shards", "threads", "wall_s", "speedup", "jobs",
+                    "remote_jobs", "windows", "xshard_msgs"});
+  double wall_1 = 0;
+  double best_speedup = 0;
+  std::int64_t jobs_ref = -1;
+  bool jobs_stable = true;
+  for (std::size_t n : shard_counts) {
+    std::fprintf(stderr, "[fig1] sharded pass: %zu shard(s) x %ld clients\n",
+                 n, long(config.submitters_per_site) * long(sites));
+    config.sharded.shards = n;
+    config.sharded.threads = n;
+    const auto t0 = std::chrono::steady_clock::now();
+    const exp::ShardedSubmitResult r = exp::run_sharded_submit(
+        config, grid::DisciplineKind::kEthernet, window);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (n == 1) wall_1 = wall;
+    const double speedup = wall > 0 ? wall_1 / wall : 0;
+    best_speedup = std::max(best_speedup, speedup);
+    // Partition independence: per-site worlds are identical, so total
+    // jobs must not move when the shard count does.
+    if (jobs_ref < 0) jobs_ref = r.jobs_total;
+    jobs_stable = jobs_stable && r.jobs_total == jobs_ref;
+    table.add_row({exp::Table::cell(std::int64_t(n)),
+                   exp::Table::cell(std::int64_t(r.threads)),
+                   exp::Table::cell(wall), exp::Table::cell(speedup),
+                   exp::Table::cell(r.jobs_total),
+                   exp::Table::cell(r.remote_jobs),
+                   exp::Table::cell(std::int64_t(r.windows)),
+                   exp::Table::cell(std::int64_t(r.messages_delivered))});
+    report.add_events(r.kernel_events);
+    report.metric("sharded_wall_s_" + std::to_string(n), wall);
+    if (n > 1) {
+      report.metric("sharded_speedup_" + std::to_string(n), speedup);
+    }
+  }
+  table.print();
+  report.shape(jobs_stable && jobs_ref > 0);
+  report.metric("sharded_jobs_total", double(jobs_ref));
+  report.metric("sharded_speedup_best", best_speedup);
+  std::printf("\nSharded shape check: jobs stable across shard counts -> %s; "
+              "best speedup %.2fx\n",
+              jobs_stable && jobs_ref > 0 ? "OK" : "MISMATCH", best_speedup);
+
+  // Speedup gate: only meaningful against a committed baseline and with
+  // enough cores that the parallel pass can actually win.
+  const char* baseline_path = std::getenv("ETHERGRID_BENCH_BASELINE");
+  if (baseline_path && *baseline_path) {
+    const double baseline = bench::Report::read_baseline_metric(
+        baseline_path, "fig1_sharded_scale", "sharded_speedup_best");
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (baseline <= 0) {
+      std::printf("Speedup gate: skipped (no sharded_speedup_best in %s)\n",
+                  baseline_path);
+    } else if (cores < 4) {
+      std::printf("Speedup gate: skipped (%u hardware thread(s) < 4)\n",
+                  cores);
+    } else if (best_speedup < 0.6 * baseline) {
+      std::fprintf(stderr,
+                   "[fig1] SPEEDUP GATE BREACH: best %.2fx < 60%% of "
+                   "baseline %.2fx\n",
+                   best_speedup, baseline);
+      return 1;
+    } else {
+      std::printf("Speedup gate: OK (best %.2fx vs baseline %.2fx)\n",
+                  best_speedup, baseline);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::Report report("fig1_submit_scale");
@@ -86,5 +209,7 @@ int main(int argc, char** argv) {
   report.metric("jobs_high_aloha", double(aloha_totals.jobs_high));
   report.metric("jobs_high_ethernet", double(ethernet_totals.jobs_high));
   report.set_observability(registry.to_json());
-  return 0;
+  report.write();
+
+  return run_sharded_scale();
 }

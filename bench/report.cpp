@@ -90,6 +90,11 @@ void Report::metric(const std::string& key, double value) {
 
 void Report::set_detail(std::string detail) { detail_ = std::move(detail); }
 
+void Report::set_execution(std::size_t shards, std::size_t threads) {
+  shards_ = shards;
+  threads_ = threads;
+}
+
 void Report::set_observability(std::string metrics_json) {
   observability_ = std::move(metrics_json);
 }
@@ -125,6 +130,13 @@ void Report::write() {
         << sim::backend_name(sim::default_backend()) << "\""
         << ", \"queue\": \""
         << sim::queue_impl_name(sim::default_queue_impl()) << "\"";
+  if (shards_ > 0) {
+    // Sharded-kernel runs record their execution shape; the dedupe scan
+    // below still keys on (name, backend, queue) only, so a sharded bench
+    // that sweeps shard counts should fold the sweep into one entry's
+    // metrics rather than construct one Report per shard count.
+    entry << ", \"shards\": " << shards_ << ", \"threads\": " << threads_;
+  }
   if (!metrics_.empty()) {
     entry << ", \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {

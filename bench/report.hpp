@@ -49,6 +49,11 @@ class Report {
   // Free-text annotation (configuration, sweep range, caveats).
   void set_detail(std::string detail);
 
+  // Records the execution shape of a sharded run; the entry then carries
+  // "shards" and "threads" fields.  Unset (the default) omits them, so
+  // single-kernel benches keep their historical entry format.
+  void set_execution(std::size_t shards, std::size_t threads);
+
   // Embeds a pre-rendered JSON object (obs::MetricsRegistry::to_json())
   // as the entry's "observability" field -- the flat counters/histograms
   // the run's ObserverSet collected.
@@ -73,6 +78,8 @@ class Report {
   std::string observability_;  // pre-rendered JSON object, may be empty
   std::vector<std::pair<std::string, double>> metrics_;
   std::uint64_t events_ = 0;
+  std::size_t shards_ = 0;   // 0 = unset, fields omitted
+  std::size_t threads_ = 0;  // 0 = unset, fields omitted
   int shape_checks_ = 0;
   bool shape_ok_ = true;
   bool written_ = false;

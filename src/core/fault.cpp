@@ -1,5 +1,7 @@
 #include "core/fault.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 
 namespace ethergrid::core {
@@ -227,17 +229,35 @@ std::vector<FaultEvent> FaultInjector::events() const {
   return events_;
 }
 
+std::string FaultInjector::render_audit_line(const FaultEvent& event) {
+  std::string out = strprintf("t=%.6f %s %s", to_seconds(event.time),
+                              event.site.c_str(), event.kind.c_str());
+  if (!event.detail.empty()) {
+    out += ' ';
+    out += event.detail;
+  }
+  out += '\n';
+  return out;
+}
+
 std::string FaultInjector::audit_text() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const FaultEvent& event : events_) {
-    out += strprintf("t=%.6f %s %s", to_seconds(event.time),
-                     event.site.c_str(), event.kind.c_str());
-    if (!event.detail.empty()) {
-      out += ' ';
-      out += event.detail;
-    }
-    out += '\n';
+    out += render_audit_line(event);
+  }
+  return out;
+}
+
+std::string merged_audit_text(std::vector<FaultEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.site < b.site;
+                   });
+  std::string out;
+  for (const FaultEvent& event : events) {
+    out += FaultInjector::render_audit_line(event);
   }
   return out;
 }

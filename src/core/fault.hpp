@@ -92,6 +92,10 @@ class FaultInjector {
   // Byte-identical across replays of the same seed + plan.
   std::string audit_text() const;
 
+  // Renders one audit line in the exact audit_text() format (shared by the
+  // sharded merge below).
+  static std::string render_audit_line(const FaultEvent& event);
+
  private:
   Rng& site_rng(std::string_view site);
   void record(TimePoint now, std::string_view site, const sim::FaultSpec& spec,
@@ -111,5 +115,15 @@ class FaultInjector {
   std::function<void(const FaultEvent&)> observer_;
   mc::Strategy* strategy_ = nullptr;
 };
+
+// Canonical merge of several injectors' audit trails (sharded worlds run
+// one injector per shard, all built from the same root RNG so per-site
+// streams match the unsharded world).  Events are stable-sorted by
+// (time, site): per-site relative order -- which is causal, since a site
+// fires from exactly one injector -- is preserved, and the interleaving
+// between sites becomes partition-independent.  The rendered text uses the
+// audit_text() line format, so shards=1 and shards=N produce the same
+// bytes for partition-independent worlds.
+std::string merged_audit_text(std::vector<FaultEvent> events);
 
 }  // namespace ethergrid::core

@@ -2,8 +2,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/fault.hpp"
+#include "core/sim_clock.hpp"
+#include "grid/placement.hpp"
+#include "obs/trace.hpp"
 #include "sim/kernel.hpp"
 
 namespace ethergrid::exp {
@@ -61,7 +65,223 @@ struct SubmitWorld {
   std::vector<grid::SubmitterStats> stats;
 };
 
+// ----------------------------------- scenario 1 at scale: the sharded grid
+
+// Reply rendezvous of the cross-shard submit RPC.  Heap-allocated and held
+// by shared_ptr from three places -- the waiting client, the request
+// payload, and the reply payload -- so it survives whichever of them dies
+// first (client killed or timed out mid-wait, message dropped at
+// shutdown).  `reply` belongs to the CLIENT's kernel; set() runs on the
+// client's shard via the reply message.
+struct SubmitRpc {
+  explicit SubmitRpc(sim::Kernel& client_kernel) : reply(client_kernel) {}
+  sim::Event reply;
+  Status result = Status::unavailable("rpc dropped");
+};
+
+// Sharded fig1 world: `sites` schedd worlds placed round-robin over the
+// shards, each with local submitters and (optionally) remote submitters
+// whose submissions target the next site over the mailbox.
+struct ShardedSubmitWorld {
+  ShardedSubmitWorld(const ShardedSubmitConfig& config,
+                     grid::DisciplineKind kind)
+      : config(config), sk(config.seed, config.sharded) {
+    const std::size_t shards = sk.shard_count();
+    // Per-shard observability and fault injection.  Every injector is
+    // built from the SAME root stream (each shard kernel has the same
+    // seed), so a site's per-site fault stream -- derived by name -- is
+    // identical no matter which shard its schedd landed on.
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (config.record_trace) {
+        traces.push_back(std::make_unique<obs::TraceRecorder>(
+            "shard" + std::to_string(s), int(s) + 1));
+        observers.push_back(std::make_unique<obs::ObserverSet>());
+        observers.back()->add(traces.back().get());
+      }
+      injectors.push_back(make_injector(sk.shard(s), config.faults));
+      if (config.record_trace) {
+        bridge_faults(injectors.back().get(), observers.back().get());
+      }
+    }
+    grid::SubmitterConfig sc = config.submitter;
+    sc.kind = kind;
+    local_stats.resize(config.sites * std::size_t(config.submitters_per_site));
+    remote_stats.resize(config.sites * std::size_t(config.remote_per_site));
+    for (std::size_t site = 0; site < config.sites; ++site) {
+      const std::size_t shard = grid::place_site(site, shards);
+      schedds.push_back(std::make_unique<grid::Schedd>(
+          sk.shard(shard), grid::site_schedd_config(config.schedd, site)));
+      grid::Schedd& schedd = *schedds.back();
+      schedd.set_fault_injector(injectors[shard].get());
+      if (config.record_trace) schedd.set_observers(observers[shard].get());
+      for (int j = 0; j < config.submitters_per_site; ++j) {
+        const std::size_t idx =
+            site * std::size_t(config.submitters_per_site) + std::size_t(j);
+        spawn_with_stream(
+            shard, "site" + std::to_string(site) + ".submitter" +
+                       std::to_string(j),
+            grid::make_submitter(schedd, sc, &local_stats[idx]));
+      }
+    }
+    // Remote submitters spawn after every schedd exists (they target site
+    // (site + 1) % sites).  Their RNG stream is name-derived like the
+    // locals', so the remote workload is partition-independent too.
+    for (std::size_t site = 0; site < config.sites; ++site) {
+      const std::size_t shard = grid::place_site(site, shards);
+      for (int j = 0; j < config.remote_per_site; ++j) {
+        const std::size_t idx =
+            site * std::size_t(config.remote_per_site) + std::size_t(j);
+        spawn_with_stream(shard,
+                          "site" + std::to_string(site) + ".remote" +
+                              std::to_string(j),
+                          remote_submitter(site, sc, &remote_stats[idx]));
+      }
+    }
+  }
+
+  ~ShardedSubmitWorld() {
+    // Processes hold references into schedds/injectors, which are
+    // destroyed before sk (declared after it): kill them first.
+    sk.shutdown();
+  }
+
+  // Spawns `body` under a per-process RNG replaced by the name-derived
+  // stream: the default per-process stream depends on spawn ORDER, which
+  // varies with the partition, so partition-independent worlds must pin
+  // it by name instead.  Client bodies copy ctx.rng() at startup, so
+  // overwriting before the body runs covers every draw.
+  void spawn_with_stream(std::size_t shard, std::string name,
+                         sim::ProcessBody body) {
+    Rng stream = sk.shard(0).rng().stream(name);
+    sk.spawn(shard, std::move(name),
+             [stream, body = std::move(body)](sim::Context& ctx) {
+               ctx.rng() = stream;
+               body(ctx);
+             });
+  }
+
+  // A submitter whose schedd lives on the next site over: each submission
+  // is a request message to the target shard (which performs the actual
+  // Schedd::submit there) plus a reply message carrying the status back.
+  // No carrier sense even for the Ethernet kind -- a remote client cannot
+  // cheaply probe the far descriptor table, and reading it directly would
+  // race with the owning shard's window -- so Ethernet remotes rely on
+  // backoff alone.
+  sim::ProcessBody remote_submitter(std::size_t src_site,
+                                    const grid::SubmitterConfig& sc,
+                                    grid::SubmitterStats* stats) {
+    const std::size_t dst_site = (src_site + 1) % config.sites;
+    const std::size_t src_shard = grid::place_site(src_site, sk.shard_count());
+    const std::size_t dst_shard = grid::place_site(dst_site, sk.shard_count());
+    grid::Schedd* dst = schedds[dst_site].get();
+    sim::ShardedKernel* k = &sk;
+    const Duration latency = config.rpc_latency;
+    return [k, sc, stats, dst, src_site, dst_site, src_shard, dst_shard,
+            latency](sim::Context& ctx) {
+      core::SimClock clock(ctx);
+      Rng rng = ctx.rng();
+      core::TryOptions options = core::TryOptions::for_time(sc.try_budget);
+      if (sc.kind == grid::DisciplineKind::kFixed) {
+        options.backoff = core::BackoffPolicy::none();
+      } else if (sc.backoff) {
+        options.backoff = *sc.backoff;
+      }
+      const core::Discipline discipline{
+          std::string(grid::discipline_kind_name(sc.kind)), options, nullptr};
+      sim::Kernel& home = k->shard(src_shard);
+      const std::string rpc_name =
+          "rpc:site" + std::to_string(src_site) + "->" +
+          std::to_string(dst_site);
+      while (true) {
+        ctx.sleep(sc.startup);
+        Status s = core::run_with_discipline(
+            clock, rng, discipline,
+            [&](TimePoint) {
+              auto state = std::make_shared<SubmitRpc>(home);
+              k->post(src_shard, grid::site_mailbox_id(src_site), dst_shard,
+                      latency, rpc_name,
+                      [k, state, dst, dst_site, dst_shard, src_shard,
+                       latency](sim::Context& rctx) {
+                        Status result = dst->submit(rctx);
+                        k->post(dst_shard, grid::site_mailbox_id(dst_site),
+                                src_shard, latency, "rpc-reply",
+                                [state, result](sim::Context&) {
+                                  state->result = result;
+                                  state->reply.set();
+                                });
+                      });
+              ctx.wait(state->reply);
+              return state->result;
+            },
+            &stats->discipline);
+        if (s.ok()) {
+          ++stats->jobs_succeeded;
+        } else {
+          ++stats->tries_failed;
+        }
+      }
+    };
+  }
+
+  const ShardedSubmitConfig config;
+  sim::ShardedKernel sk;
+  std::vector<std::unique_ptr<obs::TraceRecorder>> traces;
+  std::vector<std::unique_ptr<obs::ObserverSet>> observers;
+  std::vector<std::unique_ptr<core::FaultInjector>> injectors;
+  std::vector<std::unique_ptr<grid::Schedd>> schedds;
+  std::vector<grid::SubmitterStats> local_stats;
+  std::vector<grid::SubmitterStats> remote_stats;
+};
+
 }  // namespace
+
+ShardedSubmitResult run_sharded_submit(const ShardedSubmitConfig& config,
+                                       grid::DisciplineKind kind,
+                                       Duration window) {
+  ShardedSubmitWorld world(config, kind);
+  world.sk.run_until(kEpoch + window);
+
+  ShardedSubmitResult result;
+  result.kind = kind;
+  result.sites = config.sites;
+  result.shards = world.sk.shard_count();
+  result.threads = world.sk.thread_count();
+  for (const auto& schedd : world.schedds) {
+    ShardedSubmitSite site;
+    site.jobs_submitted = schedd->jobs_submitted();
+    site.schedd_crashes = schedd->crashes();
+    site.fd_low_watermark = schedd->fd_table().low_watermark();
+    result.by_site.push_back(site);
+    result.jobs_total += site.jobs_submitted;
+    result.schedd_crashes += site.schedd_crashes;
+  }
+  for (const auto& stats : world.remote_stats) {
+    result.remote_jobs += stats.jobs_succeeded;
+    result.remote_tries_failed += stats.tries_failed;
+  }
+  std::vector<core::FaultEvent> fault_events;
+  for (const auto& injector : world.injectors) {
+    if (!injector) continue;
+    result.faults_injected += injector->fired_total();
+    for (core::FaultEvent& event : injector->events()) {
+      fault_events.push_back(std::move(event));
+    }
+  }
+  if (!fault_events.empty()) {
+    result.fault_audit = core::merged_audit_text(std::move(fault_events));
+  }
+  result.kernel_events = world.sk.events_processed();
+  result.windows = world.sk.windows_run();
+  result.messages_delivered = world.sk.messages_delivered();
+  world.sk.shutdown();
+  if (config.record_trace) {
+    std::vector<std::string> jsons;
+    jsons.reserve(world.traces.size());
+    for (const auto& trace : world.traces) jsons.push_back(trace->to_json());
+    result.trace_json = obs::merge_chrome_traces(jsons);
+  }
+  return result;
+}
 
 SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
                                         grid::DisciplineKind kind,

@@ -16,6 +16,7 @@
 #include "obs/observer.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/kernel.hpp"
+#include "sim/shard.hpp"
 #include "util/time.hpp"
 
 namespace ethergrid::exp {
@@ -58,6 +59,69 @@ SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
                                         grid::DisciplineKind kind,
                                         int submitters,
                                         Duration window = minutes(5));
+
+// ----------------------------------- scenario 1 at scale: the sharded grid
+//
+// The same submission workload, partitioned by substrate across a
+// sim::ShardedKernel: `sites` schedds, each with its attached submitters,
+// placed round-robin on the shards (grid/placement.hpp).  Optionally each
+// site also runs `remote_per_site` submitters that target the NEXT site's
+// schedd through a cross-shard RPC (request and reply both ride the
+// mailbox, so every window carries traffic across every shard pair).
+//
+// The world is built partition-independently: every per-site name (fault
+// site, schedd service stream, submitter RNG stream) embeds the site
+// index, and every shard kernel is constructed with the same seed, so a
+// site's draws -- and therefore its stats and audit lines -- do not depend
+// on how many shards the world was split across.  Pinned by
+// tests/sim/backend_equivalence_test.cpp: per-site stats and the merged
+// fault audit are identical for shards=1, shards=4/threads=1 and
+// shards=4/threads=4.
+struct ShardedSubmitConfig {
+  std::size_t sites = 4;        // one schedd per site
+  int submitters_per_site = 100;
+  int remote_per_site = 0;      // cross-shard submitters per site
+  grid::ScheddConfig schedd;    // base config; per-site names applied on top
+  grid::SubmitterConfig submitter;  // .kind overridden by the runner
+  // One-way latency of the cross-shard submit RPC; floored to the
+  // sharded kernel's lookahead by post().
+  Duration rpc_latency = msec(50);
+  std::uint64_t seed = 42;
+  sim::ShardedKernelOptions sharded;  // shards / threads / lookahead / kernel
+  sim::FaultPlan faults;  // sites: schedd<i>.submit
+  // When set, each shard records a TraceRecorder lane (pid = shard + 1)
+  // and the runner returns the merged Chrome-trace JSON.  The merged bytes
+  // are deterministic in (seed, config) and independent of thread count.
+  bool record_trace = false;
+};
+
+struct ShardedSubmitSite {
+  std::int64_t jobs_submitted = 0;
+  int schedd_crashes = 0;
+  std::int64_t fd_low_watermark = 0;
+};
+
+struct ShardedSubmitResult {
+  grid::DisciplineKind kind{};
+  std::size_t sites = 0;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::vector<ShardedSubmitSite> by_site;
+  std::int64_t jobs_total = 0;
+  int schedd_crashes = 0;
+  std::int64_t remote_jobs = 0;         // successes over the cross-shard RPC
+  std::int64_t remote_tries_failed = 0;
+  std::int64_t faults_injected = 0;
+  std::string fault_audit;          // core::merged_audit_text over all shards
+  std::uint64_t kernel_events = 0;  // wakeups, summed over shards
+  std::uint64_t windows = 0;        // conservative windows run
+  std::uint64_t messages_delivered = 0;  // cross-shard mailbox deliveries
+  std::string trace_json;           // merged Chrome trace (record_trace)
+};
+
+ShardedSubmitResult run_sharded_submit(const ShardedSubmitConfig& config,
+                                       grid::DisciplineKind kind,
+                                       Duration window = minutes(5));
 
 // Figures 2-3: timeline of available FDs and cumulative jobs.
 struct TimelinePoint {

@@ -1,0 +1,48 @@
+// Substrate-to-shard placement for sharded worlds.
+//
+// The partitioning rule is "partition by substrate": a site -- one
+// Schedd/FileServer plus every client attached to it -- lives entirely on
+// one shard, so all intra-site interaction stays shard-local and only
+// explicit RPCs (ShardedKernel::post) cross shards.  Placement is
+// round-robin by site index: deterministic, independent of thread count,
+// and balanced when sites are homogeneous (the fig1 sweep's case).
+//
+// The helpers here also derive the per-site names that make a world
+// partition-independent: each site's fault-injection site, RNG stream,
+// and observability label include the site index, so a site's draws and
+// audit lines are the same bytes no matter how many shards the world was
+// split across.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "grid/schedd.hpp"
+
+namespace ethergrid::grid {
+
+// Shard owning site `site` in a world of `shards` shards.
+constexpr std::size_t place_site(std::size_t site, std::size_t shards) {
+  return shards == 0 ? 0 : site % shards;
+}
+
+// Stable mailbox id for a site (ShardMessage::src_site).  Site indices are
+// already unique and partition-independent; the identity keeps call sites
+// self-documenting.
+constexpr std::uint64_t site_mailbox_id(std::size_t site) {
+  return static_cast<std::uint64_t>(site);
+}
+
+// Per-site schedd naming: "schedd<i>.submit" fault site, "schedd<i>-service"
+// RNG stream, "schedd<i>" observability label.  Applied onto a shared base
+// config so scenario-level tuning (capacities, delays) carries over.
+inline ScheddConfig site_schedd_config(ScheddConfig base, std::size_t site) {
+  const std::string stem = "schedd" + std::to_string(site);
+  base.fault_site = stem + ".submit";
+  base.service_stream = stem + "-service";
+  base.obs_site = stem;
+  return base;
+}
+
+}  // namespace ethergrid::grid

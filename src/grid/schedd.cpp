@@ -90,7 +90,9 @@ Schedd::Schedd(sim::Kernel& kernel, const ScheddConfig& config)
       fds_(config.fd_capacity),
       service_slots_(kernel, config.service_concurrency),
       crash_pulse_(kernel),
-      service_rng_(kernel.rng().stream("schedd-service")) {}
+      service_rng_(kernel.rng().stream(config.service_stream)),
+      obs_site_(obs::intern_site(config.obs_site)),
+      obs_fds_site_(obs::intern_site(config.obs_site + ".fds")) {}
 
 double Schedd::load_factor() const {
   return 1.0 + config_.slowdown_per_connection * double(open_connections_);
@@ -104,14 +106,13 @@ void Schedd::crash(sim::Context& ctx) {
           "schedd crashed (#" + std::to_string(crashes_) +
               "): cannot allocate descriptors; dropping all connections");
   if (observers_) {
-    static const obs::SiteId kScheddSite = obs::intern_site("schedd");
     const std::string detail =
         "crash #" + std::to_string(crashes_) + ", dropping " +
         std::to_string(open_connections_) + " connection(s)";
     obs::ObsEvent event;
     event.kind = obs::ObsEvent::Kind::kCrash;
     event.time = ctx.now();
-    event.site = kScheddSite;
+    event.site = obs_site_;
     event.detail = detail;
     event.value = double(open_connections_);
     observers_->on_event(event);
@@ -136,14 +137,13 @@ Status Schedd::submit_internal(sim::Context& ctx,
   const TimePoint submit_start = ctx.now();
   auto emit_table_full = [&](const char* what, std::int64_t want) {
     if (!observers_) return;
-    static const obs::SiteId kFdsSite = obs::intern_site("schedd.fds");
     const std::string detail = std::string(what) + ": " +
                                std::to_string(want) +
                                " descriptor(s) unavailable";
     obs::ObsEvent event;
     event.kind = obs::ObsEvent::Kind::kTableFull;
     event.time = ctx.now();
-    event.site = kFdsSite;
+    event.site = obs_fds_site_;
     event.detail = detail;
     event.value = double(want);
     observers_->on_event(event);
@@ -157,7 +157,7 @@ Status Schedd::submit_internal(sim::Context& ctx,
 
   Duration injected_stall{};
   if (faults_ && faults_->enabled()) {
-    core::FaultDecision fault = faults_->decide("schedd.submit", ctx.now());
+    core::FaultDecision fault = faults_->decide(config_.fault_site, ctx.now());
     switch (fault.action) {
       case core::FaultDecision::Action::kNone:
         break;

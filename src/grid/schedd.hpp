@@ -92,6 +92,17 @@ struct ScheddConfig {
   Duration connect_time = msec(100);
   // Crash-to-serving time: process restart plus durable job-queue recovery.
   Duration restart_delay = sec(60);
+  // Per-instance naming, for worlds with several schedds (the sharded
+  // fig1 scenario runs one per site).  fault_site is the injection site
+  // consulted per submission; service_stream names the kernel-RNG stream
+  // feeding service-time draws; obs_site labels observability events
+  // (descriptor-table events use obs_site + ".fds").  Giving each site
+  // distinct names keeps its draws and audits independent of every other
+  // site -- and therefore independent of how sites are partitioned across
+  // shards.  Defaults preserve the single-schedd byte format.
+  std::string fault_site = "schedd.submit";
+  std::string service_stream = "schedd-service";
+  std::string obs_site = "schedd";
 };
 
 class Schedd {
@@ -152,6 +163,10 @@ class Schedd {
   EventSeries submissions_{"jobs_submitted"};
   LatencyHistogram latency_;
   Rng service_rng_;
+  // Interned per instance (config_.obs_site), not function-static: two
+  // schedds with different labels must not alias each other's events.
+  obs::SiteId obs_site_;
+  obs::SiteId obs_fds_site_;
 };
 
 }  // namespace ethergrid::grid

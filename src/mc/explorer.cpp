@@ -309,7 +309,7 @@ void Explorer::run_one(Driver& driver, ExploreResult& result) {
   driver.invariants = &invariants;
   kernel.set_strategy(&driver);
   try {
-    kernel.run();
+    scenario_.drive(kernel, *world);
   } catch (const std::exception& e) {
     driver.record_violation("mc.exception",
                            std::string("exception escaped the run: ") +

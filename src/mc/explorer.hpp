@@ -125,6 +125,16 @@ class Scenario {
   virtual std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel,
                                                Strategy* strategy,
                                                InvariantSet& invariants) = 0;
+  // Drives one execution to completion.  The default runs the explorer's
+  // kernel; a scenario whose world wraps it in a larger machine -- the
+  // cross-shard scenario drives a sim::ShardedKernel whose shard kernels
+  // carry the strategy -- overrides this and leaves `kernel` empty.  Must
+  // run everything on the calling thread (the DFS replays prefixes, so
+  // sharded worlds use threads=1 here).
+  virtual void drive(sim::Kernel& kernel, ScenarioWorld& world) {
+    (void)world;
+    kernel.run();
+  }
 };
 
 struct ExplorerOptions {

@@ -8,6 +8,7 @@
 #include "shell/session.hpp"
 #include "shell/sim_executor.hpp"
 #include "sim/resource.hpp"
+#include "sim/shard.hpp"
 #include "sim/store.hpp"
 
 namespace ethergrid::mc {
@@ -318,6 +319,165 @@ class WakeTokenScenario final : public Scenario {
   }
 };
 
+// ---------------------------------------------------- cross-shard-window
+
+// A two-shard ShardedKernel under the explorer: a client on shard 0
+// submits to a schedd on shard 1 through the cross-shard mailbox (request
+// and reply both cross a conservative window boundary), while a killer on
+// shard 0 kills the client at the exact instant the reply delivery wakes.
+// The explorer enumerates both the schedule ambiguity at that boundary
+// (kill-before-reply / reply-before-kill) and the schedd's probabilistic
+// fault branch.  Whatever the interleaving: both shard kernels must drain
+// with exact accounting, the reply must run at most once, and a client
+// that completed must have consumed exactly one reply.
+class CrossShardWorld final : public ScenarioWorld {
+ public:
+  // Shared by the client, the request payload, and the reply payload, so
+  // it survives whichever dies first (client killed mid-wait, message
+  // dropped at shutdown).
+  struct Rpc {
+    explicit Rpc(sim::Kernel& home) : reply(home) {}
+    sim::Event reply;
+    Status result = Status::unavailable("rpc dropped");
+  };
+
+  CrossShardWorld(std::uint64_t seed, const sim::ShardedKernelOptions& opts,
+                  const grid::ScheddConfig& config)
+      : sk(seed, opts),
+        schedd(sk.shard(1), config),
+        faults(sim::FaultPlan().add(config.fault_site,
+                                    sim::FaultPlan::error(0.5)),
+               sk.shard(1).rng().stream("faults")) {}
+
+  ~CrossShardWorld() override {
+    // Kill the shard processes (which reference schedd/faults, declared
+    // after sk) before the members destruct.  Per-shard shutdown also
+    // detaches any installed strategy.
+    sk.shutdown();
+  }
+
+  sim::ShardedKernel sk;
+  grid::Schedd schedd;        // shard 1
+  core::FaultInjector faults;
+  sim::ProcessHandle client;  // shard 0
+  bool client_done = false;
+  Status rpc_result = Status::success();
+  int replies = 0;
+};
+
+class CrossShardScenario final : public Scenario {
+ public:
+  std::string name() const override { return "cross-shard-window"; }
+
+  sim::KernelOptions kernel_options(sim::KernelOptions base) const override {
+    // Stash the explorer-level options (backend, queue): run_one calls this
+    // before build(), and the shard kernels below must execute on the same
+    // configuration as the (empty) explorer kernel.
+    shard_kernel_ = base;
+    return base;
+  }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel, Strategy* strategy,
+                                       InvariantSet& invariants) override {
+    (void)kernel;  // stays empty; drive() runs the sharded world instead
+    sim::ShardedKernelOptions opts;
+    opts.shards = 2;
+    opts.threads = 1;  // DFS prefix replay must stay on the calling thread
+    opts.lookahead = msec(10);
+    opts.kernel = shard_kernel_;
+    // Deterministic single-slot schedd: the only RNG-free ambiguity left
+    // is the strategy's (schedule choices + the fault rule).
+    grid::ScheddConfig config;
+    config.fd_capacity = 60;
+    config.fds_per_connection = 20;
+    config.fds_per_connection_jitter = 0;
+    config.fds_per_service = 4;
+    config.fds_per_transfer = 0;
+    config.service_concurrency = 1;
+    config.service_min = msec(20);
+    config.service_max = msec(20);
+    config.slowdown_per_connection = 0;
+    config.connect_time = msec(10);
+    config.restart_delay = msec(300);
+    auto world = std::make_unique<CrossShardWorld>(1, opts, config);
+    CrossShardWorld* w = world.get();
+    w->faults.set_strategy(strategy);
+    w->schedd.set_fault_injector(&w->faults);
+    for (std::size_t s = 0; s < w->sk.shard_count(); ++s) {
+      w->sk.shard(s).logger().set_threshold(LogLevel::kOff);
+      w->sk.shard(s).set_strategy(strategy);
+    }
+    sim::ShardedKernel* k = &w->sk;
+    grid::Schedd* schedd = &w->schedd;
+    // Timeline (virtual, lookahead 10ms): request posted at 0 delivers at
+    // 10ms; connect 10ms + service 20ms finish the submit at 40ms; the
+    // reply delivers at 50ms -- the same instant the killer fires, so the
+    // client's fate rides on a window-boundary schedule choice.
+    w->client = k->spawn(0, "client", [w, k, schedd](sim::Context& ctx) {
+      auto rpc = std::make_shared<CrossShardWorld::Rpc>(k->shard(0));
+      k->post(/*src_shard=*/0, /*src_site=*/0, /*dst_shard=*/1, msec(10),
+              "rpc:submit", [w, k, schedd, rpc](sim::Context& rctx) {
+                const Status result = schedd->submit(rctx);
+                k->post(/*src_shard=*/1, /*src_site=*/1, /*dst_shard=*/0,
+                        msec(10), "rpc:reply",
+                        [w, rpc, result](sim::Context&) {
+                          ++w->replies;
+                          rpc->result = result;
+                          rpc->reply.set();
+                        });
+              });
+      ctx.wait(rpc->reply);
+      w->rpc_result = rpc->result;
+      w->client_done = true;
+    });
+    k->spawn(0, "killer", [w](sim::Context& ctx) {
+      ctx.sleep(msec(50));
+      ctx.kill(w->client, "window-boundary kill");
+    });
+    invariants.add(
+        "shard-queue-accounting",
+        [w](const CheckContext&) -> Status {
+          for (std::size_t s = 0; s < w->sk.shard_count(); ++s) {
+            const Status status = w->sk.shard(s).verify_queue_accounting();
+            if (status.failed()) return status;
+          }
+          return Status::success();
+        },
+        /*every_transition=*/true);
+    invariants.add("reply-runs-at-most-once",
+                   [w](const CheckContext&) -> Status {
+                     if (w->replies > 1) {
+                       return Status::failure(
+                           "cross-shard reply delivered " +
+                           std::to_string(w->replies) + " times");
+                     }
+                     return Status::success();
+                   },
+                   /*every_transition=*/true);
+    invariants.add("cross-shard-drains", [w](const CheckContext& ctx) -> Status {
+      if (!ctx.at_end) return Status::success();
+      if (w->sk.live_process_count() != 0) {
+        return Status::failure(
+            std::to_string(w->sk.live_process_count()) +
+            " process(es) still live across the shards after the run");
+      }
+      if (w->client_done && w->replies != 1) {
+        return Status::failure("client completed without consuming a reply");
+      }
+      return Status::success();
+    });
+    return world;
+  }
+
+  void drive(sim::Kernel& kernel, ScenarioWorld& world) override {
+    (void)kernel;
+    static_cast<CrossShardWorld&>(world).sk.run();
+  }
+
+ private:
+  mutable sim::KernelOptions shard_kernel_;
+};
+
 // ------------------------------------------------------------- script
 
 class ScriptWorld final : public ScenarioWorld {
@@ -358,7 +518,7 @@ class ScriptScenario final : public Scenario {
 
 std::vector<std::string> scenario_names() {
   return {"forall-abort", "try-timeout-resource", "carrier-sense-crash",
-          "wake-token-selftest"};
+          "wake-token-selftest", "cross-shard-window"};
 }
 
 std::unique_ptr<Scenario> make_scenario(const std::string& name) {
@@ -371,6 +531,9 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name) {
   }
   if (name == "wake-token-selftest") {
     return std::make_unique<WakeTokenScenario>();
+  }
+  if (name == "cross-shard-window") {
+    return std::make_unique<CrossShardScenario>();
   }
   return nullptr;
 }

@@ -79,8 +79,8 @@ std::string json_number(double value) {
   return out;
 }
 
-TraceRecorder::TraceRecorder(std::string process_name)
-    : process_name_(std::move(process_name)) {}
+TraceRecorder::TraceRecorder(std::string process_name, int pid)
+    : process_name_(std::move(process_name)), pid_(pid) {}
 
 TraceRecorder::Rec& TraceRecorder::append_locked() {
   const std::size_t slot = size_ % kBlockRecs;
@@ -214,7 +214,9 @@ void TraceRecorder::render(const Rec& rec, std::string* out) const {
 
   out->append(",\n{\"ph\":\"");
   out->push_back(rec.instant ? 'i' : 'X');
-  out->append("\",\"pid\":1,\"tid\":");
+  out->append("\",\"pid\":");
+  out->append(json_number(static_cast<double>(pid_)));
+  out->append(",\"tid\":");
   out->append(json_number(static_cast<double>(rec.track)));
   out->append(",\"ts\":");
   out->append(json_number(static_cast<double>(rec.ts)));
@@ -238,7 +240,9 @@ void TraceRecorder::render(const Rec& rec, std::string* out) const {
 std::string TraceRecorder::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[\n";
-  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"";
+  out += "{\"ph\":\"M\",\"pid\":";
+  out += json_number(static_cast<double>(pid_));
+  out += ",\"name\":\"process_name\",\"args\":{\"name\":\"";
   out += json_escape(process_name_);
   out += "\"}}";
   // Name each lane that appears, in sorted order for stable output.
@@ -247,7 +251,9 @@ std::string TraceRecorder::to_json() const {
     tracks.insert(blocks_[i / kBlockRecs][i % kBlockRecs].track);
   }
   for (std::uint64_t track : tracks) {
-    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += ",\n{\"ph\":\"M\",\"pid\":";
+    out += json_number(static_cast<double>(pid_));
+    out += ",\"tid\":";
     out += json_number(static_cast<double>(track));
     out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
     out += track == 0 ? "main" : "lane " + json_number(static_cast<double>(track));
@@ -257,6 +263,27 @@ std::string TraceRecorder::to_json() const {
     render(blocks_[i / kBlockRecs][i % kBlockRecs], &out);
   }
   out += "\n]}\n";
+  return out;
+}
+
+std::string merge_chrome_traces(const std::vector<std::string>& traces) {
+  static constexpr std::string_view kPrefix = "{\"traceEvents\":[\n";
+  static constexpr std::string_view kSuffix = "\n]}\n";
+  std::string out{kPrefix};
+  bool first = true;
+  for (const std::string& trace : traces) {
+    std::string_view inner = trace;
+    if (inner.size() < kPrefix.size() + kSuffix.size()) continue;
+    if (inner.substr(0, kPrefix.size()) != kPrefix) continue;
+    if (inner.substr(inner.size() - kSuffix.size()) != kSuffix) continue;
+    inner.remove_prefix(kPrefix.size());
+    inner.remove_suffix(kSuffix.size());
+    if (inner.empty()) continue;
+    if (!first) out += ",\n";
+    out += inner;
+    first = false;
+  }
+  out += kSuffix;
   return out;
 }
 

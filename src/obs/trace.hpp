@@ -41,7 +41,10 @@ namespace ethergrid::obs {
 class TraceRecorder final : public Observer {
  public:
   // process_name labels the Perfetto process row ("ftsh", "gridsim").
-  explicit TraceRecorder(std::string process_name = "ethergrid");
+  // pid separates process rows when several recorders' exports are merged
+  // into one document (merge_chrome_traces below; the sharded scenarios
+  // use pid = shard index + 1).
+  explicit TraceRecorder(std::string process_name = "ethergrid", int pid = 1);
 
   void on_span_begin(const Span& span) override;
   void on_span_end(const Span& span) override;
@@ -91,6 +94,7 @@ class TraceRecorder final : public Observer {
 
   mutable std::mutex mu_;
   std::string process_name_;
+  int pid_ = 1;
   std::vector<std::unique_ptr<Rec[]>> blocks_;
   std::size_t size_ = 0;  // total records across blocks_
   std::string arena_;     // detail / error payload bytes
@@ -101,6 +105,14 @@ class TraceRecorder final : public Observer {
   std::atomic<std::size_t> spans_{0};
   std::atomic<std::size_t> events_{0};
 };
+
+// Merges several TraceRecorder::to_json() exports into one Chrome-trace
+// document, concatenating their traceEvents arrays in argument order.
+// Sharded worlds record one per-shard trace lane (distinct pids) and merge
+// them in shard order at export, so the merged bytes are deterministic and
+// independent of worker-thread scheduling.  Inputs that are not
+// TraceRecorder exports are skipped.
+std::string merge_chrome_traces(const std::vector<std::string>& traces);
 
 // Escapes a string for embedding in a JSON string literal (no quotes
 // added).  Shared by the trace and metrics exporters.

@@ -545,6 +545,7 @@ Kernel::Kernel(std::uint64_t seed, KernelOptions options)
 #endif
       queue_impl_(options.queue),
       fiber_stack_bytes_(resolve_stack_bytes(options.fiber_stack_bytes)),
+      fiber_stack_slab_(options.fiber_stack_slab),
       debug_kill_skips_invalidate_(options.debug_kill_skips_invalidate),
       rng_(seed),
       logger_(LogLevel::kWarn) {
@@ -554,6 +555,8 @@ Kernel::~Kernel() {
   shutdown();
   std::lock_guard<std::mutex> lock(mu_);
   release_stacks_locked();
+  for (const auto& [base, size] : slab_maps_) ::munmap(base, size);
+  slab_maps_.clear();
 }
 
 void Kernel::shutdown() {
@@ -770,6 +773,28 @@ internal::FiberStack Kernel::obtain_stack_locked() {
     free_stacks_.pop_back();
     return stack;
   }
+  if (fiber_stack_slab_ > 0) {
+    // Carve from the current slab; map a fresh one when it is exhausted.
+    // No guard pages: one VMA covers fiber_stack_slab_ stacks, so the
+    // concurrent-fiber ceiling is vm.max_map_count * slab instead of
+    // vm.max_map_count / 2 (see KernelOptions::fiber_stack_slab).
+    if (slab_cursor_ == slab_end_) {
+      const std::size_t slab_bytes = fiber_stack_bytes_ * fiber_stack_slab_;
+      void* base = ::mmap(nullptr, slab_bytes, PROT_READ | PROT_WRITE,
+                          MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (base == MAP_FAILED) throw std::bad_alloc();
+      slab_maps_.emplace_back(base, slab_bytes);
+      slab_cursor_ = static_cast<char*>(base);
+      slab_end_ = slab_cursor_ + slab_bytes;
+    }
+    internal::FiberStack stack;
+    stack.map_base = nullptr;  // slab-owned: never individually unmapped
+    stack.map_size = 0;
+    stack.usable_lo = slab_cursor_;
+    stack.usable_size = fiber_stack_bytes_;
+    slab_cursor_ += fiber_stack_bytes_;
+    return stack;
+  }
   internal::FiberStack cached;
   if (stack_cache().take(fiber_stack_bytes_, &cached)) return cached;
   const std::size_t page = page_size();
@@ -793,7 +818,7 @@ internal::FiberStack Kernel::obtain_stack_locked() {
 }
 
 void Kernel::recycle_stack_locked(Process* p) {
-  if (!p->stack_.map_base) return;
+  if (!p->stack_.usable_lo) return;  // slab-carved stacks recycle too
   // The shadow of the dead frames must not poison the next tenant.
   asan_unpoison_stack(p->stack_);
   free_stacks_.push_back(p->stack_);
@@ -802,7 +827,9 @@ void Kernel::recycle_stack_locked(Process* p) {
 
 void Kernel::release_stacks_locked() {
   for (const internal::FiberStack& stack : free_stacks_) {
-    stack_cache().put(stack);
+    // Slab-carved stacks (map_base == nullptr) are not individually
+    // unmappable; their memory goes with the slabs in the destructor.
+    if (stack.map_base) stack_cache().put(stack);
   }
   free_stacks_.clear();
 }
@@ -1200,6 +1227,20 @@ std::uint64_t Kernel::state_digest() const {
 std::size_t Kernel::queue_depth() const {
   const auto lock = lock_self();
   return queue_size_locked();
+}
+
+TimePoint Kernel::next_live_event_time() const {
+  const auto lock = lock_self();
+  TimePoint min = TimePoint::max();
+  auto visit = [&](const internal::QueueEntry& e) {
+    if (!entry_stale(e) && e.time < min) min = e.time;
+  };
+  if (queue_impl_ == QueueImpl::kWheel) {
+    wheel_queue_.for_each(visit);
+  } else {
+    heap_queue_.for_each(visit);
+  }
+  return min;
 }
 
 std::uint64_t Kernel::events_processed() const {

@@ -118,6 +118,17 @@ struct KernelOptions {
   // checker catches a real, historical bug.  Also suppresses the debug
   // audit's abort (the drift is the point) and the underflow asserts.
   bool debug_kill_skips_invalidate = false;
+  // When > 0, fiber stacks are carved out of shared slab mappings of this
+  // many stacks each, WITHOUT per-stack guard pages.  A guard-paged stack
+  // costs two VMAs (the PROT_NONE hole splits the mapping), so vm.max_map_count
+  // (typically 65530) caps concurrent fibers near 32k; slab mode costs one
+  // VMA per `fiber_stack_slab` stacks and reaches 10^5-10^6 concurrent
+  // processes.  Trade-off: a stack overflow corrupts the neighboring stack
+  // instead of faulting -- use for mega-scale benches, not debugging.
+  // Slabs live until kernel destruction (stacks recycle within the kernel
+  // but are not returned to the process-wide cache).  Ignored by the thread
+  // backend.
+  std::size_t fiber_stack_slab = 0;
 };
 
 namespace internal {
@@ -427,6 +438,17 @@ class Kernel {
   // compaction regression test and bench reporting read this).
   std::size_t queue_depth() const;
 
+  // Exact earliest time at which a pending LIVE wakeup can fire, or
+  // TimePoint::max() when none is pending.  O(queue depth): scans every
+  // entry (both queue impls keep only heap/slot-granule order, and stale
+  // entries may front-run the live minimum).  The sharded kernel's
+  // conservative window synchronization (shard.hpp) computes its lookahead
+  // horizon from this; exactness matters there -- a cheaper per-impl lower
+  // bound would vary with how entries were partitioned across shards and
+  // make the window schedule (and thus same-instant delivery order) depend
+  // on the shard count.
+  TimePoint next_live_event_time() const;
+
   // Wakeups actually delivered to processes since construction: the
   // virtual-time event count benches report as events/sec.
   std::uint64_t events_processed() const;
@@ -560,6 +582,7 @@ class Kernel {
   const Backend backend_;
   const QueueImpl queue_impl_;
   const std::size_t fiber_stack_bytes_;
+  const std::size_t fiber_stack_slab_;  // stacks per slab; 0 = guard-paged
   const bool debug_kill_skips_invalidate_;
 
   mutable std::mutex mu_;
@@ -617,6 +640,13 @@ class Kernel {
   const void* sched_stack_bottom_ = nullptr;  // learned at fiber entry
   std::size_t sched_stack_size_ = 0;
   std::vector<internal::FiberStack> free_stacks_;
+  // Slab mode (fiber_stack_slab > 0): the live slab mappings, munmapped in
+  // the destructor, and the carve frontier within the newest slab.  Carved
+  // stacks have map_base == nullptr so every individual-ownership path
+  // (process destructor, stack cache, release) skips them.
+  std::vector<std::pair<void*, std::size_t>> slab_maps_;
+  char* slab_cursor_ = nullptr;
+  char* slab_end_ = nullptr;
 
   Rng rng_;
   Logger logger_;

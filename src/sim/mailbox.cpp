@@ -1,0 +1,48 @@
+#include "sim/mailbox.hpp"
+
+#include <algorithm>
+
+namespace ethergrid::sim {
+
+ShardMailbox::ShardMailbox(std::size_t shards)
+    : rows_(shards), next_seq_(shards, 0) {}
+
+void ShardMailbox::post(std::size_t src_shard, ShardMessage msg) {
+  msg.seq = next_seq_[src_shard]++;
+  rows_[src_shard].push_back(std::move(msg));
+}
+
+std::vector<ShardMessage> ShardMailbox::drain() {
+  std::vector<ShardMessage> batch;
+  std::size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  batch.reserve(total);
+  for (auto& row : rows_) {
+    for (ShardMessage& m : row) batch.push_back(std::move(m));
+    row.clear();
+  }
+  // Canonical order.  (src_site, seq) pairs are unique -- seq counters are
+  // per row and a site posts from exactly one row -- so the order is total
+  // and std::sort's instability is immaterial.
+  std::sort(batch.begin(), batch.end(),
+            [](const ShardMessage& a, const ShardMessage& b) {
+              if (a.deliver != b.deliver) return a.deliver < b.deliver;
+              if (a.src_site != b.src_site) return a.src_site < b.src_site;
+              return a.seq < b.seq;
+            });
+  posted_total_ += batch.size();
+  return batch;
+}
+
+bool ShardMailbox::empty() const {
+  for (const auto& row : rows_) {
+    if (!row.empty()) return false;
+  }
+  return true;
+}
+
+void ShardMailbox::clear() {
+  for (auto& row : rows_) row.clear();
+}
+
+}  // namespace ethergrid::sim

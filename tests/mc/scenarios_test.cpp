@@ -26,7 +26,7 @@ class McScenariosTest : public ::testing::TestWithParam<sim::QueueImpl> {
 
 TEST_P(McScenariosTest, ListsAllScenarios) {
   const std::vector<std::string> names = scenario_names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   for (const std::string& name : names) {
     EXPECT_NE(make_scenario(name), nullptr) << name;
   }
@@ -105,6 +105,26 @@ TEST_P(McScenariosTest, WakeTokenSelfTestProducesReplayableCounterexample) {
   const ExploreResult replayed = replayer.replay(reloaded.decisions);
   ASSERT_FALSE(replayed.ok());
   EXPECT_EQ(replayed.violations.front().invariant, "queue-accounting");
+}
+
+// Acceptance: the two-shard world with a cross-shard submit racing a kill
+// at a window boundary closes exhaustively and stays clean -- no
+// interleaving of the mailbox delivery, the kill, and the fault branch
+// may double-deliver the reply, leak a process on either shard, or drift
+// either shard's wakeup accounting.
+TEST_P(McScenariosTest, CrossShardWindowExploresExhaustively) {
+  std::unique_ptr<Scenario> scenario = make_scenario("cross-shard-window");
+  ASSERT_NE(scenario, nullptr);
+  Explorer explorer(*scenario, options_for());
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().message);
+  EXPECT_TRUE(result.complete);
+  // The window-boundary race must actually branch: at least the fault
+  // choice and one schedule choice.
+  EXPECT_GT(result.stats.executions, 2u);
+  EXPECT_GT(result.stats.choice_points, 0u);
 }
 
 TEST_P(McScenariosTest, ScriptScenarioRunsArbitrarySource) {

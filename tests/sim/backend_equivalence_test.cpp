@@ -214,5 +214,105 @@ TEST(BackendEquivalence, ChaosReaderTraceBytesMatch) {
   }
 }
 
+// ---- sharded equivalence ----
+//
+// The sharded kernel joins the oracle: ONE partitioned world, three
+// executions -- unsharded (shards=1), sharded single-threaded (shards=4,
+// threads=1), and sharded parallel (shards=4, threads=4) -- must agree on
+// every per-site statistic and produce a byte-identical merged fault
+// audit.  shards=1 vs shards=4 checks partition independence (per-site
+// names pin the RNG streams); threads=1 vs threads=4 checks that worker
+// scheduling reorders nothing virtual time doesn't.
+
+// Per-site plans over the sharded submit world's "schedd<i>.submit" sites.
+const char kShardPlanResets[] = "schedd*.submit:reset@0.1";
+const char kShardPlanCrashStall[] =
+    "schedd1.submit:crash@30;schedd*.submit:stall@0.2,2";
+
+exp::ShardedSubmitResult run_sharded(std::uint64_t seed,
+                                     const std::string& plan_spec,
+                                     grid::DisciplineKind kind,
+                                     std::size_t shards, std::size_t threads,
+                                     bool record_trace = false) {
+  exp::ShardedSubmitConfig config;
+  config.sites = 4;
+  config.submitters_per_site = 20;
+  config.remote_per_site = 2;
+  config.seed = seed;
+  config.sharded.shards = shards;
+  config.sharded.threads = threads;
+  config.faults = parse_plan(plan_spec);
+  config.record_trace = record_trace;
+  return exp::run_sharded_submit(config, kind, sec(120));
+}
+
+void expect_sharded_equal(const exp::ShardedSubmitResult& ref,
+                          const exp::ShardedSubmitResult& got) {
+  ASSERT_EQ(ref.by_site.size(), got.by_site.size());
+  for (std::size_t i = 0; i < ref.by_site.size(); ++i) {
+    EXPECT_EQ(ref.by_site[i].jobs_submitted, got.by_site[i].jobs_submitted)
+        << "site " << i;
+    EXPECT_EQ(ref.by_site[i].schedd_crashes, got.by_site[i].schedd_crashes)
+        << "site " << i;
+    EXPECT_EQ(ref.by_site[i].fd_low_watermark, got.by_site[i].fd_low_watermark)
+        << "site " << i;
+  }
+  EXPECT_EQ(ref.jobs_total, got.jobs_total);
+  EXPECT_EQ(ref.remote_jobs, got.remote_jobs);
+  EXPECT_EQ(ref.remote_tries_failed, got.remote_tries_failed);
+  EXPECT_EQ(ref.faults_injected, got.faults_injected);
+  // Byte-identical merged audit: every fault fired at the same virtual
+  // instant at the same site, independent of partition and thread count.
+  EXPECT_EQ(ref.fault_audit, got.fault_audit);
+}
+
+class ShardedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, const char*>> {
+};
+
+TEST_P(ShardedEquivalenceTest, StatsAndAuditMatchAcrossShardsAndThreads) {
+  const auto [seed, plan] = GetParam();
+  for (grid::DisciplineKind kind :
+       {grid::DisciplineKind::kFixed, grid::DisciplineKind::kEthernet}) {
+    SCOPED_TRACE(grid::discipline_kind_name(kind));
+    const auto ref = run_sharded(seed, plan, kind, /*shards=*/1,
+                                 /*threads=*/1);
+    ASSERT_GT(ref.jobs_total, 0);
+    EXPECT_GT(ref.faults_injected, 0);
+    {
+      SCOPED_TRACE("shards=4/threads=1");
+      const auto got = run_sharded(seed, plan, kind, 4, 1);
+      expect_sharded_equal(ref, got);
+    }
+    {
+      SCOPED_TRACE("shards=4/threads=4");
+      const auto got = run_sharded(seed, plan, kind, 4, 4);
+      expect_sharded_equal(ref, got);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByPlans, ShardedEquivalenceTest,
+    ::testing::Combine(::testing::Values(std::uint64_t(1), std::uint64_t(7),
+                                         std::uint64_t(42)),
+                       ::testing::Values(kShardPlanResets,
+                                         kShardPlanCrashStall)));
+
+// The exported trace is part of the determinism contract at fixed shard
+// count: shards=4/threads=4 must serialize the same merged bytes as
+// shards=4/threads=1 (per-shard lanes, merged in shard order).
+TEST(ShardedEquivalence, MergedTraceBytesMatchAcrossThreadCounts) {
+  const auto ref = run_sharded(42, kShardPlanCrashStall,
+                               grid::DisciplineKind::kEthernet, 4, 1,
+                               /*record_trace=*/true);
+  EXPECT_NE(ref.trace_json.find("fault"), std::string::npos);
+  EXPECT_NE(ref.trace_json.find("shard3"), std::string::npos);
+  const auto got = run_sharded(42, kShardPlanCrashStall,
+                               grid::DisciplineKind::kEthernet, 4, 4,
+                               /*record_trace=*/true);
+  EXPECT_EQ(ref.trace_json, got.trace_json);
+}
+
 }  // namespace
 }  // namespace ethergrid
