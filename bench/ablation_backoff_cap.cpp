@@ -30,7 +30,7 @@ int main() {
     policy.cap = sec(cap_s);
     config.submitter.backoff = policy;
     auto point = exp::run_submit_scale_point(
-        config, grid::DisciplineKind::kAloha, 450, sec(1800));
+        config, "aloha", 450, sec(1800));
     table.add_row({exp::Table::cell(cap_s),
                    exp::Table::cell(point.jobs_submitted),
                    exp::Table::cell(point.schedd_crashes)});

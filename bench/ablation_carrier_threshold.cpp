@@ -24,7 +24,7 @@ int main() {
     exp::SubmitScenarioConfig config;
     config.submitter.fd_threshold = threshold;
     auto point = exp::run_submit_scale_point(
-        config, grid::DisciplineKind::kEthernet, 450);
+        config, "ethernet", 450);
     table.add_row({exp::Table::cell(threshold),
                    exp::Table::cell(point.jobs_submitted),
                    exp::Table::cell(point.schedd_crashes),

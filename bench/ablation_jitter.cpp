@@ -25,12 +25,12 @@ int main() {
     std::fprintf(stderr, "[ablation_jitter] %d submitters...\n", n);
     exp::SubmitScenarioConfig with_jitter;  // paper default: jitter [1,2)
     auto with_point = exp::run_submit_scale_point(
-        with_jitter, grid::DisciplineKind::kAloha, n);
+        with_jitter, "aloha", n);
 
     exp::SubmitScenarioConfig without_jitter;
     without_jitter.submitter.backoff = core::BackoffPolicy::no_jitter();
     auto without_point = exp::run_submit_scale_point(
-        without_jitter, grid::DisciplineKind::kAloha, n);
+        without_jitter, "aloha", n);
 
     table.add_row({exp::Table::cell(n),
                    exp::Table::cell(with_point.jobs_submitted),

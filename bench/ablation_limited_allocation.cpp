@@ -38,7 +38,7 @@ int main() {
     }
     std::vector<grid::SubmitterStats> stats(300);
     grid::SubmitterConfig submitter;
-    submitter.kind = grid::DisciplineKind::kEthernet;
+    submitter.discipline = "ethernet";
     for (int i = 0; i < 300; ++i) {
       kernel.spawn("submitter" + std::to_string(i),
                    grid::make_submitter(schedd, submitter, &stats[i]));
@@ -57,7 +57,7 @@ int main() {
     if (hogged > 0) (void)schedd2.fd_table().try_allocate(hogged);
     std::vector<grid::SubmitterStats> stats2(300);
     grid::SubmitterConfig aloha = submitter;
-    aloha.kind = grid::DisciplineKind::kAloha;
+    aloha.discipline = "aloha";
     for (int i = 0; i < 300; ++i) {
       kernel2.spawn("submitter" + std::to_string(i),
                     grid::make_submitter(schedd2, aloha, &stats2[i]));

@@ -5,6 +5,7 @@
 // C++ clients for speed, and this binary demonstrates the equivalence.
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/scenarios.hpp"
@@ -39,7 +40,7 @@ end
 )";
 
 // N script-driven submitters against a fresh schedd world.
-std::int64_t run_scripted(grid::DisciplineKind kind, int clients,
+std::int64_t run_scripted(std::string_view discipline, int clients,
                           Duration window, std::uint64_t seed) {
   sim::Kernel kernel(seed);
   grid::Schedd schedd(kernel, grid::ScheddConfig{});
@@ -59,9 +60,8 @@ std::int64_t run_scripted(grid::DisciplineKind kind, int clients,
                 std::to_string(schedd.fd_table().available()), ""};
       });
 
-  const char* script = kind == grid::DisciplineKind::kEthernet
-                           ? kEthernetScript
-                           : kAlohaScript;
+  const char* script =
+      discipline == "ethernet" ? kEthernetScript : kAlohaScript;
   for (int i = 0; i < clients; ++i) {
     kernel.spawn("script" + std::to_string(i), [&, i](sim::Context& ctx) {
       shell::SimExecutor::ContextBinding binding(executor, ctx);
@@ -81,11 +81,11 @@ std::int64_t run_scripted(grid::DisciplineKind kind, int clients,
   return jobs;
 }
 
-std::int64_t run_api(grid::DisciplineKind kind, int clients, Duration window,
-                     std::uint64_t seed) {
+std::int64_t run_api(std::string_view discipline, int clients,
+                     Duration window, std::uint64_t seed) {
   exp::SubmitScenarioConfig config;
   config.seed = seed;
-  return exp::run_submit_scale_point(config, kind, clients, window)
+  return exp::run_submit_scale_point(config, discipline, clients, window)
       .jobs_submitted;
 }
 
@@ -106,19 +106,19 @@ int main() {
 
   struct Row {
     const char* name;
-    grid::DisciplineKind kind;
+    const char* discipline;
     int clients;
     Duration window;
     double tolerance;
   };
   const Row rows[] = {
-      {"aloha_uncontended_60x3min", grid::DisciplineKind::kAloha, 60,
+      {"aloha_uncontended_60x3min", "aloha", 60,
        minutes(3), 0.05},
-      {"ethernet_uncontended_60x3min", grid::DisciplineKind::kEthernet, 60,
+      {"ethernet_uncontended_60x3min", "ethernet", 60,
        minutes(3), 0.05},
-      {"ethernet_overload_450x2min", grid::DisciplineKind::kEthernet, 450,
+      {"ethernet_overload_450x2min", "ethernet", 450,
        minutes(2), 0.25},
-      {"aloha_overload_450x2min", grid::DisciplineKind::kAloha, 450,
+      {"aloha_overload_450x2min", "aloha", 450,
        minutes(2), 0.35},
   };
 
@@ -126,8 +126,9 @@ int main() {
   for (const Row& row : rows) {
     std::fprintf(stderr, "[fidelity] %s...\n", row.name);
     const std::int64_t scripted =
-        run_scripted(row.kind, row.clients, row.window, 42);
-    const std::int64_t api = run_api(row.kind, row.clients, row.window, 42);
+        run_scripted(row.discipline, row.clients, row.window, 42);
+    const std::int64_t api =
+        run_api(row.discipline, row.clients, row.window, 42);
     const double delta =
         api ? 100.0 * double(scripted - api) / double(api) : 0.0;
     table.add_row({row.name, exp::Table::cell(scripted),

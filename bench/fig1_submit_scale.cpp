@@ -82,7 +82,7 @@ int run_sharded_scale() {
     config.sharded.threads = n;
     const auto t0 = std::chrono::steady_clock::now();
     const exp::ShardedSubmitResult r = exp::run_sharded_submit(
-        config, grid::DisciplineKind::kEthernet, window);
+        config, "ethernet", window);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -172,11 +172,11 @@ int main(int argc, char** argv) {
   for (int n : counts) {
     std::fprintf(stderr, "[fig1] running %d submitters...\n", n);
     auto fixed = exp::run_submit_scale_point(config,
-                                             grid::DisciplineKind::kFixed, n);
+                                             "fixed", n);
     auto aloha = exp::run_submit_scale_point(config,
-                                             grid::DisciplineKind::kAloha, n);
+                                             "aloha", n);
     auto ether = exp::run_submit_scale_point(
-        config, grid::DisciplineKind::kEthernet, n);
+        config, "ethernet", n);
     table.add_row({exp::Table::cell(n), exp::Table::cell(fixed.jobs_submitted),
                    exp::Table::cell(aloha.jobs_submitted),
                    exp::Table::cell(ether.jobs_submitted),

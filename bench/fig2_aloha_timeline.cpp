@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   exp::SubmitScenarioConfig config;
   std::fprintf(stderr, "[fig2] %d aloha submitters, 1800 s...\n", clients);
   exp::SubmitterTimeline timeline = exp::run_submitter_timeline(
-      config, grid::DisciplineKind::kAloha, clients, sec(1800), sec(10));
+      config, "aloha", clients, sec(1800), sec(10));
 
   exp::Table table("Figure 2: Timeline of Aloha Submitter (" +
                        std::to_string(clients) + " clients)",

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   exp::SubmitScenarioConfig config;
   std::fprintf(stderr, "[fig3] %d ethernet submitters, 1800 s...\n", clients);
   exp::SubmitterTimeline timeline = exp::run_submitter_timeline(
-      config, grid::DisciplineKind::kEthernet, clients, sec(1800), sec(10));
+      config, "ethernet", clients, sec(1800), sec(10));
 
   exp::Table table("Figure 3: Timeline of Ethernet Submitter (" +
                        std::to_string(clients) + " clients)",

@@ -33,11 +33,11 @@ int main(int argc, char** argv) {
   for (int n : counts) {
     std::fprintf(stderr, "[fig5] running %d producers...\n", n);
     auto fixed =
-        exp::run_buffer_point(config, grid::DisciplineKind::kFixed, n);
+        exp::run_buffer_point(config, "fixed", n);
     auto aloha =
-        exp::run_buffer_point(config, grid::DisciplineKind::kAloha, n);
+        exp::run_buffer_point(config, "aloha", n);
     auto ether =
-        exp::run_buffer_point(config, grid::DisciplineKind::kEthernet, n);
+        exp::run_buffer_point(config, "ethernet", n);
     table.add_row({exp::Table::cell(n), exp::Table::cell(fixed.collisions),
                    exp::Table::cell(aloha.collisions),
                    exp::Table::cell(ether.collisions),

@@ -15,10 +15,10 @@ using namespace ethergrid;
 int main() {
   bench::Report report("fig6_aloha_reader");
   exp::ReaderScenarioConfig config;
-  config.reader.kind = grid::DisciplineKind::kAloha;
+  config.reader.discipline = "aloha";
   std::fprintf(stderr, "[fig6] 3 aloha readers vs black hole, 900 s...\n");
-  exp::ReaderTimeline timeline = exp::run_reader_timeline(
-      config, grid::DisciplineKind::kAloha, sec(900), sec(30));
+  exp::ReaderTimeline timeline =
+      exp::run_reader_timeline(config, "aloha", sec(900), sec(30));
 
   exp::Table table(
       "Figure 6: Aloha File Reader (cumulative events, 3 clients, 900 s)",

@@ -17,11 +17,11 @@ int main() {
   exp::ReaderScenarioConfig config;
   std::fprintf(stderr, "[fig7] 3 ethernet readers vs black hole, 900 s...\n");
   exp::ReaderTimeline ethernet = exp::run_reader_timeline(
-      config, grid::DisciplineKind::kEthernet, sec(900), sec(30));
+      config, "ethernet", sec(900), sec(30));
   // For the by-what-factor comparison the paper implies between Figures 6
   // and 7, rerun the Aloha configuration with the same seed.
   exp::ReaderTimeline aloha = exp::run_reader_timeline(
-      config, grid::DisciplineKind::kAloha, sec(900), sec(30));
+      config, "aloha", sec(900), sec(30));
 
   exp::Table table(
       "Figure 7: Ethernet File Reader (cumulative events, 3 clients, 900 s)",

@@ -1,0 +1,134 @@
+// Figure 8: Bulk-transfer goodput and Jain fairness across disciplines.
+//
+// Beyond the paper: N bulk senders saturate one fluid 10 MiB/s link, each
+// moving 32 MiB files under Fixed / Aloha / Ethernet / Reservation.  The
+// binary-collision scenarios (figs 1-7) showed Ethernet riding out
+// contention; on a fluid link the question becomes *allocation*: Ethernet
+// senders all stream at once and split the link thin (per-attempt
+// deadlines start starving streams), while Reservation senders negotiate
+// non-overlapping (window, rate) grants from the site's book (Chen &
+// Primet) and stream at a guaranteed rate.  The claim this figure gates:
+// under saturation, Reservation matches-or-beats Ethernet on goodput and
+// is at least as fair (Jain index over per-sender bytes).
+//
+// One report entry per discipline (all named fig8_bulk_transfer,
+// distinguished by the "discipline" field); the goodput gate runs against
+// ETHERGRID_BENCH_BASELINE.  Goodput is virtual-time bytes/second, so the
+// gate is deterministic -- 0.9x is generous for a metric that cannot
+// jitter with runner load.
+//
+// Usage: fig8_bulk_transfer [sender counts...]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/scenarios.hpp"
+#include "exp/table.hpp"
+#include "report.hpp"
+
+using namespace ethergrid;
+
+namespace {
+
+const char* const kDisciplines[] = {"fixed", "aloha", "ethernet",
+                                    "reservation"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> counts = {4, 8, 16};
+  if (argc > 1) {
+    counts.clear();
+    for (int i = 1; i < argc; ++i) counts.push_back(std::atoi(argv[i]));
+  }
+
+  exp::BulkScenarioConfig config;  // 10 MiB/s fluid link, 32 MiB files
+
+  exp::Table table(
+      "Figure 8: Bulk-transfer goodput (MB/s over 600 s, 10 MiB/s link)",
+      {"senders", "fixed", "aloha", "ethernet", "reservation", "jain(eth)",
+       "jain(resv)"});
+
+  // Saturating point (largest sweep count) per discipline.
+  std::map<std::string, exp::BulkSweepPoint> saturated;
+  for (int n : counts) {
+    std::fprintf(stderr, "[fig8] running %d senders...\n", n);
+    std::map<std::string, exp::BulkSweepPoint> row;
+    for (const char* discipline : kDisciplines) {
+      row[discipline] = exp::run_bulk_point(config, discipline, n, sec(600));
+    }
+    table.add_row({exp::Table::cell(n),
+                   exp::Table::cell(row["fixed"].goodput_bps / 1e6),
+                   exp::Table::cell(row["aloha"].goodput_bps / 1e6),
+                   exp::Table::cell(row["ethernet"].goodput_bps / 1e6),
+                   exp::Table::cell(row["reservation"].goodput_bps / 1e6),
+                   exp::Table::cell(row["ethernet"].jain_fairness),
+                   exp::Table::cell(row["reservation"].jain_fairness)});
+    saturated = std::move(row);
+  }
+  table.print();
+
+  const exp::BulkSweepPoint& ether = saturated["ethernet"];
+  const exp::BulkSweepPoint& resv = saturated["reservation"];
+  std::printf("\nShape check (saturation: Reservation >= Ethernet goodput, "
+              ">= Jain fairness):\n");
+  const bool goodput_ok = resv.goodput_bps >= ether.goodput_bps;
+  const bool fairness_ok = resv.jain_fairness >= ether.jain_fairness;
+  std::printf("  goodput: ethernet=%.0f resv=%.0f B/s -> %s\n",
+              ether.goodput_bps, resv.goodput_bps,
+              goodput_ok ? "OK" : "MISMATCH");
+  std::printf("  jain:    ethernet=%.4f resv=%.4f -> %s\n",
+              ether.jain_fairness, resv.jain_fairness,
+              fairness_ok ? "OK" : "MISMATCH");
+
+  // One entry per discipline; metric keys embed the discipline so the
+  // baseline lookup (a forward text scan) is unambiguous.  The entries are
+  // metric-only on purpose: goodput/jain are virtual-time numbers, and the
+  // Report wall clock (started here, after the sweep) measures nothing.
+  double gated_goodput = 0;
+  for (const char* discipline : kDisciplines) {
+    const exp::BulkSweepPoint& point = saturated[discipline];
+    bench::Report report("fig8_bulk_transfer");
+    report.set_discipline(discipline);
+    report.shape(goodput_ok && fairness_ok);
+    report.metric(std::string("goodput_") + discipline, point.goodput_bps);
+    report.metric(std::string("jain_") + discipline, point.jain_fairness);
+    if (point.grants || point.rejects) {
+      report.metric(std::string("grants_") + discipline,
+                    double(point.grants));
+      report.metric(std::string("rejects_") + discipline,
+                    double(point.rejects));
+    }
+    if (std::string(discipline) == "reservation") {
+      gated_goodput = point.goodput_bps;
+    }
+  }
+
+  int exit_code = goodput_ok && fairness_ok ? 0 : 1;
+  if (exit_code != 0) {
+    std::fprintf(stderr, "[fig8] SHAPE GATE BREACH: see mismatches above\n");
+  }
+
+  // Deterministic goodput gate vs the committed baseline.
+  const char* baseline_path = std::getenv("ETHERGRID_BENCH_BASELINE");
+  if (baseline_path && *baseline_path) {
+    const double baseline = bench::Report::read_baseline_metric(
+        baseline_path, "fig8_bulk_transfer", "goodput_reservation");
+    if (baseline <= 0) {
+      std::printf("Goodput gate: skipped (no goodput_reservation in %s)\n",
+                  baseline_path);
+    } else if (gated_goodput < 0.9 * baseline) {
+      std::fprintf(stderr,
+                   "[fig8] GOODPUT GATE BREACH: reservation %.0f B/s < 90%% "
+                   "of baseline %.0f B/s\n",
+                   gated_goodput, baseline);
+      exit_code = 1;
+    } else {
+      std::printf("Goodput gate: OK (reservation %.0f vs baseline %.0f B/s)\n",
+                  gated_goodput, baseline);
+    }
+  }
+  return exit_code;
+}

@@ -95,6 +95,10 @@ void Report::set_execution(std::size_t shards, std::size_t threads) {
   threads_ = threads;
 }
 
+void Report::set_discipline(std::string discipline) {
+  discipline_ = std::move(discipline);
+}
+
 void Report::set_observability(std::string metrics_json) {
   observability_ = std::move(metrics_json);
 }
@@ -130,11 +134,10 @@ void Report::write() {
         << sim::backend_name(sim::default_backend()) << "\""
         << ", \"queue\": \""
         << sim::queue_impl_name(sim::default_queue_impl()) << "\"";
+  if (!discipline_.empty()) {
+    entry << ", \"discipline\": \"" << json_escape(discipline_) << "\"";
+  }
   if (shards_ > 0) {
-    // Sharded-kernel runs record their execution shape; the dedupe scan
-    // below still keys on (name, backend, queue) only, so a sharded bench
-    // that sweeps shard counts should fold the sweep into one entry's
-    // metrics rather than construct one Report per shard count.
     entry << ", \"shards\": " << shards_ << ", \"threads\": " << threads_;
   }
   if (!metrics_.empty()) {
@@ -155,12 +158,19 @@ void Report::write() {
   }
   entry << "}";
 
-  // Rewrite the whole array: keep every existing entry line except a stale
-  // one for this same (name, backend) pair, then append this run.  Each
-  // entry is written on its own line, so the filter is a plain line scan --
-  // re-running a benchmark updates its row instead of accumulating
-  // duplicates, and the file stays valid JSON between every run.  A fresh
-  // or garbled file just starts a new array.
+  // Rewrite the whole array: keep every existing entry line except the one
+  // this run supersedes, then append this run.  Each entry is written on
+  // its own line, so the filter is a plain line scan -- re-running a
+  // benchmark updates its row instead of accumulating duplicates, and the
+  // file stays valid JSON between every run.  A fresh or garbled file just
+  // starts a new array.
+  //
+  // The dedupe key is (name, backend, queue, shards, discipline): matrix
+  // runs across queues / shard counts / disciplines each own a row instead
+  // of clobbering each other's.  Per-facet migration rule: a line written
+  // before a key field existed (no such key in the line) is superseded by
+  // any run of the matching older key, and a facet this run leaves unset
+  // only matches lines that also lack it.
   std::string existing;
   {
     std::ifstream in(file);
@@ -177,6 +187,23 @@ void Report::write() {
   const std::string queue_tag =
       std::string("\"queue\": \"") +
       sim::queue_impl_name(sim::default_queue_impl()) + "\"";
+  const std::string shards_tag =
+      shards_ > 0 ? "\"shards\": " + std::to_string(shards_) : "";
+  const std::string discipline_tag =
+      discipline_.empty()
+          ? ""
+          : "\"discipline\": \"" + json_escape(discipline_) + "\"";
+  // True when `line` matches this run on the key facet whose field name is
+  // `key` and whose full tag (field + value) for this run is `tag` ("" =
+  // unset this run).  Lines predating the field match an older, coarser
+  // key and are treated as matching.
+  const auto facet_matches = [](const std::string& line,
+                                const std::string& key,
+                                const std::string& tag) {
+    const bool line_has = line.find("\"" + key + "\":") != std::string::npos;
+    if (tag.empty()) return !line_has;
+    return !line_has || line.find(tag) != std::string::npos;
+  };
   std::vector<std::string> entries;
   std::istringstream lines(existing);
   std::string line;
@@ -187,12 +214,11 @@ void Report::write() {
                              line.back() == '\t' || line.back() == '\r')) {
       line.pop_back();
     }
-    // Entries written before the queue field existed (no "queue" key) are
-    // superseded by any run of the same (name, backend) pair.
     if (line.find(name_tag) != std::string::npos &&
         line.find(backend_tag) != std::string::npos &&
-        (line.find(queue_tag) != std::string::npos ||
-         line.find("\"queue\": \"") == std::string::npos)) {
+        facet_matches(line, "queue", queue_tag) &&
+        facet_matches(line, "shards", shards_tag) &&
+        facet_matches(line, "discipline", discipline_tag)) {
       continue;  // superseded by this run
     }
     entries.push_back(line);

@@ -54,6 +54,12 @@ class Report {
   // single-kernel benches keep their historical entry format.
   void set_execution(std::size_t shards, std::size_t threads);
 
+  // Records the client discipline the run measured; the entry then carries
+  // a "discipline" field and the dedupe key includes it, so one bench
+  // sweeping disciplines can publish one entry per discipline (construct
+  // one Report per discipline with the same name).
+  void set_discipline(std::string discipline);
+
   // Embeds a pre-rendered JSON object (obs::MetricsRegistry::to_json())
   // as the entry's "observability" field -- the flat counters/histograms
   // the run's ObserverSet collected.
@@ -75,6 +81,7 @@ class Report {
  private:
   std::string name_;
   std::string detail_;
+  std::string discipline_;  // "" = unset, field omitted
   std::string observability_;  // pre-rendered JSON object, may be empty
   std::vector<std::pair<std::string, double>> metrics_;
   std::uint64_t events_ = 0;

@@ -27,6 +27,7 @@ figs=(
   fig5_buffer_collisions
   fig6_aloha_reader
   fig7_ethernet_reader
+  fig8_bulk_transfer
   ablation_jitter
   ablation_backoff_cap
   ablation_carrier_threshold

@@ -6,6 +6,7 @@
 // the shared medium with doomed writes.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "grid/clients.hpp"
@@ -15,7 +16,7 @@ using namespace ethergrid;
 
 namespace {
 
-void run_discipline(grid::DisciplineKind kind) {
+void run_discipline(const std::string& discipline) {
   sim::Kernel kernel(5);
   grid::FsBuffer buffer(kernel, 24 << 20);  // 24 MB demo buffer
   grid::IoChannel channel(kernel, grid::IoChannelConfig{});
@@ -27,15 +28,14 @@ void run_discipline(grid::DisciplineKind kind) {
   std::vector<std::unique_ptr<grid::ProducerStats>> stats;
   for (int i = 0; i < 8; ++i) {
     grid::ProducerConfig pc;
-    pc.kind = kind;
+    pc.discipline = discipline;
     pc.name_prefix = "p" + std::to_string(i);
     stats.push_back(std::make_unique<grid::ProducerStats>());
     kernel.spawn("producer" + std::to_string(i),
                  grid::make_producer(buffer, channel, pc, stats.back().get()));
   }
 
-  std::printf("\n--- %s producers ---\n",
-              std::string(grid::discipline_kind_name(kind)).c_str());
+  std::printf("\n--- %s producers ---\n", discipline.c_str());
   std::printf("%8s %10s %10s %12s %11s\n", "t (s)", "consumed", "buffer MB",
               "collisions", "deferrals");
   for (int minute = 1; minute <= 5; ++minute) {
@@ -56,9 +56,9 @@ void run_discipline(grid::DisciplineKind kind) {
 }  // namespace
 
 int main() {
-  run_discipline(grid::DisciplineKind::kFixed);
-  run_discipline(grid::DisciplineKind::kAloha);
-  run_discipline(grid::DisciplineKind::kEthernet);
+  run_discipline("fixed");
+  run_discipline("aloha");
+  run_discipline("ethernet");
   std::printf(
       "\nSame offered load, same buffer; only the client discipline "
       "differs.\n");

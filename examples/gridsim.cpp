@@ -7,13 +7,19 @@
 //                   [--capacity-mb MB] [--seed S] [--faults SPEC]
 //   gridsim readers [--discipline D] [--readers N] [--seconds S]
 //                   [--flaky P] [--seed S] [--faults SPEC]
+//   gridsim bulk    [--senders N] [--discipline D] [--seconds S]
+//                   [--link-mbps M] [--file-mb MB] [--seed S] [--faults SPEC]
 //
 // Every mode also accepts [--trace-out FILE]: write a Perfetto/Chrome
 // trace-event JSON of the run's back-channel events (collisions,
 // carrier-sense probes, table-full deferrals, crashes, injected faults).
 //
-// D is one of fixed | aloha | ethernet.  Every run is deterministic in the
-// seed; change --seed to see another realization.
+// D names any registered discipline (grid::DisciplineRegistry) -- built in:
+// fixed | aloha | ethernet | reservation.  Disciplines that negotiate
+// reservations only make sense over the fluid link of the `bulk` mode;
+// the binary-collision scenarios (submit/buffer/readers) reject them.
+// Every run is deterministic in the seed; change --seed to see another
+// realization.
 //
 // SPEC is a semicolon-separated fault plan, e.g.
 //   --faults 'fileserver.*.fetch:reset@0.2;schedd.submit:stall@0.1,5'
@@ -28,6 +34,7 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table.hpp"
+#include "grid/discipline_registry.hpp"
 #include "obs/trace.hpp"
 
 using namespace ethergrid;
@@ -118,23 +125,34 @@ void print_fault_audit(std::int64_t fired, const std::string& audit) {
               audit.c_str());
 }
 
-bool parse_discipline(const std::string& name, grid::DisciplineKind* kind) {
-  if (name == "fixed") {
-    *kind = grid::DisciplineKind::kFixed;
-  } else if (name == "aloha") {
-    *kind = grid::DisciplineKind::kAloha;
-  } else if (name == "ethernet") {
-    *kind = grid::DisciplineKind::kEthernet;
-  } else {
-    std::fprintf(stderr, "gridsim: unknown discipline '%s'\n", name.c_str());
+// Resolves --discipline through the registry (so a discipline registered at
+// startup is immediately usable) instead of the old hard-coded enum switch.
+// The binary-collision modes pass fluid=false: their clients work the
+// resource directly and cannot express grant negotiation, so a
+// reservation-flagged discipline is a flag error there, not an abort in
+// the client factory.
+bool parse_discipline(const Flags& flags, std::string* name,
+                      bool fluid = false) {
+  *name = flags.get("discipline", "ethernet");
+  const grid::DisciplineTraits* traits = grid::find_discipline(*name);
+  if (traits == nullptr) {
+    std::fprintf(stderr, "gridsim: unknown discipline '%s' (registered: %s)\n",
+                 name->c_str(), grid::discipline_names_csv().c_str());
+    return false;
+  }
+  if (traits->reservation && !fluid) {
+    std::fprintf(stderr,
+                 "gridsim: discipline '%s' negotiates bandwidth reservations "
+                 "and only applies to the fluid `bulk` mode\n",
+                 name->c_str());
     return false;
   }
   return true;
 }
 
 int run_submit(const Flags& flags) {
-  grid::DisciplineKind kind;
-  if (!parse_discipline(flags.get("discipline", "ethernet"), &kind)) return 2;
+  std::string discipline;
+  if (!parse_discipline(flags, &discipline)) return 2;
   const int clients = int(flags.get_int("clients", 400));
   const int minutes_total = int(flags.get_int("minutes", 5));
   exp::SubmitScenarioConfig config;
@@ -146,7 +164,8 @@ int run_submit(const Flags& flags) {
 
   if (flags.has("timeline")) {
     auto timeline = exp::run_submitter_timeline(
-        config, kind, clients, ethergrid::minutes(minutes_total), sec(10));
+        config, discipline, clients, ethergrid::minutes(minutes_total),
+        sec(10));
     exp::Table table("Submitter timeline", {"t_seconds", "available_fds",
                                             "jobs_submitted"});
     for (const auto& p : timeline.points) {
@@ -161,20 +180,20 @@ int run_submit(const Flags& flags) {
     return tracing.finish();
   }
 
-  auto point = exp::run_submit_scale_point(config, kind, clients,
+  auto point = exp::run_submit_scale_point(config, discipline, clients,
                                            ethergrid::minutes(minutes_total));
   std::printf(
       "%d %s submitters, %d min: jobs=%lld crashes=%d fd_low_watermark=%lld\n",
-      clients, std::string(grid::discipline_kind_name(kind)).c_str(),
-      minutes_total, (long long)point.jobs_submitted, point.schedd_crashes,
+      clients, discipline.c_str(), minutes_total,
+      (long long)point.jobs_submitted, point.schedd_crashes,
       (long long)point.fd_low_watermark);
   print_fault_audit(point.faults_injected, point.fault_audit);
   return tracing.finish();
 }
 
 int run_buffer(const Flags& flags) {
-  grid::DisciplineKind kind;
-  if (!parse_discipline(flags.get("discipline", "ethernet"), &kind)) return 2;
+  std::string discipline;
+  if (!parse_discipline(flags, &discipline)) return 2;
   const int producers = int(flags.get_int("producers", 20));
   const int seconds = int(flags.get_int("seconds", 600));
   exp::BufferScenarioConfig config;
@@ -184,13 +203,14 @@ int run_buffer(const Flags& flags) {
   Tracing tracing(flags);
   config.observers = tracing.observers();
 
-  auto point = exp::run_buffer_point(config, kind, producers, sec(seconds));
+  auto point = exp::run_buffer_point(config, discipline, producers,
+                                     sec(seconds));
   std::printf(
       "%d %s producers, %d s, %lld MB buffer:\n"
       "  consumed=%lld files (%.1f MB)  completed=%lld  collisions=%lld  "
       "deferrals=%lld\n",
-      producers, std::string(grid::discipline_kind_name(kind)).c_str(),
-      seconds, (long long)(config.buffer_bytes >> 20),
+      producers, discipline.c_str(), seconds,
+      (long long)(config.buffer_bytes >> 20),
       (long long)point.files_consumed,
       double(point.bytes_consumed) / (1 << 20),
       (long long)point.files_completed, (long long)point.collisions,
@@ -200,8 +220,8 @@ int run_buffer(const Flags& flags) {
 }
 
 int run_readers(const Flags& flags) {
-  grid::DisciplineKind kind;
-  if (!parse_discipline(flags.get("discipline", "ethernet"), &kind)) return 2;
+  std::string discipline;
+  if (!parse_discipline(flags, &discipline)) return 2;
   const int seconds = int(flags.get_int("seconds", 900));
   exp::ReaderScenarioConfig config;
   config.seed = std::uint64_t(flags.get_int("seed", 42));
@@ -215,35 +235,74 @@ int run_readers(const Flags& flags) {
   Tracing tracing(flags);
   config.observers = tracing.observers();
 
-  auto timeline = exp::run_reader_timeline(config, kind, sec(seconds),
+  auto timeline = exp::run_reader_timeline(config, discipline, sec(seconds),
                                            sec(30));
   std::printf(
       "%d %s readers, %d s (1 black hole, flaky=%.2f):\n"
       "  transfers=%lld  60s-stalls=%lld  deferrals=%lld\n",
-      config.readers, std::string(grid::discipline_kind_name(kind)).c_str(),
-      seconds, flaky, (long long)timeline.transfers_total,
+      config.readers, discipline.c_str(), seconds, flaky,
+      (long long)timeline.transfers_total,
       (long long)timeline.collisions_total,
       (long long)timeline.deferrals_total);
   print_fault_audit(timeline.faults_injected, timeline.fault_audit);
   return tracing.finish();
 }
 
+// N senders share one fluid link; this is the mode where `reservation`
+// actually negotiates grants (the other modes run on binary media).
+int run_bulk(const Flags& flags) {
+  std::string discipline;
+  if (!parse_discipline(flags, &discipline, /*fluid=*/true)) return 2;
+  const int senders = int(flags.get_int("senders", 8));
+  const int seconds = int(flags.get_int("seconds", 600));
+  exp::BulkScenarioConfig config;
+  config.seed = std::uint64_t(flags.get_int("seed", 42));
+  config.link_bps = flags.get_double("link-mbps", 10.0) * 1024 * 1024;
+  config.sender.file_bytes = flags.get_int("file-mb", 32) << 20;
+  if (!parse_fault_flag(flags, &config.faults)) return 2;
+  Tracing tracing(flags);
+  config.observers = tracing.observers();
+
+  auto point = exp::run_bulk_point(config, discipline, senders, sec(seconds));
+  std::printf(
+      "%d %s senders, %d s, %.1f MiB/s link, %lld MB files:\n"
+      "  files=%lld (%.1f MB)  goodput=%.2f MB/s  jain=%.4f\n"
+      "  collisions=%lld  deferrals=%lld  timeouts=%lld",
+      senders, discipline.c_str(), seconds,
+      config.link_bps / (1024.0 * 1024.0),
+      (long long)(config.sender.file_bytes >> 20), (long long)point.files_sent,
+      double(point.bytes_sent) / (1 << 20), point.goodput_bps / 1e6,
+      point.jain_fairness, (long long)point.collisions,
+      (long long)point.deferrals, (long long)point.attempt_timeouts);
+  if (point.grants || point.rejects) {
+    std::printf("  grants=%lld  rejects=%lld", (long long)point.grants,
+                (long long)point.rejects);
+  }
+  std::printf("\n");
+  print_fault_audit(point.faults_injected, point.fault_audit);
+  return tracing.finish();
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: gridsim submit|buffer|readers [--flag value ...]\n"
+      "usage: gridsim submit|buffer|readers|bulk [--flag value ...]\n"
       "  submit:  --clients N --discipline D --minutes M --threshold FDS\n"
       "           --seed S --faults SPEC --timeline\n"
       "  buffer:  --producers N --discipline D --seconds S --capacity-mb MB\n"
       "           --seed S --faults SPEC\n"
       "  readers: --readers N --discipline D --seconds S --flaky P --seed S\n"
       "           --faults SPEC\n"
+      "  bulk:    --senders N --discipline D --seconds S --link-mbps M\n"
+      "           --file-mb MB --seed S --faults SPEC\n"
+      "disciplines: %s\n"
       "all modes accept --trace-out FILE (Perfetto/Chrome trace-event JSON\n"
       "of collisions, carrier-sense probes, deferrals, crashes, faults)\n"
       "SPEC: 'site:kind@args;...', e.g.\n"
       "  'fileserver.*.fetch:reset@0.2;schedd.submit:crash@120'\n"
       "kinds: fail@P  stall@P,SECS  reset@P[,F1-F2]  crash@T  drop@T1-T2\n"
-      "(times in plain seconds)\n");
+      "(times in plain seconds)\n",
+      grid::discipline_names_csv().c_str());
   return 2;
 }
 
@@ -257,5 +316,6 @@ int main(int argc, char** argv) {
   if (mode == "submit") return run_submit(flags);
   if (mode == "buffer") return run_buffer(flags);
   if (mode == "readers") return run_readers(flags);
+  if (mode == "bulk") return run_bulk(flags);
   return usage();
 }

@@ -40,9 +40,22 @@ void bridge_faults(core::FaultInjector* faults, obs::ObserverSet* observers) {
   });
 }
 
+// Jain's fairness index over per-sender byte counts: (sum x)^2 / (n sum x^2).
+double jain_index(const std::vector<std::int64_t>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (std::int64_t x : xs) {
+    sum += double(x);
+    sum_sq += double(x) * double(x);
+  }
+  if (sum_sq == 0) return 1;  // nobody moved anything: trivially fair
+  return sum * sum / (double(xs.size()) * sum_sq);
+}
+
 // Spawns n submitters against a fresh schedd world; returns after `window`.
 struct SubmitWorld {
-  SubmitWorld(const SubmitScenarioConfig& config, grid::DisciplineKind kind,
+  SubmitWorld(const SubmitScenarioConfig& config, std::string_view discipline,
               int submitters)
       : kernel(config.seed, config.kernel),
         schedd(kernel, config.schedd),
@@ -51,7 +64,7 @@ struct SubmitWorld {
     schedd.set_observers(config.observers);
     bridge_faults(faults.get(), config.observers);
     grid::SubmitterConfig sc = config.submitter;
-    sc.kind = kind;
+    sc.discipline = std::string(discipline);
     stats.resize(std::size_t(submitters));
     for (int i = 0; i < submitters; ++i) {
       kernel.spawn("submitter" + std::to_string(i),
@@ -84,7 +97,7 @@ struct SubmitRpc {
 // whose submissions target the next site over the mailbox.
 struct ShardedSubmitWorld {
   ShardedSubmitWorld(const ShardedSubmitConfig& config,
-                     grid::DisciplineKind kind)
+                     std::string_view discipline)
       : config(config), sk(config.seed, config.sharded) {
     const std::size_t shards = sk.shard_count();
     // Per-shard observability and fault injection.  Every injector is
@@ -104,7 +117,7 @@ struct ShardedSubmitWorld {
       }
     }
     grid::SubmitterConfig sc = config.submitter;
-    sc.kind = kind;
+    sc.discipline = std::string(discipline);
     local_stats.resize(config.sites * std::size_t(config.submitters_per_site));
     remote_stats.resize(config.sites * std::size_t(config.remote_per_site));
     for (std::size_t site = 0; site < config.sites; ++site) {
@@ -135,6 +148,48 @@ struct ShardedSubmitWorld {
                           "site" + std::to_string(site) + ".remote" +
                               std::to_string(j),
                           remote_submitter(site, sc, &remote_stats[idx]));
+      }
+    }
+    // Per-site fluid bulk lane: a shard-local fluid link (flows never
+    // cross a shard boundary) and `bulk_per_site` senders per site.  Every
+    // name -- the link's fault site, the senders' RNG streams, the book's
+    // observer site -- is derived from the site index, so the lane is
+    // partition-independent like everything above it.
+    if (config.bulk_per_site > 0) {
+      const grid::DisciplineTraits& bulk_traits =
+          grid::resolve_discipline(config.bulk.discipline);
+      bulk_stats.resize(config.sites * std::size_t(config.bulk_per_site));
+      for (std::size_t site = 0; site < config.sites; ++site) {
+        const std::size_t shard = grid::place_site(site, shards);
+        grid::SubstrateConfig lc;
+        lc.site = "site" + std::to_string(site) + ".bulk";
+        lc.bytes_per_second = config.bulk_link_bps;
+        lc.model = grid::CapacityModel::kFluid;
+        bulk_links.push_back(
+            std::make_unique<grid::Substrate>(sk.shard(shard), lc));
+        grid::Substrate& link = *bulk_links.back();
+        link.set_fault_injector(injectors[shard].get());
+        if (config.record_trace) link.set_observers(observers[shard].get());
+        grid::ReservationBook* book = nullptr;
+        if (bulk_traits.reservation) {
+          grid::ReservationBookConfig bc;
+          bc.reservable_bps = config.bulk_link_bps;
+          bc.site = lc.site + ".book";
+          bulk_books.push_back(std::make_unique<grid::ReservationBook>(bc));
+          book = bulk_books.back().get();
+          if (config.record_trace) {
+            book->set_observers(observers[shard].get());
+          }
+        }
+        for (int j = 0; j < config.bulk_per_site; ++j) {
+          const std::size_t idx =
+              site * std::size_t(config.bulk_per_site) + std::size_t(j);
+          spawn_with_stream(
+              shard,
+              "site" + std::to_string(site) + ".bulk" + std::to_string(j),
+              grid::make_bulk_sender(link, book, config.bulk,
+                                     &bulk_stats[idx]));
+        }
       }
     }
   }
@@ -180,14 +235,11 @@ struct ShardedSubmitWorld {
             latency](sim::Context& ctx) {
       core::SimClock clock(ctx);
       Rng rng = ctx.rng();
-      core::TryOptions options = core::TryOptions::for_time(sc.try_budget);
-      if (sc.kind == grid::DisciplineKind::kFixed) {
-        options.backoff = core::BackoffPolicy::none();
-      } else if (sc.backoff) {
-        options.backoff = *sc.backoff;
-      }
-      const core::Discipline discipline{
-          std::string(grid::discipline_kind_name(sc.kind)), options, nullptr};
+      const grid::DisciplineTraits& traits =
+          grid::resolve_discipline_field(sc.discipline, sc.kind);
+      const core::TryOptions options =
+          traits.try_options(sc.try_budget, sc.backoff);
+      const core::Discipline discipline{traits.name, options, nullptr};
       sim::Kernel& home = k->shard(src_shard);
       const std::string rpc_name =
           "rpc:site" + std::to_string(src_site) + "->" +
@@ -229,31 +281,44 @@ struct ShardedSubmitWorld {
   std::vector<std::unique_ptr<obs::ObserverSet>> observers;
   std::vector<std::unique_ptr<core::FaultInjector>> injectors;
   std::vector<std::unique_ptr<grid::Schedd>> schedds;
+  std::vector<std::unique_ptr<grid::Substrate>> bulk_links;
+  std::vector<std::unique_ptr<grid::ReservationBook>> bulk_books;
   std::vector<grid::SubmitterStats> local_stats;
   std::vector<grid::SubmitterStats> remote_stats;
+  std::vector<grid::BulkSenderStats> bulk_stats;
 };
 
 }  // namespace
 
 ShardedSubmitResult run_sharded_submit(const ShardedSubmitConfig& config,
-                                       grid::DisciplineKind kind,
+                                       std::string_view discipline,
                                        Duration window) {
-  ShardedSubmitWorld world(config, kind);
+  ShardedSubmitWorld world(config, discipline);
   world.sk.run_until(kEpoch + window);
 
   ShardedSubmitResult result;
-  result.kind = kind;
+  result.discipline = std::string(discipline);
   result.sites = config.sites;
   result.shards = world.sk.shard_count();
   result.threads = world.sk.thread_count();
-  for (const auto& schedd : world.schedds) {
+  for (std::size_t i = 0; i < world.schedds.size(); ++i) {
     ShardedSubmitSite site;
-    site.jobs_submitted = schedd->jobs_submitted();
-    site.schedd_crashes = schedd->crashes();
-    site.fd_low_watermark = schedd->fd_table().low_watermark();
+    site.jobs_submitted = world.schedds[i]->jobs_submitted();
+    site.schedd_crashes = world.schedds[i]->crashes();
+    site.fd_low_watermark = world.schedds[i]->fd_table().low_watermark();
+    for (int j = 0; j < config.bulk_per_site; ++j) {
+      const grid::BulkSenderStats& bs =
+          world.bulk_stats[i * std::size_t(config.bulk_per_site) +
+                           std::size_t(j)];
+      site.bulk_files += bs.files_sent;
+      site.bulk_bytes += bs.bytes_sent;
+      site.bulk_grants += bs.grants;
+    }
     result.by_site.push_back(site);
     result.jobs_total += site.jobs_submitted;
     result.schedd_crashes += site.schedd_crashes;
+    result.bulk_bytes_total += site.bulk_bytes;
+    result.bulk_grants_total += site.bulk_grants;
   }
   for (const auto& stats : world.remote_stats) {
     result.remote_jobs += stats.jobs_succeeded;
@@ -284,12 +349,12 @@ ShardedSubmitResult run_sharded_submit(const ShardedSubmitConfig& config,
 }
 
 SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
-                                        grid::DisciplineKind kind,
+                                        std::string_view discipline,
                                         int submitters, Duration window) {
-  SubmitWorld world(config, kind, submitters);
+  SubmitWorld world(config, discipline, submitters);
   world.kernel.run_until(kEpoch + window);
   SubmitScalePoint point;
-  point.kind = kind;
+  point.discipline = std::string(discipline);
   point.submitters = submitters;
   point.jobs_submitted = world.schedd.jobs_submitted();
   point.schedd_crashes = world.schedd.crashes();
@@ -304,12 +369,12 @@ SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
 }
 
 SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
-                                         grid::DisciplineKind kind,
+                                         std::string_view discipline,
                                          int submitters, Duration duration,
                                          Duration sample_every) {
-  SubmitWorld world(config, kind, submitters);
+  SubmitWorld world(config, discipline, submitters);
   SubmitterTimeline timeline;
-  timeline.kind = kind;
+  timeline.discipline = std::string(discipline);
   timeline.submitters = submitters;
   for (TimePoint t = kEpoch; t <= kEpoch + duration; t += sample_every) {
     world.kernel.run_until(t);
@@ -329,7 +394,7 @@ SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
 }
 
 BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
-                                  grid::DisciplineKind kind, int producers,
+                                  std::string_view discipline, int producers,
                                   Duration window) {
   sim::Kernel kernel(config.seed, config.kernel);
   grid::FsBuffer buffer(kernel, config.buffer_bytes);
@@ -346,7 +411,7 @@ BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
   std::vector<std::unique_ptr<grid::ProducerStats>> producer_stats;
   for (int i = 0; i < producers; ++i) {
     grid::ProducerConfig pc = config.producer;
-    pc.kind = kind;
+    pc.discipline = std::string(discipline);
     pc.name_prefix = "p" + std::to_string(i);
     producer_stats.push_back(std::make_unique<grid::ProducerStats>());
     kernel.spawn("producer" + std::to_string(i),
@@ -356,7 +421,7 @@ BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
   kernel.run_until(kEpoch + window);
 
   BufferSweepPoint point;
-  point.kind = kind;
+  point.discipline = std::string(discipline);
   point.producers = producers;
   point.files_consumed = consumer_stats.files_consumed;
   point.bytes_consumed = consumer_stats.bytes_consumed;
@@ -387,7 +452,7 @@ std::vector<grid::FileServerConfig> ReaderScenarioConfig::paper_farm() {
 }
 
 ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
-                                   grid::DisciplineKind kind,
+                                   std::string_view discipline,
                                    Duration duration, Duration sample_every) {
   sim::Kernel kernel(config.seed, config.kernel);
   auto servers = config.servers;
@@ -400,14 +465,14 @@ ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
   std::vector<std::unique_ptr<grid::ReaderStats>> stats;
   for (int i = 0; i < config.readers; ++i) {
     grid::ReaderConfig rc = config.reader;
-    rc.kind = kind;
+    rc.discipline = std::string(discipline);
     stats.push_back(std::make_unique<grid::ReaderStats>());
     kernel.spawn("reader" + std::to_string(i),
                  grid::make_reader(farm, rc, stats.back().get()));
   }
 
   ReaderTimeline timeline;
-  timeline.kind = kind;
+  timeline.discipline = std::string(discipline);
   for (TimePoint t = kEpoch; t <= kEpoch + duration; t += sample_every) {
     kernel.run_until(t);
     ReaderTimelinePoint point;
@@ -431,6 +496,63 @@ ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
   timeline.kernel_events = kernel.events_processed();
   kernel.shutdown();
   return timeline;
+}
+
+BulkSweepPoint run_bulk_point(const BulkScenarioConfig& config,
+                              std::string_view discipline, int senders,
+                              Duration window) {
+  sim::Kernel kernel(config.seed, config.kernel);
+  grid::SubstrateConfig link_config;
+  link_config.site = "bulk";
+  link_config.bytes_per_second = config.link_bps;
+  link_config.model = grid::CapacityModel::kFluid;
+  grid::Substrate link(kernel, link_config);
+  auto faults = make_injector(kernel, config.faults);
+  link.set_fault_injector(faults.get());
+  link.set_observers(config.observers);
+  bridge_faults(faults.get(), config.observers);
+
+  grid::ReservationBookConfig book_config = config.book;
+  if (book_config.reservable_bps <= 0) {
+    book_config.reservable_bps = config.reservable_fraction * config.link_bps;
+  }
+  book_config.site = "bulk.book";
+  grid::ReservationBook book(book_config);
+  book.set_observers(config.observers);
+
+  std::vector<std::unique_ptr<grid::BulkSenderStats>> stats;
+  for (int i = 0; i < senders; ++i) {
+    grid::BulkSenderConfig bc = config.sender;
+    bc.discipline = std::string(discipline);
+    stats.push_back(std::make_unique<grid::BulkSenderStats>());
+    kernel.spawn("sender" + std::to_string(i),
+                 grid::make_bulk_sender(link, &book, bc, stats.back().get()));
+  }
+  kernel.run_until(kEpoch + window);
+
+  BulkSweepPoint point;
+  point.discipline = std::string(discipline);
+  point.senders = senders;
+  for (const auto& s : stats) {
+    point.files_sent += s->files_sent;
+    point.bytes_sent += s->bytes_sent;
+    point.collisions += s->discipline.collisions;
+    point.deferrals += s->discipline.deferrals;
+    point.attempt_timeouts += s->attempt_timeouts;
+    point.tries_failed += s->tries_failed;
+    point.grants += s->grants;
+    point.rejects += s->rejects;
+    point.per_sender_bytes.push_back(s->bytes_sent);
+  }
+  point.goodput_bps = double(point.bytes_sent) / to_seconds(window);
+  point.jain_fairness = jain_index(point.per_sender_bytes);
+  if (faults) {
+    point.faults_injected = faults->fired_total();
+    point.fault_audit = faults->audit_text();
+  }
+  point.kernel_events = kernel.events_processed();
+  kernel.shutdown();
+  return point;
 }
 
 }  // namespace ethergrid::exp

@@ -33,7 +33,7 @@ namespace ethergrid::exp {
 
 struct SubmitScenarioConfig {
   grid::ScheddConfig schedd;        // paper defaults from ScheddConfig
-  grid::SubmitterConfig submitter;  // .kind overridden by the runners
+  grid::SubmitterConfig submitter;  // .discipline overridden by the runners
   std::uint64_t seed = 42;
   sim::KernelOptions kernel;        // execution backend; results identical
   sim::FaultPlan faults;            // sites: schedd.submit
@@ -43,9 +43,14 @@ struct SubmitScenarioConfig {
   obs::ObserverSet* observers = nullptr;
 };
 
-// Figure 1: jobs submitted in `window` by `submitters` clients of `kind`.
+// Discipline selection: every runner takes the discipline by registry name
+// ("fixed" / "aloha" / "ethernet" / ...).  The grid::DisciplineKind enum
+// overloads below are a DEPRECATED one-release shim that forwards through
+// discipline_kind_name(); result structs now carry the name.
+
+// Figure 1: jobs submitted in `window` by `submitters` clients.
 struct SubmitScalePoint {
-  grid::DisciplineKind kind;
+  std::string discipline;
   int submitters = 0;
   std::int64_t jobs_submitted = 0;
   int schedd_crashes = 0;
@@ -56,9 +61,17 @@ struct SubmitScalePoint {
 };
 
 SubmitScalePoint run_submit_scale_point(const SubmitScenarioConfig& config,
-                                        grid::DisciplineKind kind,
+                                        std::string_view discipline,
                                         int submitters,
                                         Duration window = minutes(5));
+
+// DEPRECATED enum shim.
+inline SubmitScalePoint run_submit_scale_point(
+    const SubmitScenarioConfig& config, grid::DisciplineKind kind,
+    int submitters, Duration window = minutes(5)) {
+  return run_submit_scale_point(config, grid::discipline_kind_name(kind),
+                                submitters, window);
+}
 
 // ----------------------------------- scenario 1 at scale: the sharded grid
 //
@@ -82,13 +95,21 @@ struct ShardedSubmitConfig {
   int submitters_per_site = 100;
   int remote_per_site = 0;      // cross-shard submitters per site
   grid::ScheddConfig schedd;    // base config; per-site names applied on top
-  grid::SubmitterConfig submitter;  // .kind overridden by the runner
+  grid::SubmitterConfig submitter;  // .discipline overridden by the runner
   // One-way latency of the cross-shard submit RPC; floored to the
   // sharded kernel's lookahead by post().
   Duration rpc_latency = msec(50);
   std::uint64_t seed = 42;
   sim::ShardedKernelOptions sharded;  // shards / threads / lookahead / kernel
-  sim::FaultPlan faults;  // sites: schedd<i>.submit
+  sim::FaultPlan faults;  // sites: schedd<i>.submit, site<i>.bulk.write
+  // Optional per-site fluid bulk lane: `bulk_per_site` senders stream files
+  // over a shard-local fluid link "site<i>.bulk" (plus a per-site
+  // ReservationBook when bulk.discipline resolves to a reservation
+  // discipline).  Flows are shard-local per the FluidResource sharding
+  // contract, so per-site bulk stats must be partition-independent too.
+  int bulk_per_site = 0;
+  double bulk_link_bps = 4.0 * 1024 * 1024;
+  grid::BulkSenderConfig bulk;
   // When set, each shard records a TraceRecorder lane (pid = shard + 1)
   // and the runner returns the merged Chrome-trace JSON.  The merged bytes
   // are deterministic in (seed, config) and independent of thread count.
@@ -99,10 +120,13 @@ struct ShardedSubmitSite {
   std::int64_t jobs_submitted = 0;
   int schedd_crashes = 0;
   std::int64_t fd_low_watermark = 0;
+  std::int64_t bulk_files = 0;   // per-site fluid bulk lane (bulk_per_site)
+  std::int64_t bulk_bytes = 0;
+  std::int64_t bulk_grants = 0;
 };
 
 struct ShardedSubmitResult {
-  grid::DisciplineKind kind{};
+  std::string discipline;
   std::size_t sites = 0;
   std::size_t shards = 0;
   std::size_t threads = 0;
@@ -111,6 +135,8 @@ struct ShardedSubmitResult {
   int schedd_crashes = 0;
   std::int64_t remote_jobs = 0;         // successes over the cross-shard RPC
   std::int64_t remote_tries_failed = 0;
+  std::int64_t bulk_bytes_total = 0;    // summed over the per-site bulk lanes
+  std::int64_t bulk_grants_total = 0;
   std::int64_t faults_injected = 0;
   std::string fault_audit;          // core::merged_audit_text over all shards
   std::uint64_t kernel_events = 0;  // wakeups, summed over shards
@@ -120,8 +146,15 @@ struct ShardedSubmitResult {
 };
 
 ShardedSubmitResult run_sharded_submit(const ShardedSubmitConfig& config,
-                                       grid::DisciplineKind kind,
+                                       std::string_view discipline,
                                        Duration window = minutes(5));
+
+// DEPRECATED enum shim.
+inline ShardedSubmitResult run_sharded_submit(const ShardedSubmitConfig& config,
+                                              grid::DisciplineKind kind,
+                                              Duration window = minutes(5)) {
+  return run_sharded_submit(config, grid::discipline_kind_name(kind), window);
+}
 
 // Figures 2-3: timeline of available FDs and cumulative jobs.
 struct TimelinePoint {
@@ -131,7 +164,7 @@ struct TimelinePoint {
 };
 
 struct SubmitterTimeline {
-  grid::DisciplineKind kind;
+  std::string discipline;
   int submitters = 0;
   std::vector<TimelinePoint> points;
   std::int64_t jobs_total = 0;
@@ -142,17 +175,26 @@ struct SubmitterTimeline {
 };
 
 SubmitterTimeline run_submitter_timeline(const SubmitScenarioConfig& config,
-                                         grid::DisciplineKind kind,
+                                         std::string_view discipline,
                                          int submitters = 400,
                                          Duration duration = sec(1800),
                                          Duration sample_every = sec(10));
+
+// DEPRECATED enum shim.
+inline SubmitterTimeline run_submitter_timeline(
+    const SubmitScenarioConfig& config, grid::DisciplineKind kind,
+    int submitters = 400, Duration duration = sec(1800),
+    Duration sample_every = sec(10)) {
+  return run_submitter_timeline(config, grid::discipline_kind_name(kind),
+                                submitters, duration, sample_every);
+}
 
 // ------------------------------------------- scenario 2: the disk buffer
 
 struct BufferScenarioConfig {
   std::int64_t buffer_bytes = 120 << 20;  // "120 MB"
   grid::IoChannelConfig channel;          // the shared filesystem medium
-  grid::ProducerConfig producer;          // .kind overridden
+  grid::ProducerConfig producer;          // .discipline overridden
   grid::ConsumerConfig consumer;
   std::uint64_t seed = 42;
   sim::KernelOptions kernel;  // execution backend; results identical
@@ -164,7 +206,7 @@ struct BufferScenarioConfig {
 
 // Figures 4-5: one sweep point.
 struct BufferSweepPoint {
-  grid::DisciplineKind kind;
+  std::string discipline;
   int producers = 0;
   std::int64_t files_consumed = 0;
   std::int64_t bytes_consumed = 0;
@@ -178,14 +220,23 @@ struct BufferSweepPoint {
 };
 
 BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
-                                  grid::DisciplineKind kind, int producers,
+                                  std::string_view discipline, int producers,
                                   Duration window = sec(600));
+
+// DEPRECATED enum shim.
+inline BufferSweepPoint run_buffer_point(const BufferScenarioConfig& config,
+                                         grid::DisciplineKind kind,
+                                         int producers,
+                                         Duration window = sec(600)) {
+  return run_buffer_point(config, grid::discipline_kind_name(kind), producers,
+                          window);
+}
 
 // -------------------------------------------- scenario 3: the black hole
 
 struct ReaderScenarioConfig {
   std::vector<grid::FileServerConfig> servers;  // default paper farm
-  grid::ReaderConfig reader;                    // .kind overridden
+  grid::ReaderConfig reader;                    // .discipline overridden
   int readers = 3;
   std::uint64_t seed = 42;
   sim::KernelOptions kernel;  // execution backend; results identical
@@ -207,7 +258,7 @@ struct ReaderTimelinePoint {
 };
 
 struct ReaderTimeline {
-  grid::DisciplineKind kind;
+  std::string discipline;
   std::vector<ReaderTimelinePoint> points;
   std::int64_t transfers_total = 0;
   std::int64_t collisions_total = 0;
@@ -218,8 +269,61 @@ struct ReaderTimeline {
 };
 
 ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
-                                   grid::DisciplineKind kind,
+                                   std::string_view discipline,
                                    Duration duration = sec(900),
                                    Duration sample_every = sec(30));
+
+// DEPRECATED enum shim.
+inline ReaderTimeline run_reader_timeline(const ReaderScenarioConfig& config,
+                                          grid::DisciplineKind kind,
+                                          Duration duration = sec(900),
+                                          Duration sample_every = sec(30)) {
+  return run_reader_timeline(config, grid::discipline_kind_name(kind),
+                             duration, sample_every);
+}
+
+// ------------------------------------------ scenario 4: bulk transfers
+
+// Saturating bulk transfers over one shared *fluid* link: `senders`
+// clients push files continuously; the link divides its bandwidth by
+// weighted max-min fairness.  All four disciplines run here -- this is the
+// scenario where "reservation" means something.
+struct BulkScenarioConfig {
+  double link_bps = 10.0 * 1024 * 1024;  // shared wide-area link
+  // Fraction of the link the ReservationBook may promise.  1.0 books the
+  // whole link (Chen & Primet); lower it to keep best-effort headroom when
+  // mixing reserved and unreserved senders.
+  double reservable_fraction = 1.0;
+  grid::ReservationBookConfig book;  // reservable_bps derived when 0
+  grid::BulkSenderConfig sender;     // .discipline overridden by the runner
+  std::uint64_t seed = 42;
+  sim::KernelOptions kernel;  // execution backend; results identical
+  sim::FaultPlan faults;      // sites: bulk.write
+  obs::ObserverSet* observers = nullptr;
+};
+
+// The fig8 comparison: goodput and Jain fairness per discipline.
+struct BulkSweepPoint {
+  std::string discipline;
+  int senders = 0;
+  std::int64_t files_sent = 0;
+  std::int64_t bytes_sent = 0;
+  double goodput_bps = 0;    // bytes_sent / window
+  double jain_fairness = 0;  // (sum x)^2 / (n * sum x^2) over sender bytes
+  std::int64_t collisions = 0;       // failed/timed-out attempts
+  std::int64_t deferrals = 0;        // carrier-sense deferrals (ethernet)
+  std::int64_t attempt_timeouts = 0; // starved streams unwound
+  std::int64_t tries_failed = 0;     // whole budgets expired
+  std::int64_t grants = 0;           // reservation only
+  std::int64_t rejects = 0;
+  std::vector<std::int64_t> per_sender_bytes;
+  std::int64_t faults_injected = 0;
+  std::string fault_audit;
+  std::uint64_t kernel_events = 0;
+};
+
+BulkSweepPoint run_bulk_point(const BulkScenarioConfig& config,
+                              std::string_view discipline, int senders,
+                              Duration window = sec(600));
 
 }  // namespace ethergrid::exp

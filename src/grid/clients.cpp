@@ -1,6 +1,8 @@
 #include "grid/clients.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 #include "core/sim_clock.hpp"
@@ -20,18 +22,27 @@ std::string_view discipline_kind_name(DisciplineKind kind) {
   return "?";
 }
 
+const DisciplineTraits& resolve_discipline_field(const std::string& discipline,
+                                                 DisciplineKind kind) {
+  return resolve_discipline(discipline.empty() ? discipline_kind_name(kind)
+                                               : std::string_view(discipline));
+}
+
 namespace {
 
-core::TryOptions base_options(
-    DisciplineKind kind, Duration budget,
-    const std::optional<core::BackoffPolicy>& backoff_override = std::nullopt) {
-  core::TryOptions options = core::TryOptions::for_time(budget);
-  if (kind == DisciplineKind::kFixed) {
-    options.backoff = core::BackoffPolicy::none();
-  } else if (backoff_override) {
-    options.backoff = *backoff_override;
+// The paper-scenario clients work a resource directly; a discipline that
+// needs grant negotiation cannot be expressed as their carrier-sense hook.
+const DisciplineTraits& resolve_for_legacy_client(
+    const std::string& discipline, DisciplineKind kind, const char* client) {
+  const DisciplineTraits& traits = resolve_discipline_field(discipline, kind);
+  if (traits.reservation) {
+    std::fprintf(stderr,
+                 "discipline '%s' negotiates reservations; the %s client "
+                 "cannot (use make_bulk_sender)\n",
+                 traits.name.c_str(), client);
+    std::abort();
   }
-  return options;
+  return traits;
 }
 
 // Removes a partial file unless disarmed -- covers failure returns *and*
@@ -63,11 +74,12 @@ sim::ProcessBody make_submitter(Schedd& schedd, const SubmitterConfig& config,
     core::SimClock clock(ctx);
     Rng rng = ctx.rng();
 
+    const DisciplineTraits& traits =
+        resolve_for_legacy_client(config.discipline, config.kind, "submitter");
     core::TryOptions options =
-        base_options(config.kind, config.try_budget, config.backoff);
-    core::Discipline discipline{std::string(discipline_kind_name(config.kind)),
-                                options, nullptr};
-    if (config.kind == DisciplineKind::kEthernet) {
+        traits.try_options(config.try_budget, config.backoff);
+    core::Discipline discipline{traits.name, options, nullptr};
+    if (traits.carrier_sense) {
       discipline.carrier_sense = [&schedd, &ctx, config](TimePoint) -> Status {
         ctx.sleep(config.probe_cost);  // cut -f2 /proc/sys/fs/file-nr
         if (schedd.fd_table().available() < config.fd_threshold) {
@@ -100,11 +112,12 @@ sim::ProcessBody make_producer(FsBuffer& buffer, IoChannel& channel,
     core::SimClock clock(ctx);
     Rng rng = ctx.rng();
 
+    const DisciplineTraits& traits =
+        resolve_for_legacy_client(config.discipline, config.kind, "producer");
     core::TryOptions options =
-        base_options(config.kind, config.try_budget, config.backoff);
-    core::Discipline discipline{std::string(discipline_kind_name(config.kind)),
-                                options, nullptr};
-    if (config.kind == DisciplineKind::kEthernet) {
+        traits.try_options(config.try_budget, config.backoff);
+    core::Discipline discipline{traits.name, options, nullptr};
+    if (traits.carrier_sense) {
       // "the Ethernet client assumes the incomplete items in the buffer will
       //  be the same size as the average of the complete files, and
       //  subtracts that from the free disk space reported by the file
@@ -216,7 +229,9 @@ sim::ProcessBody make_reader(ServerFarm& farm, const ReaderConfig& config,
     core::SimClock clock(ctx);
     Rng rng = ctx.rng();
 
-    core::TryOptions outer = base_options(config.kind, config.outer_budget);
+    const DisciplineTraits& traits =
+        resolve_for_legacy_client(config.discipline, config.kind, "reader");
+    core::TryOptions outer = traits.try_options(config.outer_budget);
 
     while (true) {
       // try for 900 seconds / forany host / (probe +) fetch.
@@ -231,7 +246,7 @@ sim::ProcessBody make_reader(ServerFarm& farm, const ReaderConfig& config,
         }
         for (std::size_t index : order) {
           FileServer& server = farm.server(index);
-          if (config.kind == DisciplineKind::kEthernet) {
+          if (traits.carrier_sense) {
             // try for 5 seconds wget http://$host/flag
             Status probe = core::run_try(
                 clock, rng, core::TryOptions::for_time(config.probe_timeout),
@@ -256,6 +271,121 @@ sim::ProcessBody make_reader(ServerFarm& farm, const ReaderConfig& config,
         }
         return Status::failure("all replicas failed");
       });
+    }
+  };
+}
+
+// ------------------------------------------------------------- bulk sender
+
+sim::ProcessBody make_bulk_sender(Substrate& link, ReservationBook* book,
+                                  const BulkSenderConfig& config,
+                                  BulkSenderStats* stats) {
+  return [&link, book, config, stats](sim::Context& ctx) {
+    core::SimClock clock(ctx);
+    Rng rng = ctx.rng();
+
+    const DisciplineTraits& traits = resolve_discipline(config.discipline);
+    const DisciplineOptions options =
+        config.options ? *config.options : traits.defaults;
+    if (traits.reservation && !book) {
+      std::fprintf(stderr,
+                   "bulk sender: discipline '%s' requires a ReservationBook\n",
+                   traits.name.c_str());
+      std::abort();
+    }
+
+    core::TryOptions try_options =
+        traits.try_options(config.transfer_budget, options.backoff);
+    core::Discipline discipline{traits.name, try_options, nullptr};
+    if (traits.carrier_sense) {
+      // Fluid carrier sense: ask the link what instantaneous fair share a
+      // new unit-weight flow would get; a crowded medium defers us.
+      discipline.carrier_sense = [&link, &ctx, config,
+                                  options](TimePoint) -> Status {
+        ctx.sleep(config.probe_cost);
+        if (link.instantaneous_share_fraction() < options.share_threshold) {
+          return Status::unavailable("fair share below threshold");
+        }
+        return Status::success();
+      };
+    }
+
+    const double bytes = double(config.file_bytes);
+
+    // Chaos hook: the write is the faultable op ("bulk.write" site).
+    auto injected = [&link, &ctx]() -> std::optional<Status> {
+      core::FaultDecision fault = link.decide(ctx, "write");
+      switch (fault.action) {
+        case core::FaultDecision::Action::kNone:
+          return std::nullopt;
+        case core::FaultDecision::Action::kStall:
+          ctx.sleep(fault.stall);
+          return std::nullopt;
+        default:
+          link.note_injected();
+          return fault.status;
+      }
+    };
+
+    // Best-effort attempt: stream at whatever max-min hands us, bounded by
+    // the per-attempt deadline (a starved flow is a collision to back off
+    // from, not something to sit on forever).
+    auto best_effort = [&](TimePoint) -> Status {
+      core::TryOptions once =
+          core::TryOptions::for_time(config.transfer_deadline);
+      once.attempt_limit = 1;
+      Status s = core::run_try(clock, rng, once, [&](TimePoint) -> Status {
+        if (auto fault = injected()) return *fault;
+        Substrate::Hold hold(ctx, link);
+        return link.stream(ctx, bytes);
+      });
+      if (s.code() == StatusCode::kTimeout) ++stats->attempt_timeouts;
+      return s;
+    };
+
+    // Reservation attempt: negotiate a (window, rate) grant, wait for the
+    // window, stream at the granted rate.  A rejection is the discipline's
+    // collision -- run_with_discipline backs off and retries.
+    auto reserved = [&](TimePoint) -> Status {
+      ctx.sleep(config.probe_cost);  // negotiation round-trip with the book
+      const double cap = link.bytes_per_second() > 0 ? link.bytes_per_second()
+                                                     : book->reservable_bps();
+      Grant grant =
+          book->request(ctx, bytes, options.min_rate_fraction * cap,
+                        options.max_rate_fraction * cap);
+      if (!grant.ok()) {
+        ++stats->rejects;
+        return Status::unavailable("reservation rejected");
+      }
+      ++stats->grants;
+      GrantLease lease(*book, grant.id);
+      if (grant.start > ctx.now()) ctx.sleep(grant.start - ctx.now());
+      // The book guarantees grant.rate over the window, so window + slack
+      // bounds the stream; tripping this deadline means the fluid model
+      // broke its promise, not that the medium was busy.
+      sim::DeadlineScope deadline(ctx, ctx.now() + grant.duration + sec(1));
+      if (auto fault = injected()) return *fault;
+      Substrate::Hold hold(ctx, link);
+      sim::FluidFlowOptions flow;
+      flow.weight = kReservedWeight;
+      flow.rate_cap = grant.rate;
+      return link.stream(ctx, bytes, flow);
+    };
+
+    while (true) {
+      ctx.sleep(sec(rng.uniform(to_seconds(config.think_min),
+                                to_seconds(config.think_max))));
+      Status s = core::run_with_discipline(
+          clock, rng, discipline,
+          traits.reservation ? core::AttemptFn(reserved)
+                             : core::AttemptFn(best_effort),
+          &stats->discipline);
+      if (s.ok()) {
+        ++stats->files_sent;
+        stats->bytes_sent += config.file_bytes;
+      } else {
+        ++stats->tries_failed;
+      }
     }
   };
 }

@@ -20,23 +20,39 @@
 #include <string>
 
 #include "core/discipline.hpp"
+#include "grid/discipline_registry.hpp"
 #include "grid/fileserver.hpp"
 #include "grid/fsbuffer.hpp"
 #include "grid/io_channel.hpp"
+#include "grid/reservation.hpp"
 #include "grid/schedd.hpp"
+#include "grid/substrate.hpp"
 #include "sim/kernel.hpp"
 #include "util/stats.hpp"
 
 namespace ethergrid::grid {
 
+// DEPRECATED (one release): discipline selection is now string-keyed via
+// grid::DisciplineRegistry.  The enum and the `kind` config fields remain
+// as a shim -- they resolve through discipline_kind_name() into the
+// registry -- and will be removed next release.  New code sets the
+// `discipline` string field instead.
 enum class DisciplineKind { kFixed, kAloha, kEthernet };
 
 std::string_view discipline_kind_name(DisciplineKind kind);
 
+// Resolves a client config's discipline: the string field when set,
+// otherwise the deprecated enum.  Dies on unregistered names.
+const DisciplineTraits& resolve_discipline_field(const std::string& discipline,
+                                                 DisciplineKind kind);
+
 // ------------------------------------------------------------- scenario 1
 
 struct SubmitterConfig {
-  DisciplineKind kind = DisciplineKind::kAloha;
+  // Registry name ("fixed" / "aloha" / "ethernet" / ...); when empty the
+  // deprecated `kind` enum below applies.
+  std::string discipline;
+  DisciplineKind kind = DisciplineKind::kAloha;  // DEPRECATED: use discipline
   // "try for 5 minutes condor_submit submit.job end"
   Duration try_budget = minutes(5);
   // Ethernet carrier sense: defer unless this many descriptors are free
@@ -64,7 +80,9 @@ sim::ProcessBody make_submitter(Schedd& schedd, const SubmitterConfig& config,
 // ------------------------------------------------------------- scenario 2
 
 struct ProducerConfig {
-  DisciplineKind kind = DisciplineKind::kAloha;
+  // Registry name; when empty the deprecated `kind` enum applies.
+  std::string discipline;
+  DisciplineKind kind = DisciplineKind::kAloha;  // DEPRECATED: use discipline
   // Compute phase between output files: "producing an output file of random
   // size between 0-1 MB every second".
   Duration compute_min = sec(1);
@@ -117,7 +135,9 @@ sim::ProcessBody make_consumer(FsBuffer& buffer, IoChannel& channel,
 // ------------------------------------------------------------- scenario 3
 
 struct ReaderConfig {
-  DisciplineKind kind = DisciplineKind::kAloha;  // paper compares Aloha/Eth
+  // Registry name; when empty the deprecated `kind` enum applies.
+  std::string discipline;
+  DisciplineKind kind = DisciplineKind::kAloha;  // DEPRECATED: use discipline
   std::int64_t file_bytes = 100 << 20;           // "a 100 MB file"
   Duration outer_budget = sec(900);              // "try for 900 seconds"
   Duration data_timeout = sec(60);               // "try for 60 seconds"
@@ -136,5 +156,51 @@ struct ReaderStats {
 // Loops whole-file reads against the farm, forever.
 sim::ProcessBody make_reader(ServerFarm& farm, const ReaderConfig& config,
                              ReaderStats* stats);
+
+// ------------------------------------------------------- bulk transfers
+
+// A bulk sender pushes fixed-size files over a shared *fluid* link.  All
+// four disciplines apply:
+//   fixed/aloha   -- stream immediately, budgeted retries on timeout;
+//   ethernet      -- carrier sense = "instantaneous fair share of the link
+//                    at or above share_threshold", defer otherwise;
+//   reservation   -- negotiate a (window, rate) grant from the site's
+//                    ReservationBook, stream at the granted rate with
+//                    kReservedWeight, Ethernet-style backoff on rejection.
+struct BulkSenderConfig {
+  std::string discipline = "ethernet";
+  std::int64_t file_bytes = 32 << 20;
+  // Think time between files.
+  Duration think_min = sec(1);
+  Duration think_max = sec(4);
+  // Whole-file try budget ("try for 10 minutes send the file end").
+  Duration transfer_budget = minutes(10);
+  // Per-attempt deadline for best-effort streams; a starved flow is
+  // unwound here and counts as a collision.
+  Duration transfer_deadline = minutes(2);
+  // Cost of probing the link's share (ethernet) or the book (reservation).
+  Duration probe_cost = msec(10);
+  // Options start from the resolved discipline's registry defaults;
+  // set to override (share_threshold, rate fractions, backoff).
+  std::optional<DisciplineOptions> options;
+};
+
+struct BulkSenderStats {
+  std::int64_t files_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t tries_failed = 0;    // whole budgets expired
+  std::int64_t attempt_timeouts = 0;  // per-attempt deadline unwinds
+  std::int64_t grants = 0;
+  std::int64_t rejects = 0;
+  core::DisciplineMetrics discipline;
+};
+
+// `book` may be null for the non-reservation disciplines; the reservation
+// discipline requires it (aborts otherwise).  `link` must be a fluid
+// substrate for ethernet share-probing and reservation rate caps to mean
+// anything, though binary links degrade gracefully (share is 0 or 1).
+sim::ProcessBody make_bulk_sender(Substrate& link, ReservationBook* book,
+                                  const BulkSenderConfig& config,
+                                  BulkSenderStats* stats);
 
 }  // namespace ethergrid::grid

@@ -1,0 +1,98 @@
+#include "grid/discipline_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ethergrid::grid {
+
+core::TryOptions DisciplineTraits::try_options(
+    Duration budget,
+    const std::optional<core::BackoffPolicy>& override_backoff) const {
+  core::TryOptions options = core::TryOptions::for_time(budget);
+  if (!backoff) {
+    options.backoff = core::BackoffPolicy::none();
+  } else if (override_backoff) {
+    options.backoff = *override_backoff;
+  } else if (defaults.backoff) {
+    options.backoff = *defaults.backoff;
+  }
+  return options;
+}
+
+DisciplineRegistry::DisciplineRegistry() {
+  DisciplineTraits fixed;
+  fixed.name = "fixed";
+  fixed.backoff = false;
+  (void)add(std::move(fixed));
+
+  DisciplineTraits aloha;
+  aloha.name = "aloha";
+  (void)add(std::move(aloha));
+
+  DisciplineTraits ethernet;
+  ethernet.name = "ethernet";
+  ethernet.carrier_sense = true;
+  (void)add(std::move(ethernet));
+
+  DisciplineTraits reservation;
+  reservation.name = "reservation";
+  reservation.reservation = true;  // Ethernet-style backoff on rejection
+  (void)add(std::move(reservation));
+}
+
+DisciplineRegistry& DisciplineRegistry::global() {
+  static DisciplineRegistry registry;
+  return registry;
+}
+
+Status DisciplineRegistry::add(DisciplineTraits traits) {
+  if (traits.name.empty()) {
+    return Status::invalid_argument("discipline name must be non-empty");
+  }
+  if (find(traits.name)) {
+    return Status::invalid_argument("discipline already registered: " +
+                                    traits.name);
+  }
+  traits_.push_back(std::make_unique<DisciplineTraits>(std::move(traits)));
+  return Status::success();
+}
+
+const DisciplineTraits* DisciplineRegistry::find(std::string_view name) const {
+  for (const auto& traits : traits_) {
+    if (traits->name == name) return traits.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DisciplineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(traits_.size());
+  for (const auto& traits : traits_) out.push_back(traits->name);
+  return out;
+}
+
+const DisciplineTraits* find_discipline(std::string_view name) {
+  return DisciplineRegistry::global().find(name);
+}
+
+const DisciplineTraits& resolve_discipline(std::string_view name) {
+  const DisciplineTraits* traits = find_discipline(name);
+  if (!traits) {
+    std::fprintf(stderr, "unknown discipline '%.*s' (registered: %s)\n",
+                 int(name.size()), name.data(),
+                 discipline_names_csv().c_str());
+    std::abort();
+  }
+  return *traits;
+}
+
+std::string discipline_names_csv() {
+  std::string out;
+  for (const std::string& name : DisciplineRegistry::global().names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace ethergrid::grid

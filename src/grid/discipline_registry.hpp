@@ -1,0 +1,93 @@
+// DisciplineRegistry: string-keyed discipline resolution.
+//
+// Disciplines used to be a hard-coded enum (grid::DisciplineKind) switched
+// on in every client factory, every scenario runner, and gridsim's flag
+// parser -- adding the Reservation discipline would have meant growing a
+// fourth case into each of those switches.  The registry replaces the enum
+// with named DisciplineTraits: clients ask for "fixed" / "aloha" /
+// "ethernet" / "reservation" by string (gridsim --discipline=reservation),
+// and the traits tell them which behaviours to wire up (backoff, carrier
+// sense, reservation negotiation) plus the per-discipline option defaults.
+//
+// MIGRATION (one release, mirroring the PR 4 AuditLog shim): the old
+// DisciplineKind enum and the enum-taking runner overloads still work --
+// they resolve through discipline_kind_name() into this registry -- but new
+// code should carry the discipline *name*.  The enum, the enum fields on
+// the client configs, and the enum overloads will be removed next release.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/retry.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::grid {
+
+// Per-discipline knobs with registry-supplied defaults.  A client config
+// copies the resolved discipline's defaults and overrides what it needs.
+struct DisciplineOptions {
+  // Overrides the discipline's default backoff policy (ablation studies:
+  // jitter removal, cap sweeps).  Ignored when traits.backoff is false.
+  std::optional<core::BackoffPolicy> backoff;
+  // Carrier-sense disciplines on fluid substrates: defer when a new flow's
+  // instantaneous fair share would fall below this fraction of capacity.
+  double share_threshold = 0.25;
+  // Reservation discipline: requested rate window as fractions of the
+  // medium's capacity (Chen & Primet's malleable bulk request).
+  double min_rate_fraction = 0.10;
+  double max_rate_fraction = 0.50;
+};
+
+// What a named discipline does.  Capability flags, not virtuals: the
+// client factories own the actual closures (carrier-sense probes capture
+// concrete substrates), the traits only say which ones to build.
+struct DisciplineTraits {
+  std::string name;
+  bool backoff = true;        // false = the Fixed client's blind hammering
+  bool carrier_sense = false; // probe the medium before consuming it
+  bool reservation = false;   // negotiate a (window, rate) grant first
+  DisciplineOptions defaults;
+
+  // Try options for one disciplined work loop under `budget`, honouring a
+  // per-client backoff override.
+  core::TryOptions
+  try_options(Duration budget,
+              const std::optional<core::BackoffPolicy>& override_backoff =
+                  std::nullopt) const;
+};
+
+class DisciplineRegistry {
+ public:
+  // The process-wide registry, pre-seeded with the built-in disciplines
+  // (fixed, aloha, ethernet, reservation) in that order.
+  static DisciplineRegistry& global();
+
+  // Registers a discipline; fails if the name is taken.
+  Status add(DisciplineTraits traits);
+
+  // nullptr when unknown.  The pointer stays valid for the registry's
+  // lifetime (additions never reallocate registered traits).
+  const DisciplineTraits* find(std::string_view name) const;
+
+  // Registration order (stable listing for --help and sweeps).
+  std::vector<std::string> names() const;
+
+ private:
+  DisciplineRegistry();
+  std::vector<std::unique_ptr<DisciplineTraits>> traits_;
+};
+
+// Global-registry conveniences.
+const DisciplineTraits* find_discipline(std::string_view name);
+// Resolves or dies with a clear message listing the registered names --
+// callers that already validated input (scenario runners) use this.
+const DisciplineTraits& resolve_discipline(std::string_view name);
+// Comma-separated registered names, for error messages and --help.
+std::string discipline_names_csv();
+
+}  // namespace ethergrid::grid

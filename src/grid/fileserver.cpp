@@ -6,30 +6,24 @@ namespace ethergrid::grid {
 
 namespace {
 
-sim::FaultPlan builtin_plan(const FileServerConfig& config) {
-  sim::FaultPlan plan;
+SubstrateConfig substrate_config(const FileServerConfig& config) {
+  SubstrateConfig sc;
+  sc.site = "fileserver." + config.name;
+  sc.bytes_per_second = config.bytes_per_second;
+  sc.slots = config.concurrency;
+  sc.model = config.model;
   if (config.transient_failure_rate > 0) {
-    plan.add("fileserver." + config.name + ".fetch",
-             sim::FaultPlan::reset(config.transient_failure_rate));
+    sc.builtin_faults.add("fileserver." + config.name + ".fetch",
+                          sim::FaultPlan::reset(config.transient_failure_rate));
   }
-  return plan;
+  sc.builtin_fault_stream = "server-" + config.name;
+  return sc;
 }
 
 }  // namespace
 
 FileServer::FileServer(sim::Kernel& kernel, const FileServerConfig& config)
-    : kernel_(&kernel),
-      config_(config),
-      site_(obs::intern_site("fileserver." + config.name)),
-      slots_(kernel, config.concurrency),
-      never_(kernel),
-      builtin_faults_(builtin_plan(config),
-                      kernel.rng().stream("server-" + config.name)),
-      faults_(&builtin_faults_) {}
-
-void FileServer::set_fault_injector(core::FaultInjector* injector) {
-  faults_ = injector ? injector : &builtin_faults_;
-}
+    : config_(config), substrate_(kernel, substrate_config(config)) {}
 
 Status FileServer::fetch(sim::Context& ctx, std::int64_t bytes) {
   return serve(ctx, bytes, /*flag_only=*/false);
@@ -41,62 +35,46 @@ Status FileServer::fetch_flag(sim::Context& ctx) {
 
 Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
                          bool flag_only) {
-  // Single-threaded: later clients queue on the connection.
-  sim::ResourceLease slot(ctx, slots_);
-  ++connections_;
+  // Binary model: single-threaded, later clients queue on the connection.
+  // Fluid model: everyone is served at once at a max-min share.
+  Substrate::Hold slot(ctx, substrate_);
+  substrate_.note_admission();
 
   if (config_.black_hole) {
     // Accepts the connection, then silence.  Only the client's own deadline
     // (or kill) ends this; unwinding releases the slot = disconnect.
-    ctx.wait(never_);
+    substrate_.park(ctx);
     return Status::io_error("black hole responded?!");  // unreachable
   }
 
-  core::FaultDecision fault;
-  if (faults_->enabled()) {
-    const std::string site = "fileserver." + config_.name +
-                             (flag_only ? ".flag" : ".fetch");
-    fault = faults_->decide(site, ctx.now());
-  }
+  core::FaultDecision fault =
+      substrate_.decide(ctx, flag_only ? "flag" : "fetch");
 
   if (fault.action == core::FaultDecision::Action::kPartition) {
     // Windowed black hole: swallow the connection until the client's
     // deadline breaks it.  The slot stays held -- a partitioned server
     // still blocks the clients queued behind the victim.
-    ctx.wait(never_);
+    substrate_.park(ctx);
     return Status::io_error("partitioned server responded?!");  // unreachable
   }
 
-  ctx.sleep(config_.request_overhead);
+  substrate_.occupy(ctx, config_.request_overhead);
   if (fault.action == core::FaultDecision::Action::kStall) {
-    ctx.sleep(fault.stall);
+    substrate_.occupy(ctx, fault.stall);
   }
 
+  const bool fluid = substrate_.model() == CapacityModel::kFluid;
   const double seconds = double(bytes) / config_.bytes_per_second;
 
-  auto emit_collision = [&](const Status& status) {
-    if (!observers_) return;
-    obs::ObsEvent event;
-    event.kind = obs::ObsEvent::Kind::kCollision;
-    event.time = ctx.now();
-    event.site = site_;
-    event.detail = status.message();
-    observers_->on_event(event);
-  };
   auto emit_carrier_sense = [&](bool clear) {
-    if (!observers_ || !flag_only) return;
-    obs::ObsEvent event;
-    event.kind = obs::ObsEvent::Kind::kCarrierSense;
-    event.time = ctx.now();
-    event.site = site_;
-    event.value = clear ? 1 : 0;
-    observers_->on_event(event);
+    if (flag_only) substrate_.emit_carrier_sense(substrate_.site(), ctx.now(), clear);
   };
 
   if (fault.action == core::FaultDecision::Action::kFail ||
       fault.action == core::FaultDecision::Action::kCrash) {
-    ++aborted_;
-    emit_collision(fault.status);
+    substrate_.note_failed(Duration{});
+    substrate_.emit_collision(substrate_.site(), ctx.now(),
+                              fault.status.message());
     emit_carrier_sense(false);
     return fault.status;
   }
@@ -104,17 +82,31 @@ Status FileServer::serve(sim::Context& ctx, std::int64_t bytes,
     if (!flag_only) {
       // Connection resets somewhere mid-transfer: prompt, retryable
       // failure that still consumed a fraction of the service time.
-      ctx.sleep(sec(seconds * fault.fraction));
+      if (fluid) {
+        (void)substrate_.stream(ctx, fault.fraction * double(bytes));
+      } else {
+        substrate_.occupy(ctx, sec(seconds * fault.fraction));
+      }
     }
-    ++aborted_;
-    emit_collision(fault.status);
+    substrate_.note_failed(Duration{});
+    substrate_.emit_collision(substrate_.site(), ctx.now(),
+                              fault.status.message());
     emit_carrier_sense(false);
     return fault.status;
   }
 
-  ctx.sleep(sec(seconds));
-  ++transfers_;
-  bytes_served_ += bytes;
+  if (fluid) {
+    const TimePoint start = ctx.now();
+    Status moved = substrate_.stream(ctx, double(bytes));
+    if (moved.failed()) {
+      substrate_.note_failed(ctx.now() - start);
+      return moved;
+    }
+    substrate_.note_completed(double(bytes), ctx.now() - start);
+  } else {
+    substrate_.occupy(ctx, sec(seconds));
+    substrate_.note_completed(double(bytes), sec(seconds));
+  }
   emit_carrier_sense(true);
   return Status::success();
 }

@@ -9,6 +9,11 @@
 // deadline unwinds a fetch, the RAII service slot is released -- the
 // connection is broken, freeing the server, exactly the POSIX-process
 // cancellation property the paper highlights.
+//
+// Service arbitration, fault plumbing, and back-channel emission all live
+// in the grid::Substrate capacity interface.  The default binary model is
+// the paper's single-threaded server; the fluid model serves every client
+// concurrently at a weighted max-min share of the bandwidth.
 #pragma once
 
 #include <cstdint>
@@ -17,9 +22,9 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "grid/substrate.hpp"
 #include "obs/observer.hpp"
 #include "sim/kernel.hpp"
-#include "sim/resource.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
 
@@ -32,7 +37,7 @@ struct FileServerConfig {
   double bytes_per_second = 10.0 * 1024 * 1024;
   // Per-request fixed overhead (connection + request parse).
   Duration request_overhead = msec(200);
-  int concurrency = 1;  // single-threaded per the paper
+  int concurrency = 1;  // single-threaded per the paper (binary model)
   // Probability that a data transfer aborts partway (connection reset,
   // server hiccup).  Distinct from a black hole: the failure is *prompt*,
   // so plain retry (the inner `try`) handles it.  Flag probes are immune
@@ -40,13 +45,16 @@ struct FileServerConfig {
   // mid-transfer reset rule on this server's fetch site -- so the knob and
   // an externally installed FaultInjector share one code path.
   double transient_failure_rate = 0.0;
+  // Binary (seed single-slot semantics) or fluid max-min sharing.
+  CapacityModel model = CapacityModel::kBinary;
 };
 
 class FileServer {
  public:
   FileServer(sim::Kernel& kernel, const FileServerConfig& config);
 
-  // Downloads `bytes`.  Queues FIFO for the server's single service slot.
+  // Downloads `bytes`.  Binary model: queues FIFO for the server's single
+  // service slot.  Fluid model: transfers immediately at the fair share.
   // A black hole accepts the connection and then never responds: the call
   // blocks until the caller's deadline (or kill) unwinds it.
   Status fetch(sim::Context& ctx, std::int64_t bytes);
@@ -62,33 +70,33 @@ class FileServer {
   // Installs a shared injector (not owned; must outlive the server),
   // replacing the built-in one derived from transient_failure_rate.
   // nullptr restores the built-in.
-  void set_fault_injector(core::FaultInjector* injector);
+  void set_fault_injector(core::FaultInjector* injector) {
+    substrate_.set_fault_injector(injector);
+  }
+
+  // The capacity interface, for carrier sense and the reservation book.
+  Substrate& substrate() { return substrate_; }
 
   // Telemetry.
-  std::int64_t transfers_completed() const { return transfers_; }
-  std::int64_t bytes_served() const { return bytes_served_; }
-  std::int64_t connections_accepted() const { return connections_; }
-  std::int64_t transfers_aborted() const { return aborted_; }
+  std::int64_t transfers_completed() const { return substrate_.completed(); }
+  std::int64_t bytes_served() const { return substrate_.bytes_moved(); }
+  std::int64_t connections_accepted() const {
+    return substrate_.admissions();
+  }
+  std::int64_t transfers_aborted() const { return substrate_.failed(); }
 
   // Observability: aborted transfers become kCollision events, flag probes
-  // kCarrierSense (value 1 = clear, 0 = deferred).  Not owned; nullptr off.
-  void set_observers(obs::ObserverSet* observers) { observers_ = observers; }
+  // kCarrierSense (value 1 = clear, 0 = deferred), fluid re-shares
+  // kFlowShare.  Not owned; nullptr off.
+  void set_observers(obs::ObserverSet* observers) {
+    substrate_.set_observers(observers);
+  }
 
  private:
   Status serve(sim::Context& ctx, std::int64_t bytes, bool flag_only);
 
-  sim::Kernel* kernel_;
   FileServerConfig config_;
-  obs::SiteId site_;  // "fileserver.<name>", interned at construction
-  sim::Resource slots_;
-  sim::Event never_;  // black-hole clients wait on this forever
-  core::FaultInjector builtin_faults_;  // transient_failure_rate, as a plan
-  core::FaultInjector* faults_;         // active injector
-  std::int64_t transfers_ = 0;
-  std::int64_t bytes_served_ = 0;
-  std::int64_t connections_ = 0;
-  std::int64_t aborted_ = 0;
-  obs::ObserverSet* observers_ = nullptr;
+  Substrate substrate_;
 };
 
 // The replicated service: named servers, uniform random pick helper.

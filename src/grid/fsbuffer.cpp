@@ -2,22 +2,35 @@
 
 namespace ethergrid::grid {
 
+namespace {
+
+SubstrateConfig substrate_config() {
+  SubstrateConfig sc;
+  sc.site = "fsbuffer";
+  return sc;  // metadata-only: no bandwidth, no slots in play
+}
+
+}  // namespace
+
 FsBuffer::FsBuffer(sim::Kernel& kernel, std::int64_t capacity_bytes)
-    : kernel_(&kernel), capacity_(capacity_bytes), completion_event_(kernel) {}
+    : kernel_(&kernel),
+      capacity_(capacity_bytes),
+      substrate_(kernel, substrate_config()),
+      append_site_(obs::intern_site("fsbuffer.append")),
+      completion_event_(kernel) {}
 
 void FsBuffer::set_fault_injector(core::FaultInjector* injector) {
   std::lock_guard<std::mutex> lock(mu_);
-  faults_ = injector;
+  substrate_.set_fault_injector(injector);
 }
 
 void FsBuffer::set_observers(obs::ObserverSet* observers) {
   std::lock_guard<std::mutex> lock(mu_);
-  observers_ = observers;
+  substrate_.set_observers(observers);
 }
 
-std::optional<Status> FsBuffer::injected(const char* site) {
-  if (!faults_ || !faults_->enabled()) return std::nullopt;
-  core::FaultDecision fault = faults_->decide(site, kernel_->now());
+std::optional<Status> FsBuffer::injected(const char* op) {
+  core::FaultDecision fault = substrate_.decide_at(kernel_->now(), op);
   switch (fault.action) {
     case core::FaultDecision::Action::kNone:
     case core::FaultDecision::Action::kStall:  // no duration to stretch here
@@ -26,7 +39,7 @@ std::optional<Status> FsBuffer::injected(const char* site) {
     case core::FaultDecision::Action::kReset:
     case core::FaultDecision::Action::kCrash:
     case core::FaultDecision::Action::kPartition:
-      ++injected_failures_;
+      substrate_.note_injected();
       return fault.status;
   }
   return std::nullopt;
@@ -34,7 +47,7 @@ std::optional<Status> FsBuffer::injected(const char* site) {
 
 Status FsBuffer::create(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (auto fault = injected("fsbuffer.create")) return *fault;
+  if (auto fault = injected("create")) return *fault;
   auto [it, inserted] = files_.try_emplace(name);
   if (!inserted) {
     return Status::invalid_argument("file exists: " + name);
@@ -45,7 +58,7 @@ Status FsBuffer::create(const std::string& name) {
 
 Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (auto fault = injected("fsbuffer.append")) return *fault;
+  if (auto fault = injected("append")) return *fault;
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::not_found("no such file: " + name);
@@ -56,17 +69,8 @@ Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
   if (used_ + bytes > capacity_) {
     ++enospc_;
     std::string message = "ENOSPC writing " + name;
-    if (observers_) {
-      static const obs::SiteId kAppendSite =
-          obs::intern_site("fsbuffer.append");
-      obs::ObsEvent event;
-      event.kind = obs::ObsEvent::Kind::kCollision;
-      event.time = kernel_->now();
-      event.site = kAppendSite;
-      event.detail = message;
-      event.value = double(bytes);
-      observers_->on_event(event);
-    }
+    substrate_.emit_collision(append_site_, kernel_->now(), message,
+                              double(bytes));
     return Status::resource_exhausted(std::move(message));
   }
   used_ += bytes;
@@ -77,7 +81,7 @@ Status FsBuffer::append(const std::string& name, std::int64_t bytes) {
 Status FsBuffer::rename_done(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (auto fault = injected("fsbuffer.rename")) return *fault;
+    if (auto fault = injected("rename")) return *fault;
     auto it = files_.find(name);
     if (it == files_.end()) {
       return Status::not_found("no such file: " + name);
@@ -162,7 +166,7 @@ std::int64_t FsBuffer::enospc_failures() const {
 
 std::int64_t FsBuffer::injected_failures() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return injected_failures_;
+  return substrate_.injected_failures();
 }
 
 std::vector<FsBuffer::FileInfo> FsBuffer::list() const {

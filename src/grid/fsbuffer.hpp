@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "grid/substrate.hpp"
 #include "obs/observer.hpp"
 #include "sim/kernel.hpp"
 #include "util/status.hpp"
@@ -74,7 +75,8 @@ class FsBuffer {
   // "fsbuffer.rename".  Metadata ops are instantaneous, so only prompt
   // error faults apply (a stall decision is ignored here; stall the
   // IoChannel the traffic flows over instead).  Not owned; nullptr
-  // disables.
+  // disables.  Plumbed through a metadata-only grid::Substrate (space,
+  // not bandwidth, is this medium's capacity).
   void set_fault_injector(core::FaultInjector* injector);
 
   // Observability: each ENOSPC append becomes a kCollision event (value =
@@ -93,19 +95,19 @@ class FsBuffer {
     std::uint64_t order = 0;  // creation order; completion keeps it
   };
 
-  // Returns the injected failure for `site`, if one fires.
-  std::optional<Status> injected(const char* site);
+  // Returns the injected failure for the "fsbuffer.<op>" site, if one
+  // fires.
+  std::optional<Status> injected(const char* op);
 
   sim::Kernel* kernel_;
   const std::int64_t capacity_;
-  core::FaultInjector* faults_ = nullptr;
-  obs::ObserverSet* observers_ = nullptr;
+  Substrate substrate_;       // fault + back-channel plumbing (no bandwidth)
+  obs::SiteId append_site_;   // "fsbuffer.append", interned at construction
   mutable std::mutex mu_;
   std::map<std::string, File> files_;
   std::int64_t used_ = 0;
   std::uint64_t next_order_ = 0;
   std::int64_t enospc_ = 0;
-  std::int64_t injected_failures_ = 0;
   sim::Event completion_event_;
 };
 

@@ -4,14 +4,19 @@
 // RPC -- data or metadata, successful or futile -- occupies it.  This is
 // what makes the disk buffer a true Ethernet-style medium: a fixed client's
 // flood of doomed writes does not merely fail, it consumes the capacity the
-// consumer needs to drain the buffer.  FIFO service; deadline/kill-aware.
+// consumer needs to drain the buffer.
+//
+// Arbitration is the grid::Substrate capacity interface: the default
+// binary model serves RPCs FIFO through one slot (the seed semantics);
+// the fluid model admits every RPC at once and shares the bandwidth by
+// weighted max-min fairness.  Deadline/kill-aware either way.
 #pragma once
 
 #include <cstdint>
 
 #include "core/fault.hpp"
+#include "grid/substrate.hpp"
 #include "sim/kernel.hpp"
-#include "sim/resource.hpp"
 #include "util/time.hpp"
 
 namespace ethergrid::grid {
@@ -23,6 +28,8 @@ struct IoChannelConfig {
   double bytes_per_second = 4.0 * 1024 * 1024;
   // Fixed cost of one RPC (request parse, metadata update, reply).
   Duration per_op_overhead = msec(5);
+  // Binary (seed busy/collision semantics) or fluid max-min sharing.
+  CapacityModel model = CapacityModel::kBinary;
 };
 
 class IoChannel {
@@ -30,31 +37,34 @@ class IoChannel {
   IoChannel(sim::Kernel& kernel, const IoChannelConfig& config);
 
   // Performs one RPC moving `bytes` of payload (0 for pure metadata ops).
-  // Occupies the channel FIFO for overhead + bytes/bandwidth.  With a fault
-  // injector installed, the RPC may fail -- and a failed RPC still occupies
-  // the medium for the time it consumed before dying, which is exactly the
-  // contention property the disciplines are measured against.
+  // With a fault injector installed, the RPC may fail -- and a failed RPC
+  // still occupies the medium for the time it consumed before dying, which
+  // is exactly the contention property the disciplines are measured
+  // against.
   Status transfer(sim::Context& ctx, std::int64_t bytes);
 
   // Injection site: "iochannel.write".  Not owned; nullptr disables.
   void set_fault_injector(core::FaultInjector* injector) {
-    faults_ = injector;
+    substrate_.set_fault_injector(injector);
   }
 
+  // Observability (fluid model: flow_share events).  Not owned.
+  void set_observers(obs::ObserverSet* observers) {
+    substrate_.set_observers(observers);
+  }
+
+  // The capacity interface, for carrier sense and the reservation book.
+  Substrate& substrate() { return substrate_; }
+
   // Telemetry.
-  std::int64_t ops() const { return ops_; }
-  std::int64_t bytes_moved() const { return bytes_; }
-  std::int64_t failed_ops() const { return failed_ops_; }
-  Duration busy_time() const { return busy_; }
+  std::int64_t ops() const { return substrate_.completed(); }
+  std::int64_t bytes_moved() const { return substrate_.bytes_moved(); }
+  std::int64_t failed_ops() const { return substrate_.failed(); }
+  Duration busy_time() const { return substrate_.busy_time(); }
 
  private:
   IoChannelConfig config_;
-  sim::Resource slot_;
-  core::FaultInjector* faults_ = nullptr;
-  std::int64_t ops_ = 0;
-  std::int64_t bytes_ = 0;
-  std::int64_t failed_ops_ = 0;
-  Duration busy_{};
+  Substrate substrate_;
 };
 
 }  // namespace ethergrid::grid

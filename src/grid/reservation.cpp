@@ -1,0 +1,151 @@
+#include "grid/reservation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ethergrid::grid {
+
+namespace {
+
+// Rate slop absorbing float residue in the availability arithmetic.
+constexpr double kRateEpsilon = 1e-6;
+
+}  // namespace
+
+ReservationBook::ReservationBook(ReservationBookConfig config)
+    : config_(std::move(config)), site_(obs::intern_site(config_.site)) {}
+
+double ReservationBook::reserved_at(TimePoint t) const {
+  double total = 0;
+  for (const Booked& g : grants_) {
+    if (g.start <= t && t < g.end) total += g.rate;
+  }
+  return total;
+}
+
+double ReservationBook::min_available(TimePoint from, TimePoint to) const {
+  // The reserved-rate timeline is piecewise constant with breakpoints at
+  // grant starts; evaluating at `from` and every start inside (from, to)
+  // covers all of [from, to).
+  double worst = config_.reservable_bps - reserved_at(from);
+  for (const Booked& g : grants_) {
+    if (g.start > from && g.start < to) {
+      worst = std::min(worst,
+                       config_.reservable_bps - reserved_at(g.start));
+    }
+  }
+  return worst;
+}
+
+void ReservationBook::drop_expired(TimePoint now) {
+  // Completed clients release explicitly; this sweeps grants whose window
+  // passed without one (a client killed after release() already ran is
+  // fine -- release is idempotent on unknown ids).
+  grants_.erase(std::remove_if(grants_.begin(), grants_.end(),
+                               [now](const Booked& g) { return g.end <= now; }),
+                grants_.end());
+}
+
+Grant ReservationBook::request(sim::Context& ctx, double bytes,
+                               double min_rate, double max_rate) {
+  const TimePoint now = ctx.now();
+  drop_expired(now);
+
+  auto reject = [&]() {
+    ++rejected_;
+    if (observers_) {
+      obs::ObsEvent event;
+      event.kind = obs::ObsEvent::Kind::kReservationReject;
+      event.time = now;
+      event.site = site_;
+      event.value = bytes;
+      observers_->on_event(event);
+    }
+    return Grant{};
+  };
+
+  if (bytes <= 0 || min_rate <= 0 || max_rate < min_rate ||
+      min_rate > config_.reservable_bps + kRateEpsilon) {
+    return reject();
+  }
+
+  // Candidate start times: now, plus every grant end inside the horizon
+  // (capacity only ever *increases* at an end, so the earliest-completion
+  // optimum starts at one of these instants).
+  const TimePoint latest_start = now + config_.horizon;
+  std::vector<TimePoint> candidates{now};
+  for (const Booked& g : grants_) {
+    if (g.end > now && g.end <= latest_start) candidates.push_back(g.end);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  bool found = false;
+  TimePoint best_start{};
+  TimePoint best_end{};
+  double best_rate = 0;
+  for (TimePoint start : candidates) {
+    // Fixed-point on the malleable request: pick a rate, see whether the
+    // window it implies sustains that rate, lower to the bottleneck and
+    // retry.  Monotonically decreasing, so it settles in at most one step
+    // per breakpoint in the window.
+    double rate = std::min(max_rate, config_.reservable_bps -
+                                         reserved_at(start));
+    bool feasible = false;
+    for (std::size_t round = 0; round <= grants_.size() + 1; ++round) {
+      if (rate < min_rate - kRateEpsilon) break;
+      const TimePoint end = start + sec(bytes / rate);
+      const double sustainable = min_available(start, end);
+      if (sustainable >= rate - kRateEpsilon) {
+        feasible = true;
+        break;
+      }
+      rate = std::min(rate, sustainable);
+    }
+    if (!feasible) continue;
+    const TimePoint end = start + sec(bytes / rate);
+    if (!found || end < best_end ||
+        (end == best_end && start < best_start)) {
+      found = true;
+      best_start = start;
+      best_end = end;
+      best_rate = rate;
+    }
+  }
+  if (!found) return reject();
+
+  Booked booked;
+  booked.id = next_id_++;
+  booked.start = best_start;
+  booked.end = best_end;
+  booked.rate = best_rate;
+  grants_.insert(std::upper_bound(grants_.begin(), grants_.end(), booked,
+                                  [](const Booked& a, const Booked& b) {
+                                    return a.start < b.start ||
+                                           (a.start == b.start && a.id < b.id);
+                                  }),
+                 booked);
+  ++granted_;
+  if (observers_) {
+    obs::ObsEvent event;
+    event.kind = obs::ObsEvent::Kind::kReservationGrant;
+    event.time = now;
+    event.site = site_;
+    event.value = best_rate;
+    observers_->on_event(event);
+  }
+
+  Grant grant;
+  grant.id = booked.id;
+  grant.start = best_start;
+  grant.duration = best_end - best_start;
+  grant.rate = best_rate;
+  return grant;
+}
+
+void ReservationBook::release(std::uint64_t id) {
+  grants_.erase(std::remove_if(grants_.begin(), grants_.end(),
+                               [id](const Booked& g) { return g.id == id; }),
+                grants_.end());
+}
+
+}  // namespace ethergrid::grid

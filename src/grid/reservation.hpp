@@ -1,0 +1,122 @@
+// ReservationBook: per-site bandwidth reservation for bulk transfers.
+//
+// The Chen & Primet framework (PAPERS.md, "A Flexible Bandwidth
+// Reservation Framework for Bulk Data Transfers in Grid Networks") admits
+// *malleable* bulk requests: the client fixes the volume and a rate window
+// [min_rate, max_rate], and the book chooses the start time and rate that
+// finish the transfer earliest, subject to the sum of reserved rates never
+// exceeding the reservable capacity.  Rejected clients fall back to
+// Ethernet-style backoff (the Reservation discipline's collision path).
+//
+// The book is pure arithmetic over a piecewise-constant reserved-rate
+// timeline -- deterministic, no RNG -- and shard-local like the fluid
+// substrate it fronts.  A granted flow pins its rate on the fluid model
+// via FluidFlowOptions{weight = kReservedWeight, rate_cap = grant.rate}:
+// reserved flows out-weigh best-effort traffic by 10^6, so max-min sharing
+// hands each exactly its cap and the slack goes to the best-effort flows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+#include "sim/kernel.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace ethergrid::grid {
+
+// Max-min weight that makes a reserved flow's rate cap binding against any
+// realistic number of unit-weight best-effort flows.
+inline constexpr double kReservedWeight = 1e6;
+
+struct ReservationBookConfig {
+  // Capacity the book may promise (usually the substrate's bandwidth, or
+  // a fraction of it to leave best-effort headroom).
+  double reservable_bps = 0;
+  // Furthest future *start* the book will admit; later fits are rejected
+  // (the client backs off and asks again).
+  Duration horizon = minutes(10);
+  // Observer site for reservation_{grant,reject} events.
+  std::string site = "reservation";
+};
+
+struct Grant {
+  std::uint64_t id = 0;  // 0 = rejected
+  TimePoint start{};
+  Duration duration{};
+  double rate = 0;  // bytes/second, guaranteed over [start, start+duration)
+  bool ok() const { return id != 0; }
+};
+
+class ReservationBook {
+ public:
+  explicit ReservationBook(ReservationBookConfig config);
+
+  // Asks for `bytes` at a rate in [min_rate, max_rate], starting no
+  // earlier than now.  Returns the earliest-completion grant, or a
+  // !ok() grant when nothing fits inside the horizon.  Deterministic.
+  Grant request(sim::Context& ctx, double bytes, double min_rate,
+                double max_rate);
+
+  // Releases a grant's capacity (normal completion and early abandonment
+  // alike); unknown ids are ignored (rm -f semantics).
+  void release(std::uint64_t id);
+
+  // Sum of granted rates covering `t` (tests + invariants).
+  double reserved_at(TimePoint t) const;
+  std::size_t active_grants() const { return grants_.size(); }
+
+  void set_observers(obs::ObserverSet* observers) { observers_ = observers; }
+
+  double reservable_bps() const { return config_.reservable_bps; }
+
+  // Telemetry.
+  std::int64_t granted() const { return granted_; }
+  std::int64_t rejected() const { return rejected_; }
+
+ private:
+  struct Booked {
+    std::uint64_t id;
+    TimePoint start;
+    TimePoint end;
+    double rate;
+  };
+
+  // Smallest spare capacity anywhere in [from, to).
+  double min_available(TimePoint from, TimePoint to) const;
+  void drop_expired(TimePoint now);
+
+  ReservationBookConfig config_;
+  obs::SiteId site_;
+  std::vector<Booked> grants_;  // sorted by (start, id)
+  std::uint64_t next_id_ = 1;
+  std::int64_t granted_ = 0;
+  std::int64_t rejected_ = 0;
+  obs::ObserverSet* observers_ = nullptr;
+};
+
+// RAII release: covers normal completion and kill/deadline unwinds (the
+// mc reservation-grant-kill scenario pins that no grant leaks).
+class GrantLease {
+ public:
+  GrantLease(ReservationBook& book, std::uint64_t id)
+      : book_(&book), id_(id) {}
+  ~GrantLease() { release(); }
+  GrantLease(const GrantLease&) = delete;
+  GrantLease& operator=(const GrantLease&) = delete;
+
+  void release() {
+    if (book_) {
+      book_->release(id_);
+      book_ = nullptr;
+    }
+  }
+
+ private:
+  ReservationBook* book_;
+  std::uint64_t id_;
+};
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,132 @@
+#include "grid/substrate.hpp"
+
+namespace ethergrid::grid {
+
+std::string_view capacity_model_name(CapacityModel model) {
+  switch (model) {
+    case CapacityModel::kBinary:
+      return "binary";
+    case CapacityModel::kFluid:
+      return "fluid";
+  }
+  return "?";
+}
+
+bool parse_capacity_model(std::string_view name, CapacityModel* out) {
+  if (name == "binary") {
+    *out = CapacityModel::kBinary;
+    return true;
+  }
+  if (name == "fluid") {
+    *out = CapacityModel::kFluid;
+    return true;
+  }
+  return false;
+}
+
+Substrate::Substrate(sim::Kernel& kernel, SubstrateConfig config)
+    : kernel_(&kernel),
+      config_(std::move(config)),
+      site_(obs::intern_site(config_.site)),
+      slots_(kernel, config_.slots),
+      never_(kernel) {
+  if (config_.model == CapacityModel::kFluid) {
+    fluid_.emplace(kernel, config_.bytes_per_second);
+    fluid_->set_share_listener(
+        [this](TimePoint now, std::size_t flows, double unit_share) {
+          if (!observers_) return;
+          obs::ObsEvent event;
+          event.kind = obs::ObsEvent::Kind::kFlowShare;
+          event.time = now;
+          event.site = site_;
+          event.value = config_.bytes_per_second > 0
+                            ? unit_share / config_.bytes_per_second
+                            : 0;
+          event.detail = {};
+          observers_->on_event(event);
+          (void)flows;
+        });
+  }
+  if (!config_.builtin_faults.rules().empty()) {
+    builtin_faults_.emplace(config_.builtin_faults,
+                            kernel.rng().stream(config_.builtin_fault_stream));
+    faults_ = &*builtin_faults_;
+  }
+}
+
+Substrate::Hold::Hold(sim::Context& ctx, Substrate& substrate) {
+  if (substrate.model() == CapacityModel::kBinary) {
+    lease_.emplace(ctx, substrate.slots_);
+  }
+}
+
+void Substrate::occupy(sim::Context& ctx, Duration d) { ctx.sleep(d); }
+
+Status Substrate::stream(sim::Context& ctx, double bytes,
+                         sim::FluidFlowOptions flow) {
+  if (config_.model == CapacityModel::kFluid) {
+    return fluid_->transfer(ctx, bytes, flow);
+  }
+  ctx.sleep(payload_duration(bytes));
+  return Status::success();
+}
+
+void Substrate::park(sim::Context& ctx) { ctx.wait(never_); }
+
+Duration Substrate::payload_duration(double bytes) const {
+  return sec(bytes / config_.bytes_per_second);
+}
+
+double Substrate::instantaneous_share_fraction() const {
+  if (config_.model == CapacityModel::kFluid) {
+    if (config_.bytes_per_second <= 0) return 0;
+    return fluid_->instantaneous_share(1.0) / config_.bytes_per_second;
+  }
+  return slots_.available() > 0 ? 1.0 : 0.0;
+}
+
+core::FaultDecision Substrate::decide(sim::Context& ctx, std::string_view op) {
+  return decide_at(ctx.now(), op);
+}
+
+core::FaultDecision Substrate::decide_at(TimePoint now, std::string_view op) {
+  if (!faults_ || !faults_->enabled()) return {};
+  std::string site_name = config_.site;
+  site_name += '.';
+  site_name += op;
+  return faults_->decide(site_name, now);
+}
+
+void Substrate::set_fault_injector(core::FaultInjector* injector) {
+  faults_ = injector ? injector
+                     : (builtin_faults_ ? &*builtin_faults_ : nullptr);
+}
+
+void Substrate::set_observers(obs::ObserverSet* observers) {
+  observers_ = observers;
+}
+
+void Substrate::emit_collision(obs::SiteId site_id, TimePoint now,
+                               std::string_view detail, double value) {
+  if (!observers_) return;
+  obs::ObsEvent event;
+  event.kind = obs::ObsEvent::Kind::kCollision;
+  event.time = now;
+  event.site = site_id;
+  event.detail = detail;
+  event.value = value;
+  observers_->on_event(event);
+}
+
+void Substrate::emit_carrier_sense(obs::SiteId site_id, TimePoint now,
+                                   bool clear) {
+  if (!observers_) return;
+  obs::ObsEvent event;
+  event.kind = obs::ObsEvent::Kind::kCarrierSense;
+  event.time = now;
+  event.site = site_id;
+  event.value = clear ? 1 : 0;
+  observers_->on_event(event);
+}
+
+}  // namespace ethergrid::grid

@@ -1,0 +1,188 @@
+// Substrate: the one capacity interface behind every grid medium.
+//
+// FileServer, IoChannel, and FsBuffer used to each carry their own copy of
+// the same plumbing: a sim::Resource service slot, a FaultInjector pointer
+// with enabled() gating (plus FileServer's built-in transient plan), and
+// hand-rolled Observer emission for collisions and carrier-sense probes.
+// Substrate collapses those copies into one object per medium:
+//
+//  * admission  -- Hold: FIFO service slots under the binary model, or
+//    immediate admission under the fluid model (contention degrades the
+//    share instead of queueing);
+//  * occupancy  -- occupy(): holding the medium for a fixed duration at
+//    full rate (request overheads, stalls, and the binary model's whole
+//    transfer time);
+//  * streaming  -- stream(): moving payload bytes; the fluid model shares
+//    bytes_per_second across concurrent flows by weighted max-min
+//    fairness (sim::FluidResource), the binary model sleeps bytes/rate;
+//  * faults     -- decide(): one injector slot (built-in transient plan or
+//    externally installed), site names composed as "<site>.<op>";
+//  * back channel -- emit helpers for kCollision / kCarrierSense plus the
+//    fluid-model kFlowShare events, and shared telemetry counters.
+//
+// The binary model is the fluid model's degenerate point (capacity = one
+// slot, unit demand): it reproduces the seed's collision semantics
+// bit-for-bit, which tests/grid/degenerate_golden_test.cpp pins against
+// stats and fault audits captured from the pre-Substrate tree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/fault.hpp"
+#include "obs/observer.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/fluid.hpp"
+#include "sim/kernel.hpp"
+#include "sim/resource.hpp"
+#include "util/status.hpp"
+
+namespace ethergrid::grid {
+
+// How a Substrate arbitrates concurrent transfers.
+enum class CapacityModel {
+  // Seed semantics: `slots` FIFO service slots; a holder moves payload at
+  // the full rate while everyone else queues (binary busy/collision).
+  kBinary,
+  // Weighted max-min fair sharing of bytes_per_second across every active
+  // flow; nobody queues, everybody slows down.
+  kFluid,
+};
+
+std::string_view capacity_model_name(CapacityModel model);
+// Parses "binary" / "fluid" (used by gridsim and the exp configs).
+bool parse_capacity_model(std::string_view name, CapacityModel* out);
+
+struct SubstrateConfig {
+  // Fault/observer site base: decide("op") consults "<site>.<op>", and
+  // collision / carrier-sense / flow-share events carry the interned base.
+  std::string site;
+  // Medium bandwidth; 0 for metadata-only substrates (FsBuffer) that use
+  // only the fault/observer plumbing.
+  double bytes_per_second = 0;
+  int slots = 1;  // kBinary service slots
+  CapacityModel model = CapacityModel::kBinary;
+  // Built-in fault plan (FileServer's transient_failure_rate rule) and the
+  // name of the kernel RNG stream feeding it.  An externally installed
+  // injector replaces it; set_fault_injector(nullptr) restores it.
+  sim::FaultPlan builtin_faults;
+  std::string builtin_fault_stream;
+};
+
+class Substrate {
+ public:
+  Substrate(sim::Kernel& kernel, SubstrateConfig config);
+  Substrate(const Substrate&) = delete;
+  Substrate& operator=(const Substrate&) = delete;
+
+  // --- admission -----------------------------------------------------
+
+  // RAII admission to the medium.  Binary: queues FIFO for a service slot
+  // (released on destruction or unwind -- the broken-connection property).
+  // Fluid: admission is immediate; contention shows up as a reduced share.
+  class Hold {
+   public:
+    Hold(sim::Context& ctx, Substrate& substrate);
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+
+   private:
+    std::optional<sim::ResourceLease> lease_;
+  };
+
+  // --- time on the medium --------------------------------------------
+
+  // Holds the medium for a fixed duration (request overhead, fault stalls,
+  // and the binary model's whole transfer).  Deadline/kill-aware.
+  void occupy(sim::Context& ctx, Duration d);
+
+  // Moves `bytes` of payload.  Binary: one full-rate sleep.  Fluid: a
+  // weighted max-min flow on the shared capacity; reservations pin their
+  // granted rate through `rate_cap`.
+  Status stream(sim::Context& ctx, double bytes,
+                sim::FluidFlowOptions flow = {});
+
+  // Parks the caller forever (black holes, partitions); only the caller's
+  // own deadline or a kill unwinds it.
+  void park(sim::Context& ctx);
+
+  // Duration `bytes` of payload occupies the medium at the full rate.
+  Duration payload_duration(double bytes) const;
+
+  // --- carrier sense --------------------------------------------------
+
+  // Fraction of the full rate a new unit-weight flow would get right now:
+  // the fluid carrier sense ("instantaneous fair share below threshold"
+  // == busy).  Binary: 1 if a slot is free, else 0.
+  double instantaneous_share_fraction() const;
+
+  // --- faults ----------------------------------------------------------
+
+  // Consults the active injector at "<site>.<op>"; kNone when no injector
+  // is installed or its plan is empty (no RNG is consumed then, which the
+  // degenerate byte-for-byte equivalence relies on).
+  core::FaultDecision decide(sim::Context& ctx, std::string_view op);
+  core::FaultDecision decide_at(TimePoint now, std::string_view op);
+
+  // Not owned; nullptr restores the built-in injector (or none).
+  void set_fault_injector(core::FaultInjector* injector);
+
+  // --- back channel ----------------------------------------------------
+
+  void set_observers(obs::ObserverSet* observers);
+  obs::ObserverSet* observers() const { return observers_; }
+  obs::SiteId site() const { return site_; }
+
+  // Emitted at `site_id` (pass site() unless the event belongs to a
+  // sub-site like "fsbuffer.append").  No-ops without observers.
+  void emit_collision(obs::SiteId site_id, TimePoint now,
+                      std::string_view detail, double value = 0);
+  void emit_carrier_sense(obs::SiteId site_id, TimePoint now, bool clear);
+
+  // --- telemetry --------------------------------------------------------
+
+  void note_admission() { ++admissions_; }
+  void note_completed(double bytes, Duration held) {
+    ++completed_;
+    bytes_moved_ += std::int64_t(bytes);
+    busy_ += held;
+  }
+  void note_failed(Duration held) {
+    ++failed_;
+    busy_ += held;
+  }
+  void note_injected() { ++injected_failures_; }
+
+  std::int64_t admissions() const { return admissions_; }
+  std::int64_t completed() const { return completed_; }
+  std::int64_t failed() const { return failed_; }
+  std::int64_t bytes_moved() const { return bytes_moved_; }
+  std::int64_t injected_failures() const { return injected_failures_; }
+  Duration busy_time() const { return busy_; }
+
+  CapacityModel model() const { return config_.model; }
+  double bytes_per_second() const { return config_.bytes_per_second; }
+  sim::Kernel& kernel() { return *kernel_; }
+  // Fluid-model internals, for tests and the reservation book.
+  sim::FluidResource* fluid() { return fluid_ ? &*fluid_ : nullptr; }
+
+ private:
+  sim::Kernel* kernel_;
+  SubstrateConfig config_;
+  obs::SiteId site_;
+  sim::Resource slots_;                    // kBinary admission
+  std::optional<sim::FluidResource> fluid_;  // kFluid sharing engine
+  sim::Event never_;                       // park() target
+  std::optional<core::FaultInjector> builtin_faults_;
+  core::FaultInjector* faults_ = nullptr;  // active injector (may be null)
+  obs::ObserverSet* observers_ = nullptr;
+  std::int64_t admissions_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t failed_ = 0;
+  std::int64_t bytes_moved_ = 0;
+  std::int64_t injected_failures_ = 0;
+  Duration busy_{};
+};
+
+}  // namespace ethergrid::grid

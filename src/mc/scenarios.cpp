@@ -4,7 +4,9 @@
 
 #include "core/fault.hpp"
 #include "grid/fd_table.hpp"
+#include "grid/reservation.hpp"
 #include "grid/schedd.hpp"
+#include "grid/substrate.hpp"
 #include "shell/session.hpp"
 #include "shell/sim_executor.hpp"
 #include "sim/resource.hpp"
@@ -478,6 +480,120 @@ class CrossShardScenario final : public Scenario {
   mutable sim::KernelOptions shard_kernel_;
 };
 
+// ------------------------------------------- reservation-grant-kill
+
+// Two bulk clients negotiate malleable grants from a ReservationBook whose
+// capacity (500 B/s) fits only one at a time, then stream over a fluid
+// link; a killer fires at t=2s -- the exact instant the second grant
+// starts AND the first grant's stream completes, so the victim dies either
+// at grant delivery (unwinding the sleep-to-start) or at stream completion
+// (aborting the fluid flow), depending on the schedule the explorer picks.
+// A probabilistic stall fault shifts the flows half a second to widen the
+// race.  Whatever the interleaving: GrantLease must return every booking
+// (no active grants at the end), the fluid link must drain (no orphaned
+// flows), the book must never oversubscribe mid-flight, and the requester
+// the killer never targets must complete.
+class ReservationKillWorld final : public ScenarioWorld {
+ public:
+  ReservationKillWorld(sim::Kernel& kernel, Rng fault_rng)
+      : link(kernel, link_config()),
+        book(book_config()),
+        faults(sim::FaultPlan().add("link.write",
+                                    sim::FaultPlan::stall(0.5, msec(500))),
+               fault_rng) {
+    link.set_fault_injector(&faults);
+  }
+
+  static grid::SubstrateConfig link_config() {
+    grid::SubstrateConfig config;
+    config.site = "link";
+    config.bytes_per_second = 1000.0;
+    config.model = grid::CapacityModel::kFluid;
+    return config;
+  }
+
+  static grid::ReservationBookConfig book_config() {
+    grid::ReservationBookConfig config;
+    config.reservable_bps = 500.0;
+    config.site = "link.book";
+    return config;
+  }
+
+  grid::Substrate link;
+  grid::ReservationBook book;
+  core::FaultInjector faults;
+  sim::ProcessHandle victim;
+  int completed = 0;
+};
+
+class ReservationKillScenario final : public Scenario {
+ public:
+  std::string name() const override { return "reservation-grant-kill"; }
+
+  std::unique_ptr<ScenarioWorld> build(sim::Kernel& kernel, Strategy* strategy,
+                                       InvariantSet& invariants) override {
+    auto world = std::make_unique<ReservationKillWorld>(kernel, kernel.rng());
+    ReservationKillWorld* w = world.get();
+    w->faults.set_strategy(strategy);
+    auto requester = [w](sim::Context& ctx) {
+      // 1000 bytes at exactly 500 B/s: each grant is a 2-second window,
+      // and the book fits one window at a time.
+      const grid::Grant grant = w->book.request(ctx, 1000.0, 500.0, 500.0);
+      if (!grant.ok()) return;
+      grid::GrantLease lease(w->book, grant.id);
+      if (ctx.now() < grant.start) ctx.sleep(grant.start - ctx.now());
+      const core::FaultDecision fault = w->link.decide(ctx, "write");
+      if (fault.action == core::FaultDecision::Action::kStall) {
+        ctx.sleep(fault.stall);
+      }
+      sim::FluidFlowOptions flow;
+      flow.weight = grid::kReservedWeight;
+      flow.rate_cap = grant.rate;
+      if (w->link.stream(ctx, 1000.0, flow).ok()) ++w->completed;
+    };
+    kernel.spawn("requester0", requester);
+    w->victim = kernel.spawn("requester1", requester);
+    kernel.spawn("killer", [w](sim::Context& ctx) {
+      ctx.sleep(sec(2));  // grant-delivery instant of the queued grant
+      ctx.kill(w->victim, "grant-delivery kill");
+    });
+    invariants.add(
+        "book-never-oversubscribes",
+        [w](const CheckContext& ctx) -> Status {
+          const double reserved = w->book.reserved_at(ctx.kernel.now());
+          if (reserved > w->book.reservable_bps() + 1e-9) {
+            return Status::failure("book oversubscribed: " +
+                                   std::to_string(reserved) + " reserved of " +
+                                   std::to_string(w->book.reservable_bps()));
+          }
+          return Status::success();
+        },
+        /*every_transition=*/true);
+    invariants.add(
+        "reservation-releases-grants",
+        [w](const CheckContext& ctx) -> Status {
+          if (!ctx.at_end) return Status::success();
+          if (w->book.active_grants() != 0) {
+            return Status::failure(
+                std::to_string(w->book.active_grants()) +
+                " grant(s) still booked after the run (GrantLease leak)");
+          }
+          if (w->link.fluid() != nullptr &&
+              w->link.fluid()->active_flows() != 0) {
+            return Status::failure(
+                std::to_string(w->link.fluid()->active_flows()) +
+                " fluid flow(s) still active after the run");
+          }
+          if (w->completed < 1) {
+            return Status::failure(
+                "the requester the killer never targets did not complete");
+          }
+          return Status::success();
+        });
+    return world;
+  }
+};
+
 // ------------------------------------------------------------- script
 
 class ScriptWorld final : public ScenarioWorld {
@@ -518,7 +634,8 @@ class ScriptScenario final : public Scenario {
 
 std::vector<std::string> scenario_names() {
   return {"forall-abort", "try-timeout-resource", "carrier-sense-crash",
-          "wake-token-selftest", "cross-shard-window"};
+          "wake-token-selftest", "cross-shard-window",
+          "reservation-grant-kill"};
 }
 
 std::unique_ptr<Scenario> make_scenario(const std::string& name) {
@@ -534,6 +651,9 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name) {
   }
   if (name == "cross-shard-window") {
     return std::make_unique<CrossShardScenario>();
+  }
+  if (name == "reservation-grant-kill") {
+    return std::make_unique<ReservationKillScenario>();
   }
   return nullptr;
 }

@@ -17,6 +17,12 @@
 //                             probabilistic submit error); no interleaving
 //                             may deadlock the carrier-sense loop or leak a
 //                             process.
+//  * reservation-grant-kill - two bulk clients negotiate grants from a
+//                             one-at-a-time ReservationBook over a fluid
+//                             link; a kill fires at the queued grant's
+//                             delivery instant.  No interleaving may leak
+//                             a booking, orphan a fluid flow, or
+//                             oversubscribe the book.
 //  * wake-token-selftest   -- reintroduces the pre-PR-6 kill/invalidate
 //                             accounting bug via KernelOptions and expects
 //                             the queue-accounting invariant to catch it;

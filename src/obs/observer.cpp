@@ -46,6 +46,12 @@ std::string_view obs_event_kind_name(ObsEvent::Kind kind) {
       return "crash";
     case ObsEvent::Kind::kOccupancy:
       return "occupancy";
+    case ObsEvent::Kind::kFlowShare:
+      return "flow_share";
+    case ObsEvent::Kind::kReservationGrant:
+      return "reservation_grant";
+    case ObsEvent::Kind::kReservationReject:
+      return "reservation_reject";
   }
   return "?";
 }

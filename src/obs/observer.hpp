@@ -98,6 +98,10 @@ struct ObsEvent {
     kKill,          // forcible termination; value = kill latency seconds
     kCrash,         // whole-component failure (the schedd's broadcast jam)
     kOccupancy,     // forall branch occupancy; value = branches in flight
+    kFlowShare,     // fluid substrate re-share; value = unit-flow share
+                    // as a fraction of capacity
+    kReservationGrant,   // reservation admitted; value = granted rate
+    kReservationReject,  // reservation refused; value = requested bytes
   };
 
   Kind kind = Kind::kCollision;
@@ -108,7 +112,7 @@ struct ObsEvent {
   double value = 0;
 };
 
-inline constexpr int kObsEventKindCount = 8;
+inline constexpr int kObsEventKindCount = 11;
 
 std::string_view obs_event_kind_name(ObsEvent::Kind kind);
 

@@ -14,6 +14,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "exp/scenarios.hpp"
 
@@ -44,12 +45,12 @@ const char kPlanPartitionStall[] =
     "fileserver.yyy.*:drop@100-500;fileserver.*.fetch:stall@0.3,5";
 
 exp::ReaderTimeline run_readers(const std::string& plan_spec,
-                                grid::DisciplineKind kind) {
+                                std::string_view discipline) {
   exp::ReaderScenarioConfig config;
   config.seed = chaos_seed();
   config.servers = exp::ReaderScenarioConfig::paper_farm();
   config.faults = parse_plan(plan_spec);
-  return exp::run_reader_timeline(config, kind, sec(900), sec(30));
+  return exp::run_reader_timeline(config, discipline, sec(900), sec(30));
 }
 
 class ChaosReaderTest
@@ -57,15 +58,14 @@ class ChaosReaderTest
 
 TEST_P(ChaosReaderTest, DeterministicReplayAcrossAllDisciplines) {
   const std::string plan = GetParam();
-  for (auto kind : {grid::DisciplineKind::kFixed, grid::DisciplineKind::kAloha,
-                    grid::DisciplineKind::kEthernet}) {
-    const auto first = run_readers(plan, kind);
-    const auto second = run_readers(plan, kind);
+  for (const char* discipline : {"fixed", "aloha", "ethernet"}) {
+    const auto first = run_readers(plan, discipline);
+    const auto second = run_readers(plan, discipline);
     ASSERT_GT(first.faults_injected, 0)
         << "plan fired nothing: " << plan;
     // Byte-identical fault audit: same faults, same order, same instants.
     EXPECT_EQ(first.fault_audit, second.fault_audit)
-        << grid::discipline_kind_name(kind) << " under " << plan;
+        << discipline << " under " << plan;
     EXPECT_EQ(first.faults_injected, second.faults_injected);
     EXPECT_EQ(first.transfers_total, second.transfers_total);
     EXPECT_EQ(first.collisions_total, second.collisions_total);
@@ -75,9 +75,9 @@ TEST_P(ChaosReaderTest, DeterministicReplayAcrossAllDisciplines) {
 
 TEST_P(ChaosReaderTest, EthernetBeatsFixedUnderContentionFaults) {
   const std::string plan = GetParam();
-  const auto fixed = run_readers(plan, grid::DisciplineKind::kFixed);
-  const auto ethernet = run_readers(plan, grid::DisciplineKind::kEthernet);
-  const auto aloha = run_readers(plan, grid::DisciplineKind::kAloha);
+  const auto fixed = run_readers(plan, "fixed");
+  const auto ethernet = run_readers(plan, "ethernet");
+  const auto aloha = run_readers(plan, "aloha");
 
   // Every discipline keeps making progress under the plan.
   EXPECT_GT(fixed.transfers_total, 0) << plan;
@@ -97,17 +97,16 @@ INSTANTIATE_TEST_SUITE_P(Plans, ChaosReaderTest,
 // The buffer scenario exercises the iochannel + fsbuffer sites: metadata
 // failures and channel faults, replayed deterministically.
 TEST(ChaosBufferTest, BufferWorldReplaysDeterministically) {
-  auto run = [](grid::DisciplineKind kind) {
+  auto run = [](std::string_view discipline) {
     exp::BufferScenarioConfig config;
     config.seed = chaos_seed();
     config.faults = parse_plan(
         "iochannel.write:fail@0.08;fsbuffer.append:fail@0.02");
-    return exp::run_buffer_point(config, kind, 8, sec(300));
+    return exp::run_buffer_point(config, discipline, 8, sec(300));
   };
-  for (auto kind : {grid::DisciplineKind::kFixed,
-                    grid::DisciplineKind::kEthernet}) {
-    const auto first = run(kind);
-    const auto second = run(kind);
+  for (const char* discipline : {"fixed", "ethernet"}) {
+    const auto first = run(discipline);
+    const auto second = run(discipline);
     ASSERT_GT(first.faults_injected, 0);
     EXPECT_EQ(first.fault_audit, second.fault_audit);
     EXPECT_EQ(first.files_consumed, second.files_consumed);
@@ -124,8 +123,7 @@ TEST(ChaosScheddTest, InjectedCrashReplaysDeterministically) {
     exp::SubmitScenarioConfig config;
     config.seed = chaos_seed();
     config.faults = parse_plan("schedd.submit:crash@60");
-    return exp::run_submit_scale_point(config, grid::DisciplineKind::kEthernet,
-                                       40, minutes(5));
+    return exp::run_submit_scale_point(config, "ethernet", 40, minutes(5));
   };
   const auto first = run();
   const auto second = run();

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/scenarios.hpp"
+
+namespace ethergrid::exp {
+namespace {
+
+BulkScenarioConfig small_world() {
+  BulkScenarioConfig config;
+  config.link_bps = 1.0 * 1024 * 1024;
+  config.sender.file_bytes = 4 << 20;
+  return config;
+}
+
+TEST(BulkScenarioTest, DeterministicInSeed) {
+  const BulkScenarioConfig config = small_world();
+  const BulkSweepPoint a = run_bulk_point(config, "ethernet", 6, sec(300));
+  const BulkSweepPoint b = run_bulk_point(config, "ethernet", 6, sec(300));
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.kernel_events, b.kernel_events);
+  EXPECT_EQ(a.per_sender_bytes, b.per_sender_bytes);
+
+  BulkScenarioConfig other = config;
+  other.seed = 7;
+  const BulkSweepPoint c = run_bulk_point(other, "ethernet", 6, sec(300));
+  EXPECT_NE(a.kernel_events, c.kernel_events);
+}
+
+TEST(BulkScenarioTest, AllDisciplinesMoveBytes) {
+  const BulkScenarioConfig config = small_world();
+  for (const char* discipline :
+       {"fixed", "aloha", "ethernet", "reservation"}) {
+    const BulkSweepPoint point = run_bulk_point(config, discipline, 4,
+                                                sec(300));
+    EXPECT_GT(point.bytes_sent, 0) << discipline;
+    EXPECT_EQ(point.discipline, discipline);
+    EXPECT_EQ(point.per_sender_bytes.size(), 4u) << discipline;
+    EXPECT_GT(point.jain_fairness, 0.0) << discipline;
+    EXPECT_LE(point.jain_fairness, 1.0 + 1e-12) << discipline;
+  }
+}
+
+TEST(BulkScenarioTest, ReservationNegotiatesGrants) {
+  const BulkSweepPoint point =
+      run_bulk_point(small_world(), "reservation", 6, sec(300));
+  EXPECT_GT(point.grants, 0);
+  // Every granted window is exclusive arithmetic, not contention: with the
+  // book pacing admissions there are no starved-stream timeouts.
+  EXPECT_EQ(point.attempt_timeouts, 0);
+}
+
+// The figure-8 claim, in miniature: under saturating load, Reservation
+// matches-or-beats Ethernet on goodput and is at least as fair.  The full
+// gate (larger world, CI baseline) lives in bench/fig8_bulk_transfer.
+TEST(BulkScenarioTest, ReservationBeatsEthernetUnderSaturation) {
+  BulkScenarioConfig config = small_world();
+  const int senders = 10;  // heavily oversubscribed link
+  const BulkSweepPoint ethernet =
+      run_bulk_point(config, "ethernet", senders, sec(600));
+  const BulkSweepPoint reservation =
+      run_bulk_point(config, "reservation", senders, sec(600));
+  EXPECT_GE(reservation.goodput_bps, ethernet.goodput_bps);
+  EXPECT_GE(reservation.jain_fairness, ethernet.jain_fairness);
+}
+
+TEST(BulkScenarioTest, FaultPlanInjectsAndAudits) {
+  BulkScenarioConfig config = small_world();
+  ASSERT_TRUE(
+      sim::FaultPlan::parse("bulk.write:fail@0.2", &config.faults).ok());
+  const BulkSweepPoint point = run_bulk_point(config, "aloha", 4, sec(300));
+  EXPECT_GT(point.faults_injected, 0);
+  EXPECT_FALSE(point.fault_audit.empty());
+  const BulkSweepPoint replay = run_bulk_point(config, "aloha", 4, sec(300));
+  EXPECT_EQ(point.fault_audit, replay.fault_audit);
+}
+
+}  // namespace
+}  // namespace ethergrid::exp

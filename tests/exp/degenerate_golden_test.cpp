@@ -1,0 +1,173 @@
+// Differential pin: the binary (degenerate) capacity model must reproduce
+// the pre-substrate-refactor seed behavior bit-for-bit.  The rows below
+// were captured from the last enum-era build (PR 8 tree) by running the
+// exact configurations in this file; every stat AND the FNV-1a hash of the
+// fault audit text must match, across the chaos seeds {1, 7, 42}.
+//
+// If this test fails, the refactor changed the op sequence somewhere --
+// an extra sleep, a reordered RNG draw, a renamed fault site -- and the
+// repo's replay guarantee ("same (seed, plan) -> same run") is broken
+// across releases.  Do NOT regenerate these rows to make the test pass
+// unless the release notes declare a compatibility break; set
+// ETHERGRID_GOLDEN_PRINT=1 to print the current rows for that case.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/scenarios.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace ethergrid::exp {
+namespace {
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+struct GoldenRow {
+  const char* scenario;  // "buffer" | "reader"
+  const char* kind;
+  std::uint64_t seed;
+  std::int64_t a, b, c, d, e, f, g;
+  std::uint64_t kernel_events;
+  std::uint64_t audit_fnv;
+};
+
+// Captured from the pre-refactor build; see the header comment.
+constexpr GoldenRow kGolden[] = {
+    {"buffer", "fixed", 1, 254, 130457353, 1303, 0, 492, 0, 800, 27719,
+     0xa40a8ae341a0d4feull},
+    {"buffer", "ethernet", 1, 223, 112412334, 250, 27, 223, 0, 296, 8034,
+     0x226731f780cff0a6ull},
+    {"reader", "aloha", 1, 32, 0, 7, 0, 0, 0, 8, 117, 0x4ee02673d0b1d6abull},
+    {"reader", "ethernet", 1, 42, 0, 0, 45, 0, 0, 15, 317,
+     0x68d50a9b3fff4547ull},
+    {"buffer", "fixed", 7, 259, 136455278, 1223, 0, 485, 0, 855, 27417,
+     0x801a3f0db2d0a0c4ull},
+    {"buffer", "ethernet", 7, 241, 123144582, 271, 35, 242, 0, 334, 8634,
+     0xdd223e7104e2c7b8ull},
+    {"reader", "aloha", 7, 23, 0, 9, 0, 0, 0, 6, 90, 0xeb4a3bb8803de4d0ull},
+    {"reader", "ethernet", 7, 41, 0, 0, 41, 0, 0, 13, 296,
+     0x5b1ac8b554543133ull},
+    {"buffer", "fixed", 42, 259, 128321401, 1296, 0, 509, 0, 771, 27860,
+     0x8ffcb2d45ce5907cull},
+    {"buffer", "ethernet", 42, 362, 176837680, 355, 41, 420, 0, 426, 14162,
+     0x2f11b386fd610652ull},
+    {"reader", "aloha", 42, 30, 0, 7, 0, 0, 0, 6, 108,
+     0x04c1cf3a51fd6c80ull},
+    {"reader", "ethernet", 42, 44, 0, 0, 53, 0, 0, 8, 308,
+     0x3e050e732873e206ull},
+};
+
+GoldenRow run_buffer(std::uint64_t seed, const char* kind) {
+  BufferScenarioConfig config;
+  config.seed = seed;
+  EXPECT_TRUE(sim::FaultPlan::parse(
+                  "iochannel.write:reset@0.05;fsbuffer.append:fail@0.02",
+                  &config.faults)
+                  .ok());
+  BufferSweepPoint point = run_buffer_point(config, kind, 10, sec(240));
+  GoldenRow row{};
+  row.scenario = "buffer";
+  row.kind = kind;
+  row.seed = seed;
+  row.a = point.files_consumed;
+  row.b = point.bytes_consumed;
+  row.c = point.collisions;
+  row.d = point.deferrals;
+  row.e = point.files_completed;
+  row.f = point.tries_failed;
+  row.g = point.faults_injected;
+  row.kernel_events = point.kernel_events;
+  row.audit_fnv = fnv1a64(point.fault_audit);
+  return row;
+}
+
+GoldenRow run_reader(std::uint64_t seed, const char* kind) {
+  ReaderScenarioConfig config;
+  config.seed = seed;
+  config.servers = ReaderScenarioConfig::paper_farm();
+  EXPECT_TRUE(sim::FaultPlan::parse(
+                  "fileserver.*.fetch:reset@0.15;fileserver.yyy.flag:fail@0.1",
+                  &config.faults)
+                  .ok());
+  ReaderTimeline timeline = run_reader_timeline(config, kind, sec(300),
+                                                sec(30));
+  GoldenRow row{};
+  row.scenario = "reader";
+  row.kind = kind;
+  row.seed = seed;
+  row.a = timeline.transfers_total;
+  row.b = 0;
+  row.c = timeline.collisions_total;
+  row.d = timeline.deferrals_total;
+  row.e = 0;
+  row.f = 0;
+  row.g = timeline.faults_injected;
+  row.kernel_events = timeline.kernel_events;
+  row.audit_fnv = fnv1a64(timeline.fault_audit);
+  return row;
+}
+
+void expect_matches(const GoldenRow& want, const GoldenRow& got) {
+  const std::string label = std::string(want.scenario) + "/" + want.kind +
+                            "/seed=" + std::to_string(want.seed);
+  EXPECT_EQ(got.a, want.a) << label;
+  EXPECT_EQ(got.b, want.b) << label;
+  EXPECT_EQ(got.c, want.c) << label;
+  EXPECT_EQ(got.d, want.d) << label;
+  EXPECT_EQ(got.e, want.e) << label;
+  EXPECT_EQ(got.f, want.f) << label;
+  EXPECT_EQ(got.g, want.g) << label;
+  EXPECT_EQ(got.kernel_events, want.kernel_events) << label;
+  EXPECT_EQ(got.audit_fnv, want.audit_fnv) << label << " (fault audit bytes)";
+  if (std::getenv("ETHERGRID_GOLDEN_PRINT")) {
+    std::printf("    {\"%s\", \"%s\", %llu, %lld, %lld, %lld, %lld, %lld, "
+                "%lld, %lld, %llu, 0x%016llxull},\n",
+                got.scenario, got.kind,
+                static_cast<unsigned long long>(got.seed),
+                static_cast<long long>(got.a), static_cast<long long>(got.b),
+                static_cast<long long>(got.c), static_cast<long long>(got.d),
+                static_cast<long long>(got.e), static_cast<long long>(got.f),
+                static_cast<long long>(got.g),
+                static_cast<unsigned long long>(got.kernel_events),
+                static_cast<unsigned long long>(got.audit_fnv));
+  }
+}
+
+TEST(DegenerateGoldenTest, BinaryModelReproducesPreRefactorRuns) {
+  for (const GoldenRow& want : kGolden) {
+    const GoldenRow got = std::string(want.scenario) == "buffer"
+                              ? run_buffer(want.seed, want.kind)
+                              : run_reader(want.seed, want.kind);
+    expect_matches(want, got);
+  }
+}
+
+// The degenerate check the other direction: explicitly constructing the
+// substrates in fluid mode must CHANGE contention behavior (otherwise the
+// fluid port is a no-op and the golden pin proves nothing).
+TEST(DegenerateGoldenTest, FluidModeDivergesFromBinaryUnderContention) {
+  BufferScenarioConfig binary;
+  binary.seed = 42;
+  BufferSweepPoint binary_point = run_buffer_point(binary, "fixed", 10,
+                                                   sec(240));
+
+  BufferScenarioConfig fluid = binary;
+  fluid.channel.model = grid::CapacityModel::kFluid;
+  BufferSweepPoint fluid_point = run_buffer_point(fluid, "fixed", 10,
+                                                  sec(240));
+
+  EXPECT_NE(binary_point.kernel_events, fluid_point.kernel_events);
+}
+
+}  // namespace
+}  // namespace ethergrid::exp

@@ -14,9 +14,9 @@ namespace {
 
 TEST(FigureSmokeTest, Fig1_FixedCollapsesAboveCritical) {
   SubmitScenarioConfig config;
-  auto below = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+  auto below = run_submit_scale_point(config, "fixed",
                                       100, minutes(2));
-  auto above = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+  auto above = run_submit_scale_point(config, "fixed",
                                       460, minutes(2));
   EXPECT_GT(below.jobs_submitted, 100);
   EXPECT_LT(above.jobs_submitted, below.jobs_submitted / 4);
@@ -25,12 +25,12 @@ TEST(FigureSmokeTest, Fig1_FixedCollapsesAboveCritical) {
 
 TEST(FigureSmokeTest, Fig1_OrderingUnderOverload) {
   SubmitScenarioConfig config;
-  auto fixed = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+  auto fixed = run_submit_scale_point(config, "fixed",
                                       460, minutes(2));
-  auto aloha = run_submit_scale_point(config, grid::DisciplineKind::kAloha,
+  auto aloha = run_submit_scale_point(config, "aloha",
                                       460, minutes(2));
   auto ether = run_submit_scale_point(
-      config, grid::DisciplineKind::kEthernet, 460, minutes(2));
+      config, "ethernet", 460, minutes(2));
   EXPECT_GT(ether.jobs_submitted, aloha.jobs_submitted);
   EXPECT_GE(aloha.jobs_submitted, fixed.jobs_submitted);
 }
@@ -40,7 +40,7 @@ TEST(FigureSmokeTest, Fig1_OrderingUnderOverload) {
 TEST(FigureSmokeTest, Fig2_AlohaBroadcastJamSpikes) {
   SubmitScenarioConfig config;
   auto timeline = run_submitter_timeline(
-      config, grid::DisciplineKind::kAloha, 420, sec(420), sec(10));
+      config, "aloha", 420, sec(420), sec(10));
   EXPECT_GT(timeline.schedd_crashes, 0);
   // Available FDs must both crater and spike back up (the jam).
   double min_fds = 1e18, max_recovery = 0, prev = 8192;
@@ -56,7 +56,7 @@ TEST(FigureSmokeTest, Fig2_AlohaBroadcastJamSpikes) {
 TEST(FigureSmokeTest, Fig3_EthernetHoldsThresholdFloor) {
   SubmitScenarioConfig config;
   auto timeline = run_submitter_timeline(
-      config, grid::DisciplineKind::kEthernet, 420, sec(420), sec(10));
+      config, "ethernet", 420, sec(420), sec(10));
   EXPECT_LE(timeline.schedd_crashes, 1);  // at most the t=0 stampede
   double steady_min = 1e18;
   for (const auto& p : timeline.points) {
@@ -71,29 +71,29 @@ TEST(FigureSmokeTest, Fig3_EthernetHoldsThresholdFloor) {
 
 TEST(FigureSmokeTest, Fig4_FixedThroughputCollapsesWithProducers) {
   BufferScenarioConfig config;
-  auto few = run_buffer_point(config, grid::DisciplineKind::kFixed, 5,
+  auto few = run_buffer_point(config, "fixed", 5,
                               sec(240));
-  auto many = run_buffer_point(config, grid::DisciplineKind::kFixed, 45,
+  auto many = run_buffer_point(config, "fixed", 45,
                                sec(240));
   EXPECT_LT(many.files_consumed, few.files_consumed);
 }
 
 TEST(FigureSmokeTest, Fig4_EthernetHoldsUnderProducerPressure) {
   BufferScenarioConfig config;
-  auto fixed = run_buffer_point(config, grid::DisciplineKind::kFixed, 45,
+  auto fixed = run_buffer_point(config, "fixed", 45,
                                 sec(240));
-  auto ether = run_buffer_point(config, grid::DisciplineKind::kEthernet, 45,
+  auto ether = run_buffer_point(config, "ethernet", 45,
                                 sec(240));
   EXPECT_GT(ether.files_consumed, 2 * fixed.files_consumed);
 }
 
 TEST(FigureSmokeTest, Fig5_CollisionOrdering) {
   BufferScenarioConfig config;
-  auto fixed = run_buffer_point(config, grid::DisciplineKind::kFixed, 30,
+  auto fixed = run_buffer_point(config, "fixed", 30,
                                 sec(240));
-  auto aloha = run_buffer_point(config, grid::DisciplineKind::kAloha, 30,
+  auto aloha = run_buffer_point(config, "aloha", 30,
                                 sec(240));
-  auto ether = run_buffer_point(config, grid::DisciplineKind::kEthernet, 30,
+  auto ether = run_buffer_point(config, "ethernet", 30,
                                 sec(240));
   EXPECT_GT(fixed.collisions, 3 * std::max<std::int64_t>(aloha.collisions, 1));
   EXPECT_GT(aloha.collisions, ether.collisions);
@@ -103,7 +103,7 @@ TEST(FigureSmokeTest, Fig5_CollisionOrdering) {
 
 TEST(FigureSmokeTest, Fig6_AlohaPaysStalls) {
   ReaderScenarioConfig config;
-  auto timeline = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+  auto timeline = run_reader_timeline(config, "aloha",
                                       sec(450), sec(30));
   EXPECT_GT(timeline.transfers_total, 5);
   EXPECT_GT(timeline.collisions_total, 0);
@@ -111,9 +111,9 @@ TEST(FigureSmokeTest, Fig6_AlohaPaysStalls) {
 
 TEST(FigureSmokeTest, Fig7_EthernetAvoidsStallsAndWins) {
   ReaderScenarioConfig config;
-  auto aloha = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+  auto aloha = run_reader_timeline(config, "aloha",
                                    sec(450), sec(30));
-  auto ether = run_reader_timeline(config, grid::DisciplineKind::kEthernet,
+  auto ether = run_reader_timeline(config, "ethernet",
                                    sec(450), sec(30));
   EXPECT_EQ(ether.collisions_total, 0);
   EXPECT_GT(ether.deferrals_total, 0);

@@ -10,9 +10,9 @@ namespace {
 
 TEST(SubmitScaleTest, DeterministicForSameSeed) {
   SubmitScenarioConfig config;
-  auto a = run_submit_scale_point(config, grid::DisciplineKind::kAloha, 60,
+  auto a = run_submit_scale_point(config, "aloha", 60,
                                   minutes(2));
-  auto b = run_submit_scale_point(config, grid::DisciplineKind::kAloha, 60,
+  auto b = run_submit_scale_point(config, "aloha", 60,
                                   minutes(2));
   EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
   EXPECT_EQ(a.schedd_crashes, b.schedd_crashes);
@@ -23,9 +23,9 @@ TEST(SubmitScaleTest, SeedChangesRun) {
   SubmitScenarioConfig a_config;
   SubmitScenarioConfig b_config;
   b_config.seed = 43;
-  auto a = run_submit_scale_point(a_config, grid::DisciplineKind::kAloha, 60,
+  auto a = run_submit_scale_point(a_config, "aloha", 60,
                                   minutes(2));
-  auto b = run_submit_scale_point(b_config, grid::DisciplineKind::kAloha, 60,
+  auto b = run_submit_scale_point(b_config, "aloha", 60,
                                   minutes(2));
   // Different seeds shuffle service times; totals should differ (not a hard
   // guarantee, but with 60 clients over 2 minutes a tie is implausible --
@@ -35,9 +35,9 @@ TEST(SubmitScaleTest, SeedChangesRun) {
 
 TEST(SubmitScaleTest, UncontendedDisciplinesAreEquivalent) {
   SubmitScenarioConfig config;
-  auto fixed = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+  auto fixed = run_submit_scale_point(config, "fixed",
                                       20, minutes(2));
-  auto aloha = run_submit_scale_point(config, grid::DisciplineKind::kAloha,
+  auto aloha = run_submit_scale_point(config, "aloha",
                                       20, minutes(2));
   // With no contention there are no failures, hence no backoff: identical.
   EXPECT_EQ(fixed.jobs_submitted, aloha.jobs_submitted);
@@ -48,12 +48,12 @@ TEST(SubmitScaleTest, OverloadOrderingHolds) {
   // The figure-1 property at the collapse point, at full scale but a
   // shorter window to stay fast.
   SubmitScenarioConfig config;
-  auto fixed = run_submit_scale_point(config, grid::DisciplineKind::kFixed,
+  auto fixed = run_submit_scale_point(config, "fixed",
                                       460, minutes(3));
-  auto aloha = run_submit_scale_point(config, grid::DisciplineKind::kAloha,
+  auto aloha = run_submit_scale_point(config, "aloha",
                                       460, minutes(3));
   auto ether = run_submit_scale_point(
-      config, grid::DisciplineKind::kEthernet, 460, minutes(3));
+      config, "ethernet", 460, minutes(3));
   EXPECT_GT(ether.jobs_submitted, aloha.jobs_submitted);
   EXPECT_GT(aloha.jobs_submitted, fixed.jobs_submitted);
   EXPECT_GT(fixed.schedd_crashes, ether.schedd_crashes);
@@ -62,7 +62,7 @@ TEST(SubmitScaleTest, OverloadOrderingHolds) {
 TEST(SubmitterTimelineTest, SamplesCoverWindow) {
   SubmitScenarioConfig config;
   auto timeline = run_submitter_timeline(
-      config, grid::DisciplineKind::kAloha, 30, minutes(2), sec(10));
+      config, "aloha", 30, minutes(2), sec(10));
   ASSERT_EQ(timeline.points.size(), 13u);  // 0..120 s inclusive
   EXPECT_DOUBLE_EQ(timeline.points.front().t_seconds, 0.0);
   EXPECT_DOUBLE_EQ(timeline.points.back().t_seconds, 120.0);
@@ -79,9 +79,9 @@ TEST(BufferPointTest, DeterministicAndConsistentAcrossFigures) {
   // Figures 4 and 5 are two views of the same sweep: same config + seed
   // must give byte-identical results.
   BufferScenarioConfig config;
-  auto a = run_buffer_point(config, grid::DisciplineKind::kEthernet, 10,
+  auto a = run_buffer_point(config, "ethernet", 10,
                             sec(120));
-  auto b = run_buffer_point(config, grid::DisciplineKind::kEthernet, 10,
+  auto b = run_buffer_point(config, "ethernet", 10,
                             sec(120));
   EXPECT_EQ(a.files_consumed, b.files_consumed);
   EXPECT_EQ(a.collisions, b.collisions);
@@ -92,8 +92,8 @@ TEST(BufferPointTest, DeterministicAndConsistentAcrossFigures) {
 TEST(BufferPointTest, FixedFloodsCollisions) {
   BufferScenarioConfig config;
   auto fixed =
-      run_buffer_point(config, grid::DisciplineKind::kFixed, 15, sec(180));
-  auto ether = run_buffer_point(config, grid::DisciplineKind::kEthernet, 15,
+      run_buffer_point(config, "fixed", 15, sec(180));
+  auto ether = run_buffer_point(config, "ethernet", 15,
                                 sec(180));
   EXPECT_GT(fixed.collisions, 5 * std::max<std::int64_t>(ether.collisions, 1));
   EXPECT_GT(ether.files_consumed, fixed.files_consumed);
@@ -109,9 +109,9 @@ TEST(ReaderTimelineTest, PaperFarmHasOneBlackHole) {
 
 TEST(ReaderTimelineTest, EthernetAvoidsCollisions) {
   ReaderScenarioConfig config;
-  auto ether = run_reader_timeline(config, grid::DisciplineKind::kEthernet,
+  auto ether = run_reader_timeline(config, "ethernet",
                                    sec(300), sec(30));
-  auto aloha = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+  auto aloha = run_reader_timeline(config, "aloha",
                                    sec(300), sec(30));
   EXPECT_EQ(ether.collisions_total, 0);
   EXPECT_GT(ether.deferrals_total, 0);
@@ -121,7 +121,7 @@ TEST(ReaderTimelineTest, EthernetAvoidsCollisions) {
 
 TEST(ReaderTimelineTest, CumulativeSeriesMonotone) {
   ReaderScenarioConfig config;
-  auto timeline = run_reader_timeline(config, grid::DisciplineKind::kAloha,
+  auto timeline = run_reader_timeline(config, "aloha",
                                       sec(300), sec(30));
   for (std::size_t i = 1; i < timeline.points.size(); ++i) {
     EXPECT_GE(timeline.points[i].transfers, timeline.points[i - 1].transfers);

@@ -1,5 +1,11 @@
 // Scenario-client integration at small scale: a handful of clients against
 // each substrate, verifying the qualitative behaviour each figure relies on.
+//
+// These tests deliberately keep using the deprecated DisciplineKind enum
+// and `kind` config fields: they are the coverage for the one-release shim
+// (clients.hpp) that resolves the enum through the string registry.  Every
+// other call site has migrated to discipline names; delete the enum uses
+// here together with the shim.
 #include "grid/clients.hpp"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,149 @@
+#include "grid/substrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/observer.hpp"
+#include "sim/kernel.hpp"
+
+namespace ethergrid::grid {
+namespace {
+
+SubstrateConfig binary_config() {
+  SubstrateConfig config;
+  config.site = "medium";
+  config.bytes_per_second = 1000.0;
+  config.slots = 1;
+  return config;
+}
+
+SubstrateConfig fluid_config() {
+  SubstrateConfig config = binary_config();
+  config.model = CapacityModel::kFluid;
+  return config;
+}
+
+TEST(SubstrateTest, CapacityModelNamesRoundTrip) {
+  EXPECT_EQ(capacity_model_name(CapacityModel::kBinary), "binary");
+  EXPECT_EQ(capacity_model_name(CapacityModel::kFluid), "fluid");
+  CapacityModel model = CapacityModel::kBinary;
+  EXPECT_TRUE(parse_capacity_model("fluid", &model));
+  EXPECT_EQ(model, CapacityModel::kFluid);
+  EXPECT_TRUE(parse_capacity_model("binary", &model));
+  EXPECT_EQ(model, CapacityModel::kBinary);
+  EXPECT_FALSE(parse_capacity_model("bogus", &model));
+}
+
+// Binary model: Hold serializes on the slot resource; second holder waits.
+TEST(SubstrateTest, BinaryHoldSerializes) {
+  sim::Kernel k;
+  Substrate medium(k, binary_config());
+  TimePoint second_started{};
+  k.spawn("a", [&](sim::Context& ctx) {
+    Substrate::Hold hold(ctx, medium);
+    ctx.sleep(sec(10));
+  });
+  k.spawn("b", [&](sim::Context& ctx) {
+    ctx.sleep(sec(1));
+    Substrate::Hold hold(ctx, medium);
+    second_started = ctx.now();
+  });
+  k.run();
+  EXPECT_EQ(second_started, kEpoch + sec(10));
+  k.shutdown();
+}
+
+// Fluid model: Hold admits everyone; stream() divides the bandwidth.
+TEST(SubstrateTest, FluidStreamsShareBandwidth) {
+  sim::Kernel k;
+  Substrate medium(k, fluid_config());
+  std::vector<TimePoint> done(2);
+  for (int i = 0; i < 2; ++i) {
+    k.spawn("s" + std::to_string(i), [&, i](sim::Context& ctx) {
+      Substrate::Hold hold(ctx, medium);
+      ASSERT_TRUE(medium.stream(ctx, 5000.0).ok());
+      done[std::size_t(i)] = ctx.now();
+    });
+  }
+  k.run();
+  // Two flows over 1000 B/s move 5000 B each in 10 s together.
+  EXPECT_GE(done[0], kEpoch + sec(10));
+  EXPECT_LE(done[0], kEpoch + sec(10) + msec(1));
+  EXPECT_EQ(done[0], done[1]);
+  k.shutdown();
+}
+
+// instantaneous_share_fraction: fluid reports the fair share a new flow
+// would get as a fraction of capacity; binary reports slot availability.
+TEST(SubstrateTest, ShareFractionQuotesBothModels) {
+  sim::Kernel k;
+  Substrate fluid(k, fluid_config());
+  Substrate binary(k, binary_config());
+  double fluid_idle = -1;
+  double fluid_busy = -1;
+  double binary_idle = -1;
+  double binary_busy = -1;
+  k.spawn("fluid-flow",
+          [&](sim::Context& ctx) { (void)fluid.stream(ctx, 4000.0); });
+  k.spawn("binary-holder", [&](sim::Context& ctx) {
+    Substrate::Hold hold(ctx, binary);
+    ctx.sleep(sec(2));
+  });
+  k.spawn("probe", [&](sim::Context& ctx) {
+    fluid_busy = fluid.instantaneous_share_fraction();
+    binary_busy = binary.instantaneous_share_fraction();
+    ctx.sleep(sec(30));
+    fluid_idle = fluid.instantaneous_share_fraction();
+    binary_idle = binary.instantaneous_share_fraction();
+  });
+  k.run();
+  EXPECT_DOUBLE_EQ(fluid_busy, 0.5);
+  EXPECT_DOUBLE_EQ(fluid_idle, 1.0);
+  EXPECT_DOUBLE_EQ(binary_busy, 0.0);
+  EXPECT_DOUBLE_EQ(binary_idle, 1.0);
+  k.shutdown();
+}
+
+// Fluid substrates emit flow_share events through the observer channel on
+// every re-share.
+TEST(SubstrateTest, FluidEmitsFlowShareEvents) {
+  sim::Kernel k;
+  Substrate medium(k, fluid_config());
+  struct Collector : obs::Observer {
+    std::vector<obs::ObsEvent> events;
+    void on_event(const obs::ObsEvent& event) override {
+      if (event.kind == obs::ObsEvent::Kind::kFlowShare)
+        events.push_back(event);
+    }
+  } collector;
+  obs::ObserverSet observers;
+  observers.add(&collector);
+  medium.set_observers(&observers);
+  k.spawn("a", [&](sim::Context& ctx) { (void)medium.stream(ctx, 1000.0); });
+  k.spawn("b", [&](sim::Context& ctx) {
+    ctx.sleep(msec(500));
+    (void)medium.stream(ctx, 1000.0);
+  });
+  k.run();
+  // Re-shares: a joins, b joins, a leaves, b leaves.
+  ASSERT_GE(collector.events.size(), 4u);
+  // While both flows were active the unit share is half the capacity.
+  bool saw_half = false;
+  for (const obs::ObsEvent& event : collector.events) {
+    if (event.value == 0.5) saw_half = true;
+  }
+  EXPECT_TRUE(saw_half);
+  k.shutdown();
+}
+
+// payload_duration matches the binary-mode cost formula.
+TEST(SubstrateTest, PayloadDurationMatchesBandwidth) {
+  sim::Kernel k;
+  Substrate medium(k, binary_config());
+  EXPECT_EQ(medium.payload_duration(2000.0), sec(2));
+  EXPECT_EQ(medium.payload_duration(0.0), Duration{});
+}
+
+}  // namespace
+}  // namespace ethergrid::grid

@@ -26,7 +26,7 @@ class McScenariosTest : public ::testing::TestWithParam<sim::QueueImpl> {
 
 TEST_P(McScenariosTest, ListsAllScenarios) {
   const std::vector<std::string> names = scenario_names();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   for (const std::string& name : names) {
     EXPECT_NE(make_scenario(name), nullptr) << name;
   }
@@ -123,6 +123,26 @@ TEST_P(McScenariosTest, CrossShardWindowExploresExhaustively) {
   EXPECT_TRUE(result.complete);
   // The window-boundary race must actually branch: at least the fault
   // choice and one schedule choice.
+  EXPECT_GT(result.stats.executions, 2u);
+  EXPECT_GT(result.stats.choice_points, 0u);
+}
+
+// Acceptance: the reservation-grant/kill race closes exhaustively and
+// stays clean -- whichever side of the grant-delivery instant the kill
+// lands on, and whichever fault branch stalls a flow, no booking leaks,
+// no fluid flow is orphaned, the book never oversubscribes mid-flight,
+// and the untargeted requester completes.
+TEST_P(McScenariosTest, ReservationGrantKillExploresExhaustively) {
+  std::unique_ptr<Scenario> scenario = make_scenario("reservation-grant-kill");
+  ASSERT_NE(scenario, nullptr);
+  Explorer explorer(*scenario, options_for());
+  const ExploreResult result = explorer.explore();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().message);
+  EXPECT_TRUE(result.complete);
+  // The race must actually branch: the fault decisions plus the schedule
+  // ambiguity at the t=2s grant-delivery instant.
   EXPECT_GT(result.stats.executions, 2u);
   EXPECT_GT(result.stats.choice_points, 0u);
 }

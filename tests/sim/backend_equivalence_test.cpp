@@ -54,13 +54,13 @@ const char* combo_name(std::size_t i) {
 exp::ReaderTimeline run_readers(sim::Backend backend, sim::QueueImpl queue,
                                 std::uint64_t seed,
                                 const std::string& plan_spec,
-                                grid::DisciplineKind kind) {
+                                std::string_view discipline) {
   exp::ReaderScenarioConfig config;
   config.seed = seed;
   config.kernel.backend = backend;
   config.kernel.queue = queue;
   config.faults = parse_plan(plan_spec);
-  return exp::run_reader_timeline(config, kind, sec(900), sec(30));
+  return exp::run_reader_timeline(config, discipline, sec(900), sec(30));
 }
 
 class BackendEquivalenceTest
@@ -79,13 +79,12 @@ TEST_P(BackendEquivalenceTest, ChaosReaderStatsAndAuditMatch) {
     GTEST_SKIP() << "fiber backend unavailable (TSan build)";
   }
   const auto [seed, plan] = GetParam();
-  for (grid::DisciplineKind kind :
-       {grid::DisciplineKind::kFixed, grid::DisciplineKind::kEthernet}) {
+  for (const char* discipline : {"fixed", "ethernet"}) {
     const auto ref = run_readers(kCombos[0].first, kCombos[0].second, seed,
-                                 plan, kind);
+                                 plan, discipline);
     for (std::size_t c = 1; c < std::size(kCombos); ++c) {
       const auto got = run_readers(kCombos[c].first, kCombos[c].second, seed,
-                                   plan, kind);
+                                   plan, discipline);
       SCOPED_TRACE(combo_name(c));
       EXPECT_EQ(ref.transfers_total, got.transfers_total);
       EXPECT_EQ(ref.collisions_total, got.collisions_total);
@@ -123,13 +122,11 @@ TEST(BackendEquivalence, SubmitScaleMatches) {
 
   config.kernel.backend = kCombos[0].first;
   config.kernel.queue = kCombos[0].second;
-  const auto ref =
-      exp::run_submit_scale_point(config, grid::DisciplineKind::kEthernet, 80);
+  const auto ref = exp::run_submit_scale_point(config, "ethernet", 80);
   for (std::size_t c = 1; c < std::size(kCombos); ++c) {
     config.kernel.backend = kCombos[c].first;
     config.kernel.queue = kCombos[c].second;
-    const auto got = exp::run_submit_scale_point(
-        config, grid::DisciplineKind::kEthernet, 80);
+    const auto got = exp::run_submit_scale_point(config, "ethernet", 80);
     SCOPED_TRACE(combo_name(c));
     EXPECT_EQ(ref.jobs_submitted, got.jobs_submitted);
     EXPECT_EQ(ref.schedd_crashes, got.schedd_crashes);
@@ -137,6 +134,46 @@ TEST(BackendEquivalence, SubmitScaleMatches) {
     EXPECT_EQ(ref.faults_injected, got.faults_injected);
     EXPECT_EQ(ref.fault_audit, got.fault_audit);
     EXPECT_EQ(ref.kernel_events, got.kernel_events);
+  }
+}
+
+// The fluid capacity model joins the matrix: max-min reshare events are
+// ordinary timer events, so a saturated fluid link with faults -- and the
+// reservation book's grant arithmetic on top -- must replay identically
+// across every backend/queue pairing, down to per-sender byte counts.
+exp::BulkSweepPoint run_bulk(sim::Backend backend, sim::QueueImpl queue,
+                             std::string_view discipline) {
+  exp::BulkScenarioConfig config;
+  config.link_bps = 1.0 * 1024 * 1024;
+  config.sender.file_bytes = 4 << 20;
+  config.faults = parse_plan("bulk.write:fail@0.1");
+  config.kernel.backend = backend;
+  config.kernel.queue = queue;
+  return exp::run_bulk_point(config, discipline, 6, sec(300));
+}
+
+TEST(BackendEquivalence, FluidBulkStatsAndAuditMatch) {
+  if (!fiber_backend_available()) {
+    GTEST_SKIP() << "fiber backend unavailable (TSan build)";
+  }
+  for (const char* discipline : {"ethernet", "reservation"}) {
+    SCOPED_TRACE(discipline);
+    const auto ref = run_bulk(kCombos[0].first, kCombos[0].second, discipline);
+    ASSERT_GT(ref.bytes_sent, 0);
+    EXPECT_GT(ref.faults_injected, 0);
+    for (std::size_t c = 1; c < std::size(kCombos); ++c) {
+      SCOPED_TRACE(combo_name(c));
+      const auto got =
+          run_bulk(kCombos[c].first, kCombos[c].second, discipline);
+      EXPECT_EQ(ref.bytes_sent, got.bytes_sent);
+      EXPECT_EQ(ref.per_sender_bytes, got.per_sender_bytes);
+      EXPECT_EQ(ref.grants, got.grants);
+      EXPECT_EQ(ref.rejects, got.rejects);
+      EXPECT_EQ(ref.deferrals, got.deferrals);
+      EXPECT_EQ(ref.faults_injected, got.faults_injected);
+      EXPECT_EQ(ref.fault_audit, got.fault_audit);
+      EXPECT_EQ(ref.kernel_events, got.kernel_events);
+    }
   }
 }
 
@@ -196,8 +233,7 @@ std::string run_reader_trace(sim::Backend backend, sim::QueueImpl queue) {
   config.kernel.queue = queue;
   config.faults = parse_plan(kPlanResets);
   config.observers = &set;
-  (void)exp::run_reader_timeline(config, grid::DisciplineKind::kEthernet,
-                                 sec(900), sec(30));
+  (void)exp::run_reader_timeline(config, "ethernet", sec(900), sec(30));
   return recorder.to_json();
 }
 
@@ -231,9 +267,11 @@ const char kShardPlanCrashStall[] =
 
 exp::ShardedSubmitResult run_sharded(std::uint64_t seed,
                                      const std::string& plan_spec,
-                                     grid::DisciplineKind kind,
+                                     std::string_view discipline,
                                      std::size_t shards, std::size_t threads,
-                                     bool record_trace = false) {
+                                     bool record_trace = false,
+                                     int bulk_per_site = 0,
+                                     const char* bulk_discipline = "ethernet") {
   exp::ShardedSubmitConfig config;
   config.sites = 4;
   config.submitters_per_site = 20;
@@ -243,7 +281,10 @@ exp::ShardedSubmitResult run_sharded(std::uint64_t seed,
   config.sharded.threads = threads;
   config.faults = parse_plan(plan_spec);
   config.record_trace = record_trace;
-  return exp::run_sharded_submit(config, kind, sec(120));
+  config.bulk_per_site = bulk_per_site;
+  config.bulk.discipline = bulk_discipline;
+  config.bulk.file_bytes = 4 << 20;
+  return exp::run_sharded_submit(config, discipline, sec(120));
 }
 
 void expect_sharded_equal(const exp::ShardedSubmitResult& ref,
@@ -257,9 +298,19 @@ void expect_sharded_equal(const exp::ShardedSubmitResult& ref,
     EXPECT_EQ(ref.by_site[i].fd_low_watermark, got.by_site[i].fd_low_watermark)
         << "site " << i;
   }
+  for (std::size_t i = 0; i < ref.by_site.size(); ++i) {
+    EXPECT_EQ(ref.by_site[i].bulk_files, got.by_site[i].bulk_files)
+        << "site " << i;
+    EXPECT_EQ(ref.by_site[i].bulk_bytes, got.by_site[i].bulk_bytes)
+        << "site " << i;
+    EXPECT_EQ(ref.by_site[i].bulk_grants, got.by_site[i].bulk_grants)
+        << "site " << i;
+  }
   EXPECT_EQ(ref.jobs_total, got.jobs_total);
   EXPECT_EQ(ref.remote_jobs, got.remote_jobs);
   EXPECT_EQ(ref.remote_tries_failed, got.remote_tries_failed);
+  EXPECT_EQ(ref.bulk_bytes_total, got.bulk_bytes_total);
+  EXPECT_EQ(ref.bulk_grants_total, got.bulk_grants_total);
   EXPECT_EQ(ref.faults_injected, got.faults_injected);
   // Byte-identical merged audit: every fault fired at the same virtual
   // instant at the same site, independent of partition and thread count.
@@ -272,22 +323,49 @@ class ShardedEquivalenceTest
 
 TEST_P(ShardedEquivalenceTest, StatsAndAuditMatchAcrossShardsAndThreads) {
   const auto [seed, plan] = GetParam();
-  for (grid::DisciplineKind kind :
-       {grid::DisciplineKind::kFixed, grid::DisciplineKind::kEthernet}) {
-    SCOPED_TRACE(grid::discipline_kind_name(kind));
-    const auto ref = run_sharded(seed, plan, kind, /*shards=*/1,
+  for (const char* discipline : {"fixed", "ethernet"}) {
+    SCOPED_TRACE(discipline);
+    const auto ref = run_sharded(seed, plan, discipline, /*shards=*/1,
                                  /*threads=*/1);
     ASSERT_GT(ref.jobs_total, 0);
     EXPECT_GT(ref.faults_injected, 0);
     {
       SCOPED_TRACE("shards=4/threads=1");
-      const auto got = run_sharded(seed, plan, kind, 4, 1);
+      const auto got = run_sharded(seed, plan, discipline, 4, 1);
       expect_sharded_equal(ref, got);
     }
     {
       SCOPED_TRACE("shards=4/threads=4");
-      const auto got = run_sharded(seed, plan, kind, 4, 4);
+      const auto got = run_sharded(seed, plan, discipline, 4, 4);
       expect_sharded_equal(ref, got);
+    }
+  }
+}
+
+// Fluid substrates under sharding: each site runs a fluid bulk link whose
+// flows are shard-local, so per-site bulk bytes/files/grants -- and the
+// merged audit, which now includes site<i>.bulk.write faults -- must be
+// identical for shards=1, shards=4/threads=1, and shards=4/threads=4.
+TEST(ShardedEquivalence, FluidBulkLaneMatchesAcrossShardsAndThreads) {
+  const char* plan = "schedd*.submit:reset@0.1;site*.bulk.write:fail@0.1";
+  for (const char* bulk_discipline : {"ethernet", "reservation"}) {
+    SCOPED_TRACE(bulk_discipline);
+    const auto ref = run_sharded(42, plan, "ethernet", 1, 1,
+                                 /*record_trace=*/false, /*bulk_per_site=*/3,
+                                 bulk_discipline);
+    ASSERT_GT(ref.bulk_bytes_total, 0);
+    if (std::string(bulk_discipline) == "reservation") {
+      EXPECT_GT(ref.bulk_grants_total, 0);
+    }
+    {
+      SCOPED_TRACE("shards=4/threads=1");
+      expect_sharded_equal(ref, run_sharded(42, plan, "ethernet", 4, 1, false,
+                                            3, bulk_discipline));
+    }
+    {
+      SCOPED_TRACE("shards=4/threads=4");
+      expect_sharded_equal(ref, run_sharded(42, plan, "ethernet", 4, 4, false,
+                                            3, bulk_discipline));
     }
   }
 }
@@ -303,13 +381,11 @@ INSTANTIATE_TEST_SUITE_P(
 // count: shards=4/threads=4 must serialize the same merged bytes as
 // shards=4/threads=1 (per-shard lanes, merged in shard order).
 TEST(ShardedEquivalence, MergedTraceBytesMatchAcrossThreadCounts) {
-  const auto ref = run_sharded(42, kShardPlanCrashStall,
-                               grid::DisciplineKind::kEthernet, 4, 1,
+  const auto ref = run_sharded(42, kShardPlanCrashStall, "ethernet", 4, 1,
                                /*record_trace=*/true);
   EXPECT_NE(ref.trace_json.find("fault"), std::string::npos);
   EXPECT_NE(ref.trace_json.find("shard3"), std::string::npos);
-  const auto got = run_sharded(42, kShardPlanCrashStall,
-                               grid::DisciplineKind::kEthernet, 4, 4,
+  const auto got = run_sharded(42, kShardPlanCrashStall, "ethernet", 4, 4,
                                /*record_trace=*/true);
   EXPECT_EQ(ref.trace_json, got.trace_json);
 }
